@@ -1,0 +1,68 @@
+//! Design-choice ablations with a time dimension (see DESIGN.md §4):
+//!
+//! * distance kernel on/off in the Serrano model (rejection-sampling cost);
+//! * reinforcement `r` extremes (matching-loop cost);
+//! * exact vs sampled betweenness (the accuracy/cost trade the report
+//!   options expose).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use inet_model::generators::SerranoParams;
+use inet_model::metrics::{betweenness, betweenness_sampled};
+use inet_model::prelude::*;
+
+fn bench_serrano_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serrano_ablation_n1500");
+    group.sample_size(10);
+
+    for (name, distance) in [("nodist", false), ("dist", true)] {
+        group.bench_function(BenchmarkId::new("distance", name), |b| {
+            let mut params = SerranoParams::small(1500);
+            if !distance {
+                params.distance = None;
+            }
+            let model = SerranoModel::new(params);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = seeded_rng(seed);
+                std::hint::black_box(model.generate(&mut rng).graph.edge_count())
+            });
+        });
+    }
+    for r in [0.0, 0.8, 0.95] {
+        group.bench_function(BenchmarkId::new("r", format!("{r}")), |b| {
+            let mut params = SerranoParams::small(1500);
+            params.distance = None;
+            params.r = r;
+            let model = SerranoModel::new(params);
+            let mut seed = 100u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = seeded_rng(seed);
+                std::hint::black_box(model.generate(&mut rng).graph.edge_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_betweenness_tradeoff(c: &mut Criterion) {
+    let mut rng = seeded_rng(5);
+    let net = InetLike::as_map_2001(1500).generate(&mut rng);
+    let (g, _) = inet_model::graph::traversal::giant_component(&net.graph.to_csr());
+
+    let mut group = c.benchmark_group("betweenness_tradeoff_n1500");
+    group.sample_size(10);
+    group.bench_function("exact", |b| {
+        b.iter(|| std::hint::black_box(betweenness(&g)[0]))
+    });
+    for k in [50usize, 200] {
+        group.bench_function(BenchmarkId::new("sampled", k), |b| {
+            b.iter(|| std::hint::black_box(betweenness_sampled(&g, k, 1)[0]))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serrano_ablations, bench_betweenness_tradeoff);
+criterion_main!(benches);

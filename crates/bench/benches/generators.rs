@@ -1,0 +1,62 @@
+//! Generation cost of every topology family at a common size.
+//!
+//! One group per generator; the Serrano model is benched in both variants
+//! (the distance kernel's rejection sampling is its dominant cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use inet_model::prelude::*;
+
+fn bench_generators(c: &mut Criterion) {
+    let n = 2000;
+    let mut group = c.benchmark_group("generate_n2000");
+    group.sample_size(10);
+
+    let generators: Vec<(&str, Box<dyn Generator>)> = vec![
+        ("er_gnp", Box::new(Gnp::with_mean_degree(n, 4.2))),
+        ("waxman", Box::new(Waxman::with_mean_degree(n, 0.2, 4.2))),
+        ("rgg", Box::new(RandomGeometric::with_mean_degree(n, 4.2))),
+        ("watts_strogatz", Box::new(WattsStrogatz::new(n, 4, 0.1))),
+        ("barabasi_albert", Box::new(BarabasiAlbert::new(n, 2))),
+        ("goh_static", Box::new(GohStatic::with_gamma(n, 2, 2.2))),
+        ("glp", Box::new(Glp::internet_2001(n))),
+        ("inet_like", Box::new(InetLike::as_map_2001(n))),
+        ("fkp", Box::new(Fkp::new(n, 10.0))),
+        ("pfp", Box::new(Pfp::internet(n))),
+        (
+            "brite",
+            Box::new(BriteLike::new(
+                n,
+                2,
+                0.2,
+                inet_model::generators::brite::Placement::Fractal(1.5),
+            )),
+        ),
+        (
+            "serrano_nodist",
+            Box::new(SerranoModel::new(
+                inet_model::experiment::ModelVariant::WithoutDistance.params(n),
+            )),
+        ),
+        (
+            "serrano_dist",
+            Box::new(SerranoModel::new(
+                inet_model::experiment::ModelVariant::WithDistance.params(n),
+            )),
+        ),
+    ];
+
+    for (name, generator) in &generators {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = seeded_rng(seed);
+                std::hint::black_box(generator.generate(&mut rng).graph.edge_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Cost of the graph-substrate primitives, including the
+//! CSR-vs-adjacency-map ablation for measurement workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use inet_model::graph::{traversal, MultiGraph, NodeId};
+use inet_model::prelude::*;
+
+fn as_like_graph(n: usize) -> MultiGraph {
+    let mut rng = seeded_rng(3);
+    InetLike::as_map_2001(n).generate(&mut rng).graph
+}
+
+fn bench_graph_ops(c: &mut Criterion) {
+    let g = as_like_graph(4000);
+    let csr = g.to_csr();
+
+    let mut group = c.benchmark_group("graph_ops");
+    group.bench_function("build_10k_edges", |b| {
+        let edges: Vec<(usize, usize)> = {
+            let mut rng = seeded_rng(4);
+            use rand::Rng;
+            (0..10_000)
+                .map(|_| {
+                    let u = rng.gen_range(0..2000);
+                    let v = (u + rng.gen_range(1..1999)) % 2000;
+                    (u, v)
+                })
+                .collect()
+        };
+        b.iter(|| {
+            let g = MultiGraph::from_edges(2000, edges.iter().copied()).expect("valid");
+            std::hint::black_box(g.edge_count())
+        })
+    });
+    group.bench_function("reinforce_existing_edge", |b| {
+        let mut g = g.clone();
+        let (u, v, _) = g.edges().next().expect("non-empty");
+        b.iter(|| std::hint::black_box(g.add_edge_weighted(u, v, 1)))
+    });
+    group.bench_function("to_csr", |b| {
+        b.iter(|| std::hint::black_box(g.to_csr().edge_count()))
+    });
+    group.bench_function("bfs_from_hub", |b| {
+        let hub = (0..csr.node_count())
+            .max_by_key(|&v| csr.degree(v))
+            .expect("non-empty");
+        b.iter(|| std::hint::black_box(traversal::bfs_distances(&csr, hub)[0]))
+    });
+    group.bench_function("connected_components", |b| {
+        b.iter(|| std::hint::black_box(traversal::connected_components(&csr).count()))
+    });
+
+    // Ablation: full neighbor scan via CSR slices vs BTreeMap adjacency.
+    group.bench_function("scan_neighbors_csr", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for v in 0..csr.node_count() {
+                for &u in csr.neighbors(v) {
+                    acc = acc.wrapping_add(u as u64);
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.bench_function("scan_neighbors_multigraph", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for v in 0..g.node_count() {
+                for (u, _) in g.neighbors(NodeId::new(v)) {
+                    acc = acc.wrapping_add(u.index() as u64);
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_ops);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Cost of the figure-critical topology measures on an AS-like graph.
+//!
+//! The workload graph is an Inet-style `γ = 2.2` network of 4000 nodes —
+//! heavy-tailed like the real map, so hub costs (the worst case for the
+//! cycle census and clustering) are represented.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use inet_model::metrics::{
+    betweenness_sampled, ClusteringStats, CycleCensus, DegreeStats, KCoreDecomposition,
+    KnnStats, PathStats,
+};
+use inet_model::prelude::*;
+
+fn workload() -> Csr {
+    let mut rng = seeded_rng(0xBEEF);
+    let net = InetLike::as_map_2001(4000).generate(&mut rng);
+    let (giant, _) = inet_model::graph::traversal::giant_component(&net.graph.to_csr());
+    giant
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let g = workload();
+    let mut group = c.benchmark_group("metrics_n4000");
+    group.sample_size(10);
+
+    group.bench_function("degree_stats", |b| {
+        b.iter(|| std::hint::black_box(DegreeStats::measure(&g).mean))
+    });
+    group.bench_function("clustering", |b| {
+        b.iter(|| std::hint::black_box(ClusteringStats::measure(&g).triangle_count))
+    });
+    group.bench_function("knn_assortativity", |b| {
+        b.iter(|| std::hint::black_box(KnnStats::measure(&g).assortativity))
+    });
+    group.bench_function("kcore", |b| {
+        b.iter(|| std::hint::black_box(KCoreDecomposition::measure(&g).coreness()))
+    });
+    group.bench_function("cycle_census_345", |b| {
+        b.iter(|| std::hint::black_box(CycleCensus::measure(&g).c5))
+    });
+    group.bench_function("paths_sampled_100", |b| {
+        b.iter(|| std::hint::black_box(PathStats::measure_sampled(&g, 100, 1).mean))
+    });
+    group.bench_function("paths_sampled_100_threads4", |b| {
+        b.iter(|| std::hint::black_box(PathStats::measure_sampled(&g, 100, 4).mean))
+    });
+    group.bench_function("betweenness_sampled_50", |b| {
+        b.iter(|| std::hint::black_box(betweenness_sampled(&g, 50, 1)[0]))
+    });
+    group.bench_function("betweenness_sampled_50_threads4", |b| {
+        b.iter(|| std::hint::black_box(betweenness_sampled(&g, 50, 4)[0]))
+    });
+    group.bench_function("powerlaw_fit_auto", |b| {
+        let degrees = DegreeStats::measure(&g).degrees;
+        b.iter(|| std::hint::black_box(inet_model::stats::powerlaw::fit_discrete_auto(&degrees)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_metrics);
+criterion_main!(benches);

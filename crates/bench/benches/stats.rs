@@ -1,0 +1,44 @@
+//! Cost of the statistical primitives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use inet_model::prelude::*;
+use inet_model::stats::{ccdf::ccdf_u64, powerlaw, DynamicWeightedSampler};
+use rand::Rng;
+
+fn bench_stats(c: &mut Criterion) {
+    let mut rng = seeded_rng(7);
+    let sample: Vec<u64> = (0..50_000)
+        .map(|_| powerlaw::sample_discrete(2.2, 1, &mut rng))
+        .collect();
+
+    let mut group = c.benchmark_group("stats");
+    group.bench_function("powerlaw_fit_fixed_xmin_50k", |b| {
+        b.iter(|| std::hint::black_box(powerlaw::fit_discrete(&sample, 5)))
+    });
+    group.bench_function("powerlaw_fit_auto_50k", |b| {
+        b.iter(|| std::hint::black_box(powerlaw::fit_discrete_auto(&sample)))
+    });
+    group.bench_function("ccdf_50k", |b| {
+        b.iter(|| std::hint::black_box(ccdf_u64(&sample).n))
+    });
+    group.bench_function("fenwick_draw_update_10k_items", |b| {
+        let weights: Vec<f64> = (0..10_000).map(|i| (i % 97 + 1) as f64).collect();
+        let mut sampler = DynamicWeightedSampler::from_weights(&weights);
+        let mut rng = seeded_rng(9);
+        b.iter(|| {
+            let i = sampler.sample(&mut rng).expect("positive total");
+            sampler.add_weight(i, 1.0);
+            std::hint::black_box(i)
+        })
+    });
+    group.bench_function("linear_fit_10k", |b| {
+        let x: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let mut rng = seeded_rng(11);
+        let y: Vec<f64> = x.iter().map(|&v| 2.0 * v + rng.gen_range(-1.0..1.0)).collect();
+        b.iter(|| std::hint::black_box(inet_model::stats::regression::linear_fit(&x, &y)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stats);
+criterion_main!(benches);

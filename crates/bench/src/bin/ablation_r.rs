@@ -1,0 +1,78 @@
+//! **Ablation: reinforcement probability `r`** — the paper's discussion of
+//! the `r` parameter, quantified.
+//!
+//! `r` balances connection-setup costs against partner diversification:
+//! raising it converts distinct links into parallel-link reinforcement,
+//! tuning the average degree and clustering while leaving the degree
+//! exponent alone — except toward `r → 1`, where big peers burn their
+//! bandwidth on each other and the maximum degree collapses.
+
+use inet_model::experiment::{banner, FigureSink, BASE_SEED};
+use inet_model::generators::{SerranoModel, SerranoParams};
+use inet_model::graph::traversal::giant_component;
+use inet_model::metrics::ClusteringStats;
+use inet_model::prelude::*;
+
+fn main() -> std::io::Result<()> {
+    let size = inet_bench::target_size().min(6000);
+    let sink = FigureSink::new("ablation_r")?;
+    banner("Ablation — reinforcement probability r");
+
+    println!(
+        "\n{:<6} {:>8} {:>8} {:>10} {:>8} {:>8} {:>8}",
+        "r", "<k>", "mult", "kmax", "clust", "gamma", "giant"
+    );
+    let mut rows = Vec::new();
+    let mut results: Vec<(f64, f64, f64, usize)> = Vec::new();
+    for (i, r) in [0.0, 0.2, 0.4, 0.6, 0.8, 0.95].into_iter().enumerate() {
+        let mut params = SerranoParams::small(size);
+        params.distance = None;
+        params.r = r;
+        let run = SerranoModel::new(params).run(&mut child_rng(BASE_SEED, 130 + i as u64));
+        let g = &run.network.graph;
+        let csr = g.to_csr();
+        let (giant, _) = giant_component(&csr);
+        let mult = g.total_weight() as f64 / g.edge_count().max(1) as f64;
+        let clust = ClusteringStats::measure(&giant).mean_local;
+        let degrees: Vec<u64> = giant.degrees().iter().map(|&d| d as u64).collect();
+        let gamma = inet_model::stats::powerlaw::fit_discrete(&degrees, 6)
+            .map(|f| f.gamma)
+            .unwrap_or(f64::NAN);
+        let kmax = giant.max_degree();
+        let giant_frac = giant.node_count() as f64 / csr.node_count() as f64;
+        println!(
+            "{r:<6} {:>8.2} {mult:>8.2} {kmax:>10} {clust:>8.3} {gamma:>8.2} {giant_frac:>8.2}",
+            giant.mean_degree()
+        );
+        rows.push(vec![r, giant.mean_degree(), mult, kmax as f64, clust, gamma, giant_frac]);
+        results.push((r, giant.mean_degree(), mult, kmax));
+    }
+    sink.series("r_sweep", "r,mean_degree,multiplicity,kmax,clustering,gamma,giant", rows.clone())?;
+
+    // Shape checks from the paper's discussion:
+    // (a) multiplicity rises monotonically with r;
+    let first_mult = results.first().expect("rows").2;
+    let last_mult = results.last().expect("rows").2;
+    assert!(
+        last_mult > first_mult + 0.03,
+        "multiplicity must rise with r ({first_mult} -> {last_mult})"
+    );
+    // (b) clustering falls with r: reinforcement soaks bandwidth into
+    //     existing pairs instead of closing new triangles;
+    let first_c = rows.first().expect("rows")[4];
+    let last_c = rows.last().expect("rows")[4];
+    assert!(
+        last_c < 0.8 * first_c,
+        "clustering must fall with r ({first_c} -> {last_c})"
+    );
+    // (c) r -> 1 shrinks the maximum degree (the paper's limiting-case
+    //     remark: big peers burn bandwidth on multiple connections).
+    let kmax_mid = results.iter().find(|&&(r, ..)| r == 0.4).expect("mid row").3;
+    let kmax_hi = results.last().expect("rows").3;
+    assert!(
+        (kmax_hi as f64) < kmax_mid as f64,
+        "r -> 1 must shrink kmax ({kmax_mid} -> {kmax_hi})"
+    );
+    println!("\nablation_r: all shape checks passed");
+    Ok(())
+}

@@ -1,0 +1,107 @@
+//! **Fig. 4 + Table I** — Scaling of the number of loops of size 3, 4, 5
+//! with system size: `N_h(N) ∼ N^{ξ(h)}`, for the model with and without
+//! the distance constraint.
+//!
+//! Paper's Table I values (after Bianconi et al., PRE 71 066116):
+//!
+//! | system | ξ(3) | ξ(4) | ξ(5) |
+//! |---|---|---|---|
+//! | Internet AS map | 1.45 ± 0.07 | 2.07 ± 0.01 | 2.45 ± 0.08 |
+//! | model with distance | 1.60 ± 0.01 | 2.20 ± 0.03 | 2.70 ± 0.03 |
+//! | model without distance | 1.59 ± 0.03 | 2.11 ± 0.03 | 2.64 ± 0.03 |
+
+use inet_model::experiment::{banner, pm, FigureSink, ModelVariant};
+use inet_model::graph::traversal::giant_component;
+use inet_model::metrics::CycleCensus;
+use inet_model::stats::regression::loglog_fit;
+
+const PAPER: [(&str, [f64; 3], [f64; 3]); 3] = [
+    ("Internet AS map", [1.45, 2.07, 2.45], [0.07, 0.01, 0.08]),
+    ("Model with distance", [1.60, 2.20, 2.70], [0.01, 0.03, 0.03]),
+    ("Model without distance", [1.59, 2.11, 2.64], [0.03, 0.03, 0.03]),
+];
+
+fn main() -> std::io::Result<()> {
+    let max_size = inet_bench::target_size();
+    let sink = FigureSink::new("fig4_loops")?;
+    banner("Fig. 4 + Table I — cycle-census scaling N_h(N) ~ N^xi(h)");
+
+    let sizes = inet_bench::size_ladder(max_size);
+    println!("\nsize ladder: {sizes:?}");
+
+    let mut table: Vec<(String, [f64; 3], [f64; 3])> = Vec::new();
+    for (variant, stream) in [(ModelVariant::WithDistance, 50u64), (ModelVariant::WithoutDistance, 60)] {
+        let mut ns: Vec<f64> = Vec::new();
+        let mut counts: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        println!("\n{}:", variant.label());
+        println!("{:<8} {:>12} {:>12} {:>12}", "N", "N_3", "N_4", "N_5");
+        let mut rows = Vec::new();
+        for (i, &n) in sizes.iter().enumerate() {
+            let run = variant.run(n, stream + i as u64);
+            let (giant, _) = giant_component(&run.network.graph.to_csr());
+            let census = CycleCensus::measure(&giant);
+            println!(
+                "{:<8} {:>12} {:>12} {:>12}",
+                giant.node_count(),
+                census.c3,
+                census.c4,
+                census.c5
+            );
+            rows.push(vec![
+                giant.node_count() as f64,
+                census.c3 as f64,
+                census.c4 as f64,
+                census.c5 as f64,
+            ]);
+            ns.push(giant.node_count() as f64);
+            counts[0].push(census.c3 as f64);
+            counts[1].push(census.c4 as f64);
+            counts[2].push(census.c5 as f64);
+        }
+        let tag = match variant {
+            ModelVariant::WithDistance => "loops_with_distance",
+            ModelVariant::WithoutDistance => "loops_without_distance",
+        };
+        sink.series(tag, "n,c3,c4,c5", rows)?;
+
+        let mut xi = [0.0f64; 3];
+        let mut xi_se = [0.0f64; 3];
+        for h in 0..3 {
+            let fit = loglog_fit(&ns, &counts[h]).expect("scaling fittable");
+            xi[h] = fit.slope;
+            xi_se[h] = fit.slope_se;
+        }
+        table.push((variant.label().to_string(), xi, xi_se));
+    }
+
+    banner("Table I — loop-scaling exponents xi(h)");
+    println!("\n{:<26} {:>16} {:>16} {:>16}", "system", "xi(3)", "xi(4)", "xi(5)");
+    for (name, xi, se) in PAPER {
+        println!(
+            "{:<26} {:>16} {:>16} {:>16}   [paper]",
+            name,
+            pm(xi[0], se[0]),
+            pm(xi[1], se[1]),
+            pm(xi[2], se[2])
+        );
+    }
+    for (name, xi, se) in &table {
+        println!(
+            "{:<26} {:>16} {:>16} {:>16}   [measured]",
+            name,
+            pm(xi[0], se[0]),
+            pm(xi[1], se[1]),
+            pm(xi[2], se[2])
+        );
+    }
+
+    // Shape checks: exponents ordered and in the paper's neighborhood.
+    for (name, xi, _) in &table {
+        assert!(xi[0] < xi[1] && xi[1] < xi[2], "{name}: xi must increase with h");
+        assert!((xi[0] - 1.6).abs() < 0.45, "{name}: xi(3) = {} off-band", xi[0]);
+        assert!((xi[1] - 2.15).abs() < 0.45, "{name}: xi(4) = {} off-band", xi[1]);
+        assert!((xi[2] - 2.65).abs() < 0.55, "{name}: xi(5) = {} off-band", xi[2]);
+    }
+    println!("\nfig4_loops: all shape checks passed");
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! **Fig. 6** — k-core decomposition of the AS+ reference and the model
+//! with and without distance.
+//!
+//! The original figure is a LANET-VI visualization; its quantitative
+//! content is the shell-size profile and the coreness (the maximum shell
+//! index), which the paper notes is "almost the same as in the Internet
+//! map" for the distance variant. We print the profile table per network.
+
+use inet_model::experiment::{banner, FigureSink, ModelVariant, BASE_SEED};
+use inet_model::graph::traversal::giant_component;
+use inet_model::metrics::KCoreDecomposition;
+use inet_model::prelude::*;
+use inet_model::reference::AS_PLUS_2001;
+
+fn main() -> std::io::Result<()> {
+    let size = inet_bench::target_size();
+    let sink = FigureSink::new("fig6_kcore")?;
+    banner("Fig. 6 — k-core decomposition");
+
+    let mut rng = child_rng(BASE_SEED, 80);
+    let reference = inet_model::reference::build_reference_csr(&AS_PLUS_2001, &mut rng);
+    let with = ModelVariant::WithDistance.run(size, 81);
+    let without = ModelVariant::WithoutDistance.run(size, 82);
+    let (with_g, _) = giant_component(&with.network.graph.to_csr());
+    let (without_g, _) = giant_component(&without.network.graph.to_csr());
+
+    let mut corenesses = Vec::new();
+    for (name, g) in [
+        ("AS+ reference", &reference),
+        ("model with distance", &with_g),
+        ("model without distance", &without_g),
+    ] {
+        let d = KCoreDecomposition::measure(g);
+        println!("\n{name}: coreness = {}", d.coreness());
+        println!("{:<6} {:>12} {:>14}", "k", "shell size", "k-core size");
+        let profile = d.shell_profile();
+        // Print every shell for small corenesses, else a decimated view.
+        let step = (profile.len() / 20).max(1);
+        for (i, &(k, shell, core)) in profile.iter().enumerate() {
+            if i % step == 0 || i + 1 == profile.len() {
+                println!("{k:<6} {shell:>12} {core:>14}");
+            }
+        }
+        let tag = name.replace([' ', '+'], "_");
+        sink.series(
+            &tag,
+            "k,shell_size,core_size",
+            profile.iter().map(|&(k, s, c)| vec![k as f64, s as f64, c as f64]),
+        )?;
+        corenesses.push((name, d.coreness()));
+    }
+
+    println!("\ncoreness summary (paper: model-with-distance ~= Internet's):");
+    println!("  {:<26} {}", "AS+ published value", AS_PLUS_2001.coreness);
+    for (name, c) in &corenesses {
+        println!("  {name:<26} {c}");
+    }
+    println!(
+        "  (note: the Inet-style reference substitution under-builds the \
+         innermost core — stub matching\n   lacks the repeated peering that \
+         densifies the real top shell — so the published coreness is\n   \
+         the comparison target, as in the paper.)"
+    );
+
+    // Shape checks: deep hierarchy everywhere; the with-distance coreness
+    // within a factor ~2 of the *published* AS+ value (the paper's claim).
+    let get = |n: &str| corenesses.iter().find(|(name, _)| *name == n).expect("present").1;
+    let (c_ref, c_with) = (get("AS+ reference"), get("model with distance"));
+    assert!(c_ref >= 8, "reference hierarchy too shallow: {c_ref}");
+    assert!(c_with >= 8, "model hierarchy too shallow: {c_with}");
+    let ratio = c_with as f64 / AS_PLUS_2001.coreness as f64;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "coreness mismatch: model {c_with} vs published {}",
+        AS_PLUS_2001.coreness
+    );
+    println!("\nfig6_kcore: all shape checks passed");
+    Ok(())
+}

@@ -1,0 +1,29 @@
+//! **Diagnostic** — one-page summary of the competition–adaptation model at
+//! a given size, both variants: the quick way to eyeball a calibration
+//! change before re-running the full figure suite.
+//!
+//! `cargo run --release -p inet-bench --bin model_summary [size]`
+
+use inet_model::experiment::ModelVariant;
+use inet_model::graph::traversal::giant_component;
+use inet_model::metrics::{weighted, TopologyReport};
+
+fn main() {
+    let size = inet_bench::target_size();
+    for (variant, stream) in [(ModelVariant::WithoutDistance, 200u64), (ModelVariant::WithDistance, 201)] {
+        let started = std::time::Instant::now();
+        let run = variant.run(size, stream);
+        let g = &run.network.graph;
+        let (giant, _) = giant_component(&g.to_csr());
+        let report = TopologyReport::measure(&giant);
+        let mu = weighted::fit_mu(&giant, 4);
+        println!("== {} (N = {size}) ==", variant.label());
+        println!("{}", report.render());
+        println!("mean multiplicity : {:.2}", g.total_weight() as f64 / g.edge_count().max(1) as f64);
+        println!("giant fraction    : {:.3}", giant.node_count() as f64 / g.node_count() as f64);
+        if let Some(mu) = mu {
+            println!("mu (k ~ b^mu)     : {:.3} +- {:.3}", mu.slope, mu.slope_se);
+        }
+        println!("generated+measured in {:.1}s\n", started.elapsed().as_secs_f64());
+    }
+}

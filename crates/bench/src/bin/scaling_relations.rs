@@ -1,0 +1,80 @@
+//! **Extra: size-scaling relations** — Sec. II of the source text derives
+//! from the exponential growths the scaling relations with system size:
+//!
+//! ```text
+//! W ∝ N^{α/β}     E ∝ N^{δ/β}     ⟨k⟩ ∝ N^{δ/β − 1}     k_max ∝ N
+//! ```
+//!
+//! This experiment reads the model's own run history across a size sweep
+//! and fits all four exponents.
+
+use inet_model::experiment::{banner, FigureSink, ModelVariant};
+use inet_model::generators::SerranoParams;
+use inet_model::graph::traversal::giant_component;
+use inet_model::stats::regression::loglog_fit;
+
+fn main() -> std::io::Result<()> {
+    let max_size = inet_bench::target_size();
+    let sink = FigureSink::new("scaling_relations")?;
+    banner("Extra — size-scaling relations of the growth algebra");
+
+    let p = SerranoParams::paper_2001();
+    // delta (edge growth) predicted from the closure; exponents vs N follow.
+    let predicted = [
+        ("W ~ N^x", p.alpha / p.beta),
+        ("E ~ N^x", p.delta() / p.beta),
+        ("<k> ~ N^x", p.delta() / p.beta - 1.0),
+        ("kmax ~ N^x", 1.0),
+    ];
+
+    let sizes = inet_bench::size_ladder(max_size);
+    let mut ns = Vec::new();
+    let mut users = Vec::new();
+    let mut edges = Vec::new();
+    let mut mean_k = Vec::new();
+    let mut kmax = Vec::new();
+    println!("\n{:<8} {:>12} {:>10} {:>8} {:>8}", "N", "W", "E", "<k>", "kmax");
+    let mut rows = Vec::new();
+    for (i, &n) in sizes.iter().enumerate() {
+        let run = ModelVariant::WithoutDistance.run(n, 160 + i as u64);
+        let last = run.history.last().expect("non-empty history");
+        let (giant, _) = giant_component(&run.network.graph.to_csr());
+        let nn = run.network.graph.node_count() as f64;
+        println!(
+            "{:<8} {:>12.3e} {:>10} {:>8.2} {:>8}",
+            run.network.graph.node_count(),
+            last.users,
+            last.edges,
+            2.0 * last.edges as f64 / nn,
+            giant.max_degree()
+        );
+        ns.push(nn);
+        users.push(last.users);
+        edges.push(last.edges as f64);
+        mean_k.push(2.0 * last.edges as f64 / nn);
+        kmax.push(giant.max_degree() as f64);
+        rows.push(vec![nn, last.users, last.edges as f64, giant.max_degree() as f64]);
+    }
+    sink.series("size_sweep", "n,users,edges,kmax", rows)?;
+
+    println!("\n{:<12} {:>10} {:>10}", "relation", "predicted", "measured");
+    let measured: Vec<f64> = [&users, &edges, &mean_k, &kmax]
+        .iter()
+        .map(|ys| loglog_fit(&ns, ys).expect("fittable sweep").slope)
+        .collect();
+    for ((name, pred), got) in predicted.iter().zip(&measured) {
+        println!("{name:<12} {pred:>10.3} {got:>10.3}");
+    }
+
+    // Shape checks.
+    assert!((measured[0] - predicted[0].1).abs() < 0.1, "W scaling off");
+    assert!((measured[1] - predicted[1].1).abs() < 0.35, "E scaling off");
+    assert!(measured[2] > 0.0, "the model must densify (<k> grows with N)");
+    assert!(
+        (measured[3] - 1.0).abs() < 0.35,
+        "kmax must scale ~linearly with N, got {}",
+        measured[3]
+    );
+    println!("\nscaling_relations: all shape checks passed");
+    Ok(())
+}

@@ -1,0 +1,152 @@
+//! **Table II (toolkit)** — Cross-generator comparison against the
+//! published 2001 AS-map targets.
+//!
+//! The keynote-era question "which generator family should you use?" in one
+//! table: every generator in the suite is run at the AS-map size with
+//! roughly matched mean degree, the headline measures are computed on the
+//! giant component, and each row is validated against the
+//! [`inet_model::reference::AS_MAP_2001`] targets.
+
+use inet_model::experiment::{banner, FigureSink, BASE_SEED};
+use inet_model::graph::traversal::giant_component;
+use inet_model::prelude::*;
+use inet_model::reference::AS_MAP_2001;
+
+fn main() -> std::io::Result<()> {
+    let n = inet_bench::target_size();
+    let sink = FigureSink::new("table2_generators")?;
+    banner("Table II — generator suite vs the 2001 AS map");
+
+    let generators: Vec<Box<dyn Generator>> = vec![
+        Box::new(Gnp::with_mean_degree(n, AS_MAP_2001.mean_degree)),
+        Box::new(Waxman::with_mean_degree(n, 0.2, AS_MAP_2001.mean_degree)),
+        Box::new(RandomGeometric::with_mean_degree(n, AS_MAP_2001.mean_degree)),
+        Box::new(WattsStrogatz::new(n, 4, 0.1)),
+        Box::new(BarabasiAlbert::new(n, 2)),
+        Box::new(GohStatic::with_gamma(n, 2, 2.2)),
+        Box::new(AlbertBarabasiExtended::new(n, 1, 0.3, 0.2)),
+        Box::new(BianconiBarabasi::new(n, 2, inet_model::generators::bianconi::FitnessDistribution::Uniform)),
+        Box::new(Glp::internet_2001(n)),
+        Box::new(InetLike::as_map_2001(n)),
+        Box::new(Fkp::new(n, 10.0)),
+        Box::new(Pfp::internet(n)),
+        Box::new(BriteLike::new(n, 2, 0.2, inet_model::generators::brite::Placement::Fractal(1.5))),
+        Box::new(SerranoModel::new(
+            inet_model::experiment::ModelVariant::WithoutDistance.params(n),
+        )),
+        Box::new(SerranoModel::new(
+            inet_model::experiment::ModelVariant::WithDistance.params(n),
+        )),
+    ];
+
+    println!(
+        "\n{:<26} {:>6} {:>7} {:>7} {:>7} {:>8} {:>6} {:>6} {:>6}",
+        "generator", "<k>", "gamma", "clust", "assort", "<l>", "core", "giant", "pass"
+    );
+    println!(
+        "{:<26} {:>6.2} {:>7.2} {:>7.2} {:>7.2} {:>8.2} {:>6} {:>6} {:>6}",
+        "TARGET (AS 2001)",
+        AS_MAP_2001.mean_degree,
+        AS_MAP_2001.gamma,
+        AS_MAP_2001.mean_clustering,
+        AS_MAP_2001.assortativity,
+        AS_MAP_2001.mean_path_length,
+        AS_MAP_2001.coreness,
+        "1.00",
+        "6/6"
+    );
+
+    let mut rows = Vec::new();
+    let mut serrano_pass = 0usize;
+    let mut best_other = 0usize;
+    let mut serrano_categories = 0usize;
+    let mut best_classic_categories = 0usize;
+    for (i, generator) in generators.iter().enumerate() {
+        let mut rng = child_rng(BASE_SEED, 90 + i as u64);
+        let net = generator.generate(&mut rng);
+        let csr = net.graph.to_csr();
+        let (giant, _) = giant_component(&csr);
+        let giant_frac = giant.node_count() as f64 / csr.node_count().max(1) as f64;
+        let v = ValidationReport::run(&giant, &AS_MAP_2001);
+        let r = &v.report;
+        println!(
+            "{:<26} {:>6.2} {:>7} {:>7.2} {:>7.2} {:>8.2} {:>6} {:>6.2} {:>5}/6",
+            net.name,
+            r.mean_degree,
+            r.gamma.map(|g| format!("{g:.2}")).unwrap_or_else(|| "-".into()),
+            r.mean_clustering,
+            r.assortativity,
+            r.mean_path_length,
+            r.coreness,
+            giant_frac,
+            v.pass_count(),
+        );
+        rows.push(vec![
+            i as f64,
+            r.mean_degree,
+            r.gamma.unwrap_or(f64::NAN),
+            r.mean_clustering,
+            r.assortativity,
+            r.mean_path_length,
+            r.coreness as f64,
+            giant_frac,
+            v.pass_count() as f64,
+        ]);
+        // Category score: the five *shape* properties of the AS map —
+        // Internet-band heavy tail, real clustering, disassortative mixing,
+        // deep core hierarchy, small world. Constants may drift between
+        // parameterizations; these shapes are what discriminate model
+        // families.
+        let degrees: Vec<u64> = giant.degrees().iter().map(|&d| d as u64).collect();
+        let gamma_tail = inet_model::stats::powerlaw::fit_discrete(&degrees, 6)
+            .map(|f| f.gamma)
+            .unwrap_or(f64::NAN);
+        let categories = usize::from((1.7..2.8).contains(&gamma_tail))
+            + usize::from(r.mean_clustering > 0.15)
+            + usize::from(r.assortativity < -0.05)
+            + usize::from(r.coreness >= 10)
+            + usize::from(r.mean_path_length < 4.5);
+        if net.name.starts_with("Serrano") {
+            serrano_pass = serrano_pass.max(v.pass_count());
+            serrano_categories = serrano_categories.max(categories);
+        } else if ["ER", "Waxman", "RGG", "WS", "BA", "AB-ext", "Bianconi", "Goh", "FKP", "BRITE"]
+            .iter()
+            .any(|p| net.name.starts_with(p))
+        {
+            // "Classic" baselines: the random/spatial/plain-PA families the
+            // source text's intro calls out as failing beyond P(k). GLP and
+            // PFP are contemporary Internet-specific models (expected to do
+            // well), and Inet-like is the family the reference map is built
+            // from — neither is a fair "classic" baseline.
+            best_other = best_other.max(v.pass_count());
+            best_classic_categories = best_classic_categories.max(categories);
+        }
+    }
+    sink.series(
+        "generator_table",
+        "row,mean_degree,gamma,clustering,assortativity,mean_path,coreness,giant,pass_count",
+        rows,
+    )?;
+
+    println!(
+        "\nbest Serrano variant: {serrano_pass}/6 target checks, {serrano_categories}/5 shape categories"
+    );
+    println!(
+        "best classic baseline: {best_other}/6 target checks, {best_classic_categories}/5 shape categories"
+    );
+    // Shape check: the paper's claim — the competition-adaptation model
+    // reproduces the full battery of shape categories (heavy tail,
+    // clustering, disassortativity, deep cores, small world) while every
+    // classic baseline (ER, Waxman, RGG, plain PA, HOT trees, BRITE)
+    // misses at least one.
+    assert!(
+        serrano_categories == 5,
+        "Serrano model lost a shape category: {serrano_categories}/5"
+    );
+    assert!(
+        best_classic_categories < 5,
+        "a classic baseline hit all shape categories ({best_classic_categories}/5)"
+    );
+    println!("\ntable2_generators: all shape checks passed");
+    Ok(())
+}

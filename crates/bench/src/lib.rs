@@ -1,0 +1,63 @@
+//! Shared plumbing for the figure-reproduction binaries.
+//!
+//! Every binary under `src/bin/` regenerates one table or figure of the
+//! evaluation (see `EXPERIMENTS.md` at the workspace root for the index).
+//! Conventions:
+//!
+//! * run with `cargo run --release -p inet-bench --bin <name> [size]`;
+//! * the optional positional argument scales the experiment (default: the
+//!   paper's `N ≈ 11 000`; pass e.g. `2000` for a quick look);
+//! * rows/series print to stdout, and CSV mirrors land under
+//!   `target/figures/<experiment>/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Parses the experiment size from `argv[1]`, defaulting to the paper's
+/// 2001 AS-map scale.
+pub fn target_size() -> usize {
+    parse_size_arg(std::env::args().nth(1).as_deref())
+}
+
+/// Testable core of [`target_size`]: `None` or junk falls back to 11 000;
+/// values are clamped into `[64, 200_000]`.
+pub fn parse_size_arg(arg: Option<&str>) -> usize {
+    arg.and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(11_000)
+        .clamp(64, 200_000)
+}
+
+/// Sweep sizes for scaling experiments: geometric ladder from 500 up to
+/// `max` (inclusive as the last rung).
+pub fn size_ladder(max: usize) -> Vec<usize> {
+    let mut sizes = Vec::new();
+    let mut s = 500usize;
+    while s < max {
+        sizes.push(s);
+        s *= 2;
+    }
+    sizes.push(max);
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_parsing() {
+        assert_eq!(parse_size_arg(None), 11_000);
+        assert_eq!(parse_size_arg(Some("2000")), 2000);
+        assert_eq!(parse_size_arg(Some("nonsense")), 11_000);
+        assert_eq!(parse_size_arg(Some("1")), 64, "clamped low");
+        assert_eq!(parse_size_arg(Some("99999999")), 200_000, "clamped high");
+    }
+
+    #[test]
+    fn ladder_shape() {
+        let l = size_ladder(11_000);
+        assert_eq!(l, vec![500, 1000, 2000, 4000, 8000, 11_000]);
+        assert_eq!(size_ladder(500), vec![500]);
+        assert_eq!(size_ladder(600), vec![500, 600]);
+    }
+}

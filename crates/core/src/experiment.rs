@@ -1,0 +1,147 @@
+//! Shared machinery for the figure-reproduction binaries.
+//!
+//! Each experiment binary (see `crates/bench/src/bin/`) regenerates one
+//! table or figure: it builds the standard networks, measures them, prints
+//! the series/rows to stdout, and writes CSV files under
+//! `target/figures/<experiment>/` for plotting.
+
+use inet_generators::serrano::SerranoRun;
+use inet_generators::{SerranoModel, SerranoParams};
+use inet_stats::rng::child_rng;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// The workspace-wide base seed: every experiment derives child seeds from
+/// it, so the whole evaluation is reproducible end to end.
+pub const BASE_SEED: u64 = 0x1_2005_0388;
+
+/// Standard model networks used across the figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelVariant {
+    /// Competition–adaptation model with the distance constraint.
+    WithDistance,
+    /// Competition–adaptation model without the distance constraint.
+    WithoutDistance,
+}
+
+impl ModelVariant {
+    /// Display label matching the paper's legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ModelVariant::WithDistance => "model with distance",
+            ModelVariant::WithoutDistance => "model without distance",
+        }
+    }
+
+    /// Paper parameterization for this variant at the given size.
+    pub fn params(&self, target_n: usize) -> SerranoParams {
+        let mut p = match self {
+            ModelVariant::WithDistance => SerranoParams::paper_2001(),
+            ModelVariant::WithoutDistance => SerranoParams::paper_2001_no_distance(),
+        };
+        p.target_n = target_n;
+        p
+    }
+
+    /// Runs the model at `target_n` with a deterministic per-experiment
+    /// seed stream.
+    pub fn run(&self, target_n: usize, stream: u64) -> SerranoRun {
+        let model = SerranoModel::new(self.params(target_n));
+        let mut rng = child_rng(BASE_SEED, stream);
+        model.run(&mut rng)
+    }
+}
+
+/// Output sink for an experiment: echoes rows to stdout and mirrors them
+/// into `target/figures/<experiment>/<series>.csv`.
+#[derive(Debug)]
+pub struct FigureSink {
+    dir: PathBuf,
+}
+
+impl FigureSink {
+    /// Creates the sink (and its directory) for an experiment id like
+    /// `"fig2_degree"`.
+    pub fn new(experiment: &str) -> std::io::Result<Self> {
+        let dir = PathBuf::from("target").join("figures").join(experiment);
+        std::fs::create_dir_all(&dir)?;
+        Ok(FigureSink { dir })
+    }
+
+    /// Directory the CSVs land in.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
+    /// Writes a named series as CSV (`header` then one row per point) and
+    /// echoes a short confirmation to stdout.
+    pub fn series(
+        &self,
+        name: &str,
+        header: &str,
+        rows: impl IntoIterator<Item = Vec<f64>>,
+    ) -> std::io::Result<PathBuf> {
+        let path = self.dir.join(format!("{name}.csv"));
+        let mut file = std::fs::File::create(&path)?;
+        writeln!(file, "{header}")?;
+        let mut count = 0usize;
+        for row in rows {
+            let line: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+            writeln!(file, "{}", line.join(","))?;
+            count += 1;
+        }
+        println!("  [csv] {} ({count} rows) -> {}", name, path.display());
+        Ok(path)
+    }
+}
+
+/// Prints a section header in the uniform style of the experiment binaries.
+pub fn banner(title: &str) {
+    println!("{}", "=".repeat(title.len().max(24)));
+    println!("{title}");
+    println!("{}", "=".repeat(title.len().max(24)));
+}
+
+/// Formats a `(value, error)` pair as `v ± e` with sensible digits.
+pub fn pm(value: f64, error: f64) -> String {
+    format!("{value:.2} +- {error:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_have_paper_params() {
+        let with = ModelVariant::WithDistance.params(500);
+        assert!(with.distance.is_some());
+        assert_eq!(with.target_n, 500);
+        let without = ModelVariant::WithoutDistance.params(500);
+        assert!(without.distance.is_none());
+        assert_eq!(ModelVariant::WithDistance.label(), "model with distance");
+    }
+
+    #[test]
+    fn runs_are_reproducible_per_stream() {
+        let a = ModelVariant::WithoutDistance.run(120, 7);
+        let b = ModelVariant::WithoutDistance.run(120, 7);
+        assert_eq!(a.network.graph, b.network.graph);
+        let c = ModelVariant::WithoutDistance.run(120, 8);
+        assert_ne!(a.network.graph, c.network.graph);
+    }
+
+    #[test]
+    fn sink_writes_csv() {
+        let sink = FigureSink::new("test_sink_unit").unwrap();
+        let path = sink
+            .series("demo", "x,y", vec![vec![1.0, 2.0], vec![3.0, 4.0]])
+            .unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert_eq!(text, "x,y\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn pm_formats() {
+        assert_eq!(pm(1.455, 0.07), "1.46 +- 0.07");
+    }
+}

@@ -1,0 +1,86 @@
+//! # inet-model — an Internet topology modeling & validation toolkit
+//!
+//! The facade crate of the workspace: re-exports the substrate crates under
+//! stable names and adds the pieces that tie them into a toolkit:
+//!
+//! * [`mod@reference`] — published target statistics of the real AS maps
+//!   (May 2001 Oregon map and the extended AS+ map), with citations, plus a
+//!   calibrated **reference topology builder** that stands in for the raw
+//!   map archives (offline; see `DESIGN.md` §1).
+//! * [`validation`] — compare any generated topology against a target set
+//!   with explicit tolerances; returns a per-metric pass/fail report.
+//! * [`experiment`] — shared experiment machinery for the figure-reproduction
+//!   binaries: standard seeds, model-network construction, aligned-table and
+//!   series printing, CSV output under `target/figures/`.
+//!
+//! ## Layer map
+//!
+//! | Layer | Crate | Re-exported as |
+//! |---|---|---|
+//! | graph substrate | `inet-graph` | [`graph`] |
+//! | statistics | `inet-stats` | [`stats`] |
+//! | spatial substrates | `inet-spatial` | [`spatial`] |
+//! | topology measures | `inet-metrics` | [`metrics`] |
+//! | generators | `inet-generators` | [`generators`] |
+//! | growth machinery | `inet-growth` | [`growth`] |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use inet_model::prelude::*;
+//!
+//! // Grow a small competition–adaptation Internet and measure it.
+//! let mut rng = seeded_rng(7);
+//! let model = SerranoModel::new(SerranoParams::small(300));
+//! let net = model.generate(&mut rng);
+//! let report = TopologyReport::measure(&net.graph.to_csr());
+//! assert!(report.nodes >= 300);
+//! assert!(report.giant_fraction > 0.8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod reference;
+pub mod validation;
+
+pub use inet_generators as generators;
+pub use inet_graph as graph;
+pub use inet_growth as growth;
+pub use inet_metrics as metrics;
+pub use inet_spatial as spatial;
+pub use inet_stats as stats;
+
+/// One-line imports for applications.
+pub mod prelude {
+    pub use crate::generators::{
+        AlbertBarabasiExtended, BarabasiAlbert, BianconiBarabasi, BriteLike,
+        ConfigurationModel, FitnessDistribution, Fkp, GeneratedNetwork, Generator, Glp, Gnm,
+        Gnp, GohStatic, InetLike, Pfp, RandomGeometric, SerranoModel, SerranoParams,
+        WattsStrogatz, Waxman,
+    };
+    pub use crate::graph::{Csr, MultiGraph, NodeId};
+    pub use crate::growth::{GrowthRates, InternetTrace, TraceConfig};
+    pub use crate::metrics::{
+        ClusteringStats, CycleCensus, DegreeStats, KCoreDecomposition, KnnStats, PathStats,
+        TopologyReport,
+    };
+    pub use crate::reference::{build_reference_map, ReferenceTargets};
+    pub use crate::stats::rng::{child_rng, seeded_rng};
+    pub use crate::validation::{ValidationOutcome, ValidationReport};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_compiles_and_layers_interoperate() {
+        let mut rng = seeded_rng(1);
+        let net = Gnp::new(40, 0.2).generate(&mut rng);
+        let csr = net.graph.to_csr();
+        let report = TopologyReport::measure(&csr);
+        assert_eq!(report.nodes, 40);
+    }
+}

@@ -1,0 +1,145 @@
+//! Published statistics of the real AS maps, and the calibrated reference
+//! topology that stands in for the raw archives.
+//!
+//! The raw Oregon Route-Views BGP dumps and the AS+ extended map are
+//! offline data sources. Their *published statistics*, however, are stable
+//! quantities quoted across the literature (Pastor-Satorras & Vespignani
+//! 2004; Pastor-Satorras, Vázquez & Vespignani PRL 87 258701; Bianconi,
+//! Caldarelli & Capocci PRE 71 066116; Zhou & Mondragón PRE 70 066108).
+//! They are recorded here as named constants, and a **reference topology**
+//! with those statistics is built from an *independent* generator family
+//! (Inet-style degree-sequence construction) so that model-vs-reference
+//! comparisons are not circular.
+
+use inet_generators::{GeneratedNetwork, Generator, InetLike};
+use inet_graph::Csr;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Target statistics of a real Internet AS map.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReferenceTargets {
+    /// Short tag ("AS 2001", "AS+ 2001").
+    pub name: &'static str,
+    /// Number of ASs.
+    pub nodes: usize,
+    /// Mean degree `⟨k⟩`.
+    pub mean_degree: f64,
+    /// Degree exponent `γ`.
+    pub gamma: f64,
+    /// Uncertainty on `γ`.
+    pub gamma_tolerance: f64,
+    /// Mean local clustering coefficient.
+    pub mean_clustering: f64,
+    /// Average shortest path length.
+    pub mean_path_length: f64,
+    /// Newman assortativity coefficient (disassortative ⇒ negative).
+    pub assortativity: f64,
+    /// Maximum core number.
+    pub coreness: u32,
+    /// Loop-scaling exponents `ξ(3), ξ(4), ξ(5)` (Bianconi et al. 2005,
+    /// Table I of the source text).
+    pub xi: [f64; 3],
+    /// Uncertainties on `ξ(h)`.
+    pub xi_tolerance: [f64; 3],
+}
+
+/// May 2001 Oregon Route-Views AS map (`N ≈ 11 174`, `⟨k⟩ ≈ 4.2`).
+pub const AS_MAP_2001: ReferenceTargets = ReferenceTargets {
+    name: "AS 2001",
+    nodes: 11_174,
+    mean_degree: 4.19,
+    gamma: 2.22,
+    gamma_tolerance: 0.1,
+    mean_clustering: 0.30,
+    mean_path_length: 3.62,
+    assortativity: -0.19,
+    coreness: 17,
+    xi: [1.45, 2.07, 2.45],
+    xi_tolerance: [0.07, 0.01, 0.08],
+};
+
+/// Extended AS+ map (Oregon + looking-glass + IRR sources; denser:
+/// `⟨k⟩ ≈ 5.7`, deeper core).
+pub const AS_PLUS_2001: ReferenceTargets = ReferenceTargets {
+    name: "AS+ 2001",
+    nodes: 11_461,
+    mean_degree: 5.70,
+    gamma: 2.25,
+    gamma_tolerance: 0.1,
+    mean_clustering: 0.35,
+    mean_path_length: 3.56,
+    assortativity: -0.19,
+    coreness: 25,
+    xi: [1.45, 2.07, 2.45],
+    xi_tolerance: [0.07, 0.01, 0.08],
+};
+
+/// Builds the reference AS topology: an Inet-style network calibrated to
+/// `targets` (size and degree exponent by construction; correlations arise
+/// from the preferential stub matching). Returns the network; its giant
+/// component should be used for path-based measures.
+pub fn build_reference_map(targets: &ReferenceTargets, rng: &mut StdRng) -> GeneratedNetwork {
+    let mut net = InetLike::new(targets.nodes, targets.gamma, 1).generate(rng);
+    net.name = format!("reference {}", targets.name);
+    net
+}
+
+/// Convenience: reference map as a CSR snapshot of its giant component.
+pub fn build_reference_csr(targets: &ReferenceTargets, rng: &mut StdRng) -> Csr {
+    let net = build_reference_map(targets, rng);
+    let (giant, _) = inet_graph::traversal::giant_component(&net.graph.to_csr());
+    giant
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inet_stats::rng::seeded_rng;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // the constants ARE the test subject
+    fn targets_are_internally_consistent() {
+        for t in [AS_MAP_2001, AS_PLUS_2001] {
+            assert!(t.gamma > 2.0 && t.gamma < 2.5);
+            assert!(t.assortativity < 0.0, "the AS map is disassortative");
+            assert!(t.mean_path_length < 4.0, "small world");
+            assert!(t.xi[0] < t.xi[1] && t.xi[1] < t.xi[2], "loop exponents increase with h");
+        }
+        assert!(AS_PLUS_2001.mean_degree > AS_MAP_2001.mean_degree);
+        assert!(AS_PLUS_2001.coreness > AS_MAP_2001.coreness);
+    }
+
+    #[test]
+    fn reference_map_hits_size_and_exponent() {
+        let mut rng = seeded_rng(42);
+        let net = build_reference_map(&AS_MAP_2001, &mut rng);
+        assert_eq!(net.graph.node_count(), AS_MAP_2001.nodes);
+        let degrees: Vec<u64> = net.graph.degrees().iter().map(|&d| d as u64).collect();
+        let fit = inet_stats::powerlaw::fit_discrete(&degrees, 2).unwrap();
+        assert!(
+            (fit.gamma - AS_MAP_2001.gamma).abs() < 0.25,
+            "gamma = {}",
+            fit.gamma
+        );
+        assert!(net.name.contains("reference"));
+    }
+
+    #[test]
+    fn reference_csr_is_connected_giant() {
+        let mut rng = seeded_rng(43);
+        let csr = build_reference_csr(&AS_MAP_2001, &mut rng);
+        assert!(csr.node_count() as f64 > 0.95 * AS_MAP_2001.nodes as f64);
+        assert!(inet_graph::traversal::connected_components(&csr).is_connected());
+    }
+
+    #[test]
+    fn reference_map_is_small_world_and_disassortative() {
+        let mut rng = seeded_rng(44);
+        let csr = build_reference_csr(&AS_MAP_2001, &mut rng);
+        let paths = inet_metrics::PathStats::measure_sampled(&csr, 80, 4);
+        assert!(paths.mean < 5.5, "mean path {}", paths.mean);
+        let knn = inet_metrics::KnnStats::measure(&csr);
+        assert!(knn.assortativity < 0.0);
+    }
+}

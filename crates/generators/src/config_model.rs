@@ -1,0 +1,158 @@
+//! Configuration model: uniform random simple graph with a prescribed
+//! degree sequence (up to the stubs dropped to avoid self-loops and
+//! duplicates).
+
+use crate::{GeneratedNetwork, Generator};
+use inet_graph::{MultiGraph, NodeId};
+use rand::{rngs::StdRng, Rng};
+
+/// Configuration model by stub matching with rejection.
+///
+/// Stubs are shuffled and paired; pairs that would create a self-loop or a
+/// duplicate edge are re-queued a bounded number of times and eventually
+/// dropped, so the realized degrees can fall slightly below the requested
+/// ones on heavy-tailed sequences (the standard "erased configuration
+/// model").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigurationModel {
+    /// Requested degree sequence.
+    pub degrees: Vec<u64>,
+}
+
+impl ConfigurationModel {
+    /// Creates the model from a degree sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the degree sum is odd (not pairable).
+    pub fn new(degrees: Vec<u64>) -> Self {
+        assert!(
+            degrees.iter().sum::<u64>() % 2 == 0,
+            "degree sum must be even"
+        );
+        ConfigurationModel { degrees }
+    }
+}
+
+impl Generator for ConfigurationModel {
+    fn name(&self) -> String {
+        format!("config-model n={}", self.degrees.len())
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> GeneratedNetwork {
+        let n = self.degrees.len();
+        let mut g = MultiGraph::with_capacity(n);
+        g.add_nodes(n);
+        // Build the stub list.
+        let mut stubs: Vec<u32> = Vec::new();
+        for (v, &d) in self.degrees.iter().enumerate() {
+            for _ in 0..d {
+                stubs.push(v as u32);
+            }
+        }
+        // Fisher–Yates shuffle.
+        for i in (1..stubs.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            stubs.swap(i, j);
+        }
+        // Pair sequentially; on rejection, reshuffle the tail a few times.
+        let mut rejected: Vec<u32> = Vec::new();
+        for pair in stubs.chunks(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if a != b && !g.has_edge(NodeId::new(a as usize), NodeId::new(b as usize)) {
+                g.add_edge(NodeId::new(a as usize), NodeId::new(b as usize))
+                    .expect("validity checked");
+            } else {
+                rejected.push(a);
+                rejected.push(b);
+            }
+        }
+        // Retry the rejected stubs with random partners, bounded effort.
+        let mut attempts = 8 * rejected.len();
+        while rejected.len() >= 2 && attempts > 0 {
+            attempts -= 1;
+            let i = rng.gen_range(0..rejected.len());
+            let j = rng.gen_range(0..rejected.len());
+            if i == j {
+                continue;
+            }
+            let (a, b) = (rejected[i], rejected[j]);
+            if a == b || g.has_edge(NodeId::new(a as usize), NodeId::new(b as usize)) {
+                continue;
+            }
+            g.add_edge(NodeId::new(a as usize), NodeId::new(b as usize))
+                .expect("validity checked");
+            // Remove the two stubs (order-insensitive swap-remove).
+            if i > j {
+                rejected.swap_remove(i);
+                rejected.swap_remove(j);
+            } else {
+                rejected.swap_remove(j);
+                rejected.swap_remove(i);
+            }
+        }
+        GeneratedNetwork::bare(g, self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inet_stats::rng::seeded_rng;
+
+    #[test]
+    fn regular_sequence_is_realized_exactly() {
+        let mut rng = seeded_rng(1);
+        let net = ConfigurationModel::new(vec![2; 50]).generate(&mut rng);
+        let degrees = net.graph.degrees();
+        // 2-regular: nearly all nodes should get their two edges; allow the
+        // occasional dropped stub pair.
+        let realized: usize = degrees.iter().sum();
+        assert!(realized >= 96, "realized stub count {realized}");
+        assert!(degrees.iter().all(|&d| d <= 2));
+    }
+
+    #[test]
+    fn degrees_never_exceed_request() {
+        let mut rng = seeded_rng(2);
+        let req = vec![5, 3, 3, 2, 2, 2, 1, 1, 1, 2];
+        let net = ConfigurationModel::new(req.clone()).generate(&mut rng);
+        for (v, &d) in net.graph.degrees().iter().enumerate() {
+            assert!(d as u64 <= req[v], "node {v}: {d} > {}", req[v]);
+        }
+    }
+
+    #[test]
+    fn heavy_tail_is_preserved() {
+        let mut rng = seeded_rng(3);
+        let seq = crate::seq::powerlaw_degree_sequence(3000, 2.2, 1, 1000, &mut rng);
+        let max_req = *seq.iter().max().unwrap();
+        let net = ConfigurationModel::new(seq).generate(&mut rng);
+        let max_real = *net.graph.degrees().iter().max().unwrap() as u64;
+        assert!(
+            max_real as f64 > 0.7 * max_req as f64,
+            "hub lost too many stubs: {max_real} of {max_req}"
+        );
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicates() {
+        let mut rng = seeded_rng(4);
+        let net = ConfigurationModel::new(vec![3; 40]).generate(&mut rng);
+        assert!(net.graph.validate().is_ok());
+        assert_eq!(net.graph.total_weight(), net.graph.edge_count() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "degree sum must be even")]
+    fn odd_sum_rejected() {
+        let _ = ConfigurationModel::new(vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let mut rng = seeded_rng(5);
+        let net = ConfigurationModel::new(vec![]).generate(&mut rng);
+        assert_eq!(net.graph.node_count(), 0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Erdős–Rényi random graphs: `G(n, p)` and `G(n, m)`.
+
+use crate::{GeneratedNetwork, Generator};
+use inet_graph::{MultiGraph, NodeId};
+use rand::{rngs::StdRng, Rng};
+
+/// `G(n, p)`: each of the `C(n,2)` pairs is an edge independently with
+/// probability `p`. Sparse graphs are generated with geometric skipping
+/// (`O(n + E)` expected) rather than scanning all pairs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gnp {
+    /// Number of nodes.
+    pub n: usize,
+    /// Edge probability.
+    pub p: f64,
+}
+
+impl Gnp {
+    /// Creates a `G(n, p)` generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p <= 1`.
+    pub fn new(n: usize, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        Gnp { n, p }
+    }
+
+    /// The `G(n, p)` matching a target mean degree `⟨k⟩ = p (n−1)`.
+    pub fn with_mean_degree(n: usize, mean_degree: f64) -> Self {
+        assert!(n >= 2, "need at least two nodes");
+        Self::new(n, (mean_degree / (n as f64 - 1.0)).clamp(0.0, 1.0))
+    }
+}
+
+impl Generator for Gnp {
+    fn name(&self) -> String {
+        format!("ER G(n,p) p={:.4}", self.p)
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> GeneratedNetwork {
+        let mut g = MultiGraph::with_capacity(self.n);
+        g.add_nodes(self.n);
+        if self.p > 0.0 && self.n >= 2 {
+            // Walk the linearized strict upper triangle with geometric jumps.
+            let total_pairs = self.n * (self.n - 1) / 2;
+            let log_q = (1.0 - self.p).ln();
+            let mut idx: usize = 0;
+            loop {
+                if self.p >= 1.0 {
+                    if idx >= total_pairs {
+                        break;
+                    }
+                } else {
+                    let u: f64 = 1.0 - rng.gen_range(0.0..1.0);
+                    let skip = (u.ln() / log_q).floor() as usize;
+                    idx = match idx.checked_add(skip) {
+                        Some(v) => v,
+                        None => break,
+                    };
+                    if idx >= total_pairs {
+                        break;
+                    }
+                }
+                let (a, b) = unrank_pair(idx, self.n);
+                g.add_edge(NodeId::new(a), NodeId::new(b))
+                    .expect("pairs are valid by construction");
+                idx += 1;
+            }
+        }
+        GeneratedNetwork::bare(g, self.name())
+    }
+}
+
+/// Maps a linear index in `0..C(n,2)` to the pair `(i, j)`, `i < j`, in
+/// row-major upper-triangle order.
+fn unrank_pair(idx: usize, n: usize) -> (usize, usize) {
+    // Row i starts at offset i*n - i*(i+1)/2 - i ... solve by scanning rows
+    // arithmetically: row i has (n - 1 - i) entries.
+    let mut i = 0usize;
+    let mut offset = idx;
+    loop {
+        let row = n - 1 - i;
+        if offset < row {
+            return (i, i + 1 + offset);
+        }
+        offset -= row;
+        i += 1;
+    }
+}
+
+/// `G(n, m)`: exactly `m` distinct edges drawn uniformly among all pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gnm {
+    /// Number of nodes.
+    pub n: usize,
+    /// Number of edges.
+    pub m: usize,
+}
+
+impl Gnm {
+    /// Creates a `G(n, m)` generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` exceeds `C(n, 2)`.
+    pub fn new(n: usize, m: usize) -> Self {
+        let max = n.saturating_mul(n.saturating_sub(1)) / 2;
+        assert!(m <= max, "m = {m} exceeds C({n},2) = {max}");
+        Gnm { n, m }
+    }
+}
+
+impl Generator for Gnm {
+    fn name(&self) -> String {
+        format!("ER G(n,m) m={}", self.m)
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> GeneratedNetwork {
+        let mut g = MultiGraph::with_capacity(self.n);
+        g.add_nodes(self.n);
+        let mut placed = 0usize;
+        while placed < self.m {
+            let a = rng.gen_range(0..self.n);
+            let b = rng.gen_range(0..self.n);
+            if a == b || g.has_edge(NodeId::new(a), NodeId::new(b)) {
+                continue;
+            }
+            g.add_edge(NodeId::new(a), NodeId::new(b)).expect("checked");
+            placed += 1;
+        }
+        GeneratedNetwork::bare(g, self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inet_stats::rng::seeded_rng;
+
+    #[test]
+    fn unrank_enumerates_upper_triangle() {
+        let n = 5;
+        let mut seen = Vec::new();
+        for idx in 0..(n * (n - 1) / 2) {
+            seen.push(unrank_pair(idx, n));
+        }
+        let expect: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+            .collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn gnp_mean_degree_close_to_target() {
+        let mut rng = seeded_rng(1);
+        let net = Gnp::with_mean_degree(2000, 6.0).generate(&mut rng);
+        let mean = net.graph.mean_degree();
+        assert!((mean - 6.0).abs() < 0.5, "mean degree {mean}");
+    }
+
+    #[test]
+    fn gnp_p_zero_and_one() {
+        let mut rng = seeded_rng(2);
+        let empty = Gnp::new(20, 0.0).generate(&mut rng);
+        assert_eq!(empty.graph.edge_count(), 0);
+        let full = Gnp::new(20, 1.0).generate(&mut rng);
+        assert_eq!(full.graph.edge_count(), 190);
+    }
+
+    #[test]
+    fn gnp_determinism() {
+        let a = Gnp::new(100, 0.05).generate(&mut seeded_rng(3));
+        let b = Gnp::new(100, 0.05).generate(&mut seeded_rng(3));
+        assert_eq!(a.graph, b.graph);
+    }
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let mut rng = seeded_rng(4);
+        let net = Gnm::new(50, 90).generate(&mut rng);
+        assert_eq!(net.graph.edge_count(), 90);
+        assert_eq!(net.graph.total_weight(), 90, "simple graph: all weights 1");
+    }
+
+    #[test]
+    fn gnm_full_graph() {
+        let mut rng = seeded_rng(5);
+        let net = Gnm::new(10, 45).generate(&mut rng);
+        assert_eq!(net.graph.edge_count(), 45);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds C(")]
+    fn gnm_rejects_impossible_m() {
+        let _ = Gnm::new(4, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a probability")]
+    fn gnp_rejects_bad_p() {
+        let _ = Gnp::new(10, 1.5);
+    }
+}

@@ -1,0 +1,131 @@
+//! Heuristically Optimized Trade-offs tree (Fabrikant, Koutsoupias &
+//! Papadimitriou, ICALP 2002) — the "HOT" counterpoint to preferential
+//! attachment.
+//!
+//! Each new node `i`, placed at a random position, connects to the existing
+//! node `j` minimizing `α·d_ij + h_j`, a trade-off between last-mile cost
+//! (Euclidean distance) and centrality (hop distance to the root). For
+//! intermediate `α` (between `√n`-ish and constant) the degree distribution
+//! develops a heavy tail out of pure optimization — no randomness in the
+//! attachment rule at all.
+
+use crate::{GeneratedNetwork, Generator};
+use inet_graph::{MultiGraph, NodeId};
+use inet_spatial::pointset::uniform_points;
+use rand::rngs::StdRng;
+
+/// FKP generator parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fkp {
+    /// Number of nodes.
+    pub n: usize,
+    /// Distance weight `α ≥ 0`. Small `α` ⇒ star; huge `α` ⇒ geometric
+    /// nearest-neighbor tree.
+    pub alpha: f64,
+}
+
+impl Fkp {
+    /// Creates an FKP generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n >= 1` and `alpha >= 0`.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n >= 1, "need at least one node");
+        assert!(alpha >= 0.0 && alpha.is_finite(), "alpha must be non-negative");
+        Fkp { n, alpha }
+    }
+}
+
+impl Generator for Fkp {
+    fn name(&self) -> String {
+        format!("FKP alpha={:.1}", self.alpha)
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> GeneratedNetwork {
+        let positions = uniform_points(self.n, rng);
+        let mut g = MultiGraph::with_capacity(self.n);
+        g.add_nodes(self.n);
+        // hops[j] = tree distance to node 0 (the root).
+        let mut hops = vec![0u32; self.n];
+        for i in 1..self.n {
+            let mut best = 0usize;
+            let mut best_cost = f64::INFINITY;
+            for j in 0..i {
+                let cost = self.alpha * positions[i].dist(&positions[j]) + hops[j] as f64;
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = j;
+                }
+            }
+            g.add_edge(NodeId::new(i), NodeId::new(best)).expect("j < i");
+            hops[i] = hops[best] + 1;
+        }
+        GeneratedNetwork {
+            graph: g,
+            positions: Some(positions),
+            users: None,
+            name: self.name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inet_stats::rng::seeded_rng;
+
+    #[test]
+    fn result_is_a_spanning_tree() {
+        let mut rng = seeded_rng(1);
+        let net = Fkp::new(500, 10.0).generate(&mut rng);
+        assert_eq!(net.graph.edge_count(), 499);
+        let csr = net.graph.to_csr();
+        assert!(inet_graph::traversal::connected_components(&csr).is_connected());
+    }
+
+    #[test]
+    fn alpha_zero_gives_a_star() {
+        let mut rng = seeded_rng(2);
+        let net = Fkp::new(100, 0.0).generate(&mut rng);
+        // With no distance cost everyone connects to the root (hops 0).
+        assert_eq!(net.graph.degree(NodeId::new(0)), 99);
+    }
+
+    #[test]
+    fn huge_alpha_gives_short_links() {
+        let mut rng = seeded_rng(3);
+        let net = Fkp::new(800, 1e6).generate(&mut rng);
+        let pos = net.positions.as_ref().unwrap();
+        let mean_len: f64 = net
+            .graph
+            .edges()
+            .map(|(u, v, _)| pos[u.index()].dist(&pos[v.index()]))
+            .sum::<f64>()
+            / net.graph.edge_count() as f64;
+        assert!(mean_len < 0.1, "mean link length {mean_len}");
+    }
+
+    #[test]
+    fn intermediate_alpha_grows_hubs() {
+        let mut rng = seeded_rng(4);
+        let net = Fkp::new(5000, 8.0).generate(&mut rng);
+        let max = *net.graph.degrees().iter().max().unwrap();
+        assert!(max > 40, "max degree {max}: optimization produced no hubs");
+    }
+
+    #[test]
+    fn single_node() {
+        let mut rng = seeded_rng(5);
+        let net = Fkp::new(1, 5.0).generate(&mut rng);
+        assert_eq!(net.graph.node_count(), 1);
+        assert_eq!(net.graph.edge_count(), 0);
+    }
+
+    #[test]
+    fn determinism() {
+        let a = Fkp::new(300, 4.0).generate(&mut seeded_rng(6));
+        let b = Fkp::new(300, 4.0).generate(&mut seeded_rng(6));
+        assert_eq!(a.graph, b.graph);
+    }
+}

@@ -1,0 +1,167 @@
+//! Generalized Linear Preference model (Bu & Towsley, INFOCOM 2002).
+//!
+//! Designed specifically for AS-level Internet topology: growth mixes *new
+//! node* events with *internal edge* events, and the attachment kernel is a
+//! **shifted** linear preference `Π_i ∝ (k_i − β_glp)` with `β_glp < 1`,
+//! which tunes the degree exponent into the empirical `γ ≈ 2.2` band
+//! (plain BA is stuck at 3).
+
+use crate::{GeneratedNetwork, Generator};
+use inet_graph::{MultiGraph, NodeId};
+use inet_stats::DynamicWeightedSampler;
+use rand::{rngs::StdRng, Rng};
+
+/// GLP generator parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Glp {
+    /// Final number of nodes.
+    pub n: usize,
+    /// Edges added per event.
+    pub m: usize,
+    /// Probability that an event adds internal links (vs. a new node).
+    pub p: f64,
+    /// Preference shift `β_glp < 1`.
+    pub beta: f64,
+}
+
+impl Glp {
+    /// Creates a GLP generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1`, `beta < 1`, `m >= 1`, `n > m + 1`.
+    pub fn new(n: usize, m: usize, p: f64, beta: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "p must lie in [0, 1)");
+        assert!(beta < 1.0, "beta must be below 1");
+        assert!(m >= 1 && n > m + 1, "need n > m + 1");
+        Glp { n, m, p, beta }
+    }
+
+    /// The parameterization Bu & Towsley report as matching the 2001 AS map
+    /// (`m = 1`, `p = 0.4695`, `β = 0.6447`), scaled to `n` nodes.
+    pub fn internet_2001(n: usize) -> Self {
+        Self::new(n, 1, 0.4695, 0.6447)
+    }
+
+    fn weight(&self, degree: usize) -> f64 {
+        (degree as f64 - self.beta).max(1e-9)
+    }
+}
+
+impl Generator for Glp {
+    fn name(&self) -> String {
+        format!("GLP m={} p={:.2} beta={:.2}", self.m, self.p, self.beta)
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> GeneratedNetwork {
+        let mut g = MultiGraph::with_capacity(self.n);
+        // Seed: small connected core of m+2 nodes in a ring.
+        let m0 = self.m + 2;
+        g.add_nodes(m0);
+        for i in 0..m0 {
+            g.add_edge(NodeId::new(i), NodeId::new((i + 1) % m0))
+                .expect("seed ring");
+        }
+        let mut sampler = DynamicWeightedSampler::new();
+        for i in 0..m0 {
+            sampler.push(self.weight(g.degree(NodeId::new(i))));
+        }
+        while g.node_count() < self.n {
+            if rng.gen_range(0.0..1.0) < self.p {
+                // Internal links: m new edges between existing nodes, both
+                // endpoints preferential.
+                for _ in 0..self.m {
+                    let a = sampler.sample(rng).expect("positive weights");
+                    // Temporarily mask a to force a distinct endpoint.
+                    let wa = sampler.weight(a);
+                    sampler.set_weight(a, 0.0);
+                    let b = match sampler.sample(rng) {
+                        Some(b) => b,
+                        None => {
+                            sampler.set_weight(a, wa);
+                            continue;
+                        }
+                    };
+                    sampler.set_weight(a, wa);
+                    let (na, nb) = (NodeId::new(a), NodeId::new(b));
+                    if g.has_edge(na, nb) {
+                        continue; // GLP adds simple links only
+                    }
+                    g.add_edge(na, nb).expect("distinct endpoints");
+                    sampler.set_weight(a, self.weight(g.degree(na)));
+                    sampler.set_weight(b, self.weight(g.degree(nb)));
+                }
+            } else {
+                // New node with m preferential links.
+                let mut targets: Vec<usize> = Vec::with_capacity(self.m);
+                for _ in 0..self.m.min(g.node_count()) {
+                    if let Some(t) = sampler.sample(rng) {
+                        targets.push(t);
+                        sampler.set_weight(t, 0.0);
+                    }
+                }
+                for &t in &targets {
+                    sampler.set_weight(t, self.weight(g.degree(NodeId::new(t))));
+                }
+                let v = g.add_node();
+                sampler.push(0.0);
+                for &t in &targets {
+                    g.add_edge(v, NodeId::new(t)).expect("distinct targets");
+                    sampler.set_weight(t, self.weight(g.degree(NodeId::new(t))));
+                }
+                sampler.set_weight(v.index(), self.weight(g.degree(v)));
+            }
+        }
+        GeneratedNetwork::bare(g, self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inet_stats::rng::seeded_rng;
+
+    #[test]
+    fn reaches_target_size_connected() {
+        let mut rng = seeded_rng(1);
+        let net = Glp::internet_2001(2000).generate(&mut rng);
+        assert_eq!(net.graph.node_count(), 2000);
+        let csr = net.graph.to_csr();
+        assert!(inet_graph::traversal::connected_components(&csr).is_connected());
+        assert!(net.graph.validate().is_ok());
+    }
+
+    #[test]
+    fn degree_exponent_below_ba() {
+        let mut rng = seeded_rng(2);
+        let net = Glp::internet_2001(20_000).generate(&mut rng);
+        let degrees: Vec<u64> = net.graph.degrees().iter().map(|&d| d as u64).collect();
+        let fit = inet_stats::powerlaw::fit_discrete(&degrees, 3).unwrap();
+        assert!(
+            fit.gamma > 1.8 && fit.gamma < 2.7,
+            "gamma = {} outside the Internet band",
+            fit.gamma
+        );
+    }
+
+    #[test]
+    fn internal_links_raise_mean_degree() {
+        let mut rng = seeded_rng(3);
+        let sparse = Glp::new(3000, 1, 0.0, 0.5).generate(&mut rng);
+        let dense = Glp::new(3000, 1, 0.6, 0.5).generate(&mut rng);
+        assert!(dense.graph.mean_degree() > sparse.graph.mean_degree() + 0.3);
+    }
+
+    #[test]
+    fn determinism() {
+        let a = Glp::internet_2001(500).generate(&mut seeded_rng(4));
+        let b = Glp::internet_2001(500).generate(&mut seeded_rng(4));
+        assert_eq!(a.graph, b.graph);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be below 1")]
+    fn rejects_bad_beta() {
+        let _ = Glp::new(100, 1, 0.3, 1.5);
+    }
+}

@@ -1,0 +1,142 @@
+//! Goh–Kahng–Kim static scale-free model (PRL 87, 278701; the source
+//! text's ref. \[4\] used it to establish the linear scaling of the maximum
+//! AS degree).
+//!
+//! Each node `i ∈ 1..=n` carries a fitness `p_i ∝ i^(−ν)` with
+//! `ν ∈ [0, 1)`; `m·n` edges are laid down by repeatedly drawing two
+//! distinct endpoints from the fitness distribution (rejecting self-loops
+//! and duplicates). The resulting degree distribution is a power law with
+//! `γ = 1 + 1/ν`, so the Internet's `γ ≈ 2.2` corresponds to `ν ≈ 0.83`.
+
+use crate::{GeneratedNetwork, Generator};
+use inet_graph::{MultiGraph, NodeId};
+use inet_stats::CumulativeSampler;
+use rand::rngs::StdRng;
+
+/// Goh static-model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GohStatic {
+    /// Number of nodes.
+    pub n: usize,
+    /// Edges per node (total edges = `m · n`, up to duplicate rejection).
+    pub m: usize,
+    /// Fitness exponent `ν ∈ [0, 1)`; target `γ = 1 + 1/ν`.
+    pub nu: f64,
+}
+
+impl GohStatic {
+    /// Creates a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n >= 2`, `m >= 1`, `0 <= nu < 1`.
+    pub fn new(n: usize, m: usize, nu: f64) -> Self {
+        assert!(n >= 2 && m >= 1, "need n >= 2 and m >= 1");
+        assert!((0.0..1.0).contains(&nu), "nu must lie in [0, 1)");
+        GohStatic { n, m, nu }
+    }
+
+    /// Parameterized for a target degree exponent `γ > 2`
+    /// (`ν = 1/(γ − 1)`).
+    pub fn with_gamma(n: usize, m: usize, gamma: f64) -> Self {
+        assert!(gamma > 2.0, "static model needs gamma > 2");
+        Self::new(n, m, 1.0 / (gamma - 1.0))
+    }
+}
+
+impl Generator for GohStatic {
+    fn name(&self) -> String {
+        format!("Goh-static m={} nu={:.2}", self.m, self.nu)
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> GeneratedNetwork {
+        let weights: Vec<f64> = (1..=self.n).map(|i| (i as f64).powf(-self.nu)).collect();
+        let sampler = CumulativeSampler::new(&weights).expect("positive weights");
+        let mut g = MultiGraph::with_capacity(self.n);
+        g.add_nodes(self.n);
+        let target_edges = self.m * self.n;
+        let mut placed = 0usize;
+        // Duplicate rejection makes the realized count fall slightly short
+        // on dense fitness cores; bound the effort like the original code.
+        let mut budget = 50 * target_edges;
+        while placed < target_edges && budget > 0 {
+            budget -= 1;
+            let a = sampler.sample(rng);
+            let b = sampler.sample(rng);
+            if a == b {
+                continue;
+            }
+            let (na, nb) = (NodeId::new(a), NodeId::new(b));
+            if g.has_edge(na, nb) {
+                continue;
+            }
+            g.add_edge(na, nb).expect("checked distinct");
+            placed += 1;
+        }
+        GeneratedNetwork::bare(g, self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inet_stats::rng::seeded_rng;
+
+    #[test]
+    fn edge_count_close_to_mn() {
+        let mut rng = seeded_rng(1);
+        let net = GohStatic::new(2000, 2, 0.5).generate(&mut rng);
+        let e = net.graph.edge_count();
+        assert!(
+            (3600..=4000).contains(&e),
+            "edges {e} far from m*n = 4000"
+        );
+        assert!(net.graph.validate().is_ok());
+    }
+
+    #[test]
+    fn gamma_tracks_nu() {
+        let mut rng = seeded_rng(2);
+        // nu = 0.5 -> gamma = 3; nu = 0.83 -> gamma ~ 2.2.
+        let steep = GohStatic::new(20_000, 2, 0.5).generate(&mut rng);
+        let flat = GohStatic::with_gamma(20_000, 2, 2.2).generate(&mut rng);
+        let fit = |net: &GeneratedNetwork, kmin| {
+            let d: Vec<u64> = net.graph.degrees().iter().map(|&x| x as u64).collect();
+            inet_stats::powerlaw::fit_discrete(&d, kmin).expect("fittable").gamma
+        };
+        let g_steep = fit(&steep, 8);
+        let g_flat = fit(&flat, 8);
+        assert!(g_steep > g_flat + 0.3, "steep {g_steep} vs flat {g_flat}");
+        assert!((g_steep - 3.0).abs() < 0.5, "gamma(nu=0.5) = {g_steep}");
+        assert!((g_flat - 2.2).abs() < 0.4, "gamma(nu=0.83) = {g_flat}");
+    }
+
+    #[test]
+    fn rank_one_node_is_the_hub() {
+        let mut rng = seeded_rng(3);
+        let net = GohStatic::with_gamma(5000, 2, 2.2).generate(&mut rng);
+        let degrees = net.graph.degrees();
+        let max = *degrees.iter().max().expect("non-empty");
+        assert_eq!(degrees[0], max, "the highest-fitness node must be the hub");
+        assert!(max > 100, "hub degree {max} too small");
+    }
+
+    #[test]
+    fn determinism() {
+        let a = GohStatic::new(500, 2, 0.7).generate(&mut seeded_rng(4));
+        let b = GohStatic::new(500, 2, 0.7).generate(&mut seeded_rng(4));
+        assert_eq!(a.graph, b.graph);
+    }
+
+    #[test]
+    #[should_panic(expected = "nu must lie in [0, 1)")]
+    fn rejects_bad_nu() {
+        let _ = GohStatic::new(10, 1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma > 2")]
+    fn rejects_flat_gamma() {
+        let _ = GohStatic::with_gamma(10, 1, 2.0);
+    }
+}

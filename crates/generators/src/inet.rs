@@ -1,0 +1,170 @@
+//! Inet-style degree-sequence Internet generator (after Jin, Chen & Jamin,
+//! Inet-3.0, U. Michigan tech report CSE-TR-456-02).
+//!
+//! Rather than growing a network, Inet *imposes* the empirically measured
+//! AS-map degree distribution: sample a power-law degree sequence, connect
+//! the high-degree nodes into a spanning backbone, then match the remaining
+//! stubs preferentially. The result reproduces `P(k)` by construction and
+//! (through the preferential matching) a disassortative core — which is why
+//! this family is the workhorse for building *reference* topologies when raw
+//! map data is unavailable.
+
+use crate::seq::powerlaw_degree_sequence;
+use crate::{GeneratedNetwork, Generator};
+use inet_graph::{MultiGraph, NodeId};
+use inet_stats::DynamicWeightedSampler;
+use rand::rngs::StdRng;
+
+/// Inet-like generator parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InetLike {
+    /// Number of nodes.
+    pub n: usize,
+    /// Degree-distribution exponent (AS map: ≈ 2.2).
+    pub gamma: f64,
+    /// Minimum degree (AS map: 1).
+    pub kmin: u64,
+}
+
+impl InetLike {
+    /// Creates a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n >= 3`, `gamma > 1`, `kmin >= 1`.
+    pub fn new(n: usize, gamma: f64, kmin: u64) -> Self {
+        assert!(n >= 3, "need at least three nodes");
+        assert!(gamma > 1.0, "exponent must exceed 1");
+        assert!(kmin >= 1, "minimum degree must be positive");
+        InetLike { n, gamma, kmin }
+    }
+
+    /// The 2001 AS-map parameterization (`γ = 2.22`, `k_min = 1`).
+    pub fn as_map_2001(n: usize) -> Self {
+        Self::new(n, 2.22, 1)
+    }
+}
+
+impl Generator for InetLike {
+    fn name(&self) -> String {
+        format!("Inet-like gamma={:.2}", self.gamma)
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> GeneratedNetwork {
+        // 1. Degree sequence, descending.
+        let mut seq = powerlaw_degree_sequence(self.n, self.gamma, self.kmin, self.n as u64 - 1, rng);
+        seq.sort_unstable_by(|a, b| b.cmp(a));
+        let mut g = MultiGraph::with_capacity(self.n);
+        g.add_nodes(self.n);
+        let mut remaining: Vec<u64> = seq.clone();
+
+        // 2. Spanning backbone: connect node i (in degree order) to an
+        //    already-placed node with free stubs, chosen proportionally to
+        //    its remaining stubs. Guarantees connectivity.
+        let mut sampler = DynamicWeightedSampler::new();
+        sampler.push(remaining[0] as f64);
+        for i in 1..self.n {
+            let t = sampler
+                .sample(rng)
+                .unwrap_or(i - 1); // if all stubs spent, chain to predecessor
+            g.add_edge(NodeId::new(i), NodeId::new(t)).expect("t < i");
+            remaining[i] = remaining[i].saturating_sub(1);
+            remaining[t] = remaining[t].saturating_sub(1);
+            sampler.set_weight(t, remaining[t] as f64);
+            sampler.push(remaining[i] as f64);
+        }
+
+        // 3. Preferential stub matching for the rest: draw two stub owners
+        //    weighted by remaining stubs, reject self/duplicates, bounded
+        //    retries (erased-configuration behavior).
+        let mut free: f64 = remaining.iter().map(|&x| x as f64).sum();
+        let mut failures = 0usize;
+        let failure_budget = 20 * self.n;
+        while free >= 2.0 && failures < failure_budget {
+            let a = match sampler.sample(rng) {
+                Some(a) => a,
+                None => break,
+            };
+            let wa = sampler.weight(a);
+            sampler.set_weight(a, 0.0);
+            let b = match sampler.sample(rng) {
+                Some(b) => b,
+                None => {
+                    sampler.set_weight(a, wa);
+                    break;
+                }
+            };
+            sampler.set_weight(a, wa);
+            let (na, nb) = (NodeId::new(a), NodeId::new(b));
+            if g.has_edge(na, nb) {
+                failures += 1;
+                continue;
+            }
+            g.add_edge(na, nb).expect("distinct by masking");
+            remaining[a] -= 1;
+            remaining[b] -= 1;
+            sampler.set_weight(a, remaining[a] as f64);
+            sampler.set_weight(b, remaining[b] as f64);
+            free -= 2.0;
+        }
+        GeneratedNetwork::bare(g, self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inet_stats::rng::seeded_rng;
+
+    #[test]
+    fn connected_by_construction() {
+        let mut rng = seeded_rng(1);
+        let net = InetLike::as_map_2001(3000).generate(&mut rng);
+        let csr = net.graph.to_csr();
+        assert!(inet_graph::traversal::connected_components(&csr).is_connected());
+        assert!(net.graph.validate().is_ok());
+    }
+
+    #[test]
+    fn degree_exponent_matches_request() {
+        let mut rng = seeded_rng(2);
+        let net = InetLike::new(20_000, 2.2, 1).generate(&mut rng);
+        let degrees: Vec<u64> = net.graph.degrees().iter().map(|&d| d as u64).collect();
+        let fit = inet_stats::powerlaw::fit_discrete(&degrees, 2).unwrap();
+        assert!((fit.gamma - 2.2).abs() < 0.25, "gamma = {}", fit.gamma);
+    }
+
+    #[test]
+    fn mean_degree_in_as_band() {
+        let mut rng = seeded_rng(3);
+        let net = InetLike::as_map_2001(11_000).generate(&mut rng);
+        let mean = net.graph.mean_degree();
+        // gamma 2.22, kmin 1 with erased stubs: <k> lands in the 2-6 band
+        // bracketing the AS map's 4.2.
+        assert!((2.0..6.0).contains(&mean), "mean degree {mean}");
+    }
+
+    #[test]
+    fn hubs_present() {
+        let mut rng = seeded_rng(4);
+        let net = InetLike::as_map_2001(11_000).generate(&mut rng);
+        let max = *net.graph.degrees().iter().max().unwrap();
+        assert!(max > 200, "max degree {max}");
+    }
+
+    #[test]
+    fn disassortative_core() {
+        let mut rng = seeded_rng(5);
+        let net = InetLike::as_map_2001(8_000).generate(&mut rng);
+        let csr = net.graph.to_csr();
+        let knn = inet_metrics::KnnStats::measure(&csr);
+        assert!(knn.assortativity < 0.0, "r = {}", knn.assortativity);
+    }
+
+    #[test]
+    fn determinism() {
+        let a = InetLike::as_map_2001(800).generate(&mut seeded_rng(6));
+        let b = InetLike::as_map_2001(800).generate(&mut seeded_rng(6));
+        assert_eq!(a.graph, b.graph);
+    }
+}

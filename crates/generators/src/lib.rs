@@ -1,0 +1,131 @@
+//! # inet-generators — Internet topology generators
+//!
+//! The generator families that the Internet-modeling literature compares
+//! against each other, all behind one [`Generator`] trait:
+//!
+//! | Module | Model | Era / reference |
+//! |---|---|---|
+//! | [`erdos_renyi`] | `G(n,p)` / `G(n,m)` random graphs | baseline |
+//! | [`config_model`] | configuration model from a degree sequence | baseline |
+//! | [`waxman`] | Waxman spatial random graph | IEEE JSAC 1988 |
+//! | [`geometric`] | random geometric graph | baseline |
+//! | [`barabasi_albert`] | preferential attachment | Science 1999 |
+//! | [`albert_barabasi`] | extended AB model (internal links + rewiring) | Albert & Barabási, PRL 2000 (source ref. \[16\]) |
+//! | [`bianconi`] | fitness-driven preferential attachment | Bianconi & Barabási, EPL 2001 (source ref. \[15\]) |
+//! | [`glp`] | Generalized Linear Preference | Bu & Towsley, INFOCOM 2002 |
+//! | [`inet`] | power-law degree-sequence Internet generator | Jin, Chen & Jamin, Inet-3.0 style |
+//! | [`fkp`] | Heuristically Optimized Trade-offs (HOT) tree | Fabrikant–Koutsoupias–Papadimitriou, ICALP 2002 |
+//! | [`pfp`] | Positive-Feedback Preference | Zhou & Mondragón, PRE 2004 |
+//! | [`goh`] | static scale-free (fitness) model | Goh, Kahng & Kim, PRL 2001 |
+//! | [`watts_strogatz`] | small-world control | Watts & Strogatz, Nature 1998 |
+//! | [`brite`] | spatial preferential attachment | BRITE-style (Medina, Matta & Byers 2000) |
+//! | [`serrano`] | **competition–adaptation weighted growth model** | Serrano, Boguñá & Díaz-Guilera, PRL 94 038701 (2005) |
+//!
+//! Every generator:
+//!
+//! * takes all randomness from a caller-supplied RNG (fixed seed ⇒
+//!   bit-identical topology),
+//! * returns a [`GeneratedNetwork`] carrying the weighted multigraph plus
+//!   whatever side information the model produces (positions, user counts),
+//! * documents its parameter ranges and panics early on invalid ones.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod albert_barabasi;
+pub mod barabasi_albert;
+pub mod bianconi;
+pub mod config_model;
+pub mod erdos_renyi;
+pub mod fkp;
+pub mod geometric;
+pub mod glp;
+pub mod inet;
+pub mod goh;
+pub mod pfp;
+pub mod seq;
+pub mod watts_strogatz;
+pub mod serrano;
+pub mod waxman;
+pub mod brite;
+
+use inet_graph::MultiGraph;
+use inet_spatial::Point2;
+use rand::rngs::StdRng;
+
+pub use albert_barabasi::AlbertBarabasiExtended;
+pub use barabasi_albert::BarabasiAlbert;
+pub use bianconi::{BianconiBarabasi, FitnessDistribution};
+pub use brite::BriteLike;
+pub use config_model::ConfigurationModel;
+pub use erdos_renyi::{Gnm, Gnp};
+pub use fkp::Fkp;
+pub use geometric::RandomGeometric;
+pub use glp::Glp;
+pub use goh::GohStatic;
+pub use inet::InetLike;
+pub use pfp::Pfp;
+pub use serrano::{SerranoModel, SerranoParams};
+pub use watts_strogatz::WattsStrogatz;
+pub use waxman::Waxman;
+
+/// A generated topology plus model-specific side information.
+#[derive(Debug, Clone)]
+pub struct GeneratedNetwork {
+    /// The topology (weighted multigraph; weight 1 everywhere for unweighted
+    /// models).
+    pub graph: MultiGraph,
+    /// Node positions, for spatial models.
+    pub positions: Option<Vec<Point2>>,
+    /// Per-node user counts (model "resources"), for demand-driven models.
+    pub users: Option<Vec<f64>>,
+    /// Short human-readable tag of the generating model.
+    pub name: String,
+}
+
+impl GeneratedNetwork {
+    /// Wraps a bare graph.
+    pub fn bare(graph: MultiGraph, name: impl Into<String>) -> Self {
+        GeneratedNetwork { graph, positions: None, users: None, name: name.into() }
+    }
+}
+
+/// A topology generator. Object-safe: drives everything through
+/// `&mut StdRng` so heterogeneous generator collections (comparison
+/// tables) can be iterated.
+pub trait Generator {
+    /// Short identifier used in table rows (e.g. `"BA m=2"`).
+    fn name(&self) -> String;
+
+    /// Generates one topology instance.
+    fn generate(&self, rng: &mut StdRng) -> GeneratedNetwork;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inet_stats::rng::seeded_rng;
+
+    /// The trait must be usable as a heterogeneous collection.
+    #[test]
+    fn generators_are_object_safe() {
+        let gens: Vec<Box<dyn Generator>> = vec![
+            Box::new(Gnp::new(50, 0.1)),
+            Box::new(BarabasiAlbert::new(50, 2)),
+        ];
+        let mut rng = seeded_rng(1);
+        for g in &gens {
+            let net = g.generate(&mut rng);
+            assert_eq!(net.graph.node_count(), 50);
+            assert!(!g.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn bare_constructor() {
+        let net = GeneratedNetwork::bare(MultiGraph::new(), "x");
+        assert!(net.positions.is_none());
+        assert!(net.users.is_none());
+        assert_eq!(net.name, "x");
+    }
+}

@@ -1,0 +1,120 @@
+//! Degree-sequence utilities shared by sequence-driven generators.
+
+use rand::Rng;
+
+/// Samples a power-law degree sequence `P(k) ∝ k^(−gamma)` for `k ≥ kmin`,
+/// capped at `kmax`, with an even sum (the last entry is bumped by one when
+/// needed so stub matching can close).
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `gamma <= 1`, `kmin == 0`, or `kmax < kmin`.
+pub fn powerlaw_degree_sequence<R: Rng>(
+    n: usize,
+    gamma: f64,
+    kmin: u64,
+    kmax: u64,
+    rng: &mut R,
+) -> Vec<u64> {
+    assert!(n > 0, "need at least one node");
+    assert!(gamma > 1.0, "exponent must exceed 1");
+    assert!(kmin >= 1 && kmax >= kmin, "invalid degree bounds");
+    let mut seq: Vec<u64> = (0..n)
+        .map(|_| inet_stats::powerlaw::sample_discrete(gamma, kmin, rng).min(kmax))
+        .collect();
+    if seq.iter().sum::<u64>() % 2 == 1 {
+        // Bump a minimal entry to keep the tail untouched.
+        let idx = seq
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &d)| d)
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        seq[idx] += 1;
+    }
+    seq
+}
+
+/// Erdős–Gallai check: is the (descending-sorted copy of the) sequence
+/// realizable as a simple graph?
+pub fn is_graphical(seq: &[u64]) -> bool {
+    let mut d: Vec<u64> = seq.to_vec();
+    d.sort_unstable_by(|a, b| b.cmp(a));
+    let n = d.len() as u64;
+    if d.iter().any(|&x| x >= n) && n > 0 {
+        return false;
+    }
+    let total: u64 = d.iter().sum();
+    if total % 2 == 1 {
+        return false;
+    }
+    // Prefix sums for the Erdős–Gallai inequalities.
+    let mut prefix = Vec::with_capacity(d.len() + 1);
+    prefix.push(0u64);
+    for &x in &d {
+        prefix.push(prefix.last().expect("non-empty") + x);
+    }
+    for k in 1..=d.len() {
+        let lhs = prefix[k];
+        let mut rhs = (k * (k - 1)) as u64;
+        for &di in &d[k..] {
+            rhs += di.min(k as u64);
+        }
+        if lhs > rhs {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inet_stats::rng::seeded_rng;
+
+    #[test]
+    fn sequence_sum_is_even_and_bounded() {
+        let mut rng = seeded_rng(1);
+        for _ in 0..20 {
+            let seq = powerlaw_degree_sequence(501, 2.2, 1, 400, &mut rng);
+            assert_eq!(seq.len(), 501);
+            assert_eq!(seq.iter().sum::<u64>() % 2, 0);
+            assert!(seq.iter().all(|&d| (1..=400).contains(&d)));
+        }
+    }
+
+    #[test]
+    fn sequence_tail_is_heavy() {
+        let mut rng = seeded_rng(2);
+        let seq = powerlaw_degree_sequence(20_000, 2.2, 1, 20_000, &mut rng);
+        let max = *seq.iter().max().unwrap();
+        assert!(max > 100, "max degree {max} too small for a heavy tail");
+        let ones = seq.iter().filter(|&&d| d == 1).count();
+        assert!(ones > seq.len() / 3, "power law should be dominated by k=1");
+    }
+
+    #[test]
+    fn graphical_known_cases() {
+        assert!(is_graphical(&[2, 2, 2])); // triangle
+        assert!(is_graphical(&[3, 3, 3, 3])); // K4
+        assert!(is_graphical(&[1, 1]));
+        assert!(is_graphical(&[])); // vacuous
+        assert!(!is_graphical(&[1])); // odd sum
+        assert!(is_graphical(&[3, 1, 1, 1, 0, 0, 0, 0, 0, 2])); // star + pendant edge
+        assert!(!is_graphical(&[4, 1, 1])); // degree >= n
+        assert!(!is_graphical(&[3, 3, 1, 1])); // fails Erdos-Gallai at k=2
+    }
+
+    #[test]
+    fn star_sequences() {
+        assert!(is_graphical(&[4, 1, 1, 1, 1]));
+        assert!(!is_graphical(&[5, 1, 1, 1, 1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent must exceed 1")]
+    fn rejects_flat_exponent() {
+        let mut rng = seeded_rng(3);
+        let _ = powerlaw_degree_sequence(10, 1.0, 1, 10, &mut rng);
+    }
+}

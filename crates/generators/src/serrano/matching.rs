@@ -1,0 +1,203 @@
+//! Bandwidth-deficit matching: the adaptation step.
+//!
+//! After each growth step every AS computes its bandwidth deficit
+//! `Δb_i = max(0, b_target(ω_i) − b_current)`. Pairs of *active* nodes
+//! (deficit ≥ 1) are drawn with probability proportional to their deficits —
+//! nodes hungrier for bandwidth search harder for peers — and connect if an
+//! acceptance predicate (the distance-cost kernel, or always-true) agrees.
+//! A connecting pair reinforces its link with probability `r` per extra
+//! unit while both stay active, trading partner diversification against
+//! connection setup costs.
+
+use inet_graph::{MultiGraph, NodeId};
+use inet_stats::DynamicWeightedSampler;
+use rand::{rngs::StdRng, Rng};
+
+/// Outcome counters of one matching round.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MatchStats {
+    /// Candidate pair draws (including rejected ones).
+    pub attempts: u64,
+    /// New edges created between previously unconnected pairs.
+    pub new_edges: u64,
+    /// Reinforcement units added to existing pairs (including the `r`-loop).
+    pub reinforcements: u64,
+    /// Total deficit unmet when the round ended.
+    pub leftover: f64,
+}
+
+/// Runs one matching round, mutating the graph and the deficits in place.
+///
+/// `accept(i, j, d_needed)` decides whether a drawn pair may connect (the
+/// distance kernel); it receives the RNG last so the caller controls all
+/// randomness.
+pub fn match_deficits(
+    g: &mut MultiGraph,
+    deficits: &mut [f64],
+    r: f64,
+    max_attempts: u64,
+    rng: &mut StdRng,
+    mut accept: impl FnMut(usize, usize, &mut StdRng) -> bool,
+) -> MatchStats {
+    let mut stats = MatchStats::default();
+    // Active weight = deficit where >= 1 unit is wanted, else 0.
+    let weights: Vec<f64> = deficits.iter().map(|&d| if d >= 1.0 { d } else { 0.0 }).collect();
+    let mut sampler = DynamicWeightedSampler::from_weights(&weights);
+    let active = |d: f64| if d >= 1.0 { d } else { 0.0 };
+    let mut active_count = deficits.iter().filter(|&&d| d >= 1.0).count();
+
+    while active_count >= 2 && stats.attempts < max_attempts {
+        stats.attempts += 1;
+        let i = match sampler.sample(rng) {
+            Some(i) => i,
+            None => break,
+        };
+        let wi = sampler.weight(i);
+        sampler.set_weight(i, 0.0);
+        let j = match sampler.sample(rng) {
+            Some(j) => j,
+            None => {
+                sampler.set_weight(i, wi);
+                break;
+            }
+        };
+        sampler.set_weight(i, wi);
+        if !accept(i, j, rng) {
+            continue;
+        }
+        // First unit unconditionally, then extra units each with
+        // probability `r` while both peers remain active.
+        let (ni, nj) = (NodeId::new(i), NodeId::new(j));
+        loop {
+            match g.add_edge(ni, nj).expect("i != j by masking") {
+                inet_graph::EdgeUpdate::Created => stats.new_edges += 1,
+                inet_graph::EdgeUpdate::Reinforced(_) => stats.reinforcements += 1,
+            }
+            for &v in &[i, j] {
+                let was_active = deficits[v] >= 1.0;
+                deficits[v] -= 1.0;
+                let now_active = deficits[v] >= 1.0;
+                sampler.set_weight(v, active(deficits[v]));
+                if was_active && !now_active {
+                    active_count -= 1;
+                }
+            }
+            if !(deficits[i] >= 1.0 && deficits[j] >= 1.0) {
+                break;
+            }
+            if rng.gen_range(0.0..1.0) >= r {
+                break;
+            }
+        }
+    }
+    stats.leftover = deficits.iter().filter(|&&d| d >= 1.0).sum();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inet_stats::rng::seeded_rng;
+
+    fn always(_: usize, _: usize, _: &mut StdRng) -> bool {
+        true
+    }
+
+    #[test]
+    fn two_nodes_pair_up() {
+        let mut g = MultiGraph::new();
+        g.add_nodes(2);
+        let mut deficits = vec![3.0, 3.0];
+        let mut rng = seeded_rng(1);
+        let stats = match_deficits(&mut g, &mut deficits, 0.99, 1000, &mut rng, always);
+        // With r ~ 1 both burn their full deficit into one multi-edge.
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.total_weight(), 3);
+        assert_eq!(stats.new_edges, 1);
+        assert_eq!(stats.reinforcements, 2);
+        assert!(deficits.iter().all(|&d| d < 1.0));
+        assert_eq!(stats.leftover, 0.0);
+    }
+
+    #[test]
+    fn r_zero_diversifies_partners() {
+        let mut g = MultiGraph::new();
+        g.add_nodes(6);
+        let mut deficits = vec![4.0; 6];
+        let mut rng = seeded_rng(2);
+        let _ = match_deficits(&mut g, &mut deficits, 0.0, 10_000, &mut rng, always);
+        // With no reinforcement the same pair can still be drawn twice, but
+        // most links should be distinct edges.
+        assert!(g.edge_count() as u64 >= g.total_weight() / 2);
+        assert!(g.edge_count() >= 4);
+    }
+
+    #[test]
+    fn inactive_nodes_never_connect() {
+        let mut g = MultiGraph::new();
+        g.add_nodes(4);
+        let mut deficits = vec![5.0, 5.0, 0.4, 0.0];
+        let mut rng = seeded_rng(3);
+        let _ = match_deficits(&mut g, &mut deficits, 0.5, 10_000, &mut rng, always);
+        for v in 2..4 {
+            assert_eq!(
+                g.degree(NodeId::new(v)),
+                0,
+                "inactive node {v} got a connection"
+            );
+        }
+    }
+
+    #[test]
+    fn attempt_budget_bounds_rejection_storms() {
+        let mut g = MultiGraph::new();
+        g.add_nodes(10);
+        let mut deficits = vec![2.0; 10];
+        let mut rng = seeded_rng(4);
+        let stats = match_deficits(&mut g, &mut deficits, 0.5, 100, &mut rng, |_, _, _| false);
+        assert_eq!(stats.attempts, 100);
+        assert_eq!(g.edge_count(), 0);
+        assert!(stats.leftover > 0.0);
+    }
+
+    #[test]
+    fn single_active_node_cannot_pair() {
+        let mut g = MultiGraph::new();
+        g.add_nodes(3);
+        let mut deficits = vec![5.0, 0.0, 0.0];
+        let mut rng = seeded_rng(5);
+        let stats = match_deficits(&mut g, &mut deficits, 0.5, 1000, &mut rng, always);
+        assert_eq!(stats.attempts, 0);
+        assert_eq!(stats.leftover, 5.0);
+    }
+
+    #[test]
+    fn deficits_decrease_monotonically() {
+        let mut g = MultiGraph::new();
+        g.add_nodes(8);
+        let mut deficits = vec![3.7; 8];
+        let before: f64 = deficits.iter().sum();
+        let mut rng = seeded_rng(6);
+        let _ = match_deficits(&mut g, &mut deficits, 0.8, 10_000, &mut rng, always);
+        let after: f64 = deficits.iter().sum();
+        assert!(after < before);
+        // Each edge unit consumed exactly two units of deficit.
+        assert!((before - after - 2.0 * g.total_weight() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn selective_acceptance_steers_topology() {
+        // Only pairs (even, even) may connect.
+        let mut g = MultiGraph::new();
+        g.add_nodes(6);
+        let mut deficits = vec![2.0; 6];
+        let mut rng = seeded_rng(7);
+        let _ = match_deficits(&mut g, &mut deficits, 0.5, 50_000, &mut rng, |a, b, _| {
+            a % 2 == 0 && b % 2 == 0
+        });
+        for (u, v, _) in g.edges() {
+            assert!(u.index() % 2 == 0 && v.index() % 2 == 0);
+        }
+        assert!(g.edge_count() > 0);
+    }
+}

@@ -1,0 +1,365 @@
+//! The Serrano–Boguñá–Díaz-Guilera competition–adaptation model
+//! (PRL 94, 038701 (2005)) — a weighted growing network driven by demand
+//! and supply.
+//!
+//! The Internet is modeled as ASs competing for a growing pool of users and
+//! adapting their bandwidth to serve them:
+//!
+//! 1. **Demand growth** — `ΔW(t)` new users join and pick providers by
+//!    linear preference `Π_i = ω_i / W`.
+//! 2. **Node birth** — `ΔN(t)` new ASs appear, each taking `ω₀` users
+//!    withdrawn from the pool; placed on a fractal geography when the
+//!    distance constraint is on.
+//! 3. **Adaptation** — each AS targets bandwidth
+//!    `b_i = 1 + a(t)(ω_i − ω₀)` with `a(t) = (2B(t) − N)/(W − ω₀N)`,
+//!    where `B(t) = B₀e^{δ′t}` tracks global traffic.
+//! 4. **Matching** — deficit-weighted peers pair up; distance acceptance
+//!    `exp(−d_ij/d_c)` with `d_c = ω_i ω_j/(κW)` suppresses long links
+//!    between small peers; reinforcement probability `r` trades
+//!    multi-links against partner diversity.
+//!
+//! The run history (`W`, `N`, `E`, `B` per iteration) is recorded so growth
+//! analyses (Fig. 1) and loop-scaling sweeps (Fig. 4) can read intermediate
+//! states.
+
+mod matching;
+mod params;
+mod users;
+
+pub use matching::{match_deficits, MatchStats};
+pub use params::{DistanceConstraint, SerranoParams};
+pub use users::UserPool;
+
+use crate::{GeneratedNetwork, Generator};
+use inet_graph::{MultiGraph, NodeId};
+use inet_spatial::{FractalSet, Point2};
+use rand::{rngs::StdRng, Rng};
+
+/// One iteration's aggregate state, recorded for growth analyses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GrowthRecord {
+    /// Iteration ("month").
+    pub t: u32,
+    /// Total users.
+    pub users: f64,
+    /// Node count.
+    pub nodes: usize,
+    /// Distinct edges.
+    pub edges: usize,
+    /// Total bandwidth (sum of multiplicities).
+    pub bandwidth: u64,
+}
+
+/// Full output of a model run.
+#[derive(Debug, Clone)]
+pub struct SerranoRun {
+    /// The generated network (graph + positions + user counts).
+    pub network: GeneratedNetwork,
+    /// Aggregate state per iteration.
+    pub history: Vec<GrowthRecord>,
+    /// Iterations executed.
+    pub iterations: u32,
+}
+
+/// The competition–adaptation generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SerranoModel {
+    /// Model parameters.
+    pub params: SerranoParams,
+}
+
+impl SerranoModel {
+    /// Creates the model, validating parameters.
+    pub fn new(params: SerranoParams) -> Self {
+        params.validate();
+        SerranoModel { params }
+    }
+
+    /// Paper parameterization with the distance constraint.
+    pub fn paper_2001() -> Self {
+        Self::new(SerranoParams::paper_2001())
+    }
+
+    /// Paper parameterization without the distance constraint.
+    pub fn paper_2001_no_distance() -> Self {
+        Self::new(SerranoParams::paper_2001_no_distance())
+    }
+
+    /// Runs the model to `target_n` nodes, returning the full run record.
+    pub fn run(&self, rng: &mut StdRng) -> SerranoRun {
+        let p = &self.params;
+        // Geography: a fixed fractal support for the whole run (the
+        // environment's geography does not change as the network grows).
+        let (cells, fractal) = match p.distance {
+            Some(d) => {
+                let f = FractalSet::new(d.fractal_dimension, d.depth);
+                (Some(f.generate_cells(rng)), Some(f))
+            }
+            None => (None, None),
+        };
+        let mut positions: Vec<Point2> = Vec::new();
+        let place = |n: usize, rng: &mut StdRng, positions: &mut Vec<Point2>| {
+            if let (Some(cells), Some(f)) = (&cells, &fractal) {
+                positions.extend(f.place_points(cells, n, rng));
+            }
+        };
+
+        let mut pool = UserPool::new(p.n0, p.omega0);
+        let mut g = MultiGraph::with_capacity(p.target_n + 16);
+        g.add_nodes(p.n0);
+        place(p.n0, rng, &mut positions);
+
+        // Distance-kernel cost density: kappa0 = omega0 / (n0 * sqrt(2)),
+        // scaled by the user's kappa_scale. Chosen so that at t = 0 two
+        // seed-sized ASs have d_c equal to the domain diagonal.
+        let kappa = p.distance.map(|d| {
+            d.kappa_scale * p.omega0 / (p.n0 as f64 * std::f64::consts::SQRT_2)
+        });
+
+        let mut history: Vec<GrowthRecord> = vec![GrowthRecord {
+            t: 0,
+            users: pool.total(),
+            nodes: g.node_count(),
+            edges: g.edge_count(),
+            bandwidth: g.total_weight(),
+        }];
+
+        let mut deficits: Vec<f64> = Vec::new();
+        let mut t: u32 = 0;
+        // Birth reserve: users collected smoothly each iteration (the
+        // continuum −βω₀ levy) and spent ω₀ at a time when a node is born.
+        // Without the smoothing, the rare early births would hit the tiny
+        // seed population with ω₀-sized slugs and make the oldest nodes'
+        // trajectories path-dependent, breaking the Eq. (3) comparison.
+        let mut reserve = 0.0f64;
+        let mut max_node_target = p.n0 as f64;
+        // Hard cap: generous multiple of the analytic horizon.
+        let max_iters = p.horizon().saturating_mul(3).max(16);
+
+        while g.node_count() < p.target_n && t < max_iters {
+            t += 1;
+            let tf = t as f64;
+
+            // (1) demand growth.
+            let delta_w = p.users_at(tf) - pool.total() - reserve;
+            pool.grow_with_preference(delta_w.max(0.0), p.theta, p.stochastic_users, rng);
+
+            // (3 of the rules list) user reallocation (diffusion only).
+            pool.reallocate(p.lambda, p.stochastic_users, rng);
+
+            // (2) node birth: levy the expected birth mass, then spawn as
+            // many ω₀-funded nodes as the schedule and the reserve allow.
+            let node_target = p.nodes_at(tf);
+            let expected_births = node_target - max_node_target;
+            max_node_target = node_target;
+            reserve += pool.levy(expected_births.max(0.0) * p.omega0);
+            while (g.node_count() as f64) < node_target.floor()
+                && reserve >= p.omega0
+                && g.node_count() < p.target_n
+            {
+                pool.add_node_funded(p.omega0);
+                reserve -= p.omega0;
+                g.add_node();
+                place(1, rng, &mut positions);
+            }
+
+            // (4) adaptation: bandwidth targets and deficits.
+            let n = g.node_count();
+            let w = pool.total();
+            let big_b = p.bandwidth_at(tf);
+            let denom = w - p.omega0 * n as f64;
+            let a = if denom > 1e-9 {
+                ((2.0 * big_b - n as f64) / denom).max(0.0)
+            } else {
+                (2.0 * big_b / w).max(0.0)
+            };
+            deficits.clear();
+            deficits.resize(n, 0.0);
+            for (i, d) in deficits.iter_mut().enumerate() {
+                let target = 1.0 + a * (pool.users(i) - p.omega0);
+                let current = g.strength(NodeId::new(i)) as f64;
+                *d = (target - current).max(0.0);
+            }
+
+            // Matching with the distance kernel (or always-accept).
+            let total_deficit: f64 = deficits.iter().sum();
+            let budget = (p.max_attempts_factor as u64)
+                .saturating_mul(total_deficit.ceil() as u64 + 2);
+            match kappa {
+                Some(kappa) => {
+                    let pos = &positions;
+                    let pool_ref = &pool;
+                    let _ = match_deficits(
+                        &mut g,
+                        &mut deficits,
+                        p.r,
+                        budget,
+                        rng,
+                        |i, j, rng| {
+                            let d = pos[i].dist(&pos[j]);
+                            let dc = pool_ref.users(i) * pool_ref.users(j) / (kappa * w);
+                            let prob = (-d / dc.max(1e-12)).exp();
+                            rng.gen_range(0.0..1.0) < prob
+                        },
+                    );
+                }
+                None => {
+                    let _ = match_deficits(&mut g, &mut deficits, p.r, budget, rng, |_, _, _| {
+                        true
+                    });
+                }
+            }
+
+            history.push(GrowthRecord {
+                t,
+                users: pool.total(),
+                nodes: g.node_count(),
+                edges: g.edge_count(),
+                bandwidth: g.total_weight(),
+            });
+        }
+
+        let users = pool.as_slice().to_vec();
+        SerranoRun {
+            network: GeneratedNetwork {
+                graph: g,
+                positions: if positions.is_empty() { None } else { Some(positions) },
+                users: Some(users),
+                name: self.name(),
+            },
+            history,
+            iterations: t,
+        }
+    }
+}
+
+impl Generator for SerranoModel {
+    fn name(&self) -> String {
+        let dist = if self.params.distance.is_some() { "dist" } else { "nodist" };
+        format!("Serrano r={:.1} {dist}", self.params.r)
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> GeneratedNetwork {
+        self.run(rng).network
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inet_stats::rng::seeded_rng;
+
+    fn small_run(target: usize, seed: u64, distance: bool) -> SerranoRun {
+        let mut params = SerranoParams::small(target);
+        if !distance {
+            params.distance = None;
+        }
+        SerranoModel::new(params).run(&mut seeded_rng(seed))
+    }
+
+    #[test]
+    fn reaches_target_size() {
+        let run = small_run(500, 1, false);
+        assert!(run.network.graph.node_count() >= 500);
+        assert!(run.iterations > 0);
+        assert_eq!(run.history.len() as u32, run.iterations + 1);
+    }
+
+    #[test]
+    fn history_is_monotone_growth() {
+        let run = small_run(400, 2, false);
+        for w in run.history.windows(2) {
+            assert!(w[1].users >= w[0].users);
+            assert!(w[1].nodes >= w[0].nodes);
+            assert!(w[1].bandwidth >= w[0].bandwidth);
+        }
+    }
+
+    #[test]
+    fn user_conservation() {
+        let run = small_run(300, 3, false);
+        let users = run.network.users.as_ref().unwrap();
+        let sum: f64 = users.iter().sum();
+        let last = run.history.last().unwrap();
+        assert!((sum - last.users).abs() < 1e-6 * sum);
+        assert!(users.iter().all(|&u| u > 0.0));
+    }
+
+    #[test]
+    fn bandwidth_tracks_prescription() {
+        let run = small_run(600, 4, false);
+        let p = SerranoParams::small(600);
+        let last = run.history.last().unwrap();
+        let prescribed = p.bandwidth_at(last.t as f64);
+        let ratio = last.bandwidth as f64 / prescribed;
+        assert!(
+            (0.5..1.5).contains(&ratio),
+            "bandwidth {} vs prescribed {prescribed}",
+            last.bandwidth
+        );
+    }
+
+    #[test]
+    fn multi_edges_exist() {
+        let run = small_run(800, 5, false);
+        let g = &run.network.graph;
+        assert!(
+            g.total_weight() > g.edge_count() as u64,
+            "the model must produce multiple connections"
+        );
+    }
+
+    #[test]
+    fn heavy_tailed_degrees() {
+        let run = small_run(2000, 6, false);
+        let degrees: Vec<u64> =
+            run.network.graph.degrees().iter().map(|&d| d as u64).collect();
+        let max = *degrees.iter().max().unwrap();
+        assert!(max as f64 > 0.05 * 2000.0, "max degree {max}: no hub emerged");
+    }
+
+    #[test]
+    fn distance_variant_produces_positions() {
+        let run = small_run(300, 7, true);
+        let pos = run.network.positions.as_ref().expect("positions recorded");
+        assert_eq!(pos.len(), run.network.graph.node_count());
+        let no_dist = small_run(300, 7, false);
+        assert!(no_dist.network.positions.is_none());
+    }
+
+    #[test]
+    fn users_correlate_with_strength() {
+        let run = small_run(1000, 8, false);
+        let g = &run.network.graph;
+        let users = run.network.users.as_ref().unwrap();
+        // Rank correlation proxy: the max-user node should be near the max
+        // strength.
+        let max_user = (0..g.node_count())
+            .max_by(|&a, &b| users[a].partial_cmp(&users[b]).unwrap())
+            .unwrap();
+        let strengths = g.strengths();
+        let max_strength = *strengths.iter().max().unwrap();
+        assert!(
+            strengths[max_user] as f64 >= 0.5 * max_strength as f64,
+            "biggest AS is not among the best connected"
+        );
+    }
+
+    #[test]
+    fn determinism() {
+        let a = small_run(300, 9, true);
+        let b = small_run(300, 9, true);
+        assert_eq!(a.network.graph, b.network.graph);
+        assert_eq!(a.history.len(), b.history.len());
+    }
+
+    #[test]
+    fn giant_component_dominates() {
+        let run = small_run(1500, 10, false);
+        let csr = run.network.graph.to_csr();
+        assert!(
+            inet_graph::traversal::giant_fraction(&csr) > 0.9,
+            "network fragmented"
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Watts–Strogatz small-world model (Nature 393, 440).
+//!
+//! Not an Internet model — a *control*: it produces the small world and
+//! high clustering without any heavy tail, so comparison tables use it to
+//! show that those two properties alone don't make an AS map.
+//!
+//! Start from a ring where each node connects to its `k/2` nearest
+//! neighbors on each side; rewire each edge's far endpoint with
+//! probability `p` to a uniformly random node (no self-loops/duplicates).
+
+use crate::{GeneratedNetwork, Generator};
+use inet_graph::{MultiGraph, NodeId};
+use rand::{rngs::StdRng, Rng};
+
+/// Watts–Strogatz parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WattsStrogatz {
+    /// Number of nodes.
+    pub n: usize,
+    /// Even ring degree `k` (each node starts with `k` neighbors).
+    pub k: usize,
+    /// Rewiring probability `p ∈ [0, 1]`.
+    pub p: f64,
+}
+
+impl WattsStrogatz {
+    /// Creates a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `k` is even, `2 <= k < n`, and `0 <= p <= 1`.
+    pub fn new(n: usize, k: usize, p: f64) -> Self {
+        assert!(k % 2 == 0 && k >= 2, "ring degree must be even and >= 2");
+        assert!(k < n, "ring degree must be below n");
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        WattsStrogatz { n, k, p }
+    }
+}
+
+impl Generator for WattsStrogatz {
+    fn name(&self) -> String {
+        format!("WS k={} p={:.2}", self.k, self.p)
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> GeneratedNetwork {
+        let mut g = MultiGraph::with_capacity(self.n);
+        g.add_nodes(self.n);
+        // Ring lattice.
+        for v in 0..self.n {
+            for offset in 1..=self.k / 2 {
+                let u = (v + offset) % self.n;
+                g.add_edge(NodeId::new(v), NodeId::new(u)).expect("lattice edge");
+            }
+        }
+        // Rewire the clockwise stubs.
+        for v in 0..self.n {
+            for offset in 1..=self.k / 2 {
+                if rng.gen_range(0.0..1.0) >= self.p {
+                    continue;
+                }
+                let old = (v + offset) % self.n;
+                // Pick a fresh endpoint; bounded retries to dodge
+                // saturation at extreme k/n ratios.
+                for _ in 0..32 {
+                    let new = rng.gen_range(0..self.n);
+                    if new == v || g.has_edge(NodeId::new(v), NodeId::new(new)) {
+                        continue;
+                    }
+                    g.remove_edge(NodeId::new(v), NodeId::new(old))
+                        .expect("lattice edge present");
+                    g.add_edge(NodeId::new(v), NodeId::new(new)).expect("checked");
+                    break;
+                }
+            }
+        }
+        GeneratedNetwork::bare(g, self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inet_stats::rng::seeded_rng;
+
+    #[test]
+    fn p_zero_is_the_ring_lattice() {
+        let mut rng = seeded_rng(1);
+        let net = WattsStrogatz::new(40, 4, 0.0).generate(&mut rng);
+        assert!(net.graph.degrees().iter().all(|&d| d == 4));
+        assert_eq!(net.graph.edge_count(), 80);
+        // Lattice clustering for k=4 is 1/2.
+        let c = inet_metrics::ClusteringStats::measure(&net.graph.to_csr());
+        assert!((c.mean_local - 0.5).abs() < 1e-9, "c = {}", c.mean_local);
+    }
+
+    #[test]
+    fn small_p_keeps_clustering_but_shrinks_paths() {
+        let lattice = WattsStrogatz::new(500, 6, 0.0).generate(&mut seeded_rng(2));
+        let sw = WattsStrogatz::new(500, 6, 0.05).generate(&mut seeded_rng(2));
+        let measure = |net: &GeneratedNetwork| {
+            let csr = net.graph.to_csr();
+            let paths = inet_metrics::PathStats::measure_sampled(&csr, 100, 2);
+            let c = inet_metrics::ClusteringStats::measure(&csr).mean_local;
+            (paths.mean, c)
+        };
+        let (l0, c0) = measure(&lattice);
+        let (l1, c1) = measure(&sw);
+        assert!(l1 < 0.5 * l0, "paths {l0} -> {l1}: shortcuts must collapse distances");
+        assert!(c1 > 0.6 * c0, "clustering {c0} -> {c1} fell too much at p = 0.05");
+    }
+
+    #[test]
+    fn no_heavy_tail_at_any_p() {
+        let mut rng = seeded_rng(3);
+        let net = WattsStrogatz::new(3000, 6, 0.3).generate(&mut rng);
+        let max = *net.graph.degrees().iter().max().expect("non-empty");
+        assert!(max < 20, "WS should stay narrow, max degree {max}");
+    }
+
+    #[test]
+    fn edge_count_is_preserved_by_rewiring() {
+        let mut rng = seeded_rng(4);
+        let net = WattsStrogatz::new(200, 4, 1.0).generate(&mut rng);
+        assert_eq!(net.graph.edge_count(), 400);
+        assert!(net.graph.validate().is_ok());
+    }
+
+    #[test]
+    fn determinism() {
+        let a = WattsStrogatz::new(100, 4, 0.2).generate(&mut seeded_rng(5));
+        let b = WattsStrogatz::new(100, 4, 0.2).generate(&mut seeded_rng(5));
+        assert_eq!(a.graph, b.graph);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn rejects_odd_k() {
+        let _ = WattsStrogatz::new(10, 3, 0.1);
+    }
+}

@@ -1,0 +1,145 @@
+//! Waxman spatial random graph (IEEE JSAC 1988) — the earliest widely used
+//! Internet topology generator.
+//!
+//! Nodes are placed uniformly in the unit square; each pair is connected
+//! independently with probability `q · exp(−d / (β L))`, where `d` is the
+//! pair distance and `L` the maximum distance (√2 here). Produces
+//! exponentially-bounded degree distributions — historically important
+//! precisely because it *fails* to reproduce the AS map's heavy tail, which
+//! is why comparison tables include it.
+
+use crate::{GeneratedNetwork, Generator};
+use inet_graph::{MultiGraph, NodeId};
+use inet_spatial::pointset::uniform_points;
+use rand::{rngs::StdRng, Rng};
+
+/// Waxman generator parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Waxman {
+    /// Number of nodes.
+    pub n: usize,
+    /// Link-probability prefactor `q ∈ (0, 1]`.
+    pub q: f64,
+    /// Distance-decay scale `β ∈ (0, 1]` (larger ⇒ longer links).
+    pub beta: f64,
+}
+
+impl Waxman {
+    /// Creates a Waxman generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < q <= 1` and `0 < beta <= 1`.
+    pub fn new(n: usize, q: f64, beta: f64) -> Self {
+        assert!(q > 0.0 && q <= 1.0, "q must lie in (0, 1]");
+        assert!(beta > 0.0 && beta <= 1.0, "beta must lie in (0, 1]");
+        Waxman { n, q, beta }
+    }
+
+    /// Chooses `q` to hit a target mean degree at the given `beta`, using
+    /// the closed-form expectation of `exp(−d/(βL))` estimated by
+    /// quasi-Monte-Carlo over a deterministic point grid (no RNG needed).
+    pub fn with_mean_degree(n: usize, beta: f64, mean_degree: f64) -> Self {
+        assert!(n >= 2, "need at least two nodes");
+        // E[exp(-d/(beta*L))] over uniform pairs, estimated on a 32x32 grid.
+        let l = 2f64.sqrt();
+        let grid = 16usize;
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for a in 0..grid * grid {
+            for b in (a + 1)..grid * grid {
+                let (ax, ay) = ((a / grid) as f64 + 0.5, (a % grid) as f64 + 0.5);
+                let (bx, by) = ((b / grid) as f64 + 0.5, (b % grid) as f64 + 0.5);
+                let d = (((ax - bx) / grid as f64).powi(2)
+                    + ((ay - by) / grid as f64).powi(2))
+                .sqrt();
+                sum += (-d / (beta * l)).exp();
+                count += 1;
+            }
+        }
+        let mean_kernel = sum / count as f64;
+        let q = (mean_degree / ((n as f64 - 1.0) * mean_kernel)).clamp(1e-9, 1.0);
+        Self::new(n, q, beta)
+    }
+}
+
+impl Generator for Waxman {
+    fn name(&self) -> String {
+        format!("Waxman q={:.3} beta={:.2}", self.q, self.beta)
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> GeneratedNetwork {
+        let positions = uniform_points(self.n, rng);
+        let l = 2f64.sqrt();
+        let mut g = MultiGraph::with_capacity(self.n);
+        g.add_nodes(self.n);
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                let d = positions[i].dist(&positions[j]);
+                let p = self.q * (-d / (self.beta * l)).exp();
+                if rng.gen_range(0.0..1.0) < p {
+                    g.add_edge(NodeId::new(i), NodeId::new(j)).expect("valid pair");
+                }
+            }
+        }
+        GeneratedNetwork {
+            graph: g,
+            positions: Some(positions),
+            users: None,
+            name: self.name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inet_stats::rng::seeded_rng;
+
+    #[test]
+    fn mean_degree_calibration() {
+        let mut rng = seeded_rng(1);
+        let gen = Waxman::with_mean_degree(1200, 0.3, 4.0);
+        let net = gen.generate(&mut rng);
+        let mean = net.graph.mean_degree();
+        assert!((mean - 4.0).abs() < 0.8, "mean degree {mean}");
+    }
+
+    #[test]
+    fn shorter_links_are_favored() {
+        let mut rng = seeded_rng(2);
+        let net = Waxman::new(800, 0.9, 0.08).generate(&mut rng);
+        let pos = net.positions.as_ref().unwrap();
+        let mut linked = Vec::new();
+        for (u, v, _) in net.graph.edges() {
+            linked.push(pos[u.index()].dist(&pos[v.index()]));
+        }
+        assert!(!linked.is_empty());
+        let mean_link = inet_stats::Summary::from_slice(&linked).mean;
+        // Mean distance of uniform random pairs is ~0.52; links must be much
+        // shorter at beta = 0.08.
+        assert!(mean_link < 0.3, "mean link length {mean_link}");
+    }
+
+    #[test]
+    fn degree_tail_is_light() {
+        let mut rng = seeded_rng(3);
+        let net = Waxman::with_mean_degree(3000, 0.2, 4.2).generate(&mut rng);
+        let max = *net.graph.degrees().iter().max().unwrap();
+        // Poisson-ish: max degree stays O(log n)-ish, far below hub scales.
+        assert!(max < 30, "max degree {max} too heavy for Waxman");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Waxman::new(100, 0.5, 0.2).generate(&mut seeded_rng(9));
+        let b = Waxman::new(100, 0.5, 0.2).generate(&mut seeded_rng(9));
+        assert_eq!(a.graph, b.graph);
+    }
+
+    #[test]
+    #[should_panic(expected = "q must lie")]
+    fn rejects_bad_q() {
+        let _ = Waxman::new(10, 0.0, 0.5);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests across the generator suite.
+
+use inet_generators::*;
+use inet_stats::rng::seeded_rng;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generator yields a structurally valid graph of the requested
+    /// size, deterministically per seed.
+    #[test]
+    fn generators_produce_valid_graphs(seed in 0u64..1000, which in 0usize..10) {
+        let n = 120usize;
+        let generator: Box<dyn Generator> = match which {
+            0 => Box::new(Gnp::new(n, 0.05)),
+            1 => Box::new(Gnm::new(n, 240)),
+            2 => Box::new(BarabasiAlbert::new(n, 2)),
+            3 => Box::new(Glp::internet_2001(n)),
+            4 => Box::new(InetLike::as_map_2001(n)),
+            5 => Box::new(Fkp::new(n, 6.0)),
+            6 => Box::new(Pfp::internet(n)),
+            7 => Box::new(Waxman::new(n, 0.5, 0.2)),
+            8 => Box::new(GohStatic::with_gamma(n, 2, 2.4)),
+            9 => Box::new(WattsStrogatz::new(n, 4, 0.2)),
+            _ => unreachable!(),
+        };
+        let a = generator.generate(&mut seeded_rng(seed));
+        prop_assert_eq!(a.graph.node_count(), n);
+        prop_assert!(a.graph.validate().is_ok());
+        let b = generator.generate(&mut seeded_rng(seed));
+        prop_assert_eq!(a.graph, b.graph);
+    }
+
+    /// Growth-model generators are connected for any seed.
+    #[test]
+    fn growth_models_are_connected(seed in 0u64..200) {
+        for generator in [
+            Box::new(BarabasiAlbert::new(100, 1)) as Box<dyn Generator>,
+            Box::new(Glp::internet_2001(100)),
+            Box::new(Pfp::internet(100)),
+            Box::new(Fkp::new(100, 4.0)),
+            Box::new(InetLike::as_map_2001(100)),
+        ] {
+            let net = generator.generate(&mut seeded_rng(seed));
+            let csr = net.graph.to_csr();
+            prop_assert!(
+                inet_graph::traversal::connected_components(&csr).is_connected(),
+                "{} disconnected at seed {seed}", net.name
+            );
+        }
+    }
+
+    /// The Serrano model respects its invariants for random small
+    /// parameterizations: target size reached, users conserved and positive,
+    /// bandwidth monotone.
+    #[test]
+    fn serrano_invariants(
+        seed in 0u64..100,
+        r in 0.0f64..0.95,
+        lambda in 0.0f64..0.1,
+        stochastic in proptest::bool::ANY,
+        distance in proptest::bool::ANY,
+    ) {
+        let mut params = SerranoParams::small(150);
+        params.r = r;
+        params.lambda = lambda;
+        params.stochastic_users = stochastic;
+        if !distance {
+            params.distance = None;
+        }
+        let run = SerranoModel::new(params).run(&mut seeded_rng(seed));
+        let g = &run.network.graph;
+        prop_assert!(g.node_count() >= 150);
+        prop_assert!(g.validate().is_ok());
+        let users = run.network.users.as_ref().unwrap();
+        prop_assert!(users.iter().all(|&u| u > 0.0));
+        let total: f64 = users.iter().sum();
+        let last = run.history.last().unwrap();
+        prop_assert!((total - last.users).abs() < 1e-6 * total);
+        for w in run.history.windows(2) {
+            prop_assert!(w[1].bandwidth >= w[0].bandwidth);
+            prop_assert!(w[1].nodes >= w[0].nodes);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type shared by all fallible graph operations.
+
+use crate::NodeId;
+use std::fmt;
+
+/// Errors produced by graph construction and I/O.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint referred to a node that does not exist.
+    NodeOutOfBounds {
+        /// The offending node id.
+        node: NodeId,
+        /// Number of nodes currently in the graph.
+        node_count: usize,
+    },
+    /// A self-loop `(v, v)` was requested; self-loops are not representable.
+    SelfLoop(NodeId),
+    /// An edge weight of zero was requested; weights are strictly positive.
+    ZeroWeight,
+    /// An edge that was expected to exist does not.
+    MissingEdge(NodeId, NodeId),
+    /// A malformed line was encountered while parsing an edge list.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// An underlying I/O error, stringified (keeps the error type `Clone + Eq`).
+    Io(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, node_count } => {
+                write!(f, "node {node} out of bounds (graph has {node_count} nodes)")
+            }
+            GraphError::SelfLoop(v) => write!(f, "self-loop at node {v} is not allowed"),
+            GraphError::ZeroWeight => write!(f, "edge weight must be strictly positive"),
+            GraphError::MissingEdge(u, v) => write!(f, "edge ({u}, {v}) does not exist"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GraphError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::NodeOutOfBounds { node: NodeId::new(9), node_count: 3 };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("3 nodes"));
+
+        assert!(GraphError::SelfLoop(NodeId::new(1)).to_string().contains("self-loop"));
+        assert!(GraphError::ZeroWeight.to_string().contains("positive"));
+        assert!(GraphError::MissingEdge(NodeId::new(0), NodeId::new(1))
+            .to_string()
+            .contains("does not exist"));
+        let p = GraphError::Parse { line: 4, message: "bad token".into() };
+        assert!(p.to_string().contains("line 4"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: GraphError = io.into();
+        assert!(matches!(e, GraphError::Io(_)));
+        assert!(e.to_string().contains("gone"));
+    }
+}

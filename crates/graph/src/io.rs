@@ -1,0 +1,191 @@
+//! Plain-text weighted edge-list I/O.
+//!
+//! Format, one edge per line:
+//!
+//! ```text
+//! # comment lines start with '#'
+//! <u> <v> [weight]
+//! ```
+//!
+//! Node ids are dense non-negative integers; the node count of the parsed
+//! graph is `max id + 1` (or an explicit count passed by the caller). A
+//! missing weight field means weight 1. This matches the format used by the
+//! classic topology-analysis toolchains, so generated maps can be fed to
+//! external software and vice versa.
+
+use crate::{GraphError, MultiGraph, NodeId, Result};
+use std::io::{BufRead, Write};
+
+/// Writes `g` as a weighted edge list (one `u v w` line per distinct edge).
+pub fn write_edge_list<W: Write>(g: &MultiGraph, mut out: W) -> Result<()> {
+    writeln!(out, "# nodes {} edges {} weight {}", g.node_count(), g.edge_count(), g.total_weight())?;
+    for (u, v, w) in g.edges() {
+        writeln!(out, "{} {} {}", u.index(), v.index(), w)?;
+    }
+    Ok(())
+}
+
+/// Reads a weighted edge list into a [`MultiGraph`].
+///
+/// * Lines starting with `#` and blank lines are skipped — except that a
+///   header of the form `# nodes <N> ...` (as written by
+///   [`write_edge_list`]) fixes the node count, so trailing isolated nodes
+///   survive a round trip.
+/// * Each data line is `u v` or `u v w` (whitespace separated).
+/// * Duplicate pairs accumulate weight.
+/// * Without a header, the resulting node count is `max id + 1`.
+pub fn read_edge_list<R: BufRead>(input: R) -> Result<MultiGraph> {
+    let mut edges: Vec<(usize, usize, u64)> = Vec::new();
+    let mut max_node = 0usize;
+    let mut declared_nodes: Option<usize> = None;
+    for (line_no, line) in input.lines().enumerate() {
+        let line = line?;
+        let line_no = line_no + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            if declared_nodes.is_none() {
+                let mut parts = trimmed.trim_start_matches('#').split_whitespace();
+                if parts.next() == Some("nodes") {
+                    declared_nodes = parts.next().and_then(|tok| tok.parse::<usize>().ok());
+                }
+            }
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse_field = |tok: Option<&str>, what: &str, line_no: usize| -> Result<u64> {
+            let tok = tok.ok_or_else(|| GraphError::Parse {
+                line: line_no,
+                message: format!("missing {what} field"),
+            })?;
+            tok.parse::<u64>().map_err(|_| GraphError::Parse {
+                line: line_no,
+                message: format!("invalid {what} '{tok}'"),
+            })
+        };
+        let u = parse_field(parts.next(), "source", line_no)? as usize;
+        let v = parse_field(parts.next(), "target", line_no)? as usize;
+        let w = match parts.next() {
+            Some(tok) => tok.parse::<u64>().map_err(|_| GraphError::Parse {
+                line: line_no,
+                message: format!("invalid weight '{tok}'"),
+            })?,
+            None => 1,
+        };
+        if parts.next().is_some() {
+            return Err(GraphError::Parse {
+                line: line_no,
+                message: "too many fields (expected 'u v [w]')".to_string(),
+            });
+        }
+        if w == 0 {
+            return Err(GraphError::Parse {
+                line: line_no,
+                message: "zero edge weight".to_string(),
+            });
+        }
+        max_node = max_node.max(u).max(v);
+        edges.push((u, v, w));
+    }
+    let mut g = MultiGraph::new();
+    let implied = if edges.is_empty() { 0 } else { max_node + 1 };
+    g.add_nodes(declared_nodes.unwrap_or(implied).max(implied));
+    for (u, v, w) in edges {
+        g.add_edge_weighted(NodeId::new(u), NodeId::new(v), w)?;
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MultiGraph {
+        let mut g = MultiGraph::new();
+        g.add_nodes(4);
+        let n = NodeId::new;
+        g.add_edge_weighted(n(0), n(1), 2).unwrap();
+        g.add_edge(n(1), n(2)).unwrap();
+        g.add_edge(n(2), n(3)).unwrap();
+        g
+    }
+
+    #[test]
+    fn round_trip_preserves_graph() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let parsed = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn header_comment_is_written() {
+        let mut buf = Vec::new();
+        write_edge_list(&sample(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("# nodes 4 edges 3 weight 4"));
+    }
+
+    #[test]
+    fn parses_unweighted_lines_and_comments() {
+        let input = "# a comment\n\n0 1\n1 2 5\n";
+        let g = read_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.weight(NodeId::new(0), NodeId::new(1)), 1);
+        assert_eq!(g.weight(NodeId::new(1), NodeId::new(2)), 5);
+    }
+
+    #[test]
+    fn duplicate_pairs_accumulate() {
+        let g = read_edge_list("0 1 2\n1 0 3\n".as_bytes()).unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.weight(NodeId::new(0), NodeId::new(1)), 5);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for (input, needle) in [
+            ("0\n", "missing target"),
+            ("a 1\n", "invalid source"),
+            ("0 b\n", "invalid target"),
+            ("0 1 x\n", "invalid weight"),
+            ("0 1 1 9\n", "too many fields"),
+            ("0 1 0\n", "zero edge weight"),
+            ("0 0\n", "self-loop"),
+        ] {
+            let err = read_edge_list(input.as_bytes()).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "input {input:?}: expected {needle:?} in {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn header_preserves_trailing_isolated_nodes() {
+        let mut g = sample();
+        g.add_nodes(3); // isolated tail
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let parsed = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(parsed.node_count(), 7);
+        assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn explicit_nodes_header_is_honored() {
+        let g = read_edge_list("# nodes 9\n0 1\n".as_bytes()).unwrap();
+        assert_eq!(g.node_count(), 9);
+        // A lying header never truncates actual edges.
+        let g = read_edge_list("# nodes 1\n0 5\n".as_bytes()).unwrap();
+        assert_eq!(g.node_count(), 6);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_graph() {
+        let g = read_edge_list("".as_bytes()).unwrap();
+        assert!(g.is_empty());
+        let g = read_edge_list("# only comments\n".as_bytes()).unwrap();
+        assert!(g.is_empty());
+    }
+}

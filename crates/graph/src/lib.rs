@@ -1,0 +1,69 @@
+//! # inet-graph — graph substrate for Internet topology modeling
+//!
+//! A from-scratch, dependency-light graph library tailored to the needs of
+//! AS-level Internet topology generation and measurement:
+//!
+//! * [`MultiGraph`] — a mutable, undirected, **weighted multigraph**. Parallel
+//!   edges between the same pair of nodes are stored as an integer
+//!   multiplicity, which matches the "bandwidth as discretized multiple
+//!   connections" view used by weighted Internet growth models: reinforcing an
+//!   existing link is an `O(log d)` multiplicity bump, not a new edge record.
+//! * [`Csr`] — an immutable compressed-sparse-row snapshot with sorted
+//!   neighbor lists. All measurement code (clustering, cores, betweenness,
+//!   cycle census, ...) runs on `Csr`: neighbor scans are cache-friendly slices
+//!   and `has_edge` is a binary search.
+//! * [`traversal`] — BFS distances, connected components, giant-component
+//!   extraction.
+//! * [`io`] — plain-text weighted edge-list reading/writing, so topologies can
+//!   be exchanged with external tools.
+//!
+//! Design rules (shared by the whole workspace):
+//!
+//! * **Determinism.** Iteration order over nodes and neighbors is fully
+//!   deterministic (sorted), so a fixed RNG seed reproduces a topology and all
+//!   derived measures bit-for-bit.
+//! * **No panics in library paths.** Fallible operations return
+//!   [`GraphError`]; indexing helpers document their preconditions.
+//! * **Self-loops are rejected.** AS-level maps have none, and silently
+//!   accepting them would corrupt degree-based measures.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use inet_graph::{MultiGraph, NodeId};
+//!
+//! let mut g = MultiGraph::new();
+//! let a = g.add_node();
+//! let b = g.add_node();
+//! let c = g.add_node();
+//! g.add_edge(a, b).unwrap();
+//! g.add_edge(b, c).unwrap();
+//! g.add_edge(a, b).unwrap(); // reinforce: multiplicity 2, still one edge
+//!
+//! assert_eq!(g.edge_count(), 2);
+//! assert_eq!(g.total_weight(), 3);
+//! assert_eq!(g.strength(a), 2); // weighted degree ("bandwidth")
+//! assert_eq!(g.degree(a), 1);   // topological degree
+//!
+//! let csr = g.to_csr();
+//! assert_eq!(csr.neighbors(b.index()), &[a.index() as u32, c.index() as u32]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod csr;
+mod error;
+mod ids;
+mod multigraph;
+
+pub mod io;
+pub mod traversal;
+
+pub use csr::Csr;
+pub use error::GraphError;
+pub use ids::NodeId;
+pub use multigraph::{EdgeUpdate, MultiGraph};
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, GraphError>;

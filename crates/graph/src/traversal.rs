@@ -1,0 +1,204 @@
+//! Breadth-first traversal, connected components, giant component.
+
+use crate::Csr;
+use std::collections::VecDeque;
+
+/// Sentinel distance for unreachable nodes in [`bfs_distances`].
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Unweighted shortest-path distances from `source` to every node.
+///
+/// Unreachable nodes get [`UNREACHABLE`]. `O(N + E)`.
+///
+/// # Panics
+///
+/// Panics if `source >= g.node_count()`.
+pub fn bfs_distances(g: &Csr, source: usize) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    bfs_distances_into(g, source, &mut dist);
+    dist
+}
+
+/// Like [`bfs_distances`], but reuses a caller-provided buffer (resized and
+/// reset internally). Useful in all-sources loops to avoid reallocation.
+pub fn bfs_distances_into(g: &Csr, source: usize, dist: &mut Vec<u32>) {
+    dist.clear();
+    dist.resize(g.node_count(), UNREACHABLE);
+    let mut queue = VecDeque::new();
+    dist[source] = 0;
+    queue.push_back(source as u32);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize] + 1;
+        for &u in g.neighbors(v as usize) {
+            if dist[u as usize] == UNREACHABLE {
+                dist[u as usize] = d;
+                queue.push_back(u);
+            }
+        }
+    }
+}
+
+/// Result of [`connected_components`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    /// Component label per node, in `0..count`. Labels are assigned in order
+    /// of the smallest node index in each component (deterministic).
+    pub labels: Vec<u32>,
+    /// Size of each component, indexed by label.
+    pub sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Number of connected components.
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Label of the largest component (ties broken by smallest label).
+    /// `None` for an empty graph.
+    pub fn giant_label(&self) -> Option<u32> {
+        self.sizes
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i as u32)
+    }
+
+    /// `true` when the graph is connected (and non-empty).
+    pub fn is_connected(&self) -> bool {
+        self.sizes.len() == 1
+    }
+}
+
+/// Labels connected components by BFS. `O(N + E)`.
+pub fn connected_components(g: &Csr) -> Components {
+    let n = g.node_count();
+    let mut labels = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if labels[start] != u32::MAX {
+            continue;
+        }
+        let label = sizes.len() as u32;
+        let mut size = 0usize;
+        labels[start] = label;
+        queue.push_back(start as u32);
+        while let Some(v) = queue.pop_front() {
+            size += 1;
+            for &u in g.neighbors(v as usize) {
+                if labels[u as usize] == u32::MAX {
+                    labels[u as usize] = label;
+                    queue.push_back(u);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    Components { labels, sizes }
+}
+
+/// Extracts the largest connected component as its own graph.
+///
+/// Returns the component plus the mapping `new index -> old index`.
+/// For an empty graph returns an empty graph and mapping.
+pub fn giant_component(g: &Csr) -> (Csr, Vec<usize>) {
+    let comps = connected_components(g);
+    match comps.giant_label() {
+        None => (Csr::from_edges(0, &[]), Vec::new()),
+        Some(giant) => {
+            let keep: Vec<bool> = comps.labels.iter().map(|&l| l == giant).collect();
+            g.induced_subgraph(&keep)
+        }
+    }
+}
+
+/// Fraction of nodes inside the largest connected component; 0 for empty.
+pub fn giant_fraction(g: &Csr) -> f64 {
+    if g.node_count() == 0 {
+        return 0.0;
+    }
+    let comps = connected_components(g);
+    let giant = comps.giant_label().expect("non-empty graph has a component");
+    comps.sizes[giant as usize] as f64 / g.node_count() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two components: a 4-path (0-1-2-3) and a 2-clique (4-5), plus isolate 6.
+    fn sample() -> Csr {
+        Csr::from_edges(7, &[(0, 1), (1, 2), (2, 3), (4, 5)])
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = sample();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(&d[..4], &[0, 1, 2, 3]);
+        assert_eq!(d[4], UNREACHABLE);
+        assert_eq!(d[6], UNREACHABLE);
+    }
+
+    #[test]
+    fn bfs_into_reuses_buffer() {
+        let g = sample();
+        let mut buf = vec![7u32; 1];
+        bfs_distances_into(&g, 3, &mut buf);
+        assert_eq!(buf.len(), 7);
+        assert_eq!(buf[0], 3);
+        bfs_distances_into(&g, 4, &mut buf);
+        assert_eq!(buf[5], 1);
+        assert_eq!(buf[0], UNREACHABLE);
+    }
+
+    #[test]
+    fn components_are_labeled_deterministically() {
+        let g = sample();
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 3);
+        assert_eq!(c.labels, vec![0, 0, 0, 0, 1, 1, 2]);
+        assert_eq!(c.sizes, vec![4, 2, 1]);
+        assert_eq!(c.giant_label(), Some(0));
+        assert!(!c.is_connected());
+    }
+
+    #[test]
+    fn giant_component_extraction() {
+        let g = sample();
+        let (giant, map) = giant_component(&g);
+        assert_eq!(giant.node_count(), 4);
+        assert_eq!(giant.edge_count(), 3);
+        assert_eq!(map, vec![0, 1, 2, 3]);
+        assert!((giant_fraction(&g) - 4.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn giant_of_tie_prefers_smallest_label() {
+        // Two components of equal size 2.
+        let g = Csr::from_edges(4, &[(0, 1), (2, 3)]);
+        let c = connected_components(&g);
+        assert_eq!(c.giant_label(), Some(0));
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = Csr::from_edges(0, &[]);
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.giant_label(), None);
+        assert_eq!(giant_fraction(&g), 0.0);
+        let (giant, map) = giant_component(&g);
+        assert_eq!(giant.node_count(), 0);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn connected_graph_is_one_component() {
+        let g = Csr::from_edges(3, &[(0, 1), (1, 2)]);
+        let c = connected_components(&g);
+        assert!(c.is_connected());
+        assert!((giant_fraction(&g) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the graph substrate.
+
+use inet_graph::{traversal, Csr, MultiGraph, NodeId};
+use proptest::prelude::*;
+
+/// Strategy: a random edge set over `n` nodes (possibly with duplicates,
+/// never self-loops), n in 2..40.
+fn edge_set() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2usize..40).prop_flat_map(|n| {
+        let edge = (0..n, 0..n).prop_filter_map("no self-loops", |(u, v)| {
+            if u == v {
+                None
+            } else {
+                Some((u, v))
+            }
+        });
+        (Just(n), proptest::collection::vec(edge, 0..120))
+    })
+}
+
+proptest! {
+    /// Sum of degrees equals twice the edge count; sum of strengths equals
+    /// twice the total weight.
+    #[test]
+    fn handshake_lemma((n, edges) in edge_set()) {
+        let g = MultiGraph::from_edges(n, edges).unwrap();
+        let deg_sum: usize = g.degrees().iter().sum();
+        prop_assert_eq!(deg_sum, 2 * g.edge_count());
+        let strength_sum: u64 = g.strengths().iter().sum();
+        prop_assert_eq!(strength_sum, 2 * g.total_weight());
+        prop_assert!(g.validate().is_ok());
+    }
+
+    /// CSR snapshot and the multigraph agree on every query; round-trip is
+    /// lossless.
+    #[test]
+    fn csr_round_trip((n, edges) in edge_set()) {
+        let g = MultiGraph::from_edges(n, edges).unwrap();
+        let csr = g.to_csr();
+        prop_assert!(csr.validate());
+        prop_assert_eq!(csr.node_count(), g.node_count());
+        prop_assert_eq!(csr.edge_count(), g.edge_count());
+        prop_assert_eq!(csr.total_weight(), g.total_weight());
+        for v in 0..n {
+            prop_assert_eq!(csr.degree(v), g.degree(NodeId::new(v)));
+            prop_assert_eq!(csr.strength(v), g.strength(NodeId::new(v)));
+            for u in 0..n {
+                prop_assert_eq!(
+                    csr.edge_weight(v, u),
+                    g.weight(NodeId::new(v), NodeId::new(u))
+                );
+            }
+        }
+        prop_assert_eq!(csr.to_multigraph(), g);
+    }
+
+    /// Edge-list serialization round-trips exactly (non-empty graphs keep
+    /// their trailing isolated nodes only if they carry edges; we compare on
+    /// a graph whose last node is guaranteed to touch an edge).
+    #[test]
+    fn io_round_trip((n, mut edges) in edge_set()) {
+        // Anchor the max node so the parsed node count matches.
+        edges.push((0, n - 1));
+        let g = MultiGraph::from_edges(n, edges).unwrap();
+        let mut buf = Vec::new();
+        inet_graph::io::write_edge_list(&g, &mut buf).unwrap();
+        let parsed = inet_graph::io::read_edge_list(buf.as_slice()).unwrap();
+        prop_assert_eq!(parsed, g);
+    }
+
+    /// BFS distances satisfy the triangle property along edges:
+    /// |d(u) - d(v)| <= 1 for every edge (u, v), and d is 0 only at source.
+    #[test]
+    fn bfs_distance_is_lipschitz_on_edges((n, edges) in edge_set()) {
+        let csr = Csr::from_edges(n, &edges);
+        let dist = traversal::bfs_distances(&csr, 0);
+        prop_assert_eq!(dist[0], 0);
+        for (u, v, _) in csr.edges() {
+            let du = dist[u];
+            let dv = dist[v];
+            if du != traversal::UNREACHABLE || dv != traversal::UNREACHABLE {
+                prop_assert!(du != traversal::UNREACHABLE && dv != traversal::UNREACHABLE,
+                    "an edge cannot cross the reachable boundary");
+                prop_assert!(du.abs_diff(dv) <= 1);
+            }
+        }
+        for (v, &d) in dist.iter().enumerate() {
+            if v != 0 {
+                prop_assert!(d != 0);
+            }
+        }
+    }
+
+    /// Component labels partition the nodes: every edge stays within one
+    /// component, sizes sum to N, and the giant component is the biggest.
+    #[test]
+    fn components_partition((n, edges) in edge_set()) {
+        let csr = Csr::from_edges(n, &edges);
+        let comps = traversal::connected_components(&csr);
+        prop_assert_eq!(comps.labels.len(), n);
+        prop_assert_eq!(comps.sizes.iter().sum::<usize>(), n);
+        for (u, v, _) in csr.edges() {
+            prop_assert_eq!(comps.labels[u], comps.labels[v]);
+        }
+        let (giant, map) = traversal::giant_component(&csr);
+        prop_assert!(giant.validate());
+        let giant_label = comps.giant_label().unwrap();
+        prop_assert_eq!(giant.node_count(), comps.sizes[giant_label as usize]);
+        for (new, &old) in map.iter().enumerate() {
+            prop_assert_eq!(giant.degree(new), csr.degree(old));
+        }
+    }
+
+    /// Removing an edge then re-adding it with the same weight restores the
+    /// exact graph.
+    #[test]
+    fn remove_then_readd_is_identity((n, mut edges) in edge_set()) {
+        edges.push((0, 1)); // guarantee at least one edge
+        let g0 = MultiGraph::from_edges(n, edges).unwrap();
+        let mut g = g0.clone();
+        let (u, v, w) = g0.edges().next().unwrap();
+        let removed = g.remove_edge(u, v).unwrap();
+        prop_assert_eq!(removed, w);
+        g.add_edge_weighted(u, v, w).unwrap();
+        prop_assert_eq!(g, g0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Euler–Maruyama integration of the stochastic user dynamics (Eq. 2).
+//!
+//! The single-node Langevin equation under linear preference is
+//!
+//! ```text
+//! dω/dt = αω − βω₀ + √((α + 2λ)ω + βω₀) ξ(t),
+//! ```
+//!
+//! with a reflecting boundary at `ω = ω₀`. Integrating an ensemble of nodes
+//! born at the exponential rate `βN(t)` lets us check the zero-noise
+//! approximation behind Eq. 5 directly: the empirical size distribution of
+//! the ensemble must converge to the analytic `p(ω)`, and the `λ`-term must
+//! affect only the fluctuations, never the drift.
+
+use crate::theory;
+use inet_stats::dist::standard_normal;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the ensemble SDE integration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SdeConfig {
+    /// User growth rate `α`.
+    pub alpha: f64,
+    /// Node birth rate `β` (`< α`).
+    pub beta: f64,
+    /// Reallocation rate `λ ≥ 0` (diffusion only).
+    pub lambda: f64,
+    /// Users at birth `ω₀`.
+    pub omega0: f64,
+    /// Seed node count.
+    pub n0: usize,
+    /// Integration horizon (months).
+    pub t_max: f64,
+    /// Time step.
+    pub dt: f64,
+}
+
+impl SdeConfig {
+    /// Paper-rate configuration integrating to `t_max` months.
+    pub fn paper(t_max: f64) -> Self {
+        SdeConfig {
+            alpha: 0.035,
+            beta: 0.03,
+            lambda: 0.0,
+            omega0: 5000.0,
+            n0: 10,
+            t_max,
+            dt: 0.1,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.alpha > self.beta && self.beta > 0.0, "need 0 < beta < alpha");
+        assert!(self.lambda >= 0.0, "lambda must be non-negative");
+        assert!(self.omega0 > 0.0 && self.n0 >= 1, "need users and seed nodes");
+        assert!(self.t_max > 0.0 && self.dt > 0.0 && self.dt < self.t_max, "bad time grid");
+    }
+}
+
+/// Integrates the ensemble and returns the final user counts, one entry per
+/// node (seed nodes plus all nodes born along the way).
+pub fn simulate_ensemble<R: Rng>(config: SdeConfig, rng: &mut R) -> Vec<f64> {
+    config.validate();
+    let mut omegas: Vec<f64> = vec![config.omega0; config.n0];
+    let mut t = 0.0;
+    let sqrt_dt = config.dt.sqrt();
+    let mut birth_debt = 0.0f64;
+    while t < config.t_max {
+        // Birth process: dN = beta N dt, accumulated fractionally.
+        birth_debt += config.beta * omegas.len() as f64 * config.dt;
+        while birth_debt >= 1.0 {
+            omegas.push(config.omega0);
+            birth_debt -= 1.0;
+        }
+        // Euler–Maruyama step for every node.
+        for w in omegas.iter_mut() {
+            let drift = config.alpha * *w - config.beta * config.omega0;
+            let diffusion =
+                ((config.alpha + 2.0 * config.lambda) * *w + config.beta * config.omega0)
+                    .max(0.0)
+                    .sqrt();
+            *w += drift * config.dt + diffusion * sqrt_dt * standard_normal(rng);
+            // Reflecting boundary at omega0.
+            if *w < config.omega0 {
+                *w = 2.0 * config.omega0 - *w;
+            }
+        }
+        t += config.dt;
+    }
+    omegas
+}
+
+/// Kolmogorov–Smirnov distance between the empirical CCDF of an ensemble
+/// and the analytic stationary CCDF (Eq. 5), evaluated at the sample
+/// points below the finite-time cutoff.
+pub fn ks_against_theory(samples: &[f64], config: SdeConfig) -> f64 {
+    let cutoff = theory::size_cutoff(config.t_max, config.alpha, config.beta, config.omega0);
+    let mut sorted: Vec<f64> = samples
+        .iter()
+        .copied()
+        .filter(|&w| w <= 0.5 * cutoff) // stay clear of the finite-time edge
+        .collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite users"));
+    let n = sorted.len() as f64;
+    let mut ks = 0.0f64;
+    for (i, &w) in sorted.iter().enumerate() {
+        let emp = 1.0 - i as f64 / n; // empirical P(W >= w)
+        let the = theory::size_ccdf(w, config.alpha, config.beta, config.omega0);
+        ks = ks.max((emp - the).abs());
+    }
+    ks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inet_stats::rng::seeded_rng;
+
+    #[test]
+    fn ensemble_grows_at_rate_beta() {
+        let mut rng = seeded_rng(1);
+        let config = SdeConfig::paper(120.0);
+        let omegas = simulate_ensemble(config, &mut rng);
+        let expected = config.n0 as f64 * (config.beta * config.t_max).exp();
+        let ratio = omegas.len() as f64 / expected;
+        assert!((0.8..1.25).contains(&ratio), "ensemble size off: {ratio}");
+    }
+
+    #[test]
+    fn all_sizes_respect_reflecting_boundary() {
+        let mut rng = seeded_rng(2);
+        let config = SdeConfig::paper(60.0);
+        let omegas = simulate_ensemble(config, &mut rng);
+        assert!(omegas.iter().all(|&w| w >= config.omega0 * 0.999));
+    }
+
+    #[test]
+    fn stationary_distribution_matches_eq5() {
+        let mut rng = seeded_rng(3);
+        let config = SdeConfig::paper(180.0);
+        let omegas = simulate_ensemble(config, &mut rng);
+        assert!(omegas.len() > 1000, "need a real ensemble, got {}", omegas.len());
+        let ks = ks_against_theory(&omegas, config);
+        assert!(ks < 0.08, "KS distance to Eq. 5 too large: {ks}");
+    }
+
+    #[test]
+    fn lambda_increases_fluctuations_not_drift() {
+        let quiet = simulate_ensemble(SdeConfig::paper(100.0), &mut seeded_rng(4));
+        let noisy = simulate_ensemble(
+            SdeConfig { lambda: 0.5, ..SdeConfig::paper(100.0) },
+            &mut seeded_rng(4),
+        );
+        let mean = |v: &[f64]| inet_stats::Summary::from_slice(v).mean;
+        // Means (drift) agree within a few percent...
+        let rel = (mean(&quiet) - mean(&noisy)).abs() / mean(&quiet);
+        assert!(rel < 0.2, "lambda shifted the drift by {rel}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad time grid")]
+    fn rejects_bad_grid() {
+        let mut rng = seeded_rng(5);
+        let _ = simulate_ensemble(SdeConfig { dt: 0.0, ..SdeConfig::paper(10.0) }, &mut rng);
+    }
+}

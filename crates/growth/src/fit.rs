@@ -1,0 +1,118 @@
+//! Recovering growth rates from a trace (the Fig. 1 analysis).
+
+use crate::rates::GrowthRates;
+use crate::timeline::InternetTrace;
+use inet_stats::regression::{exp_growth_fit, ExpGrowthFit};
+use serde::{Deserialize, Serialize};
+
+/// The three exponential fits of a growth trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FittedRates {
+    /// Fit of the host series (`α`).
+    pub hosts: ExpGrowthFit,
+    /// Fit of the AS series (`β`).
+    pub ases: ExpGrowthFit,
+    /// Fit of the link series (`δ`).
+    pub links: ExpGrowthFit,
+}
+
+impl FittedRates {
+    /// Fits all three series of a trace. Returns `None` when any series is
+    /// too degenerate to fit (cannot happen for traces from
+    /// [`InternetTrace::generate`]).
+    pub fn fit(trace: &InternetTrace) -> Option<Self> {
+        Some(FittedRates {
+            hosts: exp_growth_fit(&trace.t, &trace.hosts)?,
+            ases: exp_growth_fit(&trace.t, &trace.ases)?,
+            links: exp_growth_fit(&trace.t, &trace.links)?,
+        })
+    }
+
+    /// Packs the fitted rates into a [`GrowthRates`] triple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fitted rates violate the demand/supply ordering (which
+    /// indicates the trace is not Internet-like).
+    pub fn rates(&self) -> GrowthRates {
+        GrowthRates::new(self.hosts.rate, self.ases.rate, self.links.rate)
+    }
+
+    /// True when each fitted rate lies within `z` standard errors of the
+    /// corresponding true rate.
+    pub fn consistent_with(&self, truth: &GrowthRates, z: f64) -> bool {
+        let ok = |fit: &ExpGrowthFit, truth: f64| {
+            let se = fit.rate_se.max(1e-6);
+            (fit.rate - truth).abs() <= z * se
+        };
+        ok(&self.hosts, truth.alpha) && ok(&self.ases, truth.beta) && ok(&self.links, truth.delta)
+    }
+
+    /// Renders the Fig.-1-style table: one row per series with the fitted
+    /// rate, its standard error, and `R²`.
+    pub fn render(&self) -> String {
+        let row = |name: &str, f: &ExpGrowthFit| {
+            format!(
+                "{name:<8} rate = {:.4} +- {:.4} /month   y0 = {:.4e}   R2 = {:.4}   doubling = {:.1} months",
+                f.rate, f.rate_se, f.y0, f.r2, f.doubling_time()
+            )
+        };
+        format!(
+            "{}\n{}\n{}",
+            row("hosts", &self.hosts),
+            row("ASs", &self.ases),
+            row("links", &self.links)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::TraceConfig;
+    use inet_stats::rng::seeded_rng;
+
+    #[test]
+    fn noiseless_fit_is_exact() {
+        let mut rng = seeded_rng(1);
+        let config = TraceConfig { noise_sigma: 0.0, ..TraceConfig::oregon_era() };
+        let trace = InternetTrace::generate(config, &mut rng);
+        let fit = FittedRates::fit(&trace).unwrap();
+        assert!((fit.hosts.rate - 0.036).abs() < 1e-10);
+        assert!((fit.ases.rate - 0.0304).abs() < 1e-10);
+        assert!((fit.links.rate - 0.0330).abs() < 1e-10);
+        assert!(fit.hosts.r2 > 0.999999);
+    }
+
+    #[test]
+    fn noisy_fit_recovers_rates_within_error() {
+        let mut rng = seeded_rng(2);
+        let trace = InternetTrace::generate(TraceConfig::oregon_era(), &mut rng);
+        let fit = FittedRates::fit(&trace).unwrap();
+        let truth = GrowthRates::internet_empirical();
+        assert!(fit.consistent_with(&truth, 4.0), "fits drifted:\n{}", fit.render());
+        // Error bars comparable to the paper's quoted ones (~1e-3).
+        assert!(fit.hosts.rate_se < 5e-3);
+    }
+
+    #[test]
+    fn rates_roundtrip_and_ordering() {
+        let mut rng = seeded_rng(3);
+        let trace = InternetTrace::generate(TraceConfig::oregon_era(), &mut rng);
+        let rates = FittedRates::fit(&trace).unwrap().rates();
+        assert!(rates.alpha > rates.beta);
+        assert!(rates.delta >= rates.beta);
+        // The derived gamma should stay in the Internet band.
+        assert!((rates.gamma() - 2.2).abs() < 0.25, "gamma = {}", rates.gamma());
+    }
+
+    #[test]
+    fn render_has_three_rows() {
+        let mut rng = seeded_rng(4);
+        let trace = InternetTrace::generate(TraceConfig::oregon_era(), &mut rng);
+        let text = FittedRates::fit(&trace).unwrap().render();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("hosts"));
+        assert!(text.contains("doubling"));
+    }
+}

@@ -1,0 +1,37 @@
+//! # inet-growth — demand/supply growth machinery
+//!
+//! The empirical backbone of Internet growth modeling: the host, AS and
+//! link populations all grew exponentially through the measurement era
+//! (Nov 1997 – May 2002), with rates `α ≈ 0.036`, `β ≈ 0.0304`,
+//! `δ ≈ 0.0330` per month and the strict ordering `α ≳ δ ≳ β` demanded by
+//! demand/supply balance. This crate packages:
+//!
+//! * [`rates`] — the growth-rate algebra: [`rates::GrowthRates`] with the
+//!   derived quantities (`τ`, `δ′`, `μ`, predicted degree exponent `γ`) and
+//!   the demand/supply consistency checks.
+//! * [`timeline`] — synthetic Hobbes-Timeline / Oregon-Route-Views-style
+//!   traces: monthly `W(t)`, `N(t)`, `E(t)` series with multiplicative
+//!   log-normal measurement noise. (The real archives are offline data
+//!   sources; see DESIGN.md §1 for the substitution rationale.)
+//! * [`fit`] — recovers the rates from a trace by log-linear regression
+//!   (regenerates Fig. 1 of the source text).
+//! * [`theory`] — closed-form results of the continuum analysis: the
+//!   zero-noise user trajectory (Eq. 3), the stationary AS-size
+//!   distribution `p(ω)` (Eq. 5), and the predicted degree distribution
+//!   shape (Eq. 8).
+//! * [`continuum`] — Euler–Maruyama integration of the full stochastic user
+//!   dynamics (Eq. 2), used to validate the zero-noise approximation that
+//!   underlies Eq. 5.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod continuum;
+pub mod fit;
+pub mod rates;
+pub mod theory;
+pub mod timeline;
+
+pub use fit::FittedRates;
+pub use rates::GrowthRates;
+pub use timeline::{InternetTrace, TraceConfig};

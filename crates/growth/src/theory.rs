@@ -1,0 +1,181 @@
+//! Closed-form results of the continuum analysis.
+//!
+//! With linear-preference competition and exponential demand growth, the
+//! number of users of an AS born at `t_i` follows (zero-noise limit, Eq. 3)
+//!
+//! ```text
+//! ω(t | t_i) = (β/α) ω₀ + (1 − β/α) ω₀ e^{α (t − t_i)},
+//! ```
+//!
+//! and integrating over the exponential birth-time density gives the
+//! stationary AS-size distribution (Eq. 5)
+//!
+//! ```text
+//! p(ω) = τ (1 − τ)^τ ω₀^τ / (ω − τω₀)^{1+τ},   τ = β/α,
+//! ```
+//!
+//! valid up to a cutoff `ω_c(t) ∼ (1 − τ) ω₀ e^{αt}` that scales linearly
+//! with the total number of users. Mapping sizes through the adaptation
+//! relation `b = 1 + a(ω − ω₀)` and the scaling `k = b^μ` yields the degree
+//! distribution (Eq. 8) with exponent `γ = 1 + τ/μ = 1 + 1/(2 − δ/β)`.
+
+/// Zero-noise user trajectory (Eq. 3): users of a node of age
+/// `age = t − t_i`.
+///
+/// # Panics
+///
+/// Panics unless `0 < beta < alpha`, `omega0 > 0`, `age >= 0`.
+pub fn omega_trajectory(alpha: f64, beta: f64, omega0: f64, age: f64) -> f64 {
+    assert!(alpha > beta && beta > 0.0, "need 0 < beta < alpha");
+    assert!(omega0 > 0.0 && age >= 0.0, "need positive omega0 and age");
+    let tau = beta / alpha;
+    tau * omega0 + (1.0 - tau) * omega0 * (alpha * age).exp()
+}
+
+/// Stationary AS-size density `p(ω)` (Eq. 5, long-time limit, no cutoff).
+/// Zero below `ω₀`.
+pub fn size_pdf(omega: f64, alpha: f64, beta: f64, omega0: f64) -> f64 {
+    assert!(alpha > beta && beta > 0.0 && omega0 > 0.0, "invalid parameters");
+    if omega < omega0 {
+        return 0.0;
+    }
+    let tau = beta / alpha;
+    tau * (1.0 - tau).powf(tau) * omega0.powf(tau) / (omega - tau * omega0).powf(1.0 + tau)
+}
+
+/// Analytic CCDF `P(Ω ≥ ω)` of Eq. 5: `(1−τ)^τ ω₀^τ (ω − τω₀)^{−τ}` for
+/// `ω ≥ ω₀`, 1 below.
+pub fn size_ccdf(omega: f64, alpha: f64, beta: f64, omega0: f64) -> f64 {
+    assert!(alpha > beta && beta > 0.0 && omega0 > 0.0, "invalid parameters");
+    if omega <= omega0 {
+        return 1.0;
+    }
+    let tau = beta / alpha;
+    (1.0 - tau).powf(tau) * omega0.powf(tau) * (omega - tau * omega0).powf(-tau)
+}
+
+/// Size cutoff `ω_c(t) = (1 − τ) ω₀ e^{αt}` — the size of the oldest node.
+pub fn size_cutoff(t: f64, alpha: f64, beta: f64, omega0: f64) -> f64 {
+    let tau = beta / alpha;
+    (1.0 - tau) * omega0 * (alpha * t).exp()
+}
+
+/// Degree exponent `γ = 1 + τ/μ`.
+pub fn gamma_from(tau: f64, mu: f64) -> f64 {
+    assert!(tau > 0.0 && mu > 0.0, "exponents must be positive");
+    1.0 + tau / mu
+}
+
+/// Degree density shape of Eq. 8:
+/// `P(k) ≈ [τ (1−τ)^τ (ω₀ a)^τ / μ] · k^{−γ}` for `k ≫ 1` up to the cutoff
+/// `k_c = [1 + a(ω_c − ω₀)]^μ`.
+pub fn degree_pdf(k: f64, tau: f64, mu: f64, omega0: f64, a: f64, omega_cutoff: f64) -> f64 {
+    assert!((0.0..1.0).contains(&tau) && mu > 0.0 && mu < 1.0, "invalid exponents");
+    if k < 1.0 {
+        return 0.0;
+    }
+    let k_c = (1.0 + a * (omega_cutoff - omega0)).powf(mu);
+    if k > k_c {
+        return 0.0;
+    }
+    let gamma = gamma_from(tau, mu);
+    tau * (1.0 - tau).powf(tau) * (omega0 * a).powf(tau) / mu * k.powf(-gamma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALPHA: f64 = 0.035;
+    const BETA: f64 = 0.03;
+    const OMEGA0: f64 = 5000.0;
+
+    #[test]
+    fn trajectory_starts_at_omega0_and_grows() {
+        let w0 = omega_trajectory(ALPHA, BETA, OMEGA0, 0.0);
+        assert!((w0 - OMEGA0).abs() < 1e-9);
+        let w10 = omega_trajectory(ALPHA, BETA, OMEGA0, 10.0);
+        let w20 = omega_trajectory(ALPHA, BETA, OMEGA0, 20.0);
+        assert!(w20 > w10 && w10 > w0);
+        // Long-time growth rate is alpha (needs a deep horizon: the
+        // constant tau*omega0 term decays only relative to the exponential).
+        let w300 = omega_trajectory(ALPHA, BETA, OMEGA0, 300.0);
+        let w301 = omega_trajectory(ALPHA, BETA, OMEGA0, 301.0);
+        assert!(((w301 / w300).ln() - ALPHA).abs() < 1e-4);
+    }
+
+    #[test]
+    fn pdf_normalizes_to_one() {
+        // Numerical integral of Eq. 5 over [omega0, inf).
+        let mut integral = 0.0;
+        let mut omega = OMEGA0;
+        let step = 10.0;
+        while omega < OMEGA0 * 1e6 {
+            integral += size_pdf(omega + step / 2.0, ALPHA, BETA, OMEGA0) * step;
+            omega += step;
+            // accelerate for far tail
+            if omega > OMEGA0 * 100.0 {
+                break;
+            }
+        }
+        // Tail mass from the analytic CCDF.
+        integral += size_ccdf(omega, ALPHA, BETA, OMEGA0);
+        assert!((integral - 1.0).abs() < 1e-2, "integral = {integral}");
+    }
+
+    #[test]
+    fn ccdf_is_derivative_consistent_with_pdf() {
+        let omega = 3.0 * OMEGA0;
+        let h = 1.0;
+        let numeric = (size_ccdf(omega - h, ALPHA, BETA, OMEGA0)
+            - size_ccdf(omega + h, ALPHA, BETA, OMEGA0))
+            / (2.0 * h);
+        let analytic = size_pdf(omega, ALPHA, BETA, OMEGA0);
+        assert!((numeric - analytic).abs() < 1e-6 * analytic.max(1e-12));
+    }
+
+    #[test]
+    fn pdf_tail_exponent_is_one_plus_tau() {
+        let tau = BETA / ALPHA;
+        let w1 = 100.0 * OMEGA0;
+        let w2 = 1000.0 * OMEGA0;
+        let slope = (size_pdf(w2, ALPHA, BETA, OMEGA0) / size_pdf(w1, ALPHA, BETA, OMEGA0)).ln()
+            / (w2 / w1).ln();
+        assert!((slope + (1.0 + tau)).abs() < 0.01, "slope = {slope}");
+    }
+
+    #[test]
+    fn cutoff_scales_linearly_with_users() {
+        let c1 = size_cutoff(100.0, ALPHA, BETA, OMEGA0);
+        let c2 = size_cutoff(100.0 + 1.0 / ALPHA, ALPHA, BETA, OMEGA0);
+        assert!((c2 / c1 - std::f64::consts::E).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gamma_matches_paper_numbers() {
+        // tau = 6/7, mu = 0.75 -> gamma = 1 + 8/7 = 2.142857.
+        let gamma = gamma_from(6.0 / 7.0, 0.75);
+        assert!((gamma - (1.0 + 8.0 / 7.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_pdf_has_power_tail_and_cutoff() {
+        let (tau, mu, a) = (6.0 / 7.0, 0.75, 0.01);
+        let cutoff = 1e7;
+        let p10 = degree_pdf(10.0, tau, mu, OMEGA0, a, cutoff);
+        let p100 = degree_pdf(100.0, tau, mu, OMEGA0, a, cutoff);
+        let gamma = gamma_from(tau, mu);
+        let slope = (p100 / p10).ln() / (10f64).ln();
+        assert!((slope + gamma).abs() < 1e-9, "slope {slope}");
+        // Beyond the cutoff: zero.
+        let k_c = (1.0 + a * (cutoff - OMEGA0)).powf(mu);
+        assert_eq!(degree_pdf(k_c * 1.01, tau, mu, OMEGA0, a, cutoff), 0.0);
+        assert_eq!(degree_pdf(0.5, tau, mu, OMEGA0, a, cutoff), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < beta < alpha")]
+    fn trajectory_rejects_inverted_rates() {
+        let _ = omega_trajectory(0.02, 0.03, OMEGA0, 1.0);
+    }
+}

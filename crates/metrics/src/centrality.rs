@@ -1,0 +1,199 @@
+//! Additional centrality indices: closeness, harmonic, eigenvector.
+//!
+//! Betweenness (the figure-critical one) lives in [`mod@crate::betweenness`];
+//! these complete the standard battery used when profiling which ASs hold
+//! the network together.
+
+use inet_graph::traversal::{bfs_distances_into, UNREACHABLE};
+use inet_graph::Csr;
+
+/// Closeness centrality: `(n_v − 1) / Σ_t d(v, t)`, where the sum runs over
+/// the `n_v` nodes reachable from `v` (Wasserman–Faust component-aware
+/// variant: scaled by `(n_v − 1)/(N − 1)` so small components don't get
+/// inflated scores). Isolated nodes score 0.
+pub fn closeness(g: &Csr) -> Vec<f64> {
+    let n = g.node_count();
+    let mut out = vec![0.0f64; n];
+    let mut dist = Vec::new();
+    for (v, slot) in out.iter_mut().enumerate() {
+        bfs_distances_into(g, v, &mut dist);
+        let mut sum = 0u64;
+        let mut reachable = 0u64;
+        for (t, &d) in dist.iter().enumerate() {
+            if t != v && d != UNREACHABLE {
+                sum += d as u64;
+                reachable += 1;
+            }
+        }
+        if sum > 0 && n > 1 {
+            let frac = reachable as f64 / (n as f64 - 1.0);
+            *slot = frac * reachable as f64 / sum as f64;
+        }
+    }
+    out
+}
+
+/// Harmonic centrality: `Σ_{t≠v} 1/d(v, t)` (unreachable terms contribute
+/// 0) — well-defined on disconnected graphs without any correction.
+pub fn harmonic(g: &Csr) -> Vec<f64> {
+    let n = g.node_count();
+    let mut out = vec![0.0f64; n];
+    let mut dist = Vec::new();
+    for (v, slot) in out.iter_mut().enumerate() {
+        bfs_distances_into(g, v, &mut dist);
+        *slot = dist
+            .iter()
+            .enumerate()
+            .filter(|&(t, &d)| t != v && d != UNREACHABLE)
+            .map(|(_, &d)| 1.0 / d as f64)
+            .sum();
+    }
+    out
+}
+
+/// Eigenvector centrality by power iteration on the (weighted) adjacency
+/// matrix, normalized to unit maximum. Iterates on `A + I` (same
+/// eigenvectors, spectrum shifted positive) so bipartite graphs — whose
+/// dominant eigenvalue pair `±λ` would make plain power iteration
+/// oscillate forever — converge too. Returns `None` when the graph has no
+/// edges or the iteration fails to converge within `max_iters`.
+pub fn eigenvector(g: &Csr, max_iters: usize, tolerance: f64) -> Option<Vec<f64>> {
+    let n = g.node_count();
+    if n == 0 || g.edge_count() == 0 {
+        return None;
+    }
+    let mut x = vec![1.0f64 / n as f64; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..max_iters {
+        for (slot, &prev) in next.iter_mut().zip(x.iter()) {
+            *slot = prev; // the +I shift
+        }
+        for (v, &xv) in x.iter().enumerate() {
+            for (&u, &w) in g.neighbors(v).iter().zip(g.neighbor_weights(v)) {
+                next[u as usize] += w as f64 * xv;
+            }
+        }
+        let norm = next.iter().map(|a| a * a).sum::<f64>().sqrt();
+        if norm <= 0.0 {
+            return None;
+        }
+        let mut delta = 0.0f64;
+        for (a, b) in next.iter_mut().zip(x.iter()) {
+            *a /= norm;
+            delta = delta.max((*a - *b).abs());
+        }
+        std::mem::swap(&mut x, &mut next);
+        if delta < tolerance {
+            let max = x.iter().copied().fold(0.0f64, f64::max);
+            if max > 0.0 {
+                for a in &mut x {
+                    *a /= max;
+                }
+            }
+            return Some(x);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star(n: usize) -> Csr {
+        Csr::from_edges(n, &(1..n).map(|i| (0, i)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn closeness_star_center_is_highest() {
+        let g = star(6);
+        let c = closeness(&g);
+        // Center: 5 nodes at distance 1 -> 5/5 = 1. Leaves: 1 + 4*2 = 9 ->
+        // 5/9.
+        assert!((c[0] - 1.0).abs() < 1e-12);
+        for &leaf in &c[1..] {
+            assert!((leaf - 5.0 / 9.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn closeness_penalizes_small_components() {
+        // A connected pair inside a 4-node graph: frac = 1/3.
+        let g = Csr::from_edges(4, &[(0, 1)]);
+        let c = closeness(&g);
+        assert!((c[0] - (1.0 / 3.0)).abs() < 1e-12);
+        assert_eq!(c[2], 0.0);
+    }
+
+    #[test]
+    fn harmonic_on_path() {
+        let g = Csr::from_edges(3, &[(0, 1), (1, 2)]);
+        let h = harmonic(&g);
+        assert!((h[0] - 1.5).abs() < 1e-12);
+        assert!((h[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_handles_disconnection() {
+        let g = Csr::from_edges(4, &[(0, 1), (2, 3)]);
+        let h = harmonic(&g);
+        assert!(h.iter().all(|&x| (x - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn eigenvector_star_center_dominates() {
+        let g = star(8);
+        let e = eigenvector(&g, 500, 1e-10).expect("converges");
+        assert!((e[0] - 1.0).abs() < 1e-9, "center must be the max");
+        for &leaf in &e[1..] {
+            assert!(leaf < 1.0 && leaf > 0.0);
+            assert!((leaf - e[1]).abs() < 1e-9, "leaves are symmetric");
+        }
+    }
+
+    #[test]
+    fn eigenvector_respects_weights() {
+        // Triangle with one heavy edge: its endpoints outrank the third.
+        let mut g = inet_graph::MultiGraph::new();
+        g.add_nodes(3);
+        let n = inet_graph::NodeId::new;
+        g.add_edge_weighted(n(0), n(1), 10).unwrap();
+        g.add_edge(n(1), n(2)).unwrap();
+        g.add_edge(n(0), n(2)).unwrap();
+        let e = eigenvector(&g.to_csr(), 1000, 1e-12).expect("converges");
+        assert!(e[0] > e[2] && e[1] > e[2], "heavy pair must dominate: {e:?}");
+    }
+
+    #[test]
+    fn eigenvector_degenerate_inputs() {
+        assert!(eigenvector(&Csr::from_edges(0, &[]), 100, 1e-9).is_none());
+        assert!(eigenvector(&Csr::from_edges(3, &[]), 100, 1e-9).is_none());
+    }
+
+    #[test]
+    fn centralities_agree_on_ranking_for_core_periphery() {
+        use rand::Rng;
+        // Hub-and-spoke with some periphery links: all three indices should
+        // rank the hub first.
+        let mut rng = inet_stats::rng::seeded_rng(17);
+        let mut edges: Vec<(usize, usize)> = (1..30).map(|i| (0, i)).collect();
+        for _ in 0..20 {
+            let u = rng.gen_range(1..30);
+            let v = rng.gen_range(1..30);
+            if u != v {
+                edges.push((u, v));
+            }
+        }
+        let g = Csr::from_edges(30, &edges);
+        let argmax = |v: &[f64]| {
+            v.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .map(|(i, _)| i)
+                .expect("non-empty")
+        };
+        assert_eq!(argmax(&closeness(&g)), 0);
+        assert_eq!(argmax(&harmonic(&g)), 0);
+        assert_eq!(argmax(&eigenvector(&g, 1000, 1e-10).expect("converges")), 0);
+    }
+}

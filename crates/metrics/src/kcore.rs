@@ -1,0 +1,231 @@
+//! k-core decomposition.
+//!
+//! The `k`-core is the maximal subgraph in which every node has degree at
+//! least `k` inside the subgraph. Peeling cores recursively assigns each
+//! node a *core number* (the largest `k` whose core contains it); the
+//! maximum core number is the graph's **coreness**, and the population of
+//! each shell (`core number == k`) profiles the hierarchy — the observable
+//! the LANET-VI visualizations of Internet maps render.
+//!
+//! Implemented with the Batagelj–Zaveršnik bucket algorithm, `O(N + E)`.
+
+use inet_graph::Csr;
+use serde::{Deserialize, Serialize};
+
+/// Result of a k-core decomposition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KCoreDecomposition {
+    /// Core number of each node.
+    pub core: Vec<u32>,
+    /// `shell_sizes[k]` = number of nodes whose core number is exactly `k`.
+    pub shell_sizes: Vec<usize>,
+}
+
+impl KCoreDecomposition {
+    /// Decomposes `g`.
+    pub fn measure(g: &Csr) -> Self {
+        let n = g.node_count();
+        if n == 0 {
+            return KCoreDecomposition { core: Vec::new(), shell_sizes: Vec::new() };
+        }
+        // Batagelj–Zaveršnik: bucket sort nodes by current degree, peel in
+        // ascending order, decrementing neighbors' effective degrees.
+        let mut degree: Vec<u32> = (0..n).map(|v| g.degree(v) as u32).collect();
+        let max_deg = *degree.iter().max().expect("n > 0") as usize;
+        let mut bin = vec![0usize; max_deg + 2];
+        for &d in &degree {
+            bin[d as usize] += 1;
+        }
+        let mut start = 0usize;
+        for b in bin.iter_mut() {
+            let count = *b;
+            *b = start;
+            start += count;
+        }
+        // pos[v] = position of v in vert; vert sorted by degree.
+        let mut vert = vec![0u32; n];
+        let mut pos = vec![0usize; n];
+        {
+            let mut next = bin.clone();
+            for v in 0..n {
+                let d = degree[v] as usize;
+                pos[v] = next[d];
+                vert[next[d]] = v as u32;
+                next[d] += 1;
+            }
+        }
+        for i in 0..n {
+            let v = vert[i] as usize;
+            for &u in g.neighbors(v) {
+                let u = u as usize;
+                if degree[u] > degree[v] {
+                    // Move u one bucket down: swap with the first element of
+                    // its current bucket, then shrink the bucket.
+                    let du = degree[u] as usize;
+                    let pu = pos[u];
+                    let pw = bin[du];
+                    let w = vert[pw] as usize;
+                    if u != w {
+                        vert.swap(pu, pw);
+                        pos[u] = pw;
+                        pos[w] = pu;
+                    }
+                    bin[du] += 1;
+                    degree[u] -= 1;
+                }
+            }
+        }
+        // After peeling, degree[v] is the core number.
+        let core = degree;
+        let coreness = *core.iter().max().expect("n > 0") as usize;
+        let mut shell_sizes = vec![0usize; coreness + 1];
+        for &c in &core {
+            shell_sizes[c as usize] += 1;
+        }
+        KCoreDecomposition { core, shell_sizes }
+    }
+
+    /// Maximum core number (0 for an empty graph).
+    pub fn coreness(&self) -> u32 {
+        self.core.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Number of nodes in the `k`-core (core number ≥ `k`).
+    pub fn core_size(&self, k: u32) -> usize {
+        self.core.iter().filter(|&&c| c >= k).count()
+    }
+
+    /// Extracts the `k`-core as a subgraph plus the `new -> old` node map.
+    pub fn core_subgraph(&self, g: &Csr, k: u32) -> (Csr, Vec<usize>) {
+        let keep: Vec<bool> = self.core.iter().map(|&c| c >= k).collect();
+        g.induced_subgraph(&keep)
+    }
+
+    /// `(k, shell size, cumulative k-core size)` rows for every shell,
+    /// ascending in `k` — the quantitative content of a k-core
+    /// visualization.
+    pub fn shell_profile(&self) -> Vec<(u32, usize, usize)> {
+        let mut rows = Vec::new();
+        let mut cumulative: usize = self.core.len();
+        for (k, &size) in self.shell_sizes.iter().enumerate() {
+            rows.push((k as u32, size, cumulative));
+            cumulative -= size;
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_is_one_core() {
+        let g = Csr::from_edges(5, &[(0, 1), (1, 2), (2, 3), (2, 4)]);
+        let d = KCoreDecomposition::measure(&g);
+        assert!(d.core.iter().all(|&c| c == 1));
+        assert_eq!(d.coreness(), 1);
+        assert_eq!(d.shell_sizes, vec![0, 5]);
+    }
+
+    #[test]
+    fn clique_core_number_is_n_minus_1() {
+        let mut edges = Vec::new();
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                edges.push((i, j));
+            }
+        }
+        let d = KCoreDecomposition::measure(&Csr::from_edges(6, &edges));
+        assert!(d.core.iter().all(|&c| c == 5));
+        assert_eq!(d.coreness(), 5);
+    }
+
+    #[test]
+    fn clique_with_pendant_tail() {
+        // K4 on 0..4 plus path 3-4-5.
+        let mut edges = vec![(3, 4), (4, 5)];
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                edges.push((i, j));
+            }
+        }
+        let d = KCoreDecomposition::measure(&Csr::from_edges(6, &edges));
+        assert_eq!(&d.core[0..4], &[3, 3, 3, 3]);
+        assert_eq!(d.core[4], 1);
+        assert_eq!(d.core[5], 1);
+        assert_eq!(d.core_size(3), 4);
+        assert_eq!(d.core_size(1), 6);
+        assert_eq!(d.shell_sizes, vec![0, 2, 0, 4]);
+    }
+
+    #[test]
+    fn isolated_nodes_are_zero_core() {
+        let g = Csr::from_edges(4, &[(0, 1)]);
+        let d = KCoreDecomposition::measure(&g);
+        assert_eq!(d.core, vec![1, 1, 0, 0]);
+        assert_eq!(d.shell_sizes, vec![2, 2]);
+    }
+
+    #[test]
+    fn core_subgraph_extraction() {
+        let mut edges = vec![(3, 4), (4, 5)];
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                edges.push((i, j));
+            }
+        }
+        let g = Csr::from_edges(6, &edges);
+        let d = KCoreDecomposition::measure(&g);
+        let (core3, map) = d.core_subgraph(&g, 3);
+        assert_eq!(core3.node_count(), 4);
+        assert_eq!(core3.edge_count(), 6);
+        assert_eq!(map, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn shell_profile_rows() {
+        let g = Csr::from_edges(4, &[(0, 1)]);
+        let d = KCoreDecomposition::measure(&g);
+        assert_eq!(d.shell_profile(), vec![(0, 2, 4), (1, 2, 2)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let d = KCoreDecomposition::measure(&Csr::from_edges(0, &[]));
+        assert_eq!(d.coreness(), 0);
+        assert!(d.shell_sizes.is_empty());
+        assert!(d.shell_profile().is_empty());
+    }
+
+    /// The k-core returned must actually satisfy the degree property: every
+    /// node of the k-core subgraph has internal degree >= k.
+    #[test]
+    fn core_property_holds_on_random_graph() {
+        use rand::Rng;
+        let mut rng = inet_stats::rng::seeded_rng(42);
+        let n = 80;
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.gen_range(0.0..1.0) < 0.08 {
+                    edges.push((i, j));
+                }
+            }
+        }
+        let g = Csr::from_edges(n, &edges);
+        let d = KCoreDecomposition::measure(&g);
+        for k in 1..=d.coreness() {
+            let (sub, _) = d.core_subgraph(&g, k);
+            for v in 0..sub.node_count() {
+                assert!(
+                    sub.degree(v) >= k as usize,
+                    "node {v} in {k}-core has internal degree {}",
+                    sub.degree(v)
+                );
+            }
+        }
+        // Maximality at the top shell: the (coreness+1)-core is empty.
+        assert_eq!(d.core_size(d.coreness() + 1), 0);
+    }
+}

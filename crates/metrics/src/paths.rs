@@ -1,0 +1,248 @@
+//! Shortest-path-length statistics: distribution, mean, diameter,
+//! efficiency.
+//!
+//! The "small world" check of the evaluation: the AS map's average shortest
+//! path length sits around 3.6 hops at `N ≈ 11 000`. Exact all-pairs BFS is
+//! `O(N·E)`; for big graphs a stride-sampled subset of sources estimates the
+//! distribution with negligible bias on connected graphs.
+
+use inet_graph::traversal::{bfs_distances_into, UNREACHABLE};
+use inet_graph::Csr;
+use serde::{Deserialize, Serialize};
+
+/// Shortest-path statistics over reachable pairs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathStats {
+    /// `counts[d]` = number of (ordered, sampled) reachable pairs at
+    /// distance `d ≥ 1`.
+    pub counts: Vec<u64>,
+    /// Mean distance over reachable pairs.
+    pub mean: f64,
+    /// Largest observed distance (diameter when exact and connected).
+    pub diameter: u32,
+    /// Global efficiency: mean of `1/d` over sampled ordered pairs
+    /// (unreachable pairs contribute 0).
+    pub efficiency: f64,
+    /// Number of BFS sources used.
+    pub sources: usize,
+    /// True when every node served as a source (exact statistics).
+    pub exact: bool,
+}
+
+impl PathStats {
+    /// Exact all-sources statistics (single-threaded).
+    pub fn measure(g: &Csr) -> Self {
+        let sources: Vec<usize> = (0..g.node_count()).collect();
+        Self::from_sources(g, &sources, 1, true)
+    }
+
+    /// Exact all-sources statistics with BFS fanned out over `threads`.
+    pub fn measure_parallel(g: &Csr, threads: usize) -> Self {
+        let sources: Vec<usize> = (0..g.node_count()).collect();
+        Self::from_sources(g, &sources, threads, true)
+    }
+
+    /// Sampled statistics from `k` stride-spaced sources.
+    pub fn measure_sampled(g: &Csr, k: usize, threads: usize) -> Self {
+        let n = g.node_count();
+        if k >= n {
+            return Self::measure_parallel(g, threads);
+        }
+        let sources: Vec<usize> = (0..k.max(1)).map(|i| i * n / k.max(1)).collect();
+        Self::from_sources(g, &sources, threads, false)
+    }
+
+    fn from_sources(g: &Csr, sources: &[usize], threads: usize, exact: bool) -> Self {
+        let n = g.node_count();
+        if n == 0 || sources.is_empty() {
+            return PathStats {
+                counts: Vec::new(),
+                mean: 0.0,
+                diameter: 0,
+                efficiency: 0.0,
+                sources: 0,
+                exact,
+            };
+        }
+        let threads = threads.min(sources.len()).max(1);
+        let chunk = sources.len().div_ceil(threads);
+        let partials: Vec<(Vec<u64>, f64, u64)> = if threads == 1 {
+            vec![Self::scan(g, sources)]
+        } else {
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = sources
+                    .chunks(chunk)
+                    .map(|cs| scope.spawn(move |_| Self::scan(g, cs)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            })
+            .expect("thread scope failed")
+        };
+        let mut counts: Vec<u64> = Vec::new();
+        let mut inv_sum = 0.0f64;
+        let mut unreachable_pairs = 0u64;
+        for (c, inv, unre) in partials {
+            if c.len() > counts.len() {
+                counts.resize(c.len(), 0);
+            }
+            for (i, v) in c.into_iter().enumerate() {
+                counts[i] += v;
+            }
+            inv_sum += inv;
+            unreachable_pairs += unre;
+        }
+        let reachable: u64 = counts.iter().sum();
+        let mean = if reachable > 0 {
+            counts
+                .iter()
+                .enumerate()
+                .map(|(d, &c)| d as f64 * c as f64)
+                .sum::<f64>()
+                / reachable as f64
+        } else {
+            0.0
+        };
+        let diameter = counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(|d| d as u32)
+            .unwrap_or(0);
+        let total_pairs = reachable + unreachable_pairs;
+        let efficiency = if total_pairs > 0 { inv_sum / total_pairs as f64 } else { 0.0 };
+        PathStats { counts, mean, diameter, efficiency, sources: sources.len(), exact }
+    }
+
+    /// BFS from each source; returns (distance histogram over ordered pairs
+    /// excluding self, sum of 1/d, count of unreachable ordered pairs).
+    fn scan(g: &Csr, sources: &[usize]) -> (Vec<u64>, f64, u64) {
+        let mut counts: Vec<u64> = Vec::new();
+        let mut inv = 0.0f64;
+        let mut unreachable = 0u64;
+        let mut dist = Vec::new();
+        for &s in sources {
+            bfs_distances_into(g, s, &mut dist);
+            for (t, &d) in dist.iter().enumerate() {
+                if t == s {
+                    continue;
+                }
+                if d == UNREACHABLE {
+                    unreachable += 1;
+                } else {
+                    let d = d as usize;
+                    if d >= counts.len() {
+                        counts.resize(d + 1, 0);
+                    }
+                    counts[d] += 1;
+                    inv += 1.0 / d as f64;
+                }
+            }
+        }
+        (counts, inv, unreachable)
+    }
+
+    /// Normalized distribution `P(ℓ = d)` over reachable pairs.
+    pub fn distribution(&self) -> Vec<(u32, f64)> {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            return Vec::new();
+        }
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(d, &c)| (d as u32, c as f64 / total as f64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Csr {
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        Csr::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn path_graph_statistics() {
+        let s = PathStats::measure(&path(4));
+        // Ordered reachable pairs: distances 1 (6 pairs), 2 (4), 3 (2).
+        assert_eq!(s.counts, vec![0, 6, 4, 2]);
+        assert!((s.mean - (6.0 + 8.0 + 6.0) / 12.0).abs() < 1e-12);
+        assert_eq!(s.diameter, 3);
+        assert!(s.exact);
+        assert_eq!(s.sources, 4);
+    }
+
+    #[test]
+    fn complete_graph_all_distance_one() {
+        let mut edges = Vec::new();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                edges.push((i, j));
+            }
+        }
+        let s = PathStats::measure(&Csr::from_edges(5, &edges));
+        assert_eq!(s.mean, 1.0);
+        assert_eq!(s.diameter, 1);
+        assert!((s.efficiency - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_graph_efficiency_penalized() {
+        let g = Csr::from_edges(4, &[(0, 1), (2, 3)]);
+        let s = PathStats::measure(&g);
+        assert_eq!(s.counts, vec![0, 4]);
+        assert_eq!(s.mean, 1.0);
+        // 4 reachable ordered pairs at d=1, 8 unreachable: eff = 4/12.
+        assert!((s.efficiency - 4.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let g = path(30);
+        let a = PathStats::measure(&g);
+        let b = PathStats::measure_parallel(&g, 4);
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(a.diameter, b.diameter);
+        assert_eq!(a.sources, b.sources);
+        assert!((a.mean - b.mean).abs() < 1e-12);
+        // Efficiency is a float sum whose order depends on the thread split.
+        assert!((a.efficiency - b.efficiency).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampled_on_vertex_transitive_graph_is_exact() {
+        let n = 24;
+        let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let g = Csr::from_edges(n, &edges);
+        let exact = PathStats::measure(&g);
+        let est = PathStats::measure_sampled(&g, 6, 2);
+        assert!(!est.exact);
+        assert!((exact.mean - est.mean).abs() < 1e-9);
+        assert_eq!(exact.diameter, est.diameter);
+    }
+
+    #[test]
+    fn distribution_normalizes() {
+        let s = PathStats::measure(&path(5));
+        let total: f64 = s.distribution().iter().map(|&(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let s = PathStats::measure(&Csr::from_edges(0, &[]));
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.diameter, 0);
+        assert!(s.distribution().is_empty());
+    }
+
+    #[test]
+    fn single_node() {
+        let s = PathStats::measure(&Csr::from_edges(1, &[]));
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.diameter, 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Degree-preserving randomization (double-edge swaps).
+//!
+//! The canonical null model for correlation-sensitive observables
+//! (rich-club, assortativity): repeatedly pick two edges `(a, b)` and
+//! `(c, d)` and rewire them to `(a, d)`, `(c, b)` unless that would create a
+//! self-loop or a duplicate edge. Degrees are invariant under the swap.
+
+use inet_graph::{Csr, MultiGraph, NodeId};
+use rand::Rng;
+
+/// Produces a degree-preserving randomization of `g` by attempting
+/// `swaps_per_edge × E` double-edge swaps. Multi-edge weights are ignored
+/// (the null model is about the simple topology).
+///
+/// Returns the rewired graph; the input is untouched.
+pub fn rewire_degree_preserving<R: Rng>(g: &Csr, swaps_per_edge: usize, rng: &mut R) -> Csr {
+    let mut edges: Vec<(u32, u32)> = g
+        .edges()
+        .map(|(u, v, _)| (u as u32, v as u32))
+        .collect();
+    let m = edges.len();
+    if m < 2 {
+        return g.clone();
+    }
+    // Adjacency set for O(1)-ish duplicate detection.
+    let mut adj: Vec<std::collections::BTreeSet<u32>> =
+        vec![std::collections::BTreeSet::new(); g.node_count()];
+    for &(u, v) in &edges {
+        adj[u as usize].insert(v);
+        adj[v as usize].insert(u);
+    }
+    let attempts = swaps_per_edge * m;
+    for _ in 0..attempts {
+        let i = rng.gen_range(0..m);
+        let j = rng.gen_range(0..m);
+        if i == j {
+            continue;
+        }
+        let (a, b) = edges[i];
+        let (c, d) = edges[j];
+        // Random orientation of the second edge makes the chain reversible.
+        let (c, d) = if rng.gen_bool(0.5) { (c, d) } else { (d, c) };
+        // Proposed: (a, d), (c, b).
+        if a == d || c == b {
+            continue; // self-loop
+        }
+        if adj[a as usize].contains(&d) || adj[c as usize].contains(&b) {
+            continue; // duplicate
+        }
+        adj[a as usize].remove(&b);
+        adj[b as usize].remove(&a);
+        adj[c as usize].remove(&d);
+        adj[d as usize].remove(&c);
+        adj[a as usize].insert(d);
+        adj[d as usize].insert(a);
+        adj[c as usize].insert(b);
+        adj[b as usize].insert(c);
+        edges[i] = (a, d);
+        edges[j] = (c, b);
+    }
+    let mut out = MultiGraph::with_capacity(g.node_count());
+    out.add_nodes(g.node_count());
+    for (u, v) in edges {
+        out.add_edge(NodeId::new(u as usize), NodeId::new(v as usize))
+            .expect("swaps preserve validity");
+    }
+    out.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inet_stats::rng::seeded_rng;
+
+    fn random_graph(n: usize, p: f64, seed: u64) -> Csr {
+        let mut rng = seeded_rng(seed);
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.gen_range(0.0..1.0) < p {
+                    edges.push((i, j));
+                }
+            }
+        }
+        Csr::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn degree_sequence_is_preserved() {
+        let g = random_graph(60, 0.1, 1);
+        let mut rng = seeded_rng(2);
+        let r = rewire_degree_preserving(&g, 10, &mut rng);
+        assert_eq!(g.degrees(), r.degrees());
+        assert_eq!(g.edge_count(), r.edge_count());
+        assert!(r.validate());
+    }
+
+    #[test]
+    fn rewiring_actually_changes_edges() {
+        let g = random_graph(60, 0.1, 3);
+        let mut rng = seeded_rng(4);
+        let r = rewire_degree_preserving(&g, 10, &mut rng);
+        let orig: std::collections::HashSet<(usize, usize)> =
+            g.edges().map(|(u, v, _)| (u, v)).collect();
+        let new: std::collections::HashSet<(usize, usize)> =
+            r.edges().map(|(u, v, _)| (u, v)).collect();
+        let overlap = orig.intersection(&new).count();
+        assert!(
+            overlap < orig.len(),
+            "no swap succeeded in {} attempts",
+            10 * orig.len()
+        );
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicates_created() {
+        let g = random_graph(40, 0.15, 5);
+        let mut rng = seeded_rng(6);
+        let r = rewire_degree_preserving(&g, 20, &mut rng);
+        // Csr::validate checks both symmetric storage and no self-loops;
+        // duplicate edges would have collapsed and changed the edge count.
+        assert!(r.validate());
+        assert_eq!(r.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn tiny_graphs_pass_through() {
+        let g = Csr::from_edges(2, &[(0, 1)]);
+        let mut rng = seeded_rng(7);
+        let r = rewire_degree_preserving(&g, 10, &mut rng);
+        assert_eq!(r.edge_count(), 1);
+        let empty = Csr::from_edges(0, &[]);
+        let r = rewire_degree_preserving(&empty, 10, &mut rng);
+        assert_eq!(r.node_count(), 0);
+    }
+
+    #[test]
+    fn zero_swaps_returns_same_topology() {
+        let g = random_graph(30, 0.2, 8);
+        let mut rng = seeded_rng(9);
+        let r = rewire_degree_preserving(&g, 0, &mut rng);
+        let orig: Vec<(usize, usize)> = g.edges().map(|(u, v, _)| (u, v)).collect();
+        let new: Vec<(usize, usize)> = r.edges().map(|(u, v, _)| (u, v)).collect();
+        assert_eq!(orig, new);
+    }
+}

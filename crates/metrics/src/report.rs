@@ -1,0 +1,218 @@
+//! One-call aggregate report of the headline topology scalars.
+
+use crate::betweenness::betweenness_sampled;
+use crate::clustering::ClusteringStats;
+use crate::degree::DegreeStats;
+use crate::kcore::KCoreDecomposition;
+use crate::knn::KnnStats;
+use crate::paths::PathStats;
+use inet_graph::traversal::giant_fraction;
+use inet_graph::Csr;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated headline measures of a topology — the row a comparison table
+/// prints per network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopologyReport {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of distinct edges.
+    pub edges: usize,
+    /// Mean degree `⟨k⟩`.
+    pub mean_degree: f64,
+    /// Largest degree.
+    pub max_degree: u64,
+    /// Power-law tail exponent `γ` from the CSN automatic fit (`None` when
+    /// unfittable).
+    pub gamma: Option<f64>,
+    /// Mean local clustering (degree ≥ 2 nodes).
+    pub mean_clustering: f64,
+    /// Global transitivity.
+    pub transitivity: f64,
+    /// Newman assortativity coefficient.
+    pub assortativity: f64,
+    /// Mean shortest path length (sampled for big graphs).
+    pub mean_path_length: f64,
+    /// Largest sampled shortest-path distance.
+    pub diameter: u32,
+    /// Maximum core number.
+    pub coreness: u32,
+    /// Fraction of nodes in the giant component.
+    pub giant_fraction: f64,
+    /// Total number of triangles.
+    pub triangles: u64,
+    /// Maximum betweenness value (sampled estimate).
+    pub max_betweenness: f64,
+}
+
+/// Sampling effort for [`TopologyReport::measure`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReportOptions {
+    /// BFS sources used for path statistics (exact if ≥ node count).
+    pub path_sources: usize,
+    /// Sources for the betweenness estimate (exact if ≥ node count).
+    pub betweenness_sources: usize,
+    /// Worker threads for the BFS-heavy measures.
+    pub threads: usize,
+}
+
+impl Default for ReportOptions {
+    fn default() -> Self {
+        ReportOptions { path_sources: 400, betweenness_sources: 200, threads: 4 }
+    }
+}
+
+impl TopologyReport {
+    /// Measures everything with default sampling effort.
+    pub fn measure(g: &Csr) -> Self {
+        Self::measure_with(g, ReportOptions::default())
+    }
+
+    /// Measures everything with explicit effort options.
+    pub fn measure_with(g: &Csr, opt: ReportOptions) -> Self {
+        let degree = DegreeStats::measure(g);
+        let clustering = ClusteringStats::measure(g);
+        let knn = KnnStats::measure(g);
+        let kcore = KCoreDecomposition::measure(g);
+        let paths = PathStats::measure_sampled(g, opt.path_sources, opt.threads);
+        let bc = betweenness_sampled(g, opt.betweenness_sources, opt.threads);
+        TopologyReport {
+            nodes: g.node_count(),
+            edges: g.edge_count(),
+            mean_degree: degree.mean,
+            max_degree: degree.max,
+            gamma: degree.powerlaw_fit().map(|f| f.gamma),
+            mean_clustering: clustering.mean_local,
+            transitivity: clustering.transitivity,
+            assortativity: knn.assortativity,
+            mean_path_length: paths.mean,
+            diameter: paths.diameter,
+            coreness: kcore.coreness(),
+            giant_fraction: giant_fraction(g),
+            triangles: clustering.triangle_count,
+            max_betweenness: bc.iter().copied().fold(0.0, f64::max),
+        }
+    }
+
+    /// Renders the report as aligned `name: value` lines.
+    pub fn render(&self) -> String {
+        let gamma = self
+            .gamma
+            .map(|g| format!("{g:.2}"))
+            .unwrap_or_else(|| "n/a".to_string());
+        format!(
+            "nodes            : {}\n\
+             edges            : {}\n\
+             mean degree      : {:.3}\n\
+             max degree       : {}\n\
+             gamma (P(k) tail): {}\n\
+             mean clustering  : {:.4}\n\
+             transitivity     : {:.4}\n\
+             assortativity    : {:+.4}\n\
+             mean path length : {:.3}\n\
+             diameter (est)   : {}\n\
+             coreness         : {}\n\
+             giant fraction   : {:.4}\n\
+             triangles        : {}\n\
+             max betweenness  : {:.1}",
+            self.nodes,
+            self.edges,
+            self.mean_degree,
+            self.max_degree,
+            gamma,
+            self.mean_clustering,
+            self.transitivity,
+            self.assortativity,
+            self.mean_path_length,
+            self.diameter,
+            self.coreness,
+            self.giant_fraction,
+            self.triangles,
+            self.max_betweenness,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn er_graph(n: usize, p: f64, seed: u64) -> Csr {
+        use rand::Rng;
+        let mut rng = inet_stats::rng::seeded_rng(seed);
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.gen_range(0.0..1.0) < p {
+                    edges.push((i, j));
+                }
+            }
+        }
+        Csr::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn report_on_er_graph_is_sane() {
+        let g = er_graph(300, 0.03, 1);
+        let r = TopologyReport::measure(&g);
+        assert_eq!(r.nodes, 300);
+        assert!(r.edges > 0);
+        assert!((r.mean_degree - 2.0 * r.edges as f64 / 300.0).abs() < 1e-12);
+        assert!(r.mean_clustering >= 0.0 && r.mean_clustering <= 1.0);
+        assert!(r.mean_path_length > 1.0);
+        assert!(r.coreness >= 1);
+        assert!(r.giant_fraction > 0.5);
+        assert!(r.max_betweenness > 0.0);
+    }
+
+    #[test]
+    fn exact_options_on_small_graph() {
+        let g = er_graph(40, 0.15, 2);
+        let exact = TopologyReport::measure_with(
+            &g,
+            ReportOptions { path_sources: 1000, betweenness_sources: 1000, threads: 1 },
+        );
+        let threaded = TopologyReport::measure_with(
+            &g,
+            ReportOptions { path_sources: 1000, betweenness_sources: 1000, threads: 4 },
+        );
+        // All discrete fields must be identical; float accumulations may
+        // differ in the last bits with a different thread split.
+        assert_eq!(exact.nodes, threaded.nodes);
+        assert_eq!(exact.edges, threaded.edges);
+        assert_eq!(exact.max_degree, threaded.max_degree);
+        assert_eq!(exact.diameter, threaded.diameter);
+        assert_eq!(exact.coreness, threaded.coreness);
+        assert_eq!(exact.triangles, threaded.triangles);
+        assert!((exact.mean_path_length - threaded.mean_path_length).abs() < 1e-9);
+        assert!((exact.max_betweenness - threaded.max_betweenness).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_contains_all_fields() {
+        let g = er_graph(50, 0.1, 3);
+        let text = TopologyReport::measure(&g).render();
+        for needle in [
+            "nodes",
+            "edges",
+            "mean degree",
+            "gamma",
+            "clustering",
+            "assortativity",
+            "path length",
+            "coreness",
+            "giant fraction",
+        ] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn empty_graph_report() {
+        let r = TopologyReport::measure(&Csr::from_edges(0, &[]));
+        assert_eq!(r.nodes, 0);
+        assert_eq!(r.edges, 0);
+        assert_eq!(r.gamma, None);
+        assert!(r.render().contains("n/a"));
+    }
+}

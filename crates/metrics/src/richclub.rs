@@ -1,0 +1,180 @@
+//! Rich-club connectivity.
+//!
+//! `φ(k)` is the edge density among the nodes of degree greater than `k`:
+//! `φ(k) = 2 E_{>k} / (N_{>k} (N_{>k} − 1))`. Because high-degree nodes have
+//! more chances to interconnect even at random, the informative quantity is
+//! the ratio `ρ(k) = φ(k) / φ_rand(k)` against a degree-preserving rewired
+//! null model (Colizza et al. 2006). The AS map exhibits a rich club:
+//! `ρ(k) > 1` at high degrees.
+
+use crate::randomize::rewire_degree_preserving;
+use inet_graph::Csr;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Rich-club spectrum of a graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RichClub {
+    /// Degree thresholds `k` (ascending, one per distinct degree below the
+    /// maximum).
+    pub k: Vec<u64>,
+    /// `φ(k)` for each threshold; `NaN`-free: thresholds with fewer than 2
+    /// qualifying nodes are omitted.
+    pub phi: Vec<f64>,
+}
+
+impl RichClub {
+    /// Computes `φ(k)` for every distinct degree value present.
+    pub fn measure(g: &Csr) -> Self {
+        let n = g.node_count();
+        let degrees: Vec<u64> = (0..n).map(|v| g.degree(v) as u64).collect();
+        // Sorted degree list for N_{>k} via binary search.
+        let mut sorted = degrees.clone();
+        sorted.sort_unstable();
+        // Edge "min endpoint degree" list for E_{>k}.
+        let mut edge_min: Vec<u64> = g
+            .edges()
+            .map(|(u, v, _)| degrees[u].min(degrees[v]))
+            .collect();
+        edge_min.sort_unstable();
+
+        let mut distinct = sorted.clone();
+        distinct.dedup();
+        let mut ks = Vec::new();
+        let mut phis = Vec::new();
+        for &k in &distinct {
+            let n_gt = sorted.len() - sorted.partition_point(|&d| d <= k);
+            if n_gt < 2 {
+                continue;
+            }
+            let e_gt = edge_min.len() - edge_min.partition_point(|&d| d <= k);
+            ks.push(k);
+            phis.push(2.0 * e_gt as f64 / (n_gt as f64 * (n_gt as f64 - 1.0)));
+        }
+        RichClub { k: ks, phi: phis }
+    }
+
+    /// Normalized rich-club ratio `ρ(k) = φ(k) / φ_rand(k)` against the
+    /// average of `rewired_samples` degree-preserving rewirings (each using
+    /// `swaps_per_edge` attempted double-edge swaps per edge).
+    ///
+    /// Thresholds where the null model has `φ_rand = 0` are omitted.
+    pub fn normalized<R: Rng>(
+        g: &Csr,
+        rewired_samples: usize,
+        swaps_per_edge: usize,
+        rng: &mut R,
+    ) -> Self {
+        let observed = Self::measure(g);
+        if rewired_samples == 0 {
+            return observed;
+        }
+        // Accumulate null-model phi on the same thresholds.
+        let mut null_phi = vec![0.0f64; observed.k.len()];
+        let mut null_cnt = vec![0usize; observed.k.len()];
+        for _ in 0..rewired_samples {
+            let rewired = rewire_degree_preserving(g, swaps_per_edge, rng);
+            let null = Self::measure(&rewired);
+            for (i, &k) in observed.k.iter().enumerate() {
+                if let Some(j) = null.k.iter().position(|&nk| nk == k) {
+                    null_phi[i] += null.phi[j];
+                    null_cnt[i] += 1;
+                }
+            }
+        }
+        let mut ks = Vec::new();
+        let mut rho = Vec::new();
+        for (i, &k) in observed.k.iter().enumerate() {
+            if null_cnt[i] > 0 {
+                let mean_null = null_phi[i] / null_cnt[i] as f64;
+                if mean_null > 0.0 {
+                    ks.push(k);
+                    rho.push(observed.phi[i] / mean_null);
+                }
+            }
+        }
+        RichClub { k: ks, phi: rho }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clique_has_full_rich_club() {
+        let mut edges = Vec::new();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                edges.push((i, j));
+            }
+        }
+        let rc = RichClub::measure(&Csr::from_edges(5, &edges));
+        // All degrees are 4; only k values with >= 2 nodes above: none
+        // (no node has degree > 4)... distinct = [4], n_gt(4) = 0 -> empty.
+        assert!(rc.k.is_empty());
+    }
+
+    #[test]
+    fn star_with_core() {
+        // Two hubs connected to each other and to 4 leaves each.
+        let mut edges = vec![(0, 1)];
+        for i in 2..6 {
+            edges.push((0, i));
+        }
+        for i in 6..10 {
+            edges.push((1, i));
+        }
+        let g = Csr::from_edges(10, &edges);
+        let rc = RichClub::measure(&g);
+        // k = 1: nodes of degree > 1 are the two hubs; the hub-hub edge
+        // exists -> phi = 1.
+        assert_eq!(rc.k[0], 1);
+        assert!((rc.phi[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phi_is_monotone_for_nested_clubs_on_path() {
+        // Path: degrees 1 and 2; k=1 club = interior nodes.
+        let g = Csr::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let rc = RichClub::measure(&g);
+        assert_eq!(rc.k, vec![1]);
+        // Interior nodes: 1,2,3; edges among them: (1,2),(2,3) -> phi = 4/6.
+        assert!((rc.phi[0] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_close_to_one_for_er_like_graph() {
+        use rand::Rng;
+        let mut rng = inet_stats::rng::seeded_rng(3);
+        let n = 200;
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.gen_range(0.0..1.0) < 0.04 {
+                    edges.push((i, j));
+                }
+            }
+        }
+        let g = Csr::from_edges(n, &edges);
+        let rho = RichClub::normalized(&g, 3, 5, &mut rng);
+        // ER graphs have no rich club: rho ~ 1 at low/mid k.
+        let mid: Vec<f64> = rho
+            .k
+            .iter()
+            .zip(&rho.phi)
+            .filter(|(&k, _)| k <= 10)
+            .map(|(_, &r)| r)
+            .collect();
+        assert!(!mid.is_empty());
+        for r in mid {
+            assert!((r - 1.0).abs() < 0.35, "rho = {r}");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let rc = RichClub::measure(&Csr::from_edges(0, &[]));
+        assert!(rc.k.is_empty());
+    }
+}

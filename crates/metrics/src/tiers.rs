@@ -1,0 +1,161 @@
+//! Heuristic AS-tier classification from the k-core hierarchy.
+//!
+//! Operationally the AS ecosystem is stratified: a small clique of tier-1
+//! transit-free backbones, a band of regional transit providers, and a
+//! customer fringe. With no routing-policy data (customer/provider edges are
+//! not modeled — see DESIGN.md §6), the standard structural proxy is the
+//! k-core index (Carmi et al., PNAS 2007: "medusa" decomposition): the
+//! innermost core is the backbone, the 1-shell (plus isolated leaves) is
+//! the fringe, everything in between is transit.
+
+use crate::kcore::KCoreDecomposition;
+use inet_graph::Csr;
+use serde::{Deserialize, Serialize};
+
+/// Structural tier of an AS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Tier {
+    /// Innermost-core member (backbone / tier-1 proxy).
+    Backbone,
+    /// Intermediate shells (transit / tier-2 proxy).
+    Transit,
+    /// 1-shell and isolated nodes (customer fringe).
+    Fringe,
+}
+
+/// Tier assignment for every node plus summary counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TierDecomposition {
+    /// Tier per node.
+    pub tier: Vec<Tier>,
+    /// Number of backbone nodes.
+    pub backbone: usize,
+    /// Number of transit nodes.
+    pub transit: usize,
+    /// Number of fringe nodes.
+    pub fringe: usize,
+    /// Core index separating backbone from transit (the coreness).
+    pub backbone_core: u32,
+}
+
+impl TierDecomposition {
+    /// Classifies every node of `g`.
+    pub fn measure(g: &Csr) -> Self {
+        let decomposition = KCoreDecomposition::measure(g);
+        Self::from_kcore(&decomposition)
+    }
+
+    /// Classifies from an existing k-core decomposition.
+    pub fn from_kcore(decomposition: &KCoreDecomposition) -> Self {
+        let top = decomposition.coreness();
+        let tier: Vec<Tier> = decomposition
+            .core
+            .iter()
+            .map(|&c| {
+                if top >= 2 && c == top {
+                    Tier::Backbone
+                } else if c <= 1 {
+                    Tier::Fringe
+                } else {
+                    Tier::Transit
+                }
+            })
+            .collect();
+        let count = |t: Tier| tier.iter().filter(|&&x| x == t).count();
+        TierDecomposition {
+            backbone: count(Tier::Backbone),
+            transit: count(Tier::Transit),
+            fringe: count(Tier::Fringe),
+            backbone_core: top,
+            tier,
+        }
+    }
+
+    /// Fraction of nodes in the fringe (AS maps: the large majority).
+    pub fn fringe_fraction(&self) -> f64 {
+        if self.tier.is_empty() {
+            0.0
+        } else {
+            self.fringe as f64 / self.tier.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clique_with_tails_stratifies() {
+        // K5 core (0..5), transit ring hanging off it, leaf fringe.
+        let mut edges = Vec::new();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                edges.push((i, j));
+            }
+        }
+        // Transit: a triangle attached to the clique (2-core, not 4-core).
+        edges.extend([(5, 6), (6, 7), (5, 7), (0, 5)]);
+        // Fringe: leaves.
+        edges.extend([(1, 8), (2, 9)]);
+        let g = Csr::from_edges(10, &edges);
+        let t = TierDecomposition::measure(&g);
+        assert_eq!(t.backbone, 5);
+        assert_eq!(t.transit, 3);
+        assert_eq!(t.fringe, 2);
+        assert_eq!(t.backbone_core, 4);
+        assert_eq!(t.tier[0], Tier::Backbone);
+        assert_eq!(t.tier[6], Tier::Transit);
+        assert_eq!(t.tier[8], Tier::Fringe);
+    }
+
+    #[test]
+    fn tree_is_all_fringe() {
+        let g = Csr::from_edges(5, &[(0, 1), (1, 2), (2, 3), (2, 4)]);
+        let t = TierDecomposition::measure(&g);
+        assert_eq!(t.fringe, 5);
+        assert_eq!(t.backbone, 0);
+        assert!((t.fringe_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counts_partition_the_graph() {
+        use rand::Rng;
+        let mut rng = inet_stats::rng::seeded_rng(23);
+        let mut edges = Vec::new();
+        for i in 0..100 {
+            for j in (i + 1)..100 {
+                if rng.gen_range(0.0..1.0) < 0.05 {
+                    edges.push((i, j));
+                }
+            }
+        }
+        let g = Csr::from_edges(100, &edges);
+        let t = TierDecomposition::measure(&g);
+        assert_eq!(t.backbone + t.transit + t.fringe, 100);
+        assert_eq!(t.tier.len(), 100);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let t = TierDecomposition::measure(&Csr::from_edges(0, &[]));
+        assert_eq!(t.backbone + t.transit + t.fringe, 0);
+        assert_eq!(t.fringe_fraction(), 0.0);
+    }
+
+    #[test]
+    fn as_like_graph_is_fringe_dominated_with_small_backbone() {
+        use inet_generators::{Generator, InetLike};
+        let mut rng = inet_stats::rng::seeded_rng(29);
+        let net = InetLike::as_map_2001(3000).generate(&mut rng);
+        let (g, _) = inet_graph::traversal::giant_component(&net.graph.to_csr());
+        let t = TierDecomposition::measure(&g);
+        assert!(t.fringe_fraction() > 0.4, "fringe {}", t.fringe_fraction());
+        assert!(
+            t.backbone < g.node_count() / 20,
+            "backbone too large: {}",
+            t.backbone
+        );
+        assert!(t.backbone >= 3, "backbone vanished");
+    }
+}

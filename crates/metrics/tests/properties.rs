@@ -1,0 +1,187 @@
+//! Property-based tests for topology measures.
+
+use inet_graph::Csr;
+use inet_metrics::{
+    betweenness, loops, randomize, ClusteringStats, CycleCensus, DegreeStats,
+    KCoreDecomposition, KnnStats, PathStats,
+};
+use inet_stats::rng::seeded_rng;
+use proptest::prelude::*;
+
+/// Random-graph strategy: (node count, edge list).
+fn graph_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (3usize..30).prop_flat_map(|n| {
+        let edge = (0..n, 0..n)
+            .prop_filter_map("no self-loop", |(u, v)| if u == v { None } else { Some((u, v)) });
+        (Just(n), proptest::collection::vec(edge, 0..90))
+    })
+}
+
+proptest! {
+    /// Local clustering lies in [0,1]; transitivity lies in [0,1]; the
+    /// triangle count is consistent with the per-node counts.
+    #[test]
+    fn clustering_bounds((n, edges) in graph_strategy()) {
+        let g = Csr::from_edges(n, &edges);
+        let c = ClusteringStats::measure(&g);
+        for &x in &c.local {
+            prop_assert!((0.0..=1.0).contains(&x));
+        }
+        prop_assert!((0.0..=1.0).contains(&c.transitivity));
+        prop_assert_eq!(c.triangles.iter().sum::<u64>(), 3 * c.triangle_count);
+    }
+
+    /// Core numbers never exceed degrees; the k-core degree property holds;
+    /// shells partition the nodes.
+    #[test]
+    fn kcore_invariants((n, edges) in graph_strategy()) {
+        let g = Csr::from_edges(n, &edges);
+        let d = KCoreDecomposition::measure(&g);
+        for v in 0..n {
+            prop_assert!(d.core[v] as usize <= g.degree(v));
+        }
+        prop_assert_eq!(d.shell_sizes.iter().sum::<usize>(), n);
+        let top = d.coreness();
+        let (sub, _) = d.core_subgraph(&g, top);
+        for v in 0..sub.node_count() {
+            prop_assert!(sub.degree(v) >= top as usize);
+        }
+    }
+
+    /// The cycle census matches brute-force enumeration — the strongest
+    /// possible check of the Harary–Manvel bookkeeping. (Node count capped
+    /// below the brute-force guard.)
+    #[test]
+    fn cycle_census_matches_brute_force((n, edges) in (3usize..16).prop_flat_map(|n| {
+        let edge = (0..n, 0..n)
+            .prop_filter_map("no self-loop", |(u, v)| if u == v { None } else { Some((u, v)) });
+        (Just(n), proptest::collection::vec(edge, 0..60))
+    })) {
+        let g = Csr::from_edges(n, &edges);
+        let fast = CycleCensus::measure(&g);
+        let brute = loops::brute_force_census(&g);
+        prop_assert_eq!(fast, brute);
+    }
+
+    /// Betweenness is non-negative and bounded by the number of ordered
+    /// pairs; endpoints of a path graph always score zero.
+    #[test]
+    fn betweenness_bounds((n, edges) in graph_strategy()) {
+        let g = Csr::from_edges(n, &edges);
+        let bc = betweenness(&g);
+        let bound = ((n - 1) * (n - 2)) as f64 / 2.0 + 1e-9;
+        for &b in &bc {
+            prop_assert!(b >= -1e-12);
+            prop_assert!(b <= bound);
+        }
+    }
+
+    /// Assortativity lies in [-1, 1]; knn of any node is at most the max
+    /// degree.
+    #[test]
+    fn knn_bounds((n, edges) in graph_strategy()) {
+        let g = Csr::from_edges(n, &edges);
+        let s = KnnStats::measure(&g);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s.assortativity));
+        let dmax = g.max_degree() as f64;
+        for &x in &s.knn {
+            prop_assert!(x <= dmax + 1e-9);
+        }
+    }
+
+    /// Path statistics: mean <= diameter, diameter < n, distribution sums
+    /// to 1 on non-empty graphs with edges.
+    #[test]
+    fn path_stat_bounds((n, edges) in graph_strategy()) {
+        let g = Csr::from_edges(n, &edges);
+        let p = PathStats::measure(&g);
+        prop_assert!(p.mean <= p.diameter as f64 + 1e-9);
+        prop_assert!((p.diameter as usize) < n);
+        let total: f64 = p.distribution().iter().map(|&(_, x)| x).sum();
+        if g.edge_count() > 0 {
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Degree-preserving rewiring: degrees and edge count invariant, no
+    /// self-loops, graph still valid.
+    #[test]
+    fn rewiring_preserves_degrees((n, edges) in graph_strategy(), seed in 0u64..500) {
+        let g = Csr::from_edges(n, &edges);
+        let mut rng = seeded_rng(seed);
+        let r = randomize::rewire_degree_preserving(&g, 4, &mut rng);
+        prop_assert_eq!(g.degrees(), r.degrees());
+        prop_assert_eq!(g.edge_count(), r.edge_count());
+        prop_assert!(r.validate());
+    }
+
+    /// Closeness and harmonic centralities are non-negative and bounded;
+    /// on connected graphs the harmonic value is at most n-1 (all nodes at
+    /// distance 1).
+    #[test]
+    fn centrality_bounds((n, edges) in graph_strategy()) {
+        let g = Csr::from_edges(n, &edges);
+        let close = inet_metrics::centrality::closeness(&g);
+        let harm = inet_metrics::centrality::harmonic(&g);
+        for v in 0..n {
+            prop_assert!(close[v] >= 0.0 && close[v] <= 1.0 + 1e-9, "closeness {}", close[v]);
+            prop_assert!(harm[v] >= 0.0 && harm[v] <= (n - 1) as f64 + 1e-9);
+            if g.degree(v) == 0 {
+                prop_assert_eq!(close[v], 0.0);
+                prop_assert_eq!(harm[v], 0.0);
+            }
+        }
+    }
+
+    /// Eigenvector centrality (when it converges) is non-negative,
+    /// max-normalized to 1, and zero only outside the dominant component.
+    #[test]
+    fn eigenvector_properties((n, edges) in graph_strategy()) {
+        let g = Csr::from_edges(n, &edges);
+        if let Some(e) = inet_metrics::centrality::eigenvector(&g, 2000, 1e-10) {
+            let max = e.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!((max - 1.0).abs() < 1e-9, "max {max}");
+            for &x in &e {
+                prop_assert!(x >= -1e-12);
+            }
+        }
+    }
+
+    /// Barrat weighted clustering equals topological clustering on
+    /// unit-weight graphs and always stays in [0, 1]. (Duplicate pairs in
+    /// the strategy would accumulate weight, so deduplicate first.)
+    #[test]
+    fn weighted_clustering_consistency((n, mut edges) in graph_strategy()) {
+        for e in &mut edges {
+            if e.0 > e.1 {
+                *e = (e.1, e.0);
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        let g = Csr::from_edges(n, &edges);
+        let cw = inet_metrics::weighted::weighted_clustering(&g);
+        let topo = ClusteringStats::measure(&g).local;
+        for v in 0..n {
+            prop_assert!((cw[v] - topo[v]).abs() < 1e-9,
+                "node {v}: {} vs {}", cw[v], topo[v]);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&cw[v]));
+        }
+        // Weighted knn never exceeds the maximum degree.
+        let knn_w = inet_metrics::weighted::weighted_knn(&g);
+        let dmax = g.max_degree() as f64;
+        for &x in &knn_w {
+            prop_assert!(x <= dmax + 1e-9);
+        }
+    }
+
+    /// Degree stats: mean*n = 2E, second moment >= mean^2 (Jensen).
+    #[test]
+    fn degree_moments((n, edges) in graph_strategy()) {
+        let g = Csr::from_edges(n, &edges);
+        let d = DegreeStats::measure(&g);
+        prop_assert!((d.mean * n as f64 - 2.0 * g.edge_count() as f64).abs() < 1e-9);
+        prop_assert!(d.second_moment + 1e-9 >= d.mean * d.mean);
+        prop_assert_eq!(d.max as usize, g.max_degree());
+    }
+}

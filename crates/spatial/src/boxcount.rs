@@ -1,0 +1,120 @@
+//! Box-counting dimension estimation.
+//!
+//! The box-counting dimension of a point set is the slope of
+//! `log N(ε)` versus `log (1/ε)`, where `N(ε)` is the number of grid boxes of
+//! side `ε` containing at least one point. We sweep dyadic scales
+//! `ε = 2^(−k)` and fit the slope by least squares, skipping the saturated
+//! regimes at both ends (boxes so large everything is one box, or so small
+//! every point has its own box).
+
+use crate::Point2;
+use inet_stats::regression::{linear_fit, LinearFit};
+use std::collections::HashSet;
+
+/// Counts occupied boxes at side `1 / 2^k` for points in the unit square.
+pub fn occupied_boxes(points: &[Point2], k: u32) -> usize {
+    let side = (1u64 << k) as f64;
+    let mut boxes: HashSet<(u32, u32)> = HashSet::with_capacity(points.len());
+    for p in points {
+        let bx = ((p.x * side) as u32).min((1 << k) - 1);
+        let by = ((p.y * side) as u32).min((1 << k) - 1);
+        boxes.insert((bx, by));
+    }
+    boxes.len()
+}
+
+/// Estimates the box-counting dimension of a point set in the unit square.
+///
+/// Scales are chosen automatically: `k` runs from 1 while the box count
+/// stays below `points.len() / 4` (beyond that, discreteness saturates the
+/// count and flattens the curve). Returns `None` when fewer than 16 points
+/// or fewer than 3 usable scales exist. The returned fit's `slope` is the
+/// dimension estimate; `slope_se` quantifies scatter.
+pub fn box_counting_dimension(points: &[Point2]) -> Option<LinearFit> {
+    if points.len() < 16 {
+        return None;
+    }
+    let mut log_inv_eps = Vec::new();
+    let mut log_n = Vec::new();
+    for k in 1..=16u32 {
+        let n = occupied_boxes(points, k);
+        if n > points.len() / 4 {
+            break;
+        }
+        log_inv_eps.push(k as f64 * 2f64.ln());
+        log_n.push((n as f64).ln());
+    }
+    if log_n.len() < 3 {
+        return None;
+    }
+    linear_fit(&log_inv_eps, &log_n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inet_stats::rng::seeded_rng;
+    use rand::Rng;
+
+    #[test]
+    fn occupied_boxes_counts_distinct_cells() {
+        let pts = [
+            Point2::new(0.1, 0.1),
+            Point2::new(0.15, 0.12), // same cell at k=1,2
+            Point2::new(0.9, 0.9),
+        ];
+        assert_eq!(occupied_boxes(&pts, 1), 2);
+        assert_eq!(occupied_boxes(&pts, 2), 2);
+        assert_eq!(occupied_boxes(&pts, 3), 3, "0.125-cells separate the close pair");
+    }
+
+    #[test]
+    fn boundary_points_clamp_into_grid() {
+        let pts = [Point2::new(1.0, 1.0), Point2::new(0.0, 0.0)];
+        assert_eq!(occupied_boxes(&pts, 2), 2);
+    }
+
+    #[test]
+    fn uniform_set_has_dimension_two() {
+        let mut rng = seeded_rng(1);
+        let pts: Vec<Point2> = (0..50_000)
+            .map(|_| Point2::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+            .collect();
+        let fit = box_counting_dimension(&pts).unwrap();
+        assert!((fit.slope - 2.0).abs() < 0.15, "dimension {}", fit.slope);
+    }
+
+    #[test]
+    fn points_on_a_line_have_dimension_one() {
+        let mut rng = seeded_rng(2);
+        let pts: Vec<Point2> = (0..50_000)
+            .map(|_| {
+                let t: f64 = rng.gen_range(0.0..1.0);
+                Point2::new(t, t)
+            })
+            .collect();
+        let fit = box_counting_dimension(&pts).unwrap();
+        assert!((fit.slope - 1.0).abs() < 0.12, "dimension {}", fit.slope);
+    }
+
+    #[test]
+    fn single_cluster_has_dimension_near_zero() {
+        let mut rng = seeded_rng(3);
+        let pts: Vec<Point2> = (0..5_000)
+            .map(|_| {
+                Point2::new(
+                    0.5 + rng.gen_range(0.0..1e-6),
+                    0.5 + rng.gen_range(0.0..1e-6),
+                )
+            })
+            .collect();
+        let fit = box_counting_dimension(&pts).unwrap();
+        assert!(fit.slope.abs() < 0.2, "dimension {}", fit.slope);
+    }
+
+    #[test]
+    fn too_few_points_yield_none() {
+        let pts: Vec<Point2> = (0..10).map(|i| Point2::new(i as f64 / 10.0, 0.5)).collect();
+        assert!(box_counting_dimension(&pts).is_none());
+    }
+}

@@ -1,0 +1,224 @@
+//! Randomized Cantor-dust point sets with tunable fractal dimension.
+//!
+//! ## Construction
+//!
+//! Start from the unit square. At each of `depth` levels, split every
+//! surviving cell into its four quadrants and keep each quadrant
+//! independently with probability `p`. The surviving leaf cells form a
+//! statistically self-similar set: at level `L` the expected number of
+//! occupied boxes of side `2^(−L)` is `(4p)^L`, so the box-counting dimension
+//! is
+//!
+//! ```text
+//! D_f = log(4p) / log(2)   ⇔   p = 2^(D_f) / 4.
+//! ```
+//!
+//! `D_f = 2` gives `p = 1` (the full square, i.e. uniform placement);
+//! `D_f = 1.5` — the empirical dimension of Internet router locations —
+//! gives `p = 2^1.5/4 ≈ 0.707`.
+//!
+//! Points are then drawn by picking a surviving leaf uniformly at random and
+//! placing the point uniformly inside it. Because survival is supercritical
+//! for `D_f > 1` (`4p > 1`), extinction is rare; the generator retries with a
+//! fresh subdivision in that case.
+
+use crate::Point2;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a fractal point-set generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FractalSet {
+    /// Target box-counting dimension, in `(0, 2]`.
+    pub dimension: f64,
+    /// Subdivision depth. Cells at the bottom have side `2^(−depth)`;
+    /// 8 levels (cell side ≈ 0.004) is plenty for `10^4`–`10^5` nodes.
+    pub depth: u32,
+}
+
+impl FractalSet {
+    /// Generator for the Internet's empirical router dimension `D_f = 1.5`
+    /// at depth 8.
+    pub fn internet() -> Self {
+        FractalSet { dimension: 1.5, depth: 8 }
+    }
+
+    /// Creates a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < dimension <= 2` and `1 <= depth <= 16`.
+    pub fn new(dimension: f64, depth: u32) -> Self {
+        assert!(
+            dimension > 0.0 && dimension <= 2.0,
+            "fractal dimension must lie in (0, 2]"
+        );
+        assert!((1..=16).contains(&depth), "depth must lie in 1..=16");
+        FractalSet { dimension, depth }
+    }
+
+    /// Quadrant survival probability `p = 2^D_f / 4`.
+    pub fn survival_probability(&self) -> f64 {
+        2f64.powf(self.dimension) / 4.0
+    }
+
+    /// Generates the surviving leaf cells as `(x, y)` integer coordinates on
+    /// the `2^depth × 2^depth` grid. Retries the whole subdivision on
+    /// extinction (possible but rare for `D_f ≥ 1`); gives up and returns the
+    /// full grid after 64 failed attempts (only reachable for tiny `D_f`),
+    /// so callers always get a usable substrate.
+    pub fn generate_cells<R: Rng>(&self, rng: &mut R) -> Vec<(u32, u32)> {
+        let p = self.survival_probability();
+        for _attempt in 0..64 {
+            let mut cells: Vec<(u32, u32)> = vec![(0, 0)];
+            for _level in 0..self.depth {
+                let mut next = Vec::with_capacity(cells.len() * 3);
+                for (x, y) in cells {
+                    for (dx, dy) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+                        if p >= 1.0 || rng.gen_range(0.0..1.0) < p {
+                            next.push((2 * x + dx, 2 * y + dy));
+                        }
+                    }
+                }
+                cells = next;
+                if cells.is_empty() {
+                    break;
+                }
+            }
+            if !cells.is_empty() {
+                return cells;
+            }
+        }
+        // Deterministic fallback: the full grid (uniform placement).
+        let side = 1u32 << self.depth;
+        (0..side)
+            .flat_map(|x| (0..side).map(move |y| (x, y)))
+            .collect()
+    }
+
+    /// Generates `n` points on a fresh fractal set.
+    pub fn generate<R: Rng>(&self, n: usize, rng: &mut R) -> Vec<Point2> {
+        let cells = self.generate_cells(rng);
+        self.place_points(&cells, n, rng)
+    }
+
+    /// Places `n` points uniformly over the given surviving cells (cells may
+    /// be reused across calls to grow a network on a *fixed* geography).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` is empty.
+    pub fn place_points<R: Rng>(
+        &self,
+        cells: &[(u32, u32)],
+        n: usize,
+        rng: &mut R,
+    ) -> Vec<Point2> {
+        assert!(!cells.is_empty(), "cannot place points on an empty cell set");
+        let side = (1u64 << self.depth) as f64;
+        (0..n)
+            .map(|_| {
+                let &(cx, cy) = &cells[rng.gen_range(0..cells.len())];
+                Point2::new(
+                    (cx as f64 + rng.gen_range(0.0..1.0)) / side,
+                    (cy as f64 + rng.gen_range(0.0..1.0)) / side,
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::box_counting_dimension;
+    use inet_stats::rng::seeded_rng;
+
+    #[test]
+    fn survival_probability_formula() {
+        assert!((FractalSet::new(2.0, 4).survival_probability() - 1.0).abs() < 1e-12);
+        assert!((FractalSet::new(1.5, 4).survival_probability() - 2f64.powf(1.5) / 4.0).abs()
+            < 1e-12);
+        assert!((FractalSet::new(1.0, 4).survival_probability() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_dimension_keeps_every_cell() {
+        let mut rng = seeded_rng(0);
+        let cells = FractalSet::new(2.0, 3).generate_cells(&mut rng);
+        assert_eq!(cells.len(), 64);
+    }
+
+    #[test]
+    fn cell_count_tracks_expected_scaling() {
+        let mut rng = seeded_rng(1);
+        let f = FractalSet::new(1.5, 8);
+        let mut counts = Vec::new();
+        for _ in 0..10 {
+            counts.push(f.generate_cells(&mut rng).len() as f64);
+        }
+        let mean = inet_stats::Summary::from_slice(&counts).mean;
+        let expected = (4.0 * f.survival_probability()).powi(8);
+        // Branching process: huge variance, so just demand the right order
+        // of magnitude.
+        assert!(
+            mean > expected / 4.0 && mean < expected * 4.0,
+            "mean {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn points_lie_in_unit_square_and_in_cells() {
+        let mut rng = seeded_rng(2);
+        let f = FractalSet::internet();
+        let pts = f.generate(3000, &mut rng);
+        assert_eq!(pts.len(), 3000);
+        assert!(pts.iter().all(|p| (0.0..1.0).contains(&p.x) && (0.0..1.0).contains(&p.y)));
+    }
+
+    #[test]
+    fn measured_dimension_matches_target() {
+        let mut rng = seeded_rng(3);
+        for (target, tol) in [(1.5f64, 0.22), (2.0, 0.15)] {
+            let f = FractalSet::new(target, 8);
+            let pts = f.generate(40_000, &mut rng);
+            let fit = box_counting_dimension(&pts).expect("enough points");
+            assert!(
+                (fit.slope - target).abs() < tol,
+                "target {target}, measured {}",
+                fit.slope
+            );
+        }
+    }
+
+    #[test]
+    fn shared_cells_give_consistent_geography() {
+        let mut rng = seeded_rng(4);
+        let f = FractalSet::internet();
+        let cells = f.generate_cells(&mut rng);
+        let a = f.place_points(&cells, 100, &mut rng);
+        let b = f.place_points(&cells, 100, &mut rng);
+        // Different points, same support: every point of b lies in a cell.
+        assert_ne!(a, b);
+        let side = 1u32 << f.depth;
+        let cellset: std::collections::HashSet<(u32, u32)> = cells.iter().copied().collect();
+        for p in &b {
+            let cx = (p.x * side as f64) as u32;
+            let cy = (p.y * side as f64) as u32;
+            assert!(cellset.contains(&(cx, cy)), "point outside fractal support");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fractal dimension")]
+    fn rejects_bad_dimension() {
+        let _ = FractalSet::new(2.5, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cell set")]
+    fn rejects_empty_cells() {
+        let mut rng = seeded_rng(5);
+        let _ = FractalSet::internet().place_points(&[], 5, &mut rng);
+    }
+}

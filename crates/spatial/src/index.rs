@@ -1,0 +1,152 @@
+//! Uniform-grid spatial index for radius queries.
+
+use crate::Point2;
+
+/// A uniform bucket grid over the unit square supporting "all points within
+/// radius `r` of `p`" queries in expected `O(points in the r-neighborhood)`.
+///
+/// Used by the random-geometric-graph generator, where the naive all-pairs
+/// scan would be `O(n²)`.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    cells: Vec<Vec<u32>>,
+    points: Vec<Point2>,
+    side: usize,
+}
+
+impl GridIndex {
+    /// Builds an index with cell side ≈ `cell_size` (clamped so the grid has
+    /// between 1 and 1024 cells per axis). Points must lie in `[0, 1]²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not strictly positive and finite.
+    pub fn build(points: &[Point2], cell_size: f64) -> Self {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell size must be positive"
+        );
+        let side = ((1.0 / cell_size).ceil() as usize).clamp(1, 1024);
+        let mut cells = vec![Vec::new(); side * side];
+        for (i, p) in points.iter().enumerate() {
+            let (cx, cy) = Self::cell_of(p, side);
+            cells[cy * side + cx].push(i as u32);
+        }
+        GridIndex { cells, points: points.to_vec(), side }
+    }
+
+    fn cell_of(p: &Point2, side: usize) -> (usize, usize) {
+        let clamp = |v: f64| ((v * side as f64) as usize).min(side - 1);
+        (clamp(p.x), clamp(p.y))
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Indices of all points within Euclidean distance `radius` of `p`
+    /// (including points equal to `p` itself if present). Order is
+    /// deterministic (ascending index).
+    pub fn within(&self, p: &Point2, radius: f64) -> Vec<u32> {
+        let mut out = Vec::new();
+        if radius < 0.0 || self.points.is_empty() {
+            return out;
+        }
+        let cell_w = 1.0 / self.side as f64;
+        let reach = (radius / cell_w).ceil() as isize + 1;
+        let (cx, cy) = Self::cell_of(p, self.side);
+        let r2 = radius * radius;
+        for dy in -reach..=reach {
+            let y = cy as isize + dy;
+            if y < 0 || y >= self.side as isize {
+                continue;
+            }
+            for dx in -reach..=reach {
+                let x = cx as isize + dx;
+                if x < 0 || x >= self.side as isize {
+                    continue;
+                }
+                for &i in &self.cells[y as usize * self.side + x as usize] {
+                    if self.points[i as usize].dist_sq(p) <= r2 {
+                        out.push(i);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inet_stats::rng::seeded_rng;
+    use rand::Rng;
+
+    fn brute_force(points: &[Point2], p: &Point2, r: f64) -> Vec<u32> {
+        points
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| q.dist(p) <= r)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_sets() {
+        let mut rng = seeded_rng(7);
+        let pts: Vec<Point2> = (0..500)
+            .map(|_| Point2::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+            .collect();
+        let idx = GridIndex::build(&pts, 0.05);
+        for _ in 0..50 {
+            let probe = Point2::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0));
+            let r = rng.gen_range(0.0..0.3);
+            assert_eq!(idx.within(&probe, r), brute_force(&pts, &probe, r));
+        }
+    }
+
+    #[test]
+    fn radius_zero_finds_exact_matches_only() {
+        let pts = [Point2::new(0.5, 0.5), Point2::new(0.50001, 0.5)];
+        let idx = GridIndex::build(&pts, 0.1);
+        assert_eq!(idx.within(&Point2::new(0.5, 0.5), 0.0), vec![0]);
+    }
+
+    #[test]
+    fn negative_radius_and_empty_index() {
+        let idx = GridIndex::build(&[], 0.1);
+        assert!(idx.is_empty());
+        assert!(idx.within(&Point2::new(0.5, 0.5), 0.5).is_empty());
+        let idx = GridIndex::build(&[Point2::new(0.5, 0.5)], 0.1);
+        assert!(idx.within(&Point2::new(0.5, 0.5), -1.0).is_empty());
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn boundary_points_are_indexed() {
+        let pts = [Point2::new(1.0, 1.0), Point2::new(0.0, 0.0)];
+        let idx = GridIndex::build(&pts, 0.25);
+        assert_eq!(idx.within(&Point2::new(1.0, 1.0), 0.01), vec![0]);
+        assert_eq!(idx.within(&Point2::new(0.0, 0.0), 0.01), vec![1]);
+    }
+
+    #[test]
+    fn coarse_grid_still_correct() {
+        let mut rng = seeded_rng(8);
+        let pts: Vec<Point2> = (0..200)
+            .map(|_| Point2::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+            .collect();
+        // One cell total: degenerate but must stay correct.
+        let idx = GridIndex::build(&pts, 5.0);
+        let probe = Point2::new(0.3, 0.3);
+        assert_eq!(idx.within(&probe, 0.2), brute_force(&pts, &probe, 0.2));
+    }
+}

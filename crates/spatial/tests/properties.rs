@@ -1,0 +1,76 @@
+//! Property-based tests for spatial substrates.
+
+use inet_spatial::{boxcount, FractalSet, GridIndex, Point2};
+use inet_stats::rng::seeded_rng;
+use proptest::prelude::*;
+
+fn point_strategy() -> impl Strategy<Value = Point2> {
+    (0.0f64..1.0, 0.0f64..1.0).prop_map(|(x, y)| Point2::new(x, y))
+}
+
+proptest! {
+    /// Distance is a metric: symmetric, zero on the diagonal, triangle
+    /// inequality.
+    #[test]
+    fn euclidean_is_a_metric(a in point_strategy(), b in point_strategy(), c in point_strategy()) {
+        prop_assert!((a.dist(&b) - b.dist(&a)).abs() < 1e-12);
+        prop_assert!(a.dist(&a) < 1e-12);
+        prop_assert!(a.dist(&c) <= a.dist(&b) + b.dist(&c) + 1e-12);
+    }
+
+    /// Toroidal distance never exceeds Euclidean distance and is bounded by
+    /// the half-diagonal of the torus.
+    #[test]
+    fn torus_distance_bounds(a in point_strategy(), b in point_strategy()) {
+        let t = a.dist_torus(&b, 1.0);
+        prop_assert!(t <= a.dist(&b) + 1e-12);
+        prop_assert!(t <= (0.5f64 * 0.5 + 0.5 * 0.5).sqrt() + 1e-12);
+        prop_assert!((a.dist_torus(&b, 1.0) - b.dist_torus(&a, 1.0)).abs() < 1e-12);
+    }
+
+    /// Grid-index radius queries agree with brute force for arbitrary point
+    /// sets, probes, radii, and cell sizes.
+    #[test]
+    fn grid_index_matches_brute_force(
+        pts in proptest::collection::vec(point_strategy(), 1..120),
+        probe in point_strategy(),
+        radius in 0.0f64..0.7,
+        cell in 0.01f64..0.9,
+    ) {
+        let idx = GridIndex::build(&pts, cell);
+        let got = idx.within(&probe, radius);
+        let want: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| q.dist(&probe) <= radius)
+            .map(|(i, _)| i as u32)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Occupied-box counts are monotone in resolution and bounded by the
+    /// sample size.
+    #[test]
+    fn box_counts_are_monotone(pts in proptest::collection::vec(point_strategy(), 16..200)) {
+        let mut prev = 0usize;
+        for k in 1..=8 {
+            let n = boxcount::occupied_boxes(&pts, k);
+            prop_assert!(n >= prev, "box count decreased at k={k}");
+            prop_assert!(n <= pts.len());
+            prev = n;
+        }
+    }
+
+    /// Fractal generation always yields points inside the unit square, for
+    /// any dimension and depth in range.
+    #[test]
+    fn fractal_points_in_bounds(dim in 0.8f64..2.0, depth in 2u32..9, seed in 0u64..100) {
+        let f = FractalSet::new(dim, depth);
+        let mut rng = seeded_rng(seed);
+        let pts = f.generate(200, &mut rng);
+        prop_assert_eq!(pts.len(), 200);
+        for p in &pts {
+            prop_assert!((0.0..1.0).contains(&p.x) && (0.0..1.0).contains(&p.y));
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Empirical (complementary) cumulative distribution functions.
+//!
+//! The evaluation plots of Internet-topology papers are almost always CCDFs
+//! (`P(X ≥ x)`), because cumulation removes binning noise from heavy tails.
+//! A power law `p(x) ~ x^(-γ)` has CCDF `~ x^(-(γ-1))`.
+
+use serde::{Deserialize, Serialize};
+
+/// Empirical distribution over the distinct values of a sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ccdf {
+    /// Distinct sample values, ascending.
+    pub values: Vec<f64>,
+    /// `ccdf[i] = P(X >= values[i])` (so `ccdf[0] == 1`).
+    pub ccdf: Vec<f64>,
+    /// Number of samples the distribution was built from.
+    pub n: usize,
+}
+
+impl Ccdf {
+    /// Evaluates `P(X >= x)` by step interpolation.
+    pub fn at(&self, x: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        // First index with value > x; all samples at indices >= that point
+        // have value > x... we need P(X >= x): count values v >= x.
+        match self.values.binary_search_by(|v| v.partial_cmp(&x).expect("finite")) {
+            Ok(i) => self.ccdf[i],
+            Err(i) => {
+                if i >= self.values.len() {
+                    0.0
+                } else {
+                    self.ccdf[i]
+                }
+            }
+        }
+    }
+
+    /// `(value, P(X >= value))` pairs, ascending in value.
+    pub fn points(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.values.iter().copied().zip(self.ccdf.iter().copied())
+    }
+
+    /// Maximum observed value; `None` for an empty distribution.
+    pub fn max(&self) -> Option<f64> {
+        self.values.last().copied()
+    }
+
+    /// Kolmogorov–Smirnov distance to another empirical CCDF, evaluated on
+    /// the union of both supports.
+    pub fn ks_distance(&self, other: &Ccdf) -> f64 {
+        let mut xs: Vec<f64> = self.values.iter().chain(&other.values).copied().collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        xs.dedup();
+        xs.iter()
+            .map(|&x| (self.at(x) - other.at(x)).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Builds the empirical CCDF of a real-valued sample.
+///
+/// Non-finite entries are ignored. Returns an empty distribution for an
+/// empty (or all-non-finite) sample.
+pub fn ccdf_f64(samples: &[f64]) -> Ccdf {
+    let mut xs: Vec<f64> = samples.iter().copied().filter(|x| x.is_finite()).collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("filtered to finite"));
+    let n = xs.len();
+    let mut values = Vec::new();
+    let mut counts: Vec<usize> = Vec::new();
+    for &x in &xs {
+        if values.last().map_or(true, |&last: &f64| x != last) {
+            values.push(x);
+            counts.push(1);
+        } else {
+            *counts.last_mut().expect("non-empty") += 1;
+        }
+    }
+    // ccdf[i] = (number of samples with value >= values[i]) / n
+    let mut ccdf = vec![0.0; values.len()];
+    let mut tail = 0usize;
+    for i in (0..values.len()).rev() {
+        tail += counts[i];
+        ccdf[i] = tail as f64 / n as f64;
+    }
+    Ccdf { values, ccdf, n }
+}
+
+/// Builds the empirical CCDF of an integer-valued sample (degrees, triangle
+/// counts, core indices, ...).
+pub fn ccdf_u64(samples: &[u64]) -> Ccdf {
+    let xs: Vec<f64> = samples.iter().map(|&x| x as f64).collect();
+    ccdf_f64(&xs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_ccdf() {
+        let c = ccdf_u64(&[1, 1, 2, 3]);
+        assert_eq!(c.values, vec![1.0, 2.0, 3.0]);
+        assert_eq!(c.ccdf, vec![1.0, 0.5, 0.25]);
+        assert_eq!(c.n, 4);
+    }
+
+    #[test]
+    fn at_is_a_right_continuous_step() {
+        let c = ccdf_u64(&[1, 2, 2, 5]);
+        assert_eq!(c.at(0.0), 1.0);
+        assert_eq!(c.at(1.0), 1.0);
+        assert_eq!(c.at(1.5), 0.75);
+        assert_eq!(c.at(2.0), 0.75);
+        assert_eq!(c.at(3.0), 0.25);
+        assert_eq!(c.at(5.0), 0.25);
+        assert_eq!(c.at(5.1), 0.0);
+    }
+
+    #[test]
+    fn ccdf_is_monotone_nonincreasing() {
+        let c = ccdf_f64(&[0.3, 0.1, 0.9, 0.9, 2.4, -1.0]);
+        for w in c.ccdf.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert_eq!(c.ccdf[0], 1.0);
+    }
+
+    #[test]
+    fn empty_and_nonfinite() {
+        let c = ccdf_f64(&[]);
+        assert_eq!(c.n, 0);
+        assert_eq!(c.at(1.0), 0.0);
+        assert_eq!(c.max(), None);
+        let c = ccdf_f64(&[f64::NAN, f64::INFINITY]);
+        assert_eq!(c.n, 0);
+    }
+
+    #[test]
+    fn ks_distance_of_identical_is_zero() {
+        let a = ccdf_u64(&[1, 2, 3, 4, 5]);
+        let b = ccdf_u64(&[1, 2, 3, 4, 5]);
+        assert_eq!(a.ks_distance(&b), 0.0);
+    }
+
+    #[test]
+    fn ks_distance_detects_shift() {
+        let a = ccdf_u64(&[1, 2, 3, 4]);
+        let b = ccdf_u64(&[11, 12, 13, 14]);
+        assert!((a.ks_distance(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn points_iterates_pairs() {
+        let c = ccdf_u64(&[2, 4]);
+        let pts: Vec<_> = c.points().collect();
+        assert_eq!(pts, vec![(2.0, 1.0), (4.0, 0.5)]);
+        assert_eq!(c.max(), Some(4.0));
+    }
+}

@@ -1,0 +1,213 @@
+//! Ordinary least squares and the two log-axis fits used throughout the
+//! workspace: log–log (scaling exponents) and exponential growth (rates).
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a simple linear regression `y ≈ slope · x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Standard error of the slope (0 when `n <= 2`).
+    pub slope_se: f64,
+    /// Standard error of the intercept (0 when `n <= 2`).
+    pub intercept_se: f64,
+    /// Coefficient of determination `R²` (1.0 for a perfect fit; 0 when the
+    /// response has no variance).
+    pub r2: f64,
+    /// Number of points used.
+    pub n: usize,
+}
+
+/// Fits `y ≈ slope · x + intercept` by ordinary least squares.
+///
+/// Returns `None` when fewer than two points are supplied or all `x` are
+/// identical (the slope is then undefined). Non-finite pairs are skipped.
+pub fn linear_fit(x: &[f64], y: &[f64]) -> Option<LinearFit> {
+    assert_eq!(x.len(), y.len(), "x/y length mismatch");
+    let pts: Vec<(f64, f64)> = x
+        .iter()
+        .zip(y)
+        .filter(|(a, b)| a.is_finite() && b.is_finite())
+        .map(|(&a, &b)| (a, b))
+        .collect();
+    let n = pts.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mx = pts.iter().map(|p| p.0).sum::<f64>() / nf;
+    let my = pts.iter().map(|p| p.1).sum::<f64>() / nf;
+    let sxx: f64 = pts.iter().map(|p| (p.0 - mx) * (p.0 - mx)).sum();
+    let sxy: f64 = pts.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+    let syy: f64 = pts.iter().map(|p| (p.1 - my) * (p.1 - my)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let ss_res: f64 = pts
+        .iter()
+        .map(|p| {
+            let r = p.1 - (slope * p.0 + intercept);
+            r * r
+        })
+        .sum();
+    let r2 = if syy > 0.0 { 1.0 - ss_res / syy } else { 0.0 };
+    let (slope_se, intercept_se) = if n > 2 {
+        let s2 = ss_res / (nf - 2.0);
+        (
+            (s2 / sxx).sqrt(),
+            (s2 * (1.0 / nf + mx * mx / sxx)).sqrt(),
+        )
+    } else {
+        (0.0, 0.0)
+    };
+    Some(LinearFit { slope, intercept, slope_se, intercept_se, r2, n })
+}
+
+/// Fits a power law `y ≈ c · x^exponent` by least squares on `ln x, ln y`.
+///
+/// Points with non-positive `x` or `y` are skipped. The returned fit's
+/// `slope` is the scaling exponent and `exp(intercept)` the prefactor.
+pub fn loglog_fit(x: &[f64], y: &[f64]) -> Option<LinearFit> {
+    assert_eq!(x.len(), y.len(), "x/y length mismatch");
+    let (lx, ly): (Vec<f64>, Vec<f64>) = x
+        .iter()
+        .zip(y)
+        .filter(|(&a, &b)| a > 0.0 && b > 0.0 && a.is_finite() && b.is_finite())
+        .map(|(&a, &b)| (a.ln(), b.ln()))
+        .unzip();
+    linear_fit(&lx, &ly)
+}
+
+/// Result of an exponential-growth fit `y(t) ≈ y0 · e^(rate · t)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExpGrowthFit {
+    /// Growth rate per unit of `t` (e.g. per month).
+    pub rate: f64,
+    /// Standard error of the rate.
+    pub rate_se: f64,
+    /// Fitted initial value `y0 = y(0)`.
+    pub y0: f64,
+    /// `R²` of the underlying log-linear regression.
+    pub r2: f64,
+    /// Number of points used.
+    pub n: usize,
+}
+
+impl ExpGrowthFit {
+    /// Evaluates the fitted curve at `t`.
+    pub fn at(&self, t: f64) -> f64 {
+        self.y0 * (self.rate * t).exp()
+    }
+
+    /// Doubling time `ln 2 / rate`; infinite for a non-growing fit.
+    pub fn doubling_time(&self) -> f64 {
+        if self.rate <= 0.0 {
+            f64::INFINITY
+        } else {
+            std::f64::consts::LN_2 / self.rate
+        }
+    }
+}
+
+/// Fits `y(t) ≈ y0 · e^(rate t)` by OLS on `ln y`. Non-positive `y` values
+/// are skipped. Returns `None` with fewer than two usable points.
+pub fn exp_growth_fit(t: &[f64], y: &[f64]) -> Option<ExpGrowthFit> {
+    assert_eq!(t.len(), y.len(), "t/y length mismatch");
+    let (ts, ly): (Vec<f64>, Vec<f64>) = t
+        .iter()
+        .zip(y)
+        .filter(|(&a, &b)| b > 0.0 && a.is_finite() && b.is_finite())
+        .map(|(&a, &b)| (a, b.ln()))
+        .unzip();
+    let lf = linear_fit(&ts, &ly)?;
+    Some(ExpGrowthFit {
+        rate: lf.slope,
+        rate_se: lf.slope_se,
+        y0: lf.intercept.exp(),
+        r2: lf.r2,
+        n: lf.n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [1.0, 3.0, 5.0, 7.0];
+        let f = linear_fit(&x, &y).unwrap();
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.intercept - 1.0).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+        assert!(f.slope_se < 1e-9);
+    }
+
+    #[test]
+    fn noisy_line_has_nonzero_errors() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| 3.0 * v + ((v * 7.7).sin())).collect();
+        let f = linear_fit(&x, &y).unwrap();
+        assert!((f.slope - 3.0).abs() < 0.02);
+        assert!(f.slope_se > 0.0);
+        assert!(f.r2 > 0.99);
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_none() {
+        assert!(linear_fit(&[], &[]).is_none());
+        assert!(linear_fit(&[1.0], &[2.0]).is_none());
+        assert!(linear_fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]).is_none());
+        assert!(linear_fit(&[f64::NAN, 1.0], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn constant_response_r2_is_zero() {
+        let f = linear_fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.r2, 0.0);
+    }
+
+    #[test]
+    fn loglog_recovers_power_exponent() {
+        let x: Vec<f64> = (1..100).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| 4.0 * v.powf(-2.5)).collect();
+        let f = loglog_fit(&x, &y).unwrap();
+        assert!((f.slope + 2.5).abs() < 1e-9);
+        assert!((f.intercept.exp() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loglog_skips_nonpositive() {
+        let f = loglog_fit(&[1.0, 2.0, 0.0, -4.0, 4.0], &[1.0, 2.0, 5.0, 5.0, 4.0]).unwrap();
+        assert_eq!(f.n, 3);
+        assert!((f.slope - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exponential_growth_rate_recovered() {
+        // y = 100 e^{0.03 t}, monthly samples over 54 months (the Fig. 1 shape).
+        let t: Vec<f64> = (0..54).map(|m| m as f64).collect();
+        let y: Vec<f64> = t.iter().map(|&m| 100.0 * (0.03 * m).exp()).collect();
+        let f = exp_growth_fit(&t, &y).unwrap();
+        assert!((f.rate - 0.03).abs() < 1e-10);
+        assert!((f.y0 - 100.0).abs() < 1e-6);
+        assert!((f.at(10.0) - 100.0 * (0.3f64).exp()).abs() < 1e-6);
+        assert!((f.doubling_time() - std::f64::consts::LN_2 / 0.03).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decay_has_infinite_doubling_time() {
+        let t = [0.0, 1.0, 2.0];
+        let y = [4.0, 2.0, 1.0];
+        let f = exp_growth_fit(&t, &y).unwrap();
+        assert!(f.rate < 0.0);
+        assert!(f.doubling_time().is_infinite());
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the statistical toolbox.
+
+use inet_stats::rng::seeded_rng;
+use inet_stats::{ccdf_f64, linear_fit, loglog_fit, DynamicWeightedSampler, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    /// CCDF starts at 1, is monotone non-increasing, and `at` agrees with
+    /// direct counting.
+    #[test]
+    fn ccdf_invariants(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let c = ccdf_f64(&xs);
+        prop_assert_eq!(c.n, xs.len());
+        prop_assert!((c.ccdf[0] - 1.0).abs() < 1e-12);
+        for w in c.ccdf.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+        // at() agrees with direct counting for a few probes.
+        for &probe in xs.iter().take(10) {
+            let direct = xs.iter().filter(|&&x| x >= probe).count() as f64 / xs.len() as f64;
+            prop_assert!((c.at(probe) - direct).abs() < 1e-12);
+        }
+    }
+
+    /// Summary mean is within [min, max]; variance is non-negative.
+    #[test]
+    fn summary_bounds(xs in proptest::collection::vec(-1e9f64..1e9, 1..300)) {
+        let s = Summary::from_slice(&xs);
+        prop_assert!(s.mean >= s.min - 1e-6 && s.mean <= s.max + 1e-6);
+        prop_assert!(s.variance >= 0.0);
+        prop_assert_eq!(s.n, xs.len());
+    }
+
+    /// Fitting a noiseless planted line recovers it to floating-point
+    /// accuracy, regardless of the sampled coefficients.
+    #[test]
+    fn linear_fit_recovers_planted_line(
+        slope in -100.0f64..100.0,
+        intercept in -100.0f64..100.0,
+        n in 3usize..60,
+    ) {
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| slope * v + intercept).collect();
+        let f = linear_fit(&x, &y).unwrap();
+        prop_assert!((f.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+        prop_assert!((f.intercept - intercept).abs() < 1e-5 * (1.0 + intercept.abs()));
+    }
+
+    /// Log-log fit recovers a planted power law for any positive prefactor
+    /// and exponent in a reasonable range.
+    #[test]
+    fn loglog_fit_recovers_planted_power(
+        expo in -4.0f64..4.0,
+        prefactor in 0.01f64..100.0,
+    ) {
+        let x: Vec<f64> = (1..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| prefactor * v.powf(expo)).collect();
+        let f = loglog_fit(&x, &y).unwrap();
+        prop_assert!((f.slope - expo).abs() < 1e-6);
+    }
+
+    /// The Fenwick sampler's total always equals the sum of its weights,
+    /// and sampling only returns indices with positive weight.
+    #[test]
+    fn fenwick_sampler_consistency(
+        weights in proptest::collection::vec(0.0f64..100.0, 1..80),
+        updates in proptest::collection::vec((0usize..80, 0.0f64..100.0), 0..40),
+        seed in 0u64..1000,
+    ) {
+        let mut s = DynamicWeightedSampler::from_weights(&weights);
+        let mut expect: Vec<f64> = weights.clone();
+        for (i, w) in updates {
+            let i = i % expect.len();
+            s.set_weight(i, w);
+            expect[i] = w;
+        }
+        let total: f64 = expect.iter().sum();
+        prop_assert!((s.total() - total).abs() < 1e-6 * (1.0 + total));
+        let mut rng = seeded_rng(seed);
+        if total > 0.0 {
+            for _ in 0..20 {
+                let i = s.sample(&mut rng).unwrap();
+                prop_assert!(expect[i] > 0.0, "sampled zero-weight index {i}");
+            }
+        } else {
+            prop_assert!(s.sample(&mut rng).is_none());
+        }
+    }
+
+    /// Discrete power-law samples are always >= xmin and the MLE exponent
+    /// lands near the planted one for large-enough samples. Domain note:
+    /// the CSN `xmin - 1/2` continuous approximation biases both the
+    /// sampler and the estimator, and the residual mismatch grows with the
+    /// exponent at small `xmin` — visible from `xmin = 1` (excluded) and
+    /// beyond `gamma ~ 3.3` (excluded); inside the domain the bias stays
+    /// within the asserted band.
+    #[test]
+    fn powerlaw_sampler_and_mle(gamma in 1.8f64..3.2, xmin in 2u64..8) {
+        let mut rng = seeded_rng(gamma.to_bits() ^ xmin);
+        let xs: Vec<u64> = (0..6000)
+            .map(|_| inet_stats::powerlaw::sample_discrete(gamma, xmin, &mut rng))
+            .collect();
+        prop_assert!(xs.iter().all(|&x| x >= xmin));
+        let fit = inet_stats::powerlaw::fit_discrete(&xs, xmin).unwrap();
+        // Generous tolerance: 6k samples, discrete approximation.
+        prop_assert!((fit.gamma - gamma).abs() < 0.35,
+            "planted {gamma}, fitted {}", fit.gamma);
+    }
+}

@@ -1,0 +1,56 @@
+//! Classic topology generators vs the competition–adaptation model,
+//! side by side on the measures that discriminate them.
+//!
+//! ```sh
+//! cargo run --release --example generator_comparison [size]
+//! ```
+
+use inet_model::graph::traversal::giant_component;
+use inet_model::prelude::*;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3000);
+
+    let generators: Vec<Box<dyn Generator>> = vec![
+        Box::new(Gnp::with_mean_degree(n, 4.2)),
+        Box::new(Waxman::with_mean_degree(n, 0.2, 4.2)),
+        Box::new(BarabasiAlbert::new(n, 2)),
+        Box::new(Glp::internet_2001(n)),
+        Box::new(Pfp::internet(n)),
+        Box::new(SerranoModel::new(SerranoParams::small(n))),
+    ];
+
+    println!(
+        "{:<28} {:>7} {:>8} {:>8} {:>8} {:>7} {:>6}",
+        "generator", "<k>", "gamma", "clust", "assort", "<l>", "core"
+    );
+    for (i, generator) in generators.iter().enumerate() {
+        let mut rng = child_rng(777, i as u64);
+        let net = generator.generate(&mut rng);
+        let (giant, _) = giant_component(&net.graph.to_csr());
+        let report = TopologyReport::measure(&giant);
+        println!(
+            "{:<28} {:>7.2} {:>8} {:>8.3} {:>8.3} {:>7.2} {:>6}",
+            net.name,
+            report.mean_degree,
+            report
+                .gamma
+                .map(|g| format!("{g:.2}"))
+                .unwrap_or_else(|| "-".into()),
+            report.mean_clustering,
+            report.assortativity,
+            report.mean_path_length,
+            report.coreness,
+        );
+    }
+
+    println!(
+        "\nwhat to look for: ER/Waxman have no heavy tail (gamma meaningless, \
+         tiny clustering);\nplain BA gets the tail but gamma ~ 3 and no \
+         clustering; GLP/PFP/Serrano land in the\nInternet band \
+         (gamma ~ 2.2, clustering ~ 0.3, disassortative, <l> < 4, deep cores)."
+    );
+}

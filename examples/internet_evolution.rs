@@ -1,0 +1,59 @@
+//! The full demand/supply story, end to end:
+//!
+//! 1. fit growth rates from a (synthetic) host/AS/link archive trace;
+//! 2. feed the fitted rate algebra into the competition–adaptation model;
+//! 3. grow an AS-map-scale Internet;
+//! 4. validate the result against the published 2001 AS-map targets.
+//!
+//! ```sh
+//! cargo run --release --example internet_evolution [size]
+//! ```
+
+use inet_model::growth::fit::FittedRates;
+use inet_model::prelude::*;
+
+fn main() {
+    let size: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6000);
+
+    // --- 1. The environment's history. -----------------------------------
+    let mut rng = seeded_rng(2001);
+    let trace = InternetTrace::generate(TraceConfig::oregon_era(), &mut rng);
+    let fits = FittedRates::fit(&trace).expect("trace is fittable");
+    println!("fitted growth rates from the 55-month archive trace:");
+    println!("{}\n", fits.render());
+    let rates = fits.rates();
+    println!(
+        "rate algebra: tau = {:.3}, mu = {:.3}, predicted gamma = {:.2}\n",
+        rates.tau(),
+        rates.mu(),
+        rates.gamma()
+    );
+
+    // --- 2 + 3. Grow the Internet at those rates. ------------------------
+    // The model wants (alpha, beta, delta'); delta' follows from the fitted
+    // triple through the closure delta' = alpha*beta/(2 beta - delta).
+    let mut params = SerranoParams::paper_2001();
+    params.alpha = rates.alpha;
+    params.beta = rates.beta;
+    params.delta_prime = rates.delta_prime();
+    params.target_n = size;
+    let model = SerranoModel::new(params);
+    let run = model.run(&mut rng);
+    println!(
+        "model run: {} ASs after {} months, {:.2e} users, bandwidth {}",
+        run.network.graph.node_count(),
+        run.iterations,
+        run.history.last().expect("non-empty").users,
+        run.network.graph.total_weight()
+    );
+
+    // --- 4. Validate against the published AS-map targets. ---------------
+    let (giant, _) =
+        inet_model::graph::traversal::giant_component(&run.network.graph.to_csr());
+    let validation = ValidationReport::run(&giant, &inet_model::reference::AS_MAP_2001);
+    println!("\nvalidation against the 2001 AS-map targets:");
+    println!("{}", validation.render());
+}

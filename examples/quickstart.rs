@@ -1,0 +1,43 @@
+//! Quickstart: grow a small Internet with the competition–adaptation model
+//! and print its headline measures.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use inet_model::prelude::*;
+
+fn main() {
+    // Every stochastic API takes an explicit RNG: fixed seed, fixed result.
+    let mut rng = seeded_rng(42);
+
+    // The paper's parameterization, scaled down to 1000 ASs for speed.
+    let model = SerranoModel::new(SerranoParams::small(1000));
+    let run = model.run(&mut rng);
+
+    println!("grew an Internet in {} iterations ('months'):", run.iterations);
+    println!(
+        "  {} ASs, {} inter-AS links, total bandwidth {}",
+        run.network.graph.node_count(),
+        run.network.graph.edge_count(),
+        run.network.graph.total_weight(),
+    );
+
+    // All measurement runs on an immutable CSR snapshot of the giant
+    // component.
+    let csr = run.network.graph.to_csr();
+    let (giant, _) = inet_model::graph::traversal::giant_component(&csr);
+    let report = TopologyReport::measure(&giant);
+    println!("\nheadline measures (giant component):");
+    println!("{}", report.render());
+
+    // The environment is part of the model: every AS has a user population.
+    let users = run.network.users.as_ref().expect("user pool recorded");
+    let biggest = users.iter().cloned().fold(0.0f64, f64::max);
+    let total: f64 = users.iter().sum();
+    println!(
+        "\nbiggest AS serves {:.1}% of the {:.2e} users",
+        100.0 * biggest / total,
+        total
+    );
+}

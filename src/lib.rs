@@ -1,0 +1,24 @@
+//! # inet-suite — examples and integration tests for the `inet-model`
+//! toolkit
+//!
+//! This crate holds the runnable entry points of the workspace:
+//!
+//! * `examples/quickstart.rs` — smallest possible end-to-end run;
+//! * `examples/internet_evolution.rs` — the full demand/supply story:
+//!   growth-rate fitting, a paper-scale model run, validation against the
+//!   published AS-map targets;
+//! * `examples/generator_comparison.rs` — classic generators vs the
+//!   competition–adaptation model, side by side;
+//! * `examples/spatial_internet.rs` — fractal geography and what the
+//!   distance constraint does to the topology;
+//! * `examples/kcore_hierarchy.rs` — drilling into the nested k-core
+//!   hierarchy of a generated Internet.
+//!
+//! Run any of them with `cargo run --release --example <name>`.
+//!
+//! The library surface itself lives in [`inet_model`]; this crate only
+//! re-exports it for the examples' convenience.
+
+#![forbid(unsafe_code)]
+
+pub use inet_model;

@@ -1,0 +1,282 @@
+//! `inet` — command-line front end of the toolkit.
+//!
+//! ```text
+//! inet generate <model> <n> [seed]      # grow a topology, write edge list to stdout
+//! inet measure  <edge-list-file|->      # headline report of a topology
+//! inet validate <edge-list-file|->      # compare against the 2001 AS-map targets
+//! inet tiers    <edge-list-file|->      # backbone/transit/fringe stratification
+//! inet trace    [months]                # synthetic growth trace + fitted rates
+//! ```
+//!
+//! Models: `serrano`, `serrano-nodist`, `ba`, `ab-ext`, `bianconi`, `glp`,
+//! `pfp`, `inet`, `waxman`, `er`, `fkp`, `brite`, `goh`, `ws`, `rgg`. Edge lists use the workspace's
+//! `# nodes N` + `u v w` format; `-` reads stdin.
+
+use inet_suite::inet_model::growth::fit::FittedRates;
+use inet_suite::inet_model::metrics::tiers::TierDecomposition;
+use inet_suite::inet_model::prelude::*;
+use std::io::Read;
+
+/// Parsed command line.
+#[derive(Debug, PartialEq)]
+enum Command {
+    Generate { model: String, n: usize, seed: u64 },
+    Measure { path: String },
+    Validate { path: String },
+    Tiers { path: String },
+    Trace { months: usize },
+    Help,
+}
+
+fn parse_args(args: &[String]) -> Result<Command, String> {
+    match args.first().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
+        Some("generate") => {
+            let model = args.get(1).ok_or("generate: missing <model>")?.clone();
+            let n = args
+                .get(2)
+                .ok_or("generate: missing <n>")?
+                .parse::<usize>()
+                .map_err(|_| "generate: <n> must be an integer".to_string())?;
+            let seed = match args.get(3) {
+                Some(s) => s
+                    .parse::<u64>()
+                    .map_err(|_| "generate: [seed] must be an integer".to_string())?,
+                None => 42,
+            };
+            if !(8..=500_000).contains(&n) {
+                return Err("generate: <n> must lie in 8..=500000".into());
+            }
+            Ok(Command::Generate { model, n, seed })
+        }
+        Some("measure") => Ok(Command::Measure {
+            path: args.get(1).ok_or("measure: missing <file>")?.clone(),
+        }),
+        Some("validate") => Ok(Command::Validate {
+            path: args.get(1).ok_or("validate: missing <file>")?.clone(),
+        }),
+        Some("tiers") => Ok(Command::Tiers {
+            path: args.get(1).ok_or("tiers: missing <file>")?.clone(),
+        }),
+        Some("trace") => {
+            let months = match args.get(1) {
+                Some(s) => s
+                    .parse::<usize>()
+                    .map_err(|_| "trace: [months] must be an integer".to_string())?,
+                None => 55,
+            };
+            if !(2..=2000).contains(&months) {
+                return Err("trace: [months] must lie in 2..=2000".into());
+            }
+            Ok(Command::Trace { months })
+        }
+        Some(other) => Err(format!("unknown command '{other}' (try 'inet help')")),
+    }
+}
+
+fn build_generator(model: &str, n: usize) -> Result<Box<dyn Generator>, String> {
+    Ok(match model {
+        "serrano" => Box::new(SerranoModel::new(SerranoParams::small(n))),
+        "serrano-nodist" => {
+            let mut p = SerranoParams::small(n);
+            p.distance = None;
+            Box::new(SerranoModel::new(p))
+        }
+        "ba" => Box::new(BarabasiAlbert::new(n, 2)),
+        "glp" => Box::new(Glp::internet_2001(n)),
+        "pfp" => Box::new(Pfp::internet(n)),
+        "inet" => Box::new(InetLike::as_map_2001(n)),
+        "waxman" => Box::new(Waxman::with_mean_degree(n, 0.2, 4.2)),
+        "er" => Box::new(Gnp::with_mean_degree(n, 4.2)),
+        "fkp" => Box::new(Fkp::new(n, 10.0)),
+        "brite" => Box::new(BriteLike::new(
+            n,
+            2,
+            0.2,
+            inet_suite::inet_model::generators::brite::Placement::Fractal(1.5),
+        )),
+        "goh" => Box::new(GohStatic::with_gamma(n, 2, 2.2)),
+        "ab-ext" => Box::new(AlbertBarabasiExtended::new(n, 1, 0.3, 0.2)),
+        "bianconi" => Box::new(BianconiBarabasi::new(n, 2, FitnessDistribution::Uniform)),
+        "ws" => Box::new(WattsStrogatz::new(n, 4, 0.1)),
+        "rgg" => Box::new(RandomGeometric::with_mean_degree(n, 4.2)),
+        other => return Err(format!("unknown model '{other}'")),
+    })
+}
+
+fn load_graph(path: &str) -> Result<MultiGraph, String> {
+    let text = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
+    };
+    inet_suite::inet_model::graph::io::read_edge_list(text.as_bytes())
+        .map_err(|e| format!("{path}: {e}"))
+}
+
+fn giant(g: &MultiGraph) -> Csr {
+    inet_suite::inet_model::graph::traversal::giant_component(&g.to_csr()).0
+}
+
+fn run(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Help => {
+            println!(
+                "inet — Internet topology modeling toolkit\n\n\
+                 usage:\n  \
+                 inet generate <model> <n> [seed]   grow a topology (edge list on stdout)\n  \
+                 inet measure  <file|->             headline report\n  \
+                 inet validate <file|->             compare vs the 2001 AS-map targets\n  \
+                 inet tiers    <file|->             backbone/transit/fringe split\n  \
+                 inet trace    [months]             synthetic growth trace + rate fits\n\n\
+                 models: serrano serrano-nodist ba ab-ext bianconi glp pfp inet waxman er fkp brite goh ws rgg"
+            );
+            Ok(())
+        }
+        Command::Generate { model, n, seed } => {
+            let generator = build_generator(&model, n)?;
+            let mut rng = seeded_rng(seed);
+            let net = generator.generate(&mut rng);
+            let mut out = Vec::new();
+            inet_suite::inet_model::graph::io::write_edge_list(&net.graph, &mut out)
+                .map_err(|e| e.to_string())?;
+            print!("{}", String::from_utf8_lossy(&out));
+            eprintln!(
+                "# generated {} ({} nodes, {} edges, weight {})",
+                net.name,
+                net.graph.node_count(),
+                net.graph.edge_count(),
+                net.graph.total_weight()
+            );
+            Ok(())
+        }
+        Command::Measure { path } => {
+            let g = load_graph(&path)?;
+            let report = TopologyReport::measure(&giant(&g));
+            println!("{}", report.render());
+            Ok(())
+        }
+        Command::Validate { path } => {
+            let g = load_graph(&path)?;
+            let v = ValidationReport::run(&giant(&g), &inet_suite::inet_model::reference::AS_MAP_2001);
+            println!("{}", v.render());
+            if v.pass_count() * 2 >= v.outcomes.len() {
+                Ok(())
+            } else {
+                Err("validation failed on most checks".into())
+            }
+        }
+        Command::Tiers { path } => {
+            let g = load_graph(&path)?;
+            let t = TierDecomposition::measure(&giant(&g));
+            println!(
+                "backbone (core {}): {}\ntransit           : {}\nfringe            : {} ({:.1}%)",
+                t.backbone_core,
+                t.backbone,
+                t.transit,
+                t.fringe,
+                100.0 * t.fringe_fraction()
+            );
+            Ok(())
+        }
+        Command::Trace { months } => {
+            let mut rng = seeded_rng(2001);
+            let config = TraceConfig { months, ..TraceConfig::oregon_era() };
+            let trace = InternetTrace::generate(config, &mut rng);
+            let fits = FittedRates::fit(&trace).ok_or("trace unfittable")?;
+            println!("{}", fits.render());
+            Ok(())
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args).and_then(run) {
+        Ok(()) => {}
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_help_variants() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&strs(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse_args(&strs(&["--help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parses_generate() {
+        assert_eq!(
+            parse_args(&strs(&["generate", "ba", "100", "7"])).unwrap(),
+            Command::Generate { model: "ba".into(), n: 100, seed: 7 }
+        );
+        assert_eq!(
+            parse_args(&strs(&["generate", "glp", "100"])).unwrap(),
+            Command::Generate { model: "glp".into(), n: 100, seed: 42 }
+        );
+        assert!(parse_args(&strs(&["generate", "ba"])).is_err());
+        assert!(parse_args(&strs(&["generate", "ba", "x"])).is_err());
+        assert!(parse_args(&strs(&["generate", "ba", "4"])).is_err(), "n too small");
+    }
+
+    #[test]
+    fn parses_file_commands_and_trace() {
+        assert_eq!(
+            parse_args(&strs(&["measure", "g.txt"])).unwrap(),
+            Command::Measure { path: "g.txt".into() }
+        );
+        assert!(parse_args(&strs(&["measure"])).is_err());
+        assert_eq!(
+            parse_args(&strs(&["trace"])).unwrap(),
+            Command::Trace { months: 55 }
+        );
+        assert!(parse_args(&strs(&["trace", "1"])).is_err());
+        assert!(parse_args(&strs(&["nonsense"])).is_err());
+    }
+
+    #[test]
+    fn every_advertised_model_builds() {
+        for model in [
+            "serrano", "serrano-nodist", "ba", "ab-ext", "bianconi", "glp", "pfp", "inet",
+            "waxman", "er", "fkp", "brite", "goh", "ws", "rgg",
+        ] {
+            assert!(build_generator(model, 100).is_ok(), "{model}");
+        }
+        assert!(build_generator("zzz", 100).is_err());
+    }
+
+    #[test]
+    fn generate_and_measure_round_trip_through_files() {
+        let generator = build_generator("glp", 200).unwrap();
+        let mut rng = seeded_rng(1);
+        let net = generator.generate(&mut rng);
+        let dir = std::env::temp_dir().join("inet_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        let mut out = Vec::new();
+        inet_suite::inet_model::graph::io::write_edge_list(&net.graph, &mut out).unwrap();
+        std::fs::write(&path, out).unwrap();
+        let loaded = load_graph(path.to_str().unwrap()).unwrap();
+        assert_eq!(loaded, net.graph);
+        // run() paths execute without error.
+        run(Command::Measure { path: path.to_str().unwrap().into() }).unwrap();
+        run(Command::Tiers { path: path.to_str().unwrap().into() }).unwrap();
+        run(Command::Trace { months: 20 }).unwrap();
+    }
+}

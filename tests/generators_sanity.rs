@@ -1,0 +1,111 @@
+//! Cross-generator sanity: the whole suite honors the `Generator` contract.
+
+use inet_model::graph::traversal;
+use inet_model::prelude::*;
+
+fn suite(n: usize) -> Vec<Box<dyn Generator>> {
+    vec![
+        Box::new(Gnp::with_mean_degree(n, 4.2)),
+        Box::new(Gnm::new(n, 2 * n)),
+        Box::new(Waxman::with_mean_degree(n, 0.2, 4.2)),
+        Box::new(RandomGeometric::with_mean_degree(n, 4.2)),
+        Box::new(BarabasiAlbert::new(n, 2)),
+        Box::new(Glp::internet_2001(n)),
+        Box::new(InetLike::as_map_2001(n)),
+        Box::new(Fkp::new(n, 8.0)),
+        Box::new(Pfp::internet(n)),
+        Box::new(BriteLike::new(
+            n,
+            2,
+            0.2,
+            inet_model::generators::brite::Placement::Fractal(1.5),
+        )),
+        Box::new(SerranoModel::new(SerranoParams::small(n))),
+    ]
+}
+
+#[test]
+fn every_generator_produces_a_valid_graph_of_requested_size() {
+    for generator in suite(400) {
+        let mut rng = seeded_rng(1);
+        let net = generator.generate(&mut rng);
+        assert!(
+            net.graph.node_count() >= 400,
+            "{}: got {} nodes",
+            net.name,
+            net.graph.node_count()
+        );
+        net.graph.validate().unwrap_or_else(|e| panic!("{}: {e}", net.name));
+        assert!(!net.name.is_empty());
+    }
+}
+
+#[test]
+fn every_generator_is_deterministic_per_seed() {
+    for generator in suite(250) {
+        let a = generator.generate(&mut seeded_rng(7));
+        let b = generator.generate(&mut seeded_rng(7));
+        assert_eq!(a.graph, b.graph, "{} not deterministic", a.name);
+    }
+}
+
+#[test]
+fn spatial_generators_expose_positions() {
+    let n = 300;
+    let spatial: Vec<Box<dyn Generator>> = vec![
+        Box::new(Waxman::with_mean_degree(n, 0.2, 4.0)),
+        Box::new(RandomGeometric::with_mean_degree(n, 4.0)),
+        Box::new(Fkp::new(n, 8.0)),
+        Box::new(BriteLike::new(
+            n,
+            2,
+            0.2,
+            inet_model::generators::brite::Placement::Uniform,
+        )),
+        Box::new(SerranoModel::new(SerranoParams::small(n))),
+    ];
+    for generator in spatial {
+        let mut rng = seeded_rng(3);
+        let net = generator.generate(&mut rng);
+        let positions = net
+            .positions
+            .as_ref()
+            .unwrap_or_else(|| panic!("{}: no positions", net.name));
+        assert_eq!(positions.len(), net.graph.node_count(), "{}", net.name);
+    }
+}
+
+#[test]
+fn growth_generators_build_connected_networks() {
+    for generator in [
+        Box::new(BarabasiAlbert::new(300, 2)) as Box<dyn Generator>,
+        Box::new(Glp::internet_2001(300)),
+        Box::new(InetLike::as_map_2001(300)),
+        Box::new(Fkp::new(300, 8.0)),
+        Box::new(Pfp::internet(300)),
+    ] {
+        let mut rng = seeded_rng(4);
+        let net = generator.generate(&mut rng);
+        let csr = net.graph.to_csr();
+        assert!(
+            traversal::connected_components(&csr).is_connected(),
+            "{} disconnected",
+            net.name
+        );
+    }
+}
+
+#[test]
+fn heavy_tail_generators_beat_homogeneous_ones_on_max_degree() {
+    let n = 2000;
+    let max_deg = |generator: Box<dyn Generator>| {
+        let mut rng = seeded_rng(5);
+        let net = generator.generate(&mut rng);
+        net.graph.to_csr().max_degree()
+    };
+    let er = max_deg(Box::new(Gnp::with_mean_degree(n, 4.2)));
+    let ba = max_deg(Box::new(BarabasiAlbert::new(n, 2)));
+    let serrano = max_deg(Box::new(SerranoModel::new(SerranoParams::small(n))));
+    assert!(ba > 2 * er, "BA hub ({ba}) should dwarf ER max ({er})");
+    assert!(serrano > 2 * er, "Serrano hub ({serrano}) should dwarf ER max ({er})");
+}

@@ -1,0 +1,84 @@
+//! End-to-end pipeline tests spanning every crate in the workspace:
+//! trace → rate fitting → model growth → measurement → validation.
+
+use inet_model::growth::fit::FittedRates;
+use inet_model::prelude::*;
+
+#[test]
+fn archive_trace_to_validated_internet() {
+    // 1. Fit growth rates from the synthetic archive.
+    let mut rng = seeded_rng(0xE2E);
+    let trace = InternetTrace::generate(TraceConfig::oregon_era(), &mut rng);
+    let rates = FittedRates::fit(&trace).expect("fittable").rates();
+    assert!(rates.alpha > rates.beta, "demand must lead supply");
+
+    // 2. Drive the model with the fitted algebra.
+    let mut params = SerranoParams::paper_2001();
+    params.alpha = rates.alpha;
+    params.beta = rates.beta;
+    params.delta_prime = rates.delta_prime();
+    params.target_n = 2000;
+    let run = SerranoModel::new(params).run(&mut rng);
+    assert!(run.network.graph.node_count() >= 2000);
+
+    // 3. Measure and validate.
+    let (giant, _) = inet_model::graph::traversal::giant_component(&run.network.graph.to_csr());
+    let validation = ValidationReport::run(&giant, &inet_model::reference::AS_MAP_2001);
+    assert!(
+        validation.pass_count() >= 4,
+        "pipeline output degraded:\n{}",
+        validation.render()
+    );
+}
+
+#[test]
+fn reference_map_pipeline() {
+    let mut rng = seeded_rng(0xBEE);
+    let targets = inet_model::reference::AS_MAP_2001;
+    let reference = inet_model::reference::build_reference_csr(&targets, &mut rng);
+    assert!(reference.node_count() as f64 > 0.9 * targets.nodes as f64);
+    let report = TopologyReport::measure(&reference);
+    assert!(report.gamma.is_some(), "reference map must have a fittable tail");
+    assert!(report.mean_path_length < 5.0, "reference map must be small world");
+    assert!(report.assortativity < 0.0, "reference map must be disassortative");
+}
+
+#[test]
+fn model_history_feeds_growth_fits() {
+    // The model's own recorded history must be fittable by the same
+    // machinery used for archive traces.
+    let run = inet_model::experiment::ModelVariant::WithoutDistance.run(1500, 3);
+    let t: Vec<f64> = run.history.iter().map(|h| h.t as f64).collect();
+    let users: Vec<f64> = run.history.iter().map(|h| h.users).collect();
+    let half = t.len() / 2;
+    let fit = inet_model::stats::regression::exp_growth_fit(&t[half..], &users[half..])
+        .expect("fittable");
+    assert!((fit.rate - 0.035).abs() < 0.01, "user growth rate {} drifted", fit.rate);
+}
+
+#[test]
+fn graph_io_round_trips_generated_networks() {
+    let mut rng = seeded_rng(0x10);
+    let net = Glp::internet_2001(300).generate(&mut rng);
+    let mut buffer = Vec::new();
+    inet_model::graph::io::write_edge_list(&net.graph, &mut buffer).expect("write");
+    let parsed = inet_model::graph::io::read_edge_list(buffer.as_slice()).expect("read");
+    assert_eq!(parsed, net.graph);
+}
+
+#[test]
+fn weighted_networks_round_trip_with_multiplicities() {
+    let mut rng = seeded_rng(0x11);
+    let mut params = SerranoParams::small(400);
+    params.distance = None;
+    let net = SerranoModel::new(params).generate(&mut rng);
+    assert!(
+        net.graph.total_weight() > net.graph.edge_count() as u64,
+        "the weighted model must carry multiplicities"
+    );
+    let mut buffer = Vec::new();
+    inet_model::graph::io::write_edge_list(&net.graph, &mut buffer).expect("write");
+    let parsed = inet_model::graph::io::read_edge_list(buffer.as_slice()).expect("read");
+    assert_eq!(parsed.total_weight(), net.graph.total_weight());
+    assert_eq!(parsed, net.graph);
+}
