@@ -6,8 +6,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use inet_model::metrics::{
-    betweenness_sampled, ClusteringStats, CycleCensus, DegreeStats, KCoreDecomposition,
-    KnnStats, PathStats,
+    betweenness_sampled, ClusteringStats, CycleCensus, DegreeStats, KCoreDecomposition, KnnStats,
+    PathStats,
 };
 use inet_model::prelude::*;
 
@@ -53,6 +53,28 @@ fn bench_metrics(c: &mut Criterion) {
     group.bench_function("powerlaw_fit_auto", |b| {
         let degrees = DegreeStats::measure(&g).degrees;
         b.iter(|| std::hint::black_box(inet_model::stats::powerlaw::fit_discrete_auto(&degrees)))
+    });
+    // The fused engine's headline: one sweep for paths + betweenness vs the
+    // seed's two independent passes (plus seed vs forward triangle
+    // counting).
+    group.bench_function("fused_paths_and_betweenness_100_50", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                inet_model::metrics::paths_and_betweenness(&g, 100, 50, 1)
+                    .paths
+                    .mean,
+            )
+        })
+    });
+    group.bench_function("seed_two_pass_100_50", |b| {
+        b.iter(|| {
+            let p = PathStats::measure_sampled_unfused(&g, 100);
+            let bc = inet_model::metrics::betweenness::betweenness_sampled_unfused(&g, 50);
+            std::hint::black_box((p.mean, bc[0]))
+        })
+    });
+    group.bench_function("clustering_seed_edge_merge", |b| {
+        b.iter(|| std::hint::black_box(ClusteringStats::measure_unfused(&g).triangle_count))
     });
     group.finish();
 }

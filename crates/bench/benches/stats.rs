@@ -34,7 +34,10 @@ fn bench_stats(c: &mut Criterion) {
     group.bench_function("linear_fit_10k", |b| {
         let x: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
         let mut rng = seeded_rng(11);
-        let y: Vec<f64> = x.iter().map(|&v| 2.0 * v + rng.gen_range(-1.0..1.0)).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|&v| 2.0 * v + rng.gen_range(-1.0..1.0))
+            .collect();
         b.iter(|| std::hint::black_box(inet_model::stats::regression::linear_fit(&x, &y)))
     });
     group.finish();

@@ -45,7 +45,11 @@ fn main() -> std::io::Result<()> {
         rows.push(vec![theta, top, kmax_frac, gamma, giant.mean_degree()]);
         top_shares.push((theta, top));
     }
-    sink.series("theta_sweep", "theta,top_user_share,kmax_over_n,gamma,mean_degree", rows)?;
+    sink.series(
+        "theta_sweep",
+        "theta,top_user_share,kmax_over_n,gamma,mean_degree",
+        rows,
+    )?;
 
     // Shape checks: the top AS's user share grows monotonically with theta,
     // and superlinear competition condenses (a finite share at theta > 1).

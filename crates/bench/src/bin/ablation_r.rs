@@ -44,10 +44,22 @@ fn main() -> std::io::Result<()> {
             "{r:<6} {:>8.2} {mult:>8.2} {kmax:>10} {clust:>8.3} {gamma:>8.2} {giant_frac:>8.2}",
             giant.mean_degree()
         );
-        rows.push(vec![r, giant.mean_degree(), mult, kmax as f64, clust, gamma, giant_frac]);
+        rows.push(vec![
+            r,
+            giant.mean_degree(),
+            mult,
+            kmax as f64,
+            clust,
+            gamma,
+            giant_frac,
+        ]);
         results.push((r, giant.mean_degree(), mult, kmax));
     }
-    sink.series("r_sweep", "r,mean_degree,multiplicity,kmax,clustering,gamma,giant", rows.clone())?;
+    sink.series(
+        "r_sweep",
+        "r,mean_degree,multiplicity,kmax,clustering,gamma,giant",
+        rows.clone(),
+    )?;
 
     // Shape checks from the paper's discussion:
     // (a) multiplicity rises monotonically with r;
@@ -67,7 +79,11 @@ fn main() -> std::io::Result<()> {
     );
     // (c) r -> 1 shrinks the maximum degree (the paper's limiting-case
     //     remark: big peers burn bandwidth on multiple connections).
-    let kmax_mid = results.iter().find(|&&(r, ..)| r == 0.4).expect("mid row").3;
+    let kmax_mid = results
+        .iter()
+        .find(|&&(r, ..)| r == 0.4)
+        .expect("mid row")
+        .3;
     let kmax_hi = results.last().expect("rows").3;
     assert!(
         (kmax_hi as f64) < kmax_mid as f64,

@@ -25,8 +25,14 @@ fn main() -> std::io::Result<()> {
     println!("\nrate algebra (paper simulation parameters):");
     println!("  tau   = beta/alpha          = {:.4}", p.tau());
     println!("  delta = 2b - ab/d'          = {:.4}", p.delta());
-    println!("  mu    = beta/delta'         = {:.4} (paper: 0.75)", p.mu());
-    println!("  gamma = 1 + 1/(2-delta/b)   = {:.4} (paper: ~2.2)", p.gamma());
+    println!(
+        "  mu    = beta/delta'         = {:.4} (paper: 0.75)",
+        p.mu()
+    );
+    println!(
+        "  gamma = 1 + 1/(2-delta/b)   = {:.4} (paper: ~2.2)",
+        p.gamma()
+    );
     assert!((p.mu() - 0.75).abs() < 1e-12);
     assert!((p.gamma() - 15.0 / 7.0).abs() < 1e-12);
 
@@ -37,7 +43,8 @@ fn main() -> std::io::Result<()> {
     let run = SerranoModel::new(params).run(&mut child_rng(BASE_SEED, 100));
     let users = run.network.users.as_ref().expect("users recorded");
     let t_final = run.iterations as f64;
-    let oldest_predicted = theory::omega_trajectory(params.alpha, params.beta, params.omega0, t_final);
+    let oldest_predicted =
+        theory::omega_trajectory(params.alpha, params.beta, params.omega0, t_final);
     let oldest_measured = users.iter().fold(0.0f64, |a, &b| a.max(b));
     let rel = (oldest_measured - oldest_predicted).abs() / oldest_predicted;
     println!("\nEq. 3 (zero-noise trajectory), oldest cohort at t = {t_final}:");
@@ -49,26 +56,39 @@ fn main() -> std::io::Result<()> {
 
     // 3. SDE ensemble vs Eq. 5, with a lambda sweep.
     println!("\nEq. 5 (stationary size distribution) vs Euler-Maruyama SDE:");
-    println!("{:<10} {:>12} {:>14}", "lambda", "KS to Eq.5", "ensemble size");
+    println!(
+        "{:<10} {:>12} {:>14}",
+        "lambda", "KS to Eq.5", "ensemble size"
+    );
     let mut rows = Vec::new();
     for (i, lambda) in [0.0, 0.05, 0.2, 0.5].into_iter().enumerate() {
-        let config = SdeConfig { lambda, ..SdeConfig::paper(180.0) };
+        let config = SdeConfig {
+            lambda,
+            ..SdeConfig::paper(180.0)
+        };
         let ensemble = simulate_ensemble(config, &mut child_rng(BASE_SEED, 110 + i as u64));
         let ks = ks_against_theory(&ensemble, config);
         println!("{lambda:<10} {ks:>12.4} {:>14}", ensemble.len());
         rows.push(vec![lambda, ks, ensemble.len() as f64]);
-        assert!(ks < 0.12, "SDE ensemble diverged from Eq. 5 at lambda = {lambda}: KS = {ks}");
+        assert!(
+            ks < 0.12,
+            "SDE ensemble diverged from Eq. 5 at lambda = {lambda}: KS = {ks}"
+        );
     }
     sink.series("sde_lambda_sweep", "lambda,ks,ensemble", rows)?;
     println!("  (lambda only adds diffusion: KS stays flat across the sweep)");
 
     // 4. Model-measured exponents vs predictions.
     let run = ModelVariant::WithoutDistance.run(8000, 120);
-    let (giant, _) =
-        inet_model::graph::traversal::giant_component(&run.network.graph.to_csr());
+    let (giant, _) = inet_model::graph::traversal::giant_component(&run.network.graph.to_csr());
     let mu_fit = inet_model::metrics::weighted::fit_mu(&giant, 4).expect("mu fittable");
     println!("\nmodel-measured exponents at N = 8000:");
-    println!("  mu measured = {:.3} +- {:.3} (predicted {:.3})", mu_fit.slope, mu_fit.slope_se, p.mu());
+    println!(
+        "  mu measured = {:.3} +- {:.3} (predicted {:.3})",
+        mu_fit.slope,
+        mu_fit.slope_se,
+        p.mu()
+    );
     assert!((mu_fit.slope - p.mu()).abs() < 0.15, "mu off prediction");
 
     // Size-distribution tail: CCDF exponent should be tau.
@@ -82,9 +102,14 @@ fn main() -> std::io::Result<()> {
     let tail = inet_model::stats::regression::loglog_fit(&xs, &ys).expect("tail fittable");
     println!(
         "  size CCDF tail exponent = {:.3} +- {:.3} (predicted -tau = -{:.3})",
-        tail.slope, tail.slope_se, p.tau()
+        tail.slope,
+        tail.slope_se,
+        p.tau()
     );
-    assert!((tail.slope + p.tau()).abs() < 0.3, "size tail off prediction");
+    assert!(
+        (tail.slope + p.tau()).abs() < 0.3,
+        "size tail off prediction"
+    );
 
     println!("\nanalytic_checks: all checks passed");
     Ok(())

@@ -28,9 +28,14 @@ fn main() -> std::io::Result<()> {
     };
 
     let mut maxima = Vec::new();
-    for (name, g) in [("AS+ reference", &reference), ("Serrano (dist)", &serrano), ("BA m=2", &ba)] {
+    for (name, g) in [
+        ("AS+ reference", &reference),
+        ("Serrano (dist)", &serrano),
+        ("BA m=2", &ba),
+    ] {
         let mut null_rng = child_rng(BASE_SEED, 153);
-        let rho = RichClub::normalized(g, 3, 5, &mut null_rng);
+        let threads = inet_model::graph::parallel::default_threads();
+        let rho = RichClub::normalized_threaded(g, 3, 5, &mut null_rng, threads);
         println!("\n{name}: rho(k) on a log grid");
         let mut rows = Vec::new();
         let mut printed = 0.0f64;
@@ -41,7 +46,11 @@ fn main() -> std::io::Result<()> {
             }
             rows.push(vec![k as f64, r]);
         }
-        sink.series(&name.replace([' ', '(', ')', '+'], "_"), "k,rho", rows.clone())?;
+        sink.series(
+            &name.replace([' ', '(', ')', '+'], "_"),
+            "k,rho",
+            rows.clone(),
+        )?;
         // Top-decile rho summarizes the club.
         let tail: Vec<f64> = rows
             .iter()
@@ -56,14 +65,23 @@ fn main() -> std::io::Result<()> {
 
     // Shape checks: the model develops a rich club at high degrees
     // (rho > 1); BA is known to have rho ~ 1 (no club).
-    let get = |n: &str| maxima.iter().find(|(name, _)| *name == n).expect("present").1;
+    let get = |n: &str| {
+        maxima
+            .iter()
+            .find(|(name, _)| *name == n)
+            .expect("present")
+            .1
+    };
     let serrano_rho = get("Serrano (dist)");
     let ba_rho = get("BA m=2");
     println!(
         "\nhigh-degree rho: Serrano = {serrano_rho:.2}, BA = {ba_rho:.2} \
          (Internet maps: > 1; BA: ~1)"
     );
-    assert!(serrano_rho > 1.0, "model lost its rich club: rho = {serrano_rho}");
+    assert!(
+        serrano_rho > 1.0,
+        "model lost its rich club: rho = {serrano_rho}"
+    );
     assert!(
         serrano_rho > ba_rho,
         "BA ({ba_rho}) out-clubbed the model ({serrano_rho})"

@@ -14,8 +14,8 @@
 use inet_model::experiment::{banner, FigureSink, ModelVariant};
 use inet_model::growth::fit::FittedRates;
 use inet_model::growth::{GrowthRates, InternetTrace, TraceConfig};
-use inet_model::stats::rng::child_rng;
 use inet_model::stats::regression::exp_growth_fit;
+use inet_model::stats::rng::child_rng;
 
 fn main() -> std::io::Result<()> {
     let size = inet_bench::target_size().min(8000);
@@ -32,8 +32,12 @@ fn main() -> std::io::Result<()> {
     println!("\npaper values:  alpha = 0.036 +- 0.001   beta = 0.0304 +- 0.0003   delta = 0.0330 +- 0.0002");
     println!(
         "measured:      alpha = {:.4} +- {:.4}  beta = {:.4} +- {:.4}  delta = {:.4} +- {:.4}",
-        fits.hosts.rate, fits.hosts.rate_se, fits.ases.rate, fits.ases.rate_se,
-        fits.links.rate, fits.links.rate_se
+        fits.hosts.rate,
+        fits.hosts.rate_se,
+        fits.ases.rate,
+        fits.ases.rate_se,
+        fits.links.rate,
+        fits.links.rate_se
     );
     let rates = fits.rates();
     println!(
@@ -65,25 +69,59 @@ fn main() -> std::io::Result<()> {
     let half = t.len() / 2;
     let fit_tail = |ys: &[f64]| exp_growth_fit(&t[half..], &ys[half..]).expect("fittable");
     let (fw, fn_, fe) = (fit_tail(&users), fit_tail(&nodes), fit_tail(&edges));
-    println!("\nmodel run to N = {} ({} iterations):", run.network.graph.node_count(), run.iterations);
-    println!("  users  rate = {:.4}  (prescribed alpha  = 0.0350)", fw.rate);
-    println!("  nodes  rate = {:.4}  (prescribed beta   = 0.0300)", fn_.rate);
-    println!("  edges  rate = {:.4}  (predicted delta   = 0.0338)", fe.rate);
+    println!(
+        "\nmodel run to N = {} ({} iterations):",
+        run.network.graph.node_count(),
+        run.iterations
+    );
+    println!(
+        "  users  rate = {:.4}  (prescribed alpha  = 0.0350)",
+        fw.rate
+    );
+    println!(
+        "  nodes  rate = {:.4}  (prescribed beta   = 0.0300)",
+        fn_.rate
+    );
+    println!(
+        "  edges  rate = {:.4}  (predicted delta   = 0.0338)",
+        fe.rate
+    );
 
     sink.series(
         "model_history",
         "iteration,users,nodes,edges,bandwidth",
-        run.history
-            .iter()
-            .map(|h| vec![h.t as f64, h.users, h.nodes as f64, h.edges as f64, h.bandwidth as f64]),
+        run.history.iter().map(|h| {
+            vec![
+                h.t as f64,
+                h.users,
+                h.nodes as f64,
+                h.edges as f64,
+                h.bandwidth as f64,
+            ]
+        }),
     )?;
 
     // Shape checks (exit nonzero if the reproduction is broken).
-    assert!((fits.hosts.rate - paper.alpha).abs() < 0.004, "alpha fit drifted");
-    assert!((fits.ases.rate - paper.beta).abs() < 0.004, "beta fit drifted");
-    assert!((fits.links.rate - paper.delta).abs() < 0.004, "delta fit drifted");
-    assert!((fw.rate - 0.035).abs() < 0.006, "model user growth off prescription");
-    assert!((fn_.rate - 0.030).abs() < 0.006, "model node growth off prescription");
+    assert!(
+        (fits.hosts.rate - paper.alpha).abs() < 0.004,
+        "alpha fit drifted"
+    );
+    assert!(
+        (fits.ases.rate - paper.beta).abs() < 0.004,
+        "beta fit drifted"
+    );
+    assert!(
+        (fits.links.rate - paper.delta).abs() < 0.004,
+        "delta fit drifted"
+    );
+    assert!(
+        (fw.rate - 0.035).abs() < 0.006,
+        "model user growth off prescription"
+    );
+    assert!(
+        (fn_.rate - 0.030).abs() < 0.006,
+        "model node growth off prescription"
+    );
     println!("\nfig1: all shape checks passed");
     Ok(())
 }

@@ -26,7 +26,12 @@ fn main() -> std::io::Result<()> {
     println!("\n{:<8} {:>14} {:>14}", "k", "AS+ P_c(k)", "model P_c(k)");
     let mut rows = Vec::new();
     let mut k = 1.0f64;
-    while k <= ref_ccdf.max().unwrap_or(1.0).max(model_ccdf.max().unwrap_or(1.0)) {
+    while k
+        <= ref_ccdf
+            .max()
+            .unwrap_or(1.0)
+            .max(model_ccdf.max().unwrap_or(1.0))
+    {
         let pr = ref_ccdf.at(k);
         let pm = model_ccdf.at(k);
         println!("{:<8.0} {:>14.6} {:>14.6}", k, pr, pm);
@@ -62,10 +67,22 @@ fn main() -> std::io::Result<()> {
     );
 
     // Shape checks.
-    assert!((gm.gamma - 2.2).abs() < 0.45, "model gamma {} left the band", gm.gamma);
-    assert!((gr.gamma - 2.25).abs() < 0.35, "reference gamma {} left the band", gr.gamma);
+    assert!(
+        (gm.gamma - 2.2).abs() < 0.45,
+        "model gamma {} left the band",
+        gm.gamma
+    );
+    assert!(
+        (gr.gamma - 2.25).abs() < 0.35,
+        "reference gamma {} left the band",
+        gr.gamma
+    );
     assert!(mu.slope < 1.0, "mu must be sublinear (multi-connections)");
-    assert!((mu.slope - 0.75).abs() < 0.2, "mu {} too far from 0.75", mu.slope);
+    assert!(
+        (mu.slope - 0.75).abs() < 0.2,
+        "mu {} too far from 0.75",
+        mu.slope
+    );
     println!("\nfig2_degree: all shape checks passed");
     Ok(())
 }

@@ -24,10 +24,14 @@ fn main() -> std::io::Result<()> {
     let (model, _) = giant_component(&run.network.graph.to_csr());
 
     let sources = 400;
-    let ref_paths = PathStats::measure_sampled(&reference, sources, 4);
-    let model_paths = PathStats::measure_sampled(&model, sources, 4);
+    let threads = inet_model::graph::parallel::default_threads();
+    let ref_paths = PathStats::measure_sampled(&reference, sources, threads);
+    let model_paths = PathStats::measure_sampled(&model, sources, threads);
 
-    println!("\n{:<6} {:>14} {:>14}", "l", "AS+ reference", "model (dist)");
+    println!(
+        "\n{:<6} {:>14} {:>14}",
+        "l", "AS+ reference", "model (dist)"
+    );
     let max_d = ref_paths.counts.len().max(model_paths.counts.len());
     let mut rows = Vec::new();
     for d in 1..max_d {
@@ -42,14 +46,24 @@ fn main() -> std::io::Result<()> {
     }
     sink.series("path_length_distribution", "l,p_reference,p_model", rows)?;
 
-    println!("\nmean path length: reference = {:.2}, model = {:.2} (paper AS+: ~3.6)",
-        ref_paths.mean, model_paths.mean);
-    println!("diameter (sampled): reference = {}, model = {}",
-        ref_paths.diameter, model_paths.diameter);
+    println!(
+        "\nmean path length: reference = {:.2}, model = {:.2} (paper AS+: ~3.6)",
+        ref_paths.mean, model_paths.mean
+    );
+    println!(
+        "diameter (sampled): reference = {}, model = {}",
+        ref_paths.diameter, model_paths.diameter
+    );
 
     // Shape checks.
-    assert!(ref_paths.mean > 2.0 && ref_paths.mean < 6.0, "reference lost the small world");
-    assert!(model_paths.mean > 2.0 && model_paths.mean < 6.0, "model lost the small world");
+    assert!(
+        ref_paths.mean > 2.0 && ref_paths.mean < 6.0,
+        "reference lost the small world"
+    );
+    assert!(
+        model_paths.mean > 2.0 && model_paths.mean < 6.0,
+        "model lost the small world"
+    );
     assert!(
         (ref_paths.mean - model_paths.mean).abs() < 1.5,
         "model and reference disagree by more than 1.5 hops"

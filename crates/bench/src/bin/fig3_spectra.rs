@@ -31,8 +31,18 @@ fn spectra(g: &Csr) -> (Spectrum, Spectrum) {
         .unzip();
     let k_spec = binned_mean_log(&ks, &ys, 4);
     (
-        c_spec.x.iter().copied().zip(c_spec.y.iter().copied()).collect(),
-        k_spec.x.iter().copied().zip(k_spec.y.iter().copied()).collect(),
+        c_spec
+            .x
+            .iter()
+            .copied()
+            .zip(c_spec.y.iter().copied())
+            .collect(),
+        k_spec
+            .x
+            .iter()
+            .copied()
+            .zip(k_spec.y.iter().copied())
+            .collect(),
     )
 }
 
@@ -71,11 +81,19 @@ fn main() -> std::io::Result<()> {
 
     print_spectrum(
         "clustering spectrum c(k)",
-        &[("AS+ reference", &c_ref), ("model with dist", &c_with), ("model no dist", &c_without)],
+        &[
+            ("AS+ reference", &c_ref),
+            ("model with dist", &c_with),
+            ("model no dist", &c_without),
+        ],
     );
     print_spectrum(
         "normalized knn(k)",
-        &[("AS+ reference", &k_ref), ("model with dist", &k_with), ("model no dist", &k_without)],
+        &[
+            ("AS+ reference", &k_ref),
+            ("model with dist", &k_with),
+            ("model no dist", &k_without),
+        ],
     );
 
     for (name, pts) in [
@@ -100,7 +118,10 @@ fn main() -> std::io::Result<()> {
         assort(&without_g)
     );
     assert!(c_w > 0.1, "model clustering collapsed");
-    assert!(assort(&with_g) < -0.05, "distance variant must be disassortative");
+    assert!(
+        assort(&with_g) < -0.05,
+        "distance variant must be disassortative"
+    );
     // knn(k) of the distance variant must decay: compare low-k vs high-k
     // bins.
     let decay = |pts: &[(f64, f64)]| {
@@ -108,7 +129,10 @@ fn main() -> std::io::Result<()> {
         let hi = pts.iter().rev().take(2).map(|&(_, y)| y).sum::<f64>() / 2.0;
         lo / hi.max(1e-9)
     };
-    assert!(decay(&k_with) > 1.2, "knn(k) of the distance variant must decay");
+    assert!(
+        decay(&k_with) > 1.2,
+        "knn(k) of the distance variant must decay"
+    );
     println!("\nfig3_spectra: all shape checks passed");
     Ok(())
 }

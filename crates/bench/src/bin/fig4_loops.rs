@@ -17,8 +17,16 @@ use inet_model::stats::regression::loglog_fit;
 
 const PAPER: [(&str, [f64; 3], [f64; 3]); 3] = [
     ("Internet AS map", [1.45, 2.07, 2.45], [0.07, 0.01, 0.08]),
-    ("Model with distance", [1.60, 2.20, 2.70], [0.01, 0.03, 0.03]),
-    ("Model without distance", [1.59, 2.11, 2.64], [0.03, 0.03, 0.03]),
+    (
+        "Model with distance",
+        [1.60, 2.20, 2.70],
+        [0.01, 0.03, 0.03],
+    ),
+    (
+        "Model without distance",
+        [1.59, 2.11, 2.64],
+        [0.03, 0.03, 0.03],
+    ),
 ];
 
 fn main() -> std::io::Result<()> {
@@ -30,7 +38,10 @@ fn main() -> std::io::Result<()> {
     println!("\nsize ladder: {sizes:?}");
 
     let mut table: Vec<(String, [f64; 3], [f64; 3])> = Vec::new();
-    for (variant, stream) in [(ModelVariant::WithDistance, 50u64), (ModelVariant::WithoutDistance, 60)] {
+    for (variant, stream) in [
+        (ModelVariant::WithDistance, 50u64),
+        (ModelVariant::WithoutDistance, 60),
+    ] {
         let mut ns: Vec<f64> = Vec::new();
         let mut counts: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
         println!("\n{}:", variant.label());
@@ -39,7 +50,10 @@ fn main() -> std::io::Result<()> {
         for (i, &n) in sizes.iter().enumerate() {
             let run = variant.run(n, stream + i as u64);
             let (giant, _) = giant_component(&run.network.graph.to_csr());
-            let census = CycleCensus::measure(&giant);
+            let census = CycleCensus::measure_threaded(
+                &giant,
+                inet_model::graph::parallel::default_threads(),
+            );
             println!(
                 "{:<8} {:>12} {:>12} {:>12}",
                 giant.node_count(),
@@ -75,7 +89,10 @@ fn main() -> std::io::Result<()> {
     }
 
     banner("Table I — loop-scaling exponents xi(h)");
-    println!("\n{:<26} {:>16} {:>16} {:>16}", "system", "xi(3)", "xi(4)", "xi(5)");
+    println!(
+        "\n{:<26} {:>16} {:>16} {:>16}",
+        "system", "xi(3)", "xi(4)", "xi(5)"
+    );
     for (name, xi, se) in PAPER {
         println!(
             "{:<26} {:>16} {:>16} {:>16}   [paper]",
@@ -97,10 +114,25 @@ fn main() -> std::io::Result<()> {
 
     // Shape checks: exponents ordered and in the paper's neighborhood.
     for (name, xi, _) in &table {
-        assert!(xi[0] < xi[1] && xi[1] < xi[2], "{name}: xi must increase with h");
-        assert!((xi[0] - 1.6).abs() < 0.45, "{name}: xi(3) = {} off-band", xi[0]);
-        assert!((xi[1] - 2.15).abs() < 0.45, "{name}: xi(4) = {} off-band", xi[1]);
-        assert!((xi[2] - 2.65).abs() < 0.55, "{name}: xi(5) = {} off-band", xi[2]);
+        assert!(
+            xi[0] < xi[1] && xi[1] < xi[2],
+            "{name}: xi must increase with h"
+        );
+        assert!(
+            (xi[0] - 1.6).abs() < 0.45,
+            "{name}: xi(3) = {} off-band",
+            xi[0]
+        );
+        assert!(
+            (xi[1] - 2.15).abs() < 0.45,
+            "{name}: xi(4) = {} off-band",
+            xi[1]
+        );
+        assert!(
+            (xi[2] - 2.65).abs() < 0.55,
+            "{name}: xi(5) = {} off-band",
+            xi[2]
+        );
     }
     println!("\nfig4_loops: all shape checks passed");
     Ok(())

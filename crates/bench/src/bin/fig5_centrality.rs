@@ -36,12 +36,18 @@ fn main() -> std::io::Result<()> {
 
     // Betweenness (sampled estimator, identical effort on both graphs).
     let sources = 300;
-    let bc_ref = ccdf_f64(&betweenness_sampled(&reference, sources, 4));
-    let bc_model = ccdf_f64(&betweenness_sampled(&model, sources, 4));
+    let threads = inet_model::graph::parallel::default_threads();
+    let bc_ref = ccdf_f64(&betweenness_sampled(&reference, sources, threads));
+    let bc_model = ccdf_f64(&betweenness_sampled(&model, sources, threads));
     println!("\nbetweenness CCDF (log grid):");
     println!("{:<14} {:>14} {:>14}", "b", "AS+ reference", "model (dist)");
     for row in log_rows(&bc_ref) {
-        println!("{:<14.1} {:>14.5} {:>14.5}", row[0], row[1], bc_model.at(row[0]));
+        println!(
+            "{:<14.1} {:>14.5} {:>14.5}",
+            row[0],
+            row[1],
+            bc_model.at(row[0])
+        );
     }
     sink.series(
         "betweenness_ccdf",
@@ -52,12 +58,17 @@ fn main() -> std::io::Result<()> {
     )?;
 
     // Triangles through a node.
-    let tri_ref = ccdf_u64(&ClusteringStats::measure(&reference).triangles);
-    let tri_model = ccdf_u64(&ClusteringStats::measure(&model).triangles);
+    let tri_ref = ccdf_u64(&ClusteringStats::measure_threaded(&reference, threads).triangles);
+    let tri_model = ccdf_u64(&ClusteringStats::measure_threaded(&model, threads).triangles);
     println!("\ntriangles-per-node CCDF (log grid):");
     println!("{:<14} {:>14} {:>14}", "T", "AS+ reference", "model (dist)");
     for row in log_rows(&tri_model) {
-        println!("{:<14.0} {:>14.5} {:>14.5}", row[0], tri_ref.at(row[0]), row[1]);
+        println!(
+            "{:<14.0} {:>14.5} {:>14.5}",
+            row[0],
+            tri_ref.at(row[0]),
+            row[1]
+        );
     }
     sink.series(
         "triangles_ccdf",
@@ -76,7 +87,10 @@ fn main() -> std::io::Result<()> {
     // (same family of curves).
     let ks_b = bc_model.ks_distance(&bc_ref);
     println!("\nKS(model, reference): betweenness = {ks_b:.3}");
-    assert!(ks_b < 0.45, "betweenness distributions diverged: KS = {ks_b}");
+    assert!(
+        ks_b < 0.45,
+        "betweenness distributions diverged: KS = {ks_b}"
+    );
     println!("\nfig5_centrality: all shape checks passed");
     Ok(())
 }

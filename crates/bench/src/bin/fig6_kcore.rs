@@ -45,7 +45,9 @@ fn main() -> std::io::Result<()> {
         sink.series(
             &tag,
             "k,shell_size,core_size",
-            profile.iter().map(|&(k, s, c)| vec![k as f64, s as f64, c as f64]),
+            profile
+                .iter()
+                .map(|&(k, s, c)| vec![k as f64, s as f64, c as f64]),
         )?;
         corenesses.push((name, d.coreness()));
     }
@@ -64,7 +66,13 @@ fn main() -> std::io::Result<()> {
 
     // Shape checks: deep hierarchy everywhere; the with-distance coreness
     // within a factor ~2 of the *published* AS+ value (the paper's claim).
-    let get = |n: &str| corenesses.iter().find(|(name, _)| *name == n).expect("present").1;
+    let get = |n: &str| {
+        corenesses
+            .iter()
+            .find(|(name, _)| *name == n)
+            .expect("present")
+            .1
+    };
     let (c_ref, c_with) = (get("AS+ reference"), get("model with distance"));
     assert!(c_ref >= 8, "reference hierarchy too shallow: {c_ref}");
     assert!(c_with >= 8, "model hierarchy too shallow: {c_with}");

@@ -10,7 +10,10 @@ use inet_model::metrics::{weighted, TopologyReport};
 
 fn main() {
     let size = inet_bench::target_size();
-    for (variant, stream) in [(ModelVariant::WithoutDistance, 200u64), (ModelVariant::WithDistance, 201)] {
+    for (variant, stream) in [
+        (ModelVariant::WithoutDistance, 200u64),
+        (ModelVariant::WithDistance, 201),
+    ] {
         let started = std::time::Instant::now();
         let run = variant.run(size, stream);
         let g = &run.network.graph;
@@ -19,11 +22,20 @@ fn main() {
         let mu = weighted::fit_mu(&giant, 4);
         println!("== {} (N = {size}) ==", variant.label());
         println!("{}", report.render());
-        println!("mean multiplicity : {:.2}", g.total_weight() as f64 / g.edge_count().max(1) as f64);
-        println!("giant fraction    : {:.3}", giant.node_count() as f64 / g.node_count() as f64);
+        println!(
+            "mean multiplicity : {:.2}",
+            g.total_weight() as f64 / g.edge_count().max(1) as f64
+        );
+        println!(
+            "giant fraction    : {:.3}",
+            giant.node_count() as f64 / g.node_count() as f64
+        );
         if let Some(mu) = mu {
             println!("mu (k ~ b^mu)     : {:.3} +- {:.3}", mu.slope, mu.slope_se);
         }
-        println!("generated+measured in {:.1}s\n", started.elapsed().as_secs_f64());
+        println!(
+            "generated+measured in {:.1}s\n",
+            started.elapsed().as_secs_f64()
+        );
     }
 }

@@ -1,0 +1,125 @@
+//! **Performance report** — wall-clock comparison of the fused parallel
+//! metrics engine against the seed's sequential two-pass pipeline.
+//!
+//! Grows a PFP topology (heavy-tailed, Internet-like), then times:
+//!
+//! 1. the **seed path**: the original sequential pipeline — a paths-only BFS
+//!    sweep, a separate Brandes sweep, and the single-threaded clustering /
+//!    knn / k-core kernels;
+//! 2. the **fused path** at 1 thread: `TopologyReport::measure_with`, whose
+//!    paths + betweenness come from one BFS sweep over the union of the
+//!    source sets;
+//! 3. the fused path at N threads (machine parallelism, or `--threads`).
+//!
+//! Results print as a table and land in `BENCH_report.json` at the
+//! workspace root (`{nodes, edges, threads, wall_ms, speedup}`), where
+//! `speedup` is seed wall time divided by the fused run's wall time. The
+//! fused outputs are also cross-checked against the seed's numbers, and the
+//! fused runs against each other for bit-identity across thread counts.
+//!
+//! Run with `cargo run --release -p inet-bench --bin perf_report [size]`
+//! (default size 50 000; sizes below ~10 000 finish in seconds).
+
+use inet_model::graph::traversal::giant_component;
+use inet_model::metrics::report::{ReportOptions, TopologyReport};
+use inet_model::metrics::{ClusteringStats, DegreeStats, KCoreDecomposition, KnnStats, PathStats};
+use inet_model::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let size = inet_bench::parse_size_arg(std::env::args().nth(1).as_deref()).max(1000);
+    let threads = inet_model::graph::parallel::default_threads();
+    let opt = ReportOptions::default();
+
+    eprintln!("# growing PFP topology, N = {size} ...");
+    let mut rng = seeded_rng(2008);
+    let net = Pfp::internet(size).generate(&mut rng);
+    let (g, _) = giant_component(&net.graph.to_csr());
+    let (nodes, edges) = (g.node_count(), g.edge_count());
+    eprintln!("# giant component: {nodes} nodes, {edges} edges");
+
+    // 1. Seed path: the same set of observables `measure_with` produces,
+    //    computed the seed way — two independent BFS sweeps plus the
+    //    sequential degree / clustering / knn / k-core kernels.
+    let seed_start = Instant::now();
+    let seed_paths = PathStats::measure_sampled_unfused(&g, opt.path_sources);
+    let t_paths = seed_start.elapsed().as_secs_f64() * 1e3;
+    let seed_bc =
+        inet_model::metrics::betweenness::betweenness_sampled_unfused(&g, opt.betweenness_sources);
+    let t_bc = seed_start.elapsed().as_secs_f64() * 1e3 - t_paths;
+    let seed_degree = DegreeStats::measure(&g);
+    let seed_clustering = ClusteringStats::measure_unfused(&g);
+    let seed_knn = KnnStats::measure(&g);
+    let seed_kcore = KCoreDecomposition::measure(&g);
+    let seed_ms = seed_start.elapsed().as_secs_f64() * 1e3;
+    eprintln!(
+        "# seed components: paths {t_paths:.1} ms, betweenness {t_bc:.1} ms, \
+         degree+clustering+knn+kcore {:.1} ms",
+        seed_ms - t_paths - t_bc
+    );
+
+    // 2./3. Fused path at 1 thread and at N threads.
+    let mut fused_runs = Vec::new();
+    for t in [1, threads] {
+        let start = Instant::now();
+        let report = TopologyReport::measure_with(&g, ReportOptions { threads: t, ..opt });
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        fused_runs.push((t, ms, report));
+    }
+
+    // Sanity: the fused engine must reproduce the seed numbers ...
+    let r = &fused_runs[0].2;
+    assert!(
+        (r.mean_path_length - seed_paths.mean).abs() < 1e-12,
+        "path mean diverged"
+    );
+    assert_eq!(r.diameter, seed_paths.diameter, "diameter diverged");
+    let seed_max_bc = seed_bc.iter().copied().fold(0.0, f64::max);
+    // Relative tolerance: the fused dependency pass hoists a per-node
+    // coefficient, a couple-of-ulp deviation on values that reach 1e7 here.
+    assert!(
+        (r.max_betweenness - seed_max_bc).abs() <= 1e-9 * seed_max_bc.max(1.0),
+        "betweenness diverged"
+    );
+    assert_eq!(
+        r.triangles, seed_clustering.triangle_count,
+        "triangles diverged"
+    );
+    assert!(
+        (r.assortativity - seed_knn.assortativity).abs() < 1e-12,
+        "assortativity diverged"
+    );
+    assert_eq!(r.max_degree, seed_degree.max, "max degree diverged");
+    assert_eq!(r.coreness, seed_kcore.coreness(), "coreness diverged");
+    // ... and be bit-identical across thread counts.
+    for (t, _, other) in &fused_runs[1..] {
+        assert_eq!(r, other, "fused report not bit-identical at {t} threads");
+    }
+
+    println!("\n{:<28} {:>10} {:>9}", "pipeline", "wall ms", "speedup");
+    println!(
+        "{:<28} {:>10.1} {:>9}",
+        "seed two-pass (1 thread)", seed_ms, "1.00x"
+    );
+    for (t, ms, _) in &fused_runs {
+        println!(
+            "{:<28} {:>10.1} {:>8.2}x",
+            format!("fused sweep ({t} thread{})", if *t == 1 { "" } else { "s" }),
+            ms,
+            seed_ms / ms
+        );
+    }
+
+    // JSON artifact for the driver: the headline row is the fused run at
+    // full parallelism.
+    let (best_t, best_ms, _) = fused_runs.last().expect("at least one fused run");
+    let json = format!(
+        "{{\"nodes\": {nodes}, \"edges\": {edges}, \"threads\": {best_t}, \
+         \"wall_ms\": {best_ms:.1}, \"speedup\": {:.3}, \
+         \"seed_wall_ms\": {seed_ms:.1}, \"fused_1thread_wall_ms\": {:.1}}}",
+        seed_ms / best_ms,
+        fused_runs[0].1,
+    );
+    std::fs::write("BENCH_report.json", format!("{json}\n")).expect("write BENCH_report.json");
+    println!("\nwrote BENCH_report.json: {json}");
+}

@@ -33,7 +33,10 @@ fn main() -> std::io::Result<()> {
     let mut edges = Vec::new();
     let mut mean_k = Vec::new();
     let mut kmax = Vec::new();
-    println!("\n{:<8} {:>12} {:>10} {:>8} {:>8}", "N", "W", "E", "<k>", "kmax");
+    println!(
+        "\n{:<8} {:>12} {:>10} {:>8} {:>8}",
+        "N", "W", "E", "<k>", "kmax"
+    );
     let mut rows = Vec::new();
     for (i, &n) in sizes.iter().enumerate() {
         let run = ModelVariant::WithoutDistance.run(n, 160 + i as u64);
@@ -53,11 +56,19 @@ fn main() -> std::io::Result<()> {
         edges.push(last.edges as f64);
         mean_k.push(2.0 * last.edges as f64 / nn);
         kmax.push(giant.max_degree() as f64);
-        rows.push(vec![nn, last.users, last.edges as f64, giant.max_degree() as f64]);
+        rows.push(vec![
+            nn,
+            last.users,
+            last.edges as f64,
+            giant.max_degree() as f64,
+        ]);
     }
     sink.series("size_sweep", "n,users,edges,kmax", rows)?;
 
-    println!("\n{:<12} {:>10} {:>10}", "relation", "predicted", "measured");
+    println!(
+        "\n{:<12} {:>10} {:>10}",
+        "relation", "predicted", "measured"
+    );
     let measured: Vec<f64> = [&users, &edges, &mean_k, &kmax]
         .iter()
         .map(|ys| loglog_fit(&ns, ys).expect("fittable sweep").slope)
@@ -69,7 +80,10 @@ fn main() -> std::io::Result<()> {
     // Shape checks.
     assert!((measured[0] - predicted[0].1).abs() < 0.1, "W scaling off");
     assert!((measured[1] - predicted[1].1).abs() < 0.35, "E scaling off");
-    assert!(measured[2] > 0.0, "the model must densify (<k> grows with N)");
+    assert!(
+        measured[2] > 0.0,
+        "the model must densify (<k> grows with N)"
+    );
     assert!(
         (measured[3] - 1.0).abs() < 0.35,
         "kmax must scale ~linearly with N, got {}",

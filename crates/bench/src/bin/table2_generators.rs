@@ -20,17 +20,29 @@ fn main() -> std::io::Result<()> {
     let generators: Vec<Box<dyn Generator>> = vec![
         Box::new(Gnp::with_mean_degree(n, AS_MAP_2001.mean_degree)),
         Box::new(Waxman::with_mean_degree(n, 0.2, AS_MAP_2001.mean_degree)),
-        Box::new(RandomGeometric::with_mean_degree(n, AS_MAP_2001.mean_degree)),
+        Box::new(RandomGeometric::with_mean_degree(
+            n,
+            AS_MAP_2001.mean_degree,
+        )),
         Box::new(WattsStrogatz::new(n, 4, 0.1)),
         Box::new(BarabasiAlbert::new(n, 2)),
         Box::new(GohStatic::with_gamma(n, 2, 2.2)),
         Box::new(AlbertBarabasiExtended::new(n, 1, 0.3, 0.2)),
-        Box::new(BianconiBarabasi::new(n, 2, inet_model::generators::bianconi::FitnessDistribution::Uniform)),
+        Box::new(BianconiBarabasi::new(
+            n,
+            2,
+            inet_model::generators::bianconi::FitnessDistribution::Uniform,
+        )),
         Box::new(Glp::internet_2001(n)),
         Box::new(InetLike::as_map_2001(n)),
         Box::new(Fkp::new(n, 10.0)),
         Box::new(Pfp::internet(n)),
-        Box::new(BriteLike::new(n, 2, 0.2, inet_model::generators::brite::Placement::Fractal(1.5))),
+        Box::new(BriteLike::new(
+            n,
+            2,
+            0.2,
+            inet_model::generators::brite::Placement::Fractal(1.5),
+        )),
         Box::new(SerranoModel::new(
             inet_model::experiment::ModelVariant::WithoutDistance.params(n),
         )),
@@ -73,7 +85,9 @@ fn main() -> std::io::Result<()> {
             "{:<26} {:>6.2} {:>7} {:>7.2} {:>7.2} {:>8.2} {:>6} {:>6.2} {:>5}/6",
             net.name,
             r.mean_degree,
-            r.gamma.map(|g| format!("{g:.2}")).unwrap_or_else(|| "-".into()),
+            r.gamma
+                .map(|g| format!("{g:.2}"))
+                .unwrap_or_else(|| "-".into()),
             r.mean_clustering,
             r.assortativity,
             r.mean_path_length,
@@ -109,9 +123,11 @@ fn main() -> std::io::Result<()> {
         if net.name.starts_with("Serrano") {
             serrano_pass = serrano_pass.max(v.pass_count());
             serrano_categories = serrano_categories.max(categories);
-        } else if ["ER", "Waxman", "RGG", "WS", "BA", "AB-ext", "Bianconi", "Goh", "FKP", "BRITE"]
-            .iter()
-            .any(|p| net.name.starts_with(p))
+        } else if [
+            "ER", "Waxman", "RGG", "WS", "BA", "AB-ext", "Bianconi", "Goh", "FKP", "BRITE",
+        ]
+        .iter()
+        .any(|p| net.name.starts_with(p))
         {
             // "Classic" baselines: the random/spatial/plain-PA families the
             // source text's intro calls out as failing beyond P(k). GLP and

@@ -55,10 +55,9 @@ pub use inet_stats as stats;
 /// One-line imports for applications.
 pub mod prelude {
     pub use crate::generators::{
-        AlbertBarabasiExtended, BarabasiAlbert, BianconiBarabasi, BriteLike,
-        ConfigurationModel, FitnessDistribution, Fkp, GeneratedNetwork, Generator, Glp, Gnm,
-        Gnp, GohStatic, InetLike, Pfp, RandomGeometric, SerranoModel, SerranoParams,
-        WattsStrogatz, Waxman,
+        AlbertBarabasiExtended, BarabasiAlbert, BianconiBarabasi, BriteLike, ConfigurationModel,
+        FitnessDistribution, Fkp, GeneratedNetwork, Generator, Glp, Gnm, Gnp, GohStatic, InetLike,
+        Pfp, RandomGeometric, SerranoModel, SerranoParams, WattsStrogatz, Waxman,
     };
     pub use crate::graph::{Csr, MultiGraph, NodeId};
     pub use crate::growth::{GrowthRates, InternetTrace, TraceConfig};

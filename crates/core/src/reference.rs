@@ -104,7 +104,10 @@ mod tests {
             assert!(t.gamma > 2.0 && t.gamma < 2.5);
             assert!(t.assortativity < 0.0, "the AS map is disassortative");
             assert!(t.mean_path_length < 4.0, "small world");
-            assert!(t.xi[0] < t.xi[1] && t.xi[1] < t.xi[2], "loop exponents increase with h");
+            assert!(
+                t.xi[0] < t.xi[1] && t.xi[1] < t.xi[2],
+                "loop exponents increase with h"
+            );
         }
         assert!(AS_PLUS_2001.mean_degree > AS_MAP_2001.mean_degree);
         assert!(AS_PLUS_2001.coreness > AS_MAP_2001.coreness);

@@ -104,9 +104,8 @@ impl ValidationReport {
 
     /// Renders an aligned pass/fail table.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "metric              measured    target      tol      verdict\n",
-        );
+        let mut out =
+            String::from("metric              measured    target      tol      verdict\n");
         for o in &self.outcomes {
             out.push_str(&format!(
                 "{:<18} {:>9.3} {:>9.3} {:>8.3}   {}\n",
@@ -157,7 +156,10 @@ mod tests {
         let net = Gnp::with_mean_degree(4000, 4.2).generate(&mut rng);
         let (giant, _) = inet_graph::traversal::giant_component(&net.graph.to_csr());
         let v = ValidationReport::run(&giant, &AS_MAP_2001);
-        assert!(!v.all_pass(), "an ER graph must not validate as the Internet");
+        assert!(
+            !v.all_pass(),
+            "an ER graph must not validate as the Internet"
+        );
         // It should fail the heavy-tail check in particular.
         let gamma = v.outcomes.iter().find(|o| o.metric == "gamma").unwrap();
         assert!(!gamma.pass, "ER graph passed the gamma check: {gamma:?}");

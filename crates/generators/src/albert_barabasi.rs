@@ -39,7 +39,10 @@ impl AlbertBarabasiExtended {
     ///
     /// Panics unless `p, q >= 0`, `p + q < 1`, `m >= 1`, `n > m + 1`.
     pub fn new(n: usize, m: usize, p: f64, q: f64) -> Self {
-        assert!(p >= 0.0 && q >= 0.0 && p + q < 1.0, "need p, q >= 0 and p + q < 1");
+        assert!(
+            p >= 0.0 && q >= 0.0 && p + q < 1.0,
+            "need p, q >= 0 and p + q < 1"
+        );
         assert!(m >= 1 && n > m + 1, "need n > m + 1");
         AlbertBarabasiExtended { n, m, p, q }
     }
@@ -61,7 +64,8 @@ impl Generator for AlbertBarabasiExtended {
         let m0 = self.m + 1;
         g.add_nodes(m0);
         for i in 0..m0 {
-            g.add_edge(NodeId::new(i), NodeId::new((i + 1) % m0)).expect("seed ring");
+            g.add_edge(NodeId::new(i), NodeId::new((i + 1) % m0))
+                .expect("seed ring");
         }
         let mut sampler = DynamicWeightedSampler::new();
         for i in 0..m0 {

@@ -46,7 +46,8 @@ impl Generator for BarabasiAlbert {
         let mut sampler = DynamicWeightedSampler::new();
         for i in 0..m0 {
             for j in (i + 1)..m0 {
-                g.add_edge(NodeId::new(i), NodeId::new(j)).expect("seed clique");
+                g.add_edge(NodeId::new(i), NodeId::new(j))
+                    .expect("seed clique");
             }
         }
         for i in 0..m0 {

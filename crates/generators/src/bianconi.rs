@@ -72,7 +72,8 @@ impl Generator for BianconiBarabasi {
         let mut sampler = DynamicWeightedSampler::new();
         for i in 0..m0 {
             for j in (i + 1)..m0 {
-                g.add_edge(NodeId::new(i), NodeId::new(j)).expect("seed clique");
+                g.add_edge(NodeId::new(i), NodeId::new(j))
+                    .expect("seed clique");
             }
         }
         for (i, &eta) in fitness.iter().enumerate() {
@@ -137,7 +138,9 @@ mod tests {
         let gamma = |fitness, seed| {
             let net = BianconiBarabasi::new(15_000, 2, fitness).generate(&mut seeded_rng(seed));
             let degrees: Vec<u64> = net.graph.degrees().iter().map(|&d| d as u64).collect();
-            inet_stats::powerlaw::fit_discrete(&degrees, 15).expect("fittable").gamma
+            inet_stats::powerlaw::fit_discrete(&degrees, 15)
+                .expect("fittable")
+                .gamma
         };
         let g_const = gamma(FitnessDistribution::Constant, 3);
         let g_uniform = gamma(FitnessDistribution::Uniform, 3);
@@ -159,9 +162,8 @@ mod tests {
         let cohort = 500usize;
         let mut ranked: Vec<usize> = (0..cohort).collect();
         ranked.sort_by(|&a, &b| fitness[a].partial_cmp(&fitness[b]).expect("finite"));
-        let mean = |ids: &[usize]| {
-            ids.iter().map(|&v| degrees[v] as f64).sum::<f64>() / ids.len() as f64
-        };
+        let mean =
+            |ids: &[usize]| ids.iter().map(|&v| degrees[v] as f64).sum::<f64>() / ids.len() as f64;
         let low = mean(&ranked[..cohort / 2]);
         let high = mean(&ranked[cohort / 2..]);
         assert!(

@@ -45,7 +45,12 @@ impl BriteLike {
     pub fn new(n: usize, m: usize, theta: f64, placement: Placement) -> Self {
         assert!(m >= 1 && n > m + 1, "need n > m + 1");
         assert!(theta > 0.0, "theta must be positive");
-        BriteLike { n, m, theta, placement }
+        BriteLike {
+            n,
+            m,
+            theta,
+            placement,
+        }
     }
 
     fn positions(&self, rng: &mut StdRng) -> Vec<Point2> {
@@ -72,7 +77,8 @@ impl Generator for BriteLike {
         g.add_nodes(m0);
         for i in 0..m0 {
             for j in (i + 1)..m0 {
-                g.add_edge(NodeId::new(i), NodeId::new(j)).expect("seed clique");
+                g.add_edge(NodeId::new(i), NodeId::new(j))
+                    .expect("seed clique");
             }
         }
         // O(existing) weight computation per new node: the locality kernel
@@ -136,10 +142,8 @@ mod tests {
 
     #[test]
     fn locality_shortens_links() {
-        let local = BriteLike::new(800, 2, 0.05, Placement::Uniform)
-            .generate(&mut seeded_rng(2));
-        let global = BriteLike::new(800, 2, 100.0, Placement::Uniform)
-            .generate(&mut seeded_rng(2));
+        let local = BriteLike::new(800, 2, 0.05, Placement::Uniform).generate(&mut seeded_rng(2));
+        let global = BriteLike::new(800, 2, 100.0, Placement::Uniform).generate(&mut seeded_rng(2));
         let mean_len = |net: &GeneratedNetwork| {
             let pos = net.positions.as_ref().unwrap();
             net.graph

@@ -32,7 +32,10 @@ impl Fkp {
     /// Panics unless `n >= 1` and `alpha >= 0`.
     pub fn new(n: usize, alpha: f64) -> Self {
         assert!(n >= 1, "need at least one node");
-        assert!(alpha >= 0.0 && alpha.is_finite(), "alpha must be non-negative");
+        assert!(
+            alpha >= 0.0 && alpha.is_finite(),
+            "alpha must be non-negative"
+        );
         Fkp { n, alpha }
     }
 }
@@ -58,7 +61,8 @@ impl Generator for Fkp {
                     best = j;
                 }
             }
-            g.add_edge(NodeId::new(i), NodeId::new(best)).expect("j < i");
+            g.add_edge(NodeId::new(i), NodeId::new(best))
+                .expect("j < i");
             hops[i] = hops[best] + 1;
         }
         GeneratedNetwork {

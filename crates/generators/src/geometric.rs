@@ -25,7 +25,10 @@ impl RandomGeometric {
     ///
     /// Panics unless `radius > 0`.
     pub fn new(n: usize, radius: f64) -> Self {
-        assert!(radius > 0.0 && radius.is_finite(), "radius must be positive");
+        assert!(
+            radius > 0.0 && radius.is_finite(),
+            "radius must be positive"
+        );
         RandomGeometric { n, radius }
     }
 
@@ -52,7 +55,8 @@ impl Generator for RandomGeometric {
             for j in index.within(p, self.radius) {
                 let j = j as usize;
                 if j > i {
-                    g.add_edge(NodeId::new(i), NodeId::new(j)).expect("valid pair");
+                    g.add_edge(NodeId::new(i), NodeId::new(j))
+                        .expect("valid pair");
                 }
             }
         }

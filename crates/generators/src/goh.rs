@@ -87,10 +87,7 @@ mod tests {
         let mut rng = seeded_rng(1);
         let net = GohStatic::new(2000, 2, 0.5).generate(&mut rng);
         let e = net.graph.edge_count();
-        assert!(
-            (3600..=4000).contains(&e),
-            "edges {e} far from m*n = 4000"
-        );
+        assert!((3600..=4000).contains(&e), "edges {e} far from m*n = 4000");
         assert!(net.graph.validate().is_ok());
     }
 
@@ -102,7 +99,9 @@ mod tests {
         let flat = GohStatic::with_gamma(20_000, 2, 2.2).generate(&mut rng);
         let fit = |net: &GeneratedNetwork, kmin| {
             let d: Vec<u64> = net.graph.degrees().iter().map(|&x| x as u64).collect();
-            inet_stats::powerlaw::fit_discrete(&d, kmin).expect("fittable").gamma
+            inet_stats::powerlaw::fit_discrete(&d, kmin)
+                .expect("fittable")
+                .gamma
         };
         let g_steep = fit(&steep, 8);
         let g_flat = fit(&flat, 8);

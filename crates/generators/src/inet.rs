@@ -52,7 +52,8 @@ impl Generator for InetLike {
 
     fn generate(&self, rng: &mut StdRng) -> GeneratedNetwork {
         // 1. Degree sequence, descending.
-        let mut seq = powerlaw_degree_sequence(self.n, self.gamma, self.kmin, self.n as u64 - 1, rng);
+        let mut seq =
+            powerlaw_degree_sequence(self.n, self.gamma, self.kmin, self.n as u64 - 1, rng);
         seq.sort_unstable_by(|a, b| b.cmp(a));
         let mut g = MultiGraph::with_capacity(self.n);
         g.add_nodes(self.n);
@@ -64,9 +65,7 @@ impl Generator for InetLike {
         let mut sampler = DynamicWeightedSampler::new();
         sampler.push(remaining[0] as f64);
         for i in 1..self.n {
-            let t = sampler
-                .sample(rng)
-                .unwrap_or(i - 1); // if all stubs spent, chain to predecessor
+            let t = sampler.sample(rng).unwrap_or(i - 1); // if all stubs spent, chain to predecessor
             g.add_edge(NodeId::new(i), NodeId::new(t)).expect("t < i");
             remaining[i] = remaining[i].saturating_sub(1);
             remaining[t] = remaining[t].saturating_sub(1);

@@ -35,19 +35,19 @@
 pub mod albert_barabasi;
 pub mod barabasi_albert;
 pub mod bianconi;
+pub mod brite;
 pub mod config_model;
 pub mod erdos_renyi;
 pub mod fkp;
 pub mod geometric;
 pub mod glp;
-pub mod inet;
 pub mod goh;
+pub mod inet;
 pub mod pfp;
 pub mod seq;
-pub mod watts_strogatz;
 pub mod serrano;
+pub mod watts_strogatz;
 pub mod waxman;
-pub mod brite;
 
 use inet_graph::MultiGraph;
 use inet_spatial::Point2;
@@ -86,7 +86,12 @@ pub struct GeneratedNetwork {
 impl GeneratedNetwork {
     /// Wraps a bare graph.
     pub fn bare(graph: MultiGraph, name: impl Into<String>) -> Self {
-        GeneratedNetwork { graph, positions: None, users: None, name: name.into() }
+        GeneratedNetwork {
+            graph,
+            positions: None,
+            users: None,
+            name: name.into(),
+        }
     }
 }
 

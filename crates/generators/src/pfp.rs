@@ -37,7 +37,10 @@ impl Pfp {
     ///
     /// Panics unless `p, q >= 0`, `p + q <= 1`, `delta >= 0`, `n >= 4`.
     pub fn new(n: usize, p: f64, q: f64, delta: f64) -> Self {
-        assert!(p >= 0.0 && q >= 0.0 && p + q <= 1.0, "need p, q >= 0, p + q <= 1");
+        assert!(
+            p >= 0.0 && q >= 0.0 && p + q <= 1.0,
+            "need p, q >= 0, p + q <= 1"
+        );
         assert!(delta >= 0.0, "delta must be non-negative");
         assert!(n >= 4, "need at least four nodes");
         Pfp { n, p, q, delta }
@@ -67,7 +70,8 @@ impl Generator for Pfp {
         let mut g = MultiGraph::with_capacity(self.n);
         g.add_nodes(3);
         for (a, b) in [(0, 1), (1, 2), (0, 2)] {
-            g.add_edge(NodeId::new(a), NodeId::new(b)).expect("seed triangle");
+            g.add_edge(NodeId::new(a), NodeId::new(b))
+                .expect("seed triangle");
         }
         let mut sampler = DynamicWeightedSampler::new();
         for i in 0..3 {

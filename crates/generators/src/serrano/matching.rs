@@ -41,7 +41,10 @@ pub fn match_deficits(
 ) -> MatchStats {
     let mut stats = MatchStats::default();
     // Active weight = deficit where >= 1 unit is wanted, else 0.
-    let weights: Vec<f64> = deficits.iter().map(|&d| if d >= 1.0 { d } else { 0.0 }).collect();
+    let weights: Vec<f64> = deficits
+        .iter()
+        .map(|&d| if d >= 1.0 { d } else { 0.0 })
+        .collect();
     let mut sampler = DynamicWeightedSampler::from_weights(&weights);
     let active = |d: f64| if d >= 1.0 { d } else { 0.0 };
     let mut active_count = deficits.iter().filter(|&&d| d >= 1.0).count();

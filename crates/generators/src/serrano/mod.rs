@@ -112,9 +112,9 @@ impl SerranoModel {
         // Distance-kernel cost density: kappa0 = omega0 / (n0 * sqrt(2)),
         // scaled by the user's kappa_scale. Chosen so that at t = 0 two
         // seed-sized ASs have d_c equal to the domain diagonal.
-        let kappa = p.distance.map(|d| {
-            d.kappa_scale * p.omega0 / (p.n0 as f64 * std::f64::consts::SQRT_2)
-        });
+        let kappa = p
+            .distance
+            .map(|d| d.kappa_scale * p.omega0 / (p.n0 as f64 * std::f64::consts::SQRT_2));
 
         let mut history: Vec<GrowthRecord> = vec![GrowthRecord {
             t: 0,
@@ -183,30 +183,21 @@ impl SerranoModel {
 
             // Matching with the distance kernel (or always-accept).
             let total_deficit: f64 = deficits.iter().sum();
-            let budget = (p.max_attempts_factor as u64)
-                .saturating_mul(total_deficit.ceil() as u64 + 2);
+            let budget =
+                (p.max_attempts_factor as u64).saturating_mul(total_deficit.ceil() as u64 + 2);
             match kappa {
                 Some(kappa) => {
                     let pos = &positions;
                     let pool_ref = &pool;
-                    let _ = match_deficits(
-                        &mut g,
-                        &mut deficits,
-                        p.r,
-                        budget,
-                        rng,
-                        |i, j, rng| {
-                            let d = pos[i].dist(&pos[j]);
-                            let dc = pool_ref.users(i) * pool_ref.users(j) / (kappa * w);
-                            let prob = (-d / dc.max(1e-12)).exp();
-                            rng.gen_range(0.0..1.0) < prob
-                        },
-                    );
+                    let _ = match_deficits(&mut g, &mut deficits, p.r, budget, rng, |i, j, rng| {
+                        let d = pos[i].dist(&pos[j]);
+                        let dc = pool_ref.users(i) * pool_ref.users(j) / (kappa * w);
+                        let prob = (-d / dc.max(1e-12)).exp();
+                        rng.gen_range(0.0..1.0) < prob
+                    });
                 }
                 None => {
-                    let _ = match_deficits(&mut g, &mut deficits, p.r, budget, rng, |_, _, _| {
-                        true
-                    });
+                    let _ = match_deficits(&mut g, &mut deficits, p.r, budget, rng, |_, _, _| true);
                 }
             }
 
@@ -223,7 +214,11 @@ impl SerranoModel {
         SerranoRun {
             network: GeneratedNetwork {
                 graph: g,
-                positions: if positions.is_empty() { None } else { Some(positions) },
+                positions: if positions.is_empty() {
+                    None
+                } else {
+                    Some(positions)
+                },
                 users: Some(users),
                 name: self.name(),
             },
@@ -235,7 +230,11 @@ impl SerranoModel {
 
 impl Generator for SerranoModel {
     fn name(&self) -> String {
-        let dist = if self.params.distance.is_some() { "dist" } else { "nodist" };
+        let dist = if self.params.distance.is_some() {
+            "dist"
+        } else {
+            "nodist"
+        };
         format!("Serrano r={:.1} {dist}", self.params.r)
     }
 
@@ -312,10 +311,18 @@ mod tests {
     #[test]
     fn heavy_tailed_degrees() {
         let run = small_run(2000, 6, false);
-        let degrees: Vec<u64> =
-            run.network.graph.degrees().iter().map(|&d| d as u64).collect();
+        let degrees: Vec<u64> = run
+            .network
+            .graph
+            .degrees()
+            .iter()
+            .map(|&d| d as u64)
+            .collect();
         let max = *degrees.iter().max().unwrap();
-        assert!(max as f64 > 0.05 * 2000.0, "max degree {max}: no hub emerged");
+        assert!(
+            max as f64 > 0.05 * 2000.0,
+            "max degree {max}: no hub emerged"
+        );
     }
 
     #[test]

@@ -26,7 +26,11 @@ pub struct DistanceConstraint {
 
 impl Default for DistanceConstraint {
     fn default() -> Self {
-        DistanceConstraint { fractal_dimension: 1.5, depth: 8, kappa_scale: 0.03 }
+        DistanceConstraint {
+            fractal_dimension: 1.5,
+            depth: 8,
+            kappa_scale: 0.03,
+        }
     }
 }
 
@@ -102,12 +106,18 @@ impl SerranoParams {
     /// Same as [`SerranoParams::paper_2001`] but without the distance
     /// constraint (the paper's dashed-line variant).
     pub fn paper_2001_no_distance() -> Self {
-        SerranoParams { distance: None, ..Self::paper_2001() }
+        SerranoParams {
+            distance: None,
+            ..Self::paper_2001()
+        }
     }
 
     /// A scaled-down variant for fast tests and examples.
     pub fn small(target_n: usize) -> Self {
-        SerranoParams { target_n, ..Self::paper_2001() }
+        SerranoParams {
+            target_n,
+            ..Self::paper_2001()
+        }
     }
 
     /// Validates parameter coherence. Called by the model constructor.
@@ -135,9 +145,15 @@ impl SerranoParams {
         );
         assert!(self.lambda >= 0.0, "lambda must be non-negative");
         assert!((0.0..1.0).contains(&self.r), "r must lie in [0, 1)");
-        assert!(self.theta >= 0.0, "preference exponent must be non-negative");
+        assert!(
+            self.theta >= 0.0,
+            "preference exponent must be non-negative"
+        );
         assert!(self.target_n >= self.n0, "target size below seed size");
-        assert!(self.max_attempts_factor >= 1, "need a positive attempt budget");
+        assert!(
+            self.max_attempts_factor >= 1,
+            "need a positive attempt budget"
+        );
     }
 
     /// `τ = β/α` (AS size-distribution tail is `ω^-(1+τ)`).
@@ -222,14 +238,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "alpha > beta")]
     fn rejects_supply_outrunning_demand() {
-        let p = SerranoParams { alpha: 0.02, ..SerranoParams::paper_2001() };
+        let p = SerranoParams {
+            alpha: 0.02,
+            ..SerranoParams::paper_2001()
+        };
         p.validate();
     }
 
     #[test]
     #[should_panic(expected = "delta' > alpha")]
     fn rejects_lagging_bandwidth() {
-        let p = SerranoParams { delta_prime: 0.03, ..SerranoParams::paper_2001() };
+        let p = SerranoParams {
+            delta_prime: 0.03,
+            ..SerranoParams::paper_2001()
+        };
         p.validate();
     }
 

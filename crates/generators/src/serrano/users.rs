@@ -25,7 +25,10 @@ pub struct UserPool {
 impl UserPool {
     /// Seeds the pool with `n0` nodes of `omega0` users each.
     pub fn new(n0: usize, omega0: f64) -> Self {
-        UserPool { omega: vec![omega0; n0], total: omega0 * n0 as f64 }
+        UserPool {
+            omega: vec![omega0; n0],
+            total: omega0 * n0 as f64,
+        }
     }
 
     /// Number of nodes.
@@ -309,7 +312,11 @@ mod tests {
         assert_eq!(p.len(), 3);
         assert!((p.total() - 10_000.0).abs() < 1e-9, "total invariant");
         // Equal share: each of the two donors lost 500.
-        assert!((p.users(0) - 4500.0).abs() < 1e-9, "users(0) = {}", p.users(0));
+        assert!(
+            (p.users(0) - 4500.0).abs() < 1e-9,
+            "users(0) = {}",
+            p.users(0)
+        );
         assert!((p.users(1) - 4500.0).abs() < 1e-9);
         assert!((p.users(2) - 1000.0).abs() < 1e-9);
     }

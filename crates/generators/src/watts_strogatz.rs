@@ -49,7 +49,8 @@ impl Generator for WattsStrogatz {
         for v in 0..self.n {
             for offset in 1..=self.k / 2 {
                 let u = (v + offset) % self.n;
-                g.add_edge(NodeId::new(v), NodeId::new(u)).expect("lattice edge");
+                g.add_edge(NodeId::new(v), NodeId::new(u))
+                    .expect("lattice edge");
             }
         }
         // Rewire the clockwise stubs.
@@ -68,7 +69,8 @@ impl Generator for WattsStrogatz {
                     }
                     g.remove_edge(NodeId::new(v), NodeId::new(old))
                         .expect("lattice edge present");
-                    g.add_edge(NodeId::new(v), NodeId::new(new)).expect("checked");
+                    g.add_edge(NodeId::new(v), NodeId::new(new))
+                        .expect("checked");
                     break;
                 }
             }
@@ -105,8 +107,14 @@ mod tests {
         };
         let (l0, c0) = measure(&lattice);
         let (l1, c1) = measure(&sw);
-        assert!(l1 < 0.5 * l0, "paths {l0} -> {l1}: shortcuts must collapse distances");
-        assert!(c1 > 0.6 * c0, "clustering {c0} -> {c1} fell too much at p = 0.05");
+        assert!(
+            l1 < 0.5 * l0,
+            "paths {l0} -> {l1}: shortcuts must collapse distances"
+        );
+        assert!(
+            c1 > 0.6 * c0,
+            "clustering {c0} -> {c1} fell too much at p = 0.05"
+        );
     }
 
     #[test]

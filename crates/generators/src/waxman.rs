@@ -50,9 +50,8 @@ impl Waxman {
             for b in (a + 1)..grid * grid {
                 let (ax, ay) = ((a / grid) as f64 + 0.5, (a % grid) as f64 + 0.5);
                 let (bx, by) = ((b / grid) as f64 + 0.5, (b % grid) as f64 + 0.5);
-                let d = (((ax - bx) / grid as f64).powi(2)
-                    + ((ay - by) / grid as f64).powi(2))
-                .sqrt();
+                let d =
+                    (((ax - bx) / grid as f64).powi(2) + ((ay - by) / grid as f64).powi(2)).sqrt();
                 sum += (-d / (beta * l)).exp();
                 count += 1;
             }
@@ -78,7 +77,8 @@ impl Generator for Waxman {
                 let d = positions[i].dist(&positions[j]);
                 let p = self.q * (-d / (self.beta * l)).exp();
                 if rng.gen_range(0.0..1.0) < p {
-                    g.add_edge(NodeId::new(i), NodeId::new(j)).expect("valid pair");
+                    g.add_edge(NodeId::new(i), NodeId::new(j))
+                        .expect("valid pair");
                 }
             }
         }

@@ -138,7 +138,10 @@ impl Csr {
 
     /// Largest degree in the graph; 0 for an empty graph.
     pub fn max_degree(&self) -> usize {
-        (0..self.node_count()).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.node_count())
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Average degree `2E / N`; 0 for an empty graph.
@@ -213,7 +216,13 @@ impl Csr {
             offsets.push(targets.len());
         }
         (
-            Csr { offsets, targets, weights, edge_count, total_weight },
+            Csr {
+                offsets,
+                targets,
+                weights,
+                edge_count,
+                total_weight,
+            },
             new_to_old,
         )
     }

@@ -34,7 +34,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfBounds { node, node_count } => {
-                write!(f, "node {node} out of bounds (graph has {node_count} nodes)")
+                write!(
+                    f,
+                    "node {node} out of bounds (graph has {node_count} nodes)"
+                )
             }
             GraphError::SelfLoop(v) => write!(f, "self-loop at node {v} is not allowed"),
             GraphError::ZeroWeight => write!(f, "edge weight must be strictly positive"),
@@ -61,16 +64,24 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = GraphError::NodeOutOfBounds { node: NodeId::new(9), node_count: 3 };
+        let e = GraphError::NodeOutOfBounds {
+            node: NodeId::new(9),
+            node_count: 3,
+        };
         assert!(e.to_string().contains("9"));
         assert!(e.to_string().contains("3 nodes"));
 
-        assert!(GraphError::SelfLoop(NodeId::new(1)).to_string().contains("self-loop"));
+        assert!(GraphError::SelfLoop(NodeId::new(1))
+            .to_string()
+            .contains("self-loop"));
         assert!(GraphError::ZeroWeight.to_string().contains("positive"));
         assert!(GraphError::MissingEdge(NodeId::new(0), NodeId::new(1))
             .to_string()
             .contains("does not exist"));
-        let p = GraphError::Parse { line: 4, message: "bad token".into() };
+        let p = GraphError::Parse {
+            line: 4,
+            message: "bad token".into(),
+        };
         assert!(p.to_string().contains("line 4"));
     }
 

@@ -18,7 +18,13 @@ use std::io::{BufRead, Write};
 
 /// Writes `g` as a weighted edge list (one `u v w` line per distinct edge).
 pub fn write_edge_list<W: Write>(g: &MultiGraph, mut out: W) -> Result<()> {
-    writeln!(out, "# nodes {} edges {} weight {}", g.node_count(), g.edge_count(), g.total_weight())?;
+    writeln!(
+        out,
+        "# nodes {} edges {} weight {}",
+        g.node_count(),
+        g.edge_count(),
+        g.total_weight()
+    )?;
     for (u, v, w) in g.edges() {
         writeln!(out, "{} {} {}", u.index(), v.index(), w)?;
     }

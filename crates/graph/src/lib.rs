@@ -14,6 +14,9 @@
 //!   and `has_edge` is a binary search.
 //! * [`traversal`] — BFS distances, connected components, giant-component
 //!   extraction.
+//! * [`parallel`] — dependency-free deterministic work-stealing fan-out used
+//!   by every threaded metrics kernel; results are bit-identical for any
+//!   thread count.
 //! * [`io`] — plain-text weighted edge-list reading/writing, so topologies can
 //!   be exchanged with external tools.
 //!
@@ -58,6 +61,7 @@ mod ids;
 mod multigraph;
 
 pub mod io;
+pub mod parallel;
 pub mod traversal;
 
 pub use csr::Csr;

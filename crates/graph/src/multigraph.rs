@@ -43,7 +43,11 @@ impl MultiGraph {
 
     /// Creates an empty graph with capacity reserved for `nodes` nodes.
     pub fn with_capacity(nodes: usize) -> Self {
-        MultiGraph { adj: Vec::with_capacity(nodes), edge_count: 0, total_weight: 0 }
+        MultiGraph {
+            adj: Vec::with_capacity(nodes),
+            edge_count: 0,
+            total_weight: 0,
+        }
     }
 
     /// Builds a graph with `nodes` isolated nodes and the given unit-weight
@@ -104,7 +108,10 @@ impl MultiGraph {
 
     fn check_node(&self, v: NodeId) -> Result<()> {
         if v.index() >= self.adj.len() {
-            Err(GraphError::NodeOutOfBounds { node: v, node_count: self.adj.len() })
+            Err(GraphError::NodeOutOfBounds {
+                node: v,
+                node_count: self.adj.len(),
+            })
         } else {
             Ok(())
         }
@@ -321,7 +328,10 @@ mod tests {
     fn edges_create_and_reinforce() {
         let (mut g, a, b, _c) = path3();
         assert_eq!(g.add_edge(a, b).unwrap(), EdgeUpdate::Reinforced(2));
-        assert_eq!(g.add_edge_weighted(a, b, 3).unwrap(), EdgeUpdate::Reinforced(5));
+        assert_eq!(
+            g.add_edge_weighted(a, b, 3).unwrap(),
+            EdgeUpdate::Reinforced(5)
+        );
         assert_eq!(g.weight(a, b), 5);
         assert_eq!(g.weight(b, a), 5, "weights are symmetric");
         assert_eq!(g.edge_count(), 2);
@@ -393,8 +403,10 @@ mod tests {
         let (mut g, a, b, c) = path3();
         g.add_edge(a, c).unwrap();
         g.add_edge(a, b).unwrap();
-        let edges: Vec<(usize, usize, u64)> =
-            g.edges().map(|(u, v, w)| (u.index(), v.index(), w)).collect();
+        let edges: Vec<(usize, usize, u64)> = g
+            .edges()
+            .map(|(u, v, w)| (u.index(), v.index(), w))
+            .collect();
         assert_eq!(edges, vec![(0, 1, 2), (0, 2, 1), (1, 2, 1)]);
     }
 

@@ -1,0 +1,330 @@
+//! Deterministic work-stealing fan-out over index ranges.
+//!
+//! Metrics kernels process items (nodes, BFS sources, edges) that vary
+//! wildly in cost on heavy-tailed graphs — a hub's neighbor scan can be
+//! orders of magnitude more work than a fringe node's. Static even-split
+//! chunking leaves threads idle behind whichever chunk drew the hubs, so
+//! this module steals work dynamically instead: items are cut into a
+//! **fixed chunk grid** that depends only on the item count, and worker
+//! threads claim chunks from a shared [`AtomicUsize`] cursor.
+//!
+//! Because the grid never changes with the thread count, and per-chunk
+//! results are merged **in chunk order** after all workers finish, every
+//! output — including floating-point accumulations, whose value depends on
+//! summation order — is bit-identical for any `threads ≥ 1`. The
+//! single-thread path runs the same chunks in the same order inline, so it
+//! produces the same bits too.
+//!
+//! Worker panics are caught per chunk and re-raised on the calling thread
+//! with the failing item range in the message, instead of an anonymous
+//! "worker panicked".
+
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Upper bound on the number of chunks in a grid. Small enough that
+/// per-chunk partial buffers stay cheap, large enough that work stealing
+/// can balance hub-heavy chunks across any realistic core count.
+const MAX_CHUNKS: usize = 64;
+
+/// Default worker count: the machine's available parallelism, clamped to
+/// at least 1 when the capacity cannot be queried.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// Chunk length of the fixed grid for `len` items. Depends only on `len`.
+pub fn chunk_size(len: usize) -> usize {
+    len.div_ceil(MAX_CHUNKS).max(1)
+}
+
+/// The fixed chunk grid for `len` items: consecutive, non-overlapping
+/// ranges covering `0..len`, at most [`MAX_CHUNKS`] of them. Empty for
+/// `len == 0`.
+pub fn chunk_grid(len: usize) -> Vec<Range<usize>> {
+    let size = chunk_size(len);
+    (0..len.div_ceil(size))
+        .map(|c| c * size..((c + 1) * size).min(len))
+        .collect()
+}
+
+/// Runs `work` over every chunk of the fixed grid for `len` items, fanning
+/// chunks out across up to `threads` work-stealing workers, and returns the
+/// per-chunk results **in chunk order**.
+///
+/// Each worker builds one scratch value with `make_scratch` and reuses it
+/// for every chunk it claims, so expensive per-worker buffers (BFS queues,
+/// distance arrays) are allocated `O(threads)` times, not `O(chunks)`.
+///
+/// The chunk grid and the returned order depend only on `len`, never on
+/// `threads`, so callers that fold the returned partials in order get
+/// bit-identical results for any thread count.
+///
+/// # Panics
+///
+/// If `work` panics, the panic is propagated on the calling thread with a
+/// message naming the item range that failed.
+pub fn fanout_ordered<S, T, FS, FW>(
+    len: usize,
+    threads: usize,
+    make_scratch: FS,
+    work: FW,
+) -> Vec<T>
+where
+    T: Send,
+    FS: Fn() -> S + Sync,
+    FW: Fn(&mut S, Range<usize>) -> T + Sync,
+{
+    let grid = chunk_grid(len);
+    let threads = threads.max(1).min(grid.len().max(1));
+    if threads <= 1 || grid.len() <= 1 {
+        let mut scratch = make_scratch();
+        return grid
+            .into_iter()
+            .map(|range| run_chunk(&work, &mut scratch, range))
+            .collect();
+    }
+
+    type Payload = Box<dyn std::any::Any + Send + 'static>;
+    type WorkerResult<T> = Result<Vec<(usize, T)>, (Range<usize>, Payload)>;
+
+    let cursor = AtomicUsize::new(0);
+    let outcomes: Vec<WorkerResult<T>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cursor = &cursor;
+                let grid = &grid;
+                let make_scratch = &make_scratch;
+                let work = &work;
+                scope.spawn(move || {
+                    let mut scratch = make_scratch();
+                    let mut done: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let c = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(range) = grid.get(c).cloned() else {
+                            return Ok(done);
+                        };
+                        let attempt =
+                            catch_unwind(AssertUnwindSafe(|| work(&mut scratch, range.clone())));
+                        match attempt {
+                            Ok(t) => done.push((c, t)),
+                            Err(payload) => return Err((range, payload)),
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|payload| resume_unwind(payload)))
+            .collect()
+    });
+
+    let mut slots: Vec<Option<T>> = (0..grid.len()).map(|_| None).collect();
+    let mut failure: Option<(Range<usize>, Payload)> = None;
+    for outcome in outcomes {
+        match outcome {
+            Ok(parts) => {
+                for (c, t) in parts {
+                    slots[c] = Some(t);
+                }
+            }
+            // Report the earliest failing range so the message is
+            // deterministic when several workers panic at once.
+            Err(f) => {
+                failure = Some(match failure.take() {
+                    Some(old) if old.0.start <= f.0.start => old,
+                    _ => f,
+                })
+            }
+        }
+    }
+    if let Some((range, payload)) = failure {
+        panic!(
+            "parallel worker panicked on items {}..{}: {}",
+            range.start,
+            range.end,
+            payload_message(&*payload)
+        );
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every chunk was claimed by exactly one worker"))
+        .collect()
+}
+
+/// [`fanout_ordered`] followed by an in-order fold of the chunk partials.
+/// Returns `None` when `len == 0` (no chunks). The fold runs on the calling
+/// thread in chunk order, so float accumulations stay bit-identical for any
+/// thread count.
+pub fn fanout_reduce<S, T, FS, FW, FM>(
+    len: usize,
+    threads: usize,
+    make_scratch: FS,
+    work: FW,
+    mut fold: FM,
+) -> Option<T>
+where
+    T: Send,
+    FS: Fn() -> S + Sync,
+    FW: Fn(&mut S, Range<usize>) -> T + Sync,
+    FM: FnMut(T, T) -> T,
+{
+    fanout_ordered(len, threads, make_scratch, work)
+        .into_iter()
+        .reduce(&mut fold)
+}
+
+/// Single-threaded chunk execution with the same range-naming panic
+/// message as the threaded path.
+fn run_chunk<S, T, FW>(work: &FW, scratch: &mut S, range: Range<usize>) -> T
+where
+    FW: Fn(&mut S, Range<usize>) -> T,
+{
+    match catch_unwind(AssertUnwindSafe(|| work(scratch, range.clone()))) {
+        Ok(t) => t,
+        Err(payload) => panic!(
+            "parallel worker panicked on items {}..{}: {}",
+            range.start,
+            range.end,
+            payload_message(&*payload)
+        ),
+    }
+}
+
+/// Best-effort extraction of a human-readable panic message.
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_range_without_overlap() {
+        for len in [0usize, 1, 5, 63, 64, 65, 1000, 12345] {
+            let grid = chunk_grid(len);
+            assert!(grid.len() <= MAX_CHUNKS, "len {len}: {} chunks", grid.len());
+            let mut next = 0usize;
+            for r in &grid {
+                assert_eq!(r.start, next, "len {len}");
+                assert!(r.end > r.start, "len {len}: empty chunk");
+                next = r.end;
+            }
+            assert_eq!(next, len, "len {len}: grid must cover 0..len");
+        }
+    }
+
+    #[test]
+    fn grid_is_independent_of_thread_count() {
+        // The grid is a pure function of len — this is what makes merged
+        // float sums bit-identical across thread counts.
+        assert_eq!(chunk_grid(777), chunk_grid(777));
+    }
+
+    #[test]
+    fn ordered_results_match_serial_for_any_thread_count() {
+        let items: Vec<u64> = (0..1000u64).map(|i| i * i % 97).collect();
+        let expect: Vec<u64> = chunk_grid(items.len())
+            .into_iter()
+            .map(|r| items[r].iter().sum())
+            .collect();
+        for threads in [1, 2, 3, 7, 16] {
+            let got = fanout_ordered(
+                items.len(),
+                threads,
+                || 0u64,
+                |calls, r| {
+                    *calls += 1;
+                    items[r].iter().sum::<u64>()
+                },
+            );
+            assert_eq!(got, expect, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn reduce_folds_in_chunk_order() {
+        // Collect chunk start indices through the fold; order must be the
+        // grid order regardless of thread count.
+        for threads in [1, 4] {
+            let folded = fanout_reduce(
+                300,
+                threads,
+                || (),
+                |_, r| vec![r.start],
+                |mut a, b| {
+                    a.extend(b);
+                    a
+                },
+            )
+            .expect("non-empty");
+            let expect: Vec<usize> = chunk_grid(300).into_iter().map(|r| r.start).collect();
+            assert_eq!(folded, expect, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_no_chunks() {
+        let got: Vec<u32> = fanout_ordered(0, 4, || (), |_, _| unreachable!());
+        assert!(got.is_empty());
+        assert_eq!(fanout_reduce(0, 4, || (), |_, _| 1u32, |a, b| a + b), None);
+    }
+
+    #[test]
+    fn scratch_is_reused_within_a_worker() {
+        // With 1 thread every chunk shares one scratch, so the counter sees
+        // every chunk.
+        let counts = fanout_ordered(
+            640,
+            1,
+            || 0usize,
+            |seen, _| {
+                *seen += 1;
+                *seen
+            },
+        );
+        assert_eq!(counts.last().copied(), Some(chunk_grid(640).len()));
+    }
+
+    #[test]
+    fn worker_panic_names_the_failing_range() {
+        for threads in [1, 3] {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                fanout_ordered(
+                    100,
+                    threads,
+                    || (),
+                    |_, r: Range<usize>| {
+                        if r.contains(&42) {
+                            panic!("boom on purpose");
+                        }
+                        0u8
+                    },
+                )
+            }));
+            let payload = result.expect_err("must propagate the panic");
+            let msg = payload_message(&*payload);
+            assert!(
+                msg.contains("parallel worker panicked on items") && msg.contains("boom"),
+                "threads {threads}: message was {msg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

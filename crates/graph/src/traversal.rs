@@ -119,7 +119,9 @@ pub fn giant_fraction(g: &Csr) -> f64 {
         return 0.0;
     }
     let comps = connected_components(g);
-    let giant = comps.giant_label().expect("non-empty graph has a component");
+    let giant = comps
+        .giant_label()
+        .expect("non-empty graph has a component");
     comps.sizes[giant as usize] as f64 / g.node_count() as f64
 }
 

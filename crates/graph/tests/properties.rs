@@ -7,13 +7,17 @@ use proptest::prelude::*;
 /// never self-loops), n in 2..40.
 fn edge_set() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
     (2usize..40).prop_flat_map(|n| {
-        let edge = (0..n, 0..n).prop_filter_map("no self-loops", |(u, v)| {
-            if u == v {
-                None
-            } else {
-                Some((u, v))
-            }
-        });
+        let edge =
+            (0..n, 0..n).prop_filter_map(
+                "no self-loops",
+                |(u, v)| {
+                    if u == v {
+                        None
+                    } else {
+                        Some((u, v))
+                    }
+                },
+            );
         (Just(n), proptest::collection::vec(edge, 0..120))
     })
 }

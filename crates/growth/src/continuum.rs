@@ -51,10 +51,19 @@ impl SdeConfig {
     }
 
     fn validate(&self) {
-        assert!(self.alpha > self.beta && self.beta > 0.0, "need 0 < beta < alpha");
+        assert!(
+            self.alpha > self.beta && self.beta > 0.0,
+            "need 0 < beta < alpha"
+        );
         assert!(self.lambda >= 0.0, "lambda must be non-negative");
-        assert!(self.omega0 > 0.0 && self.n0 >= 1, "need users and seed nodes");
-        assert!(self.t_max > 0.0 && self.dt > 0.0 && self.dt < self.t_max, "bad time grid");
+        assert!(
+            self.omega0 > 0.0 && self.n0 >= 1,
+            "need users and seed nodes"
+        );
+        assert!(
+            self.t_max > 0.0 && self.dt > 0.0 && self.dt < self.t_max,
+            "bad time grid"
+        );
     }
 }
 
@@ -76,10 +85,10 @@ pub fn simulate_ensemble<R: Rng>(config: SdeConfig, rng: &mut R) -> Vec<f64> {
         // Euler–Maruyama step for every node.
         for w in omegas.iter_mut() {
             let drift = config.alpha * *w - config.beta * config.omega0;
-            let diffusion =
-                ((config.alpha + 2.0 * config.lambda) * *w + config.beta * config.omega0)
-                    .max(0.0)
-                    .sqrt();
+            let diffusion = ((config.alpha + 2.0 * config.lambda) * *w
+                + config.beta * config.omega0)
+                .max(0.0)
+                .sqrt();
             *w += drift * config.dt + diffusion * sqrt_dt * standard_normal(rng);
             // Reflecting boundary at omega0.
             if *w < config.omega0 {
@@ -140,7 +149,11 @@ mod tests {
         let mut rng = seeded_rng(3);
         let config = SdeConfig::paper(180.0);
         let omegas = simulate_ensemble(config, &mut rng);
-        assert!(omegas.len() > 1000, "need a real ensemble, got {}", omegas.len());
+        assert!(
+            omegas.len() > 1000,
+            "need a real ensemble, got {}",
+            omegas.len()
+        );
         let ks = ks_against_theory(&omegas, config);
         assert!(ks < 0.08, "KS distance to Eq. 5 too large: {ks}");
     }
@@ -149,7 +162,10 @@ mod tests {
     fn lambda_increases_fluctuations_not_drift() {
         let quiet = simulate_ensemble(SdeConfig::paper(100.0), &mut seeded_rng(4));
         let noisy = simulate_ensemble(
-            SdeConfig { lambda: 0.5, ..SdeConfig::paper(100.0) },
+            SdeConfig {
+                lambda: 0.5,
+                ..SdeConfig::paper(100.0)
+            },
             &mut seeded_rng(4),
         );
         let mean = |v: &[f64]| inet_stats::Summary::from_slice(v).mean;
@@ -162,6 +178,12 @@ mod tests {
     #[should_panic(expected = "bad time grid")]
     fn rejects_bad_grid() {
         let mut rng = seeded_rng(5);
-        let _ = simulate_ensemble(SdeConfig { dt: 0.0, ..SdeConfig::paper(10.0) }, &mut rng);
+        let _ = simulate_ensemble(
+            SdeConfig {
+                dt: 0.0,
+                ..SdeConfig::paper(10.0)
+            },
+            &mut rng,
+        );
     }
 }

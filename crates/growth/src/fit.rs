@@ -75,7 +75,10 @@ mod tests {
     #[test]
     fn noiseless_fit_is_exact() {
         let mut rng = seeded_rng(1);
-        let config = TraceConfig { noise_sigma: 0.0, ..TraceConfig::oregon_era() };
+        let config = TraceConfig {
+            noise_sigma: 0.0,
+            ..TraceConfig::oregon_era()
+        };
         let trace = InternetTrace::generate(config, &mut rng);
         let fit = FittedRates::fit(&trace).unwrap();
         assert!((fit.hosts.rate - 0.036).abs() < 1e-10);
@@ -90,7 +93,11 @@ mod tests {
         let trace = InternetTrace::generate(TraceConfig::oregon_era(), &mut rng);
         let fit = FittedRates::fit(&trace).unwrap();
         let truth = GrowthRates::internet_empirical();
-        assert!(fit.consistent_with(&truth, 4.0), "fits drifted:\n{}", fit.render());
+        assert!(
+            fit.consistent_with(&truth, 4.0),
+            "fits drifted:\n{}",
+            fit.render()
+        );
         // Error bars comparable to the paper's quoted ones (~1e-3).
         assert!(fit.hosts.rate_se < 5e-3);
     }
@@ -103,7 +110,11 @@ mod tests {
         assert!(rates.alpha > rates.beta);
         assert!(rates.delta >= rates.beta);
         // The derived gamma should stay in the Internet band.
-        assert!((rates.gamma() - 2.2).abs() < 0.25, "gamma = {}", rates.gamma());
+        assert!(
+            (rates.gamma() - 2.2).abs() < 0.25,
+            "gamma = {}",
+            rates.gamma()
+        );
     }
 
     #[test]

@@ -24,7 +24,11 @@ impl GrowthRates {
     /// `α = 0.036 ± 0.001`, `β = 0.0304 ± 0.0003`, `δ = 0.0330 ± 0.0002`
     /// per month.
     pub fn internet_empirical() -> Self {
-        GrowthRates { alpha: 0.036, beta: 0.0304, delta: 0.0330 }
+        GrowthRates {
+            alpha: 0.036,
+            beta: 0.0304,
+            delta: 0.0330,
+        }
     }
 
     /// Creates and sanity-checks a rate triple.
@@ -34,9 +38,18 @@ impl GrowthRates {
     /// Panics when any rate is non-positive or the demand/supply ordering
     /// `α > β`, `β ≤ δ` is violated.
     pub fn new(alpha: f64, beta: f64, delta: f64) -> Self {
-        assert!(alpha > 0.0 && beta > 0.0 && delta > 0.0, "rates must be positive");
-        assert!(alpha > beta, "alpha > beta required (demand keeps ahead of supply)");
-        assert!(delta >= beta, "delta >= beta required (connected growing network)");
+        assert!(
+            alpha > 0.0 && beta > 0.0 && delta > 0.0,
+            "rates must be positive"
+        );
+        assert!(
+            alpha > beta,
+            "alpha > beta required (demand keeps ahead of supply)"
+        );
+        assert!(
+            delta >= beta,
+            "delta >= beta required (connected growing network)"
+        );
         GrowthRates { alpha, beta, delta }
     }
 
@@ -102,7 +115,10 @@ mod tests {
     #[test]
     fn ordering_holds_empirically() {
         let r = GrowthRates::internet_empirical();
-        assert!(r.alpha > r.delta && r.delta > r.beta, "alpha > delta > beta");
+        assert!(
+            r.alpha > r.delta && r.delta > r.beta,
+            "alpha > delta > beta"
+        );
     }
 
     #[test]
@@ -113,7 +129,10 @@ mod tests {
         assert!((r.mu() - 0.75).abs() < 1e-12);
         assert!((r.tau() - 6.0 / 7.0).abs() < 1e-12);
         assert!(r.mu() < 1.0, "mu < 1 required for multi-connections");
-        assert!(r.delta_prime() > r.alpha, "delta' > alpha: traffic outgrows users");
+        assert!(
+            r.delta_prime() > r.alpha,
+            "delta' > alpha: traffic outgrows users"
+        );
     }
 
     #[test]
@@ -121,7 +140,10 @@ mod tests {
         let r = GrowthRates::internet_empirical();
         assert!(r.users_size_exponent() > 1.0);
         assert!(r.edges_size_exponent() > 1.0);
-        assert!(r.mean_degree_size_exponent() > 0.0, "the Internet densifies");
+        assert!(
+            r.mean_degree_size_exponent() > 0.0,
+            "the Internet densifies"
+        );
         assert!(r.mean_degree_size_exponent() < 0.2);
     }
 

@@ -35,7 +35,10 @@ pub fn omega_trajectory(alpha: f64, beta: f64, omega0: f64, age: f64) -> f64 {
 /// Stationary AS-size density `p(ω)` (Eq. 5, long-time limit, no cutoff).
 /// Zero below `ω₀`.
 pub fn size_pdf(omega: f64, alpha: f64, beta: f64, omega0: f64) -> f64 {
-    assert!(alpha > beta && beta > 0.0 && omega0 > 0.0, "invalid parameters");
+    assert!(
+        alpha > beta && beta > 0.0 && omega0 > 0.0,
+        "invalid parameters"
+    );
     if omega < omega0 {
         return 0.0;
     }
@@ -46,7 +49,10 @@ pub fn size_pdf(omega: f64, alpha: f64, beta: f64, omega0: f64) -> f64 {
 /// Analytic CCDF `P(Ω ≥ ω)` of Eq. 5: `(1−τ)^τ ω₀^τ (ω − τω₀)^{−τ}` for
 /// `ω ≥ ω₀`, 1 below.
 pub fn size_ccdf(omega: f64, alpha: f64, beta: f64, omega0: f64) -> f64 {
-    assert!(alpha > beta && beta > 0.0 && omega0 > 0.0, "invalid parameters");
+    assert!(
+        alpha > beta && beta > 0.0 && omega0 > 0.0,
+        "invalid parameters"
+    );
     if omega <= omega0 {
         return 1.0;
     }
@@ -70,7 +76,10 @@ pub fn gamma_from(tau: f64, mu: f64) -> f64 {
 /// `P(k) ≈ [τ (1−τ)^τ (ω₀ a)^τ / μ] · k^{−γ}` for `k ≫ 1` up to the cutoff
 /// `k_c = [1 + a(ω_c − ω₀)]^μ`.
 pub fn degree_pdf(k: f64, tau: f64, mu: f64, omega0: f64, a: f64, omega_cutoff: f64) -> f64 {
-    assert!((0.0..1.0).contains(&tau) && mu > 0.0 && mu < 1.0, "invalid exponents");
+    assert!(
+        (0.0..1.0).contains(&tau) && mu > 0.0 && mu < 1.0,
+        "invalid exponents"
+    );
     if k < 1.0 {
         return 0.0;
     }

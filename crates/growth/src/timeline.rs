@@ -65,7 +65,10 @@ impl InternetTrace {
     ///
     /// Panics when `months < 2` or any initial value is non-positive.
     pub fn generate<R: Rng>(config: TraceConfig, rng: &mut R) -> Self {
-        assert!(config.months >= 2, "need at least two samples to fit anything");
+        assert!(
+            config.months >= 2,
+            "need at least two samples to fit anything"
+        );
         assert!(
             config.w0 > 0.0 && config.n0 > 0.0 && config.e0 > 0.0,
             "initial populations must be positive"
@@ -89,7 +92,13 @@ impl InternetTrace {
             ases.push(config.n0 * (config.rates.beta * m).exp() * noise(rng));
             links.push(config.e0 * (config.rates.delta * m).exp() * noise(rng));
         }
-        InternetTrace { t, hosts, ases, links, config }
+        InternetTrace {
+            t,
+            hosts,
+            ases,
+            links,
+            config,
+        }
     }
 
     /// Mean degree series `2E(t)/N(t)`.
@@ -120,7 +129,10 @@ mod tests {
     #[test]
     fn noiseless_trace_is_exact_exponential() {
         let mut rng = seeded_rng(2);
-        let config = TraceConfig { noise_sigma: 0.0, ..TraceConfig::oregon_era() };
+        let config = TraceConfig {
+            noise_sigma: 0.0,
+            ..TraceConfig::oregon_era()
+        };
         let tr = InternetTrace::generate(config, &mut rng);
         for (i, &h) in tr.hosts.iter().enumerate() {
             let expect = config.w0 * (config.rates.alpha * i as f64).exp();
@@ -132,7 +144,10 @@ mod tests {
     fn final_era_magnitudes_are_realistic() {
         // May 2002: ~1.6e8 hosts, ~1.3e4 ASs, ~3.5e4 links in the archives.
         let mut rng = seeded_rng(3);
-        let config = TraceConfig { noise_sigma: 0.0, ..TraceConfig::oregon_era() };
+        let config = TraceConfig {
+            noise_sigma: 0.0,
+            ..TraceConfig::oregon_era()
+        };
         let tr = InternetTrace::generate(config, &mut rng);
         let w_end = *tr.hosts.last().unwrap();
         let n_end = *tr.ases.last().unwrap();
@@ -145,10 +160,16 @@ mod tests {
     #[test]
     fn mean_degree_increases() {
         let mut rng = seeded_rng(4);
-        let config = TraceConfig { noise_sigma: 0.0, ..TraceConfig::oregon_era() };
+        let config = TraceConfig {
+            noise_sigma: 0.0,
+            ..TraceConfig::oregon_era()
+        };
         let tr = InternetTrace::generate(config, &mut rng);
         let k = tr.mean_degree();
-        assert!(k.last().unwrap() > k.first().unwrap(), "delta > beta densifies");
+        assert!(
+            k.last().unwrap() > k.first().unwrap(),
+            "delta > beta densifies"
+        );
     }
 
     #[test]
@@ -164,7 +185,10 @@ mod tests {
     #[should_panic(expected = "at least two samples")]
     fn rejects_short_trace() {
         let mut rng = seeded_rng(7);
-        let config = TraceConfig { months: 1, ..TraceConfig::oregon_era() };
+        let config = TraceConfig {
+            months: 1,
+            ..TraceConfig::oregon_era()
+        };
         let _ = InternetTrace::generate(config, &mut rng);
     }
 }

@@ -3,33 +3,29 @@
 //! `b(v) = Σ_{s≠t≠v} σ_st(v) / σ_st`, where `σ_st` counts shortest paths.
 //! Exact computation runs one BFS + dependency accumulation per source
 //! (`O(N·E)` total); for large graphs a uniformly sampled subset of sources
-//! gives an unbiased estimate scaled by `N / |sources|`. Sources can be
-//! fanned out across threads — partial sums are added at the end, so the
-//! result is independent of the thread count.
+//! gives an unbiased estimate scaled by `N / |sources|`.
+//!
+//! The traversals run through the fused engine in [`mod@crate::engine`]:
+//! hub-first relabeled, work-stealing fan-out, merged in fixed chunk order
+//! so the result is bit-identical for any thread count.
+//! When paths and betweenness are both wanted, use
+//! [`crate::engine::paths_and_betweenness`] to get both from one sweep.
 
+use crate::engine;
 use inet_graph::Csr;
 
 /// Exact betweenness centrality of every node (unnormalized pair counts;
 /// each unordered pair `{s, t}` contributes a total of 1 across the interior
 /// vertices of its shortest paths).
 pub fn betweenness(g: &Csr) -> Vec<f64> {
-    let sources: Vec<usize> = (0..g.node_count()).collect();
-    let mut bc = accumulate(g, &sources, 1);
-    // Brandes on an undirected graph counts each pair in both directions.
-    for b in &mut bc {
-        *b /= 2.0;
-    }
-    bc
+    betweenness_parallel(g, 1)
 }
 
 /// Exact betweenness with BFS sources distributed over `threads` threads.
 pub fn betweenness_parallel(g: &Csr, threads: usize) -> Vec<f64> {
-    let sources: Vec<usize> = (0..g.node_count()).collect();
-    let mut bc = accumulate(g, &sources, threads.max(1));
-    for b in &mut bc {
-        *b /= 2.0;
-    }
-    bc
+    let sources: Vec<u32> = (0..g.node_count() as u32).collect();
+    // Brandes on an undirected graph counts each pair in both directions.
+    engine::betweenness_from_sources(g, &sources, 0.5, threads)
 }
 
 /// Estimated betweenness from `k` uniformly spaced sources, scaled to the
@@ -39,64 +35,40 @@ pub fn betweenness_sampled(g: &Csr, k: usize, threads: usize) -> Vec<f64> {
     if n == 0 || k == 0 {
         return vec![0.0; n];
     }
-    if k >= n {
-        return if threads > 1 { betweenness_parallel(g, threads) } else { betweenness(g) };
-    }
     // Deterministic uniform spread of sources (stride sampling): unbiased
     // for exchangeable node labelings and reproducible without an RNG.
-    let sources: Vec<usize> = (0..k).map(|i| i * n / k).collect();
-    let mut bc = accumulate(g, &sources, threads.max(1));
-    let scale = n as f64 / sources.len() as f64 / 2.0;
+    let (sources, scale) = engine::betweenness_source_set(n, k);
+    engine::betweenness_from_sources(g, &sources, scale, threads)
+}
+
+/// The seed's sequential implementation with per-node `Vec<Vec<u32>>`
+/// predecessor lists and full `O(n)` workspace resets. Kept as the benchmark
+/// baseline and as the oracle for fused-equals-unfused tests.
+#[doc(hidden)]
+pub fn betweenness_sampled_unfused(g: &Csr, k: usize) -> Vec<f64> {
+    let n = g.node_count();
+    if n == 0 || k == 0 {
+        return vec![0.0; n];
+    }
+    let (sources, scale) = if k >= n {
+        ((0..n).collect::<Vec<usize>>(), 0.5)
+    } else {
+        let sources: Vec<usize> = (0..k).map(|i| i * n / k).collect();
+        let scale = n as f64 / sources.len() as f64 / 2.0;
+        (sources, scale)
+    };
+    let mut bc = vec![0.0f64; n];
+    let mut ws = Workspace::new(n);
+    for &s in &sources {
+        brandes_source(g, s, &mut bc, &mut ws);
+    }
     for b in &mut bc {
         *b *= scale;
     }
     bc
 }
 
-/// Runs Brandes accumulation for the given sources, splitting them across
-/// `threads` worker threads.
-fn accumulate(g: &Csr, sources: &[usize], threads: usize) -> Vec<f64> {
-    let n = g.node_count();
-    if n == 0 || sources.is_empty() {
-        return vec![0.0; n];
-    }
-    let threads = threads.min(sources.len()).max(1);
-    if threads == 1 {
-        let mut bc = vec![0.0f64; n];
-        let mut ws = Workspace::new(n);
-        for &s in sources {
-            brandes_source(g, s, &mut bc, &mut ws);
-        }
-        return bc;
-    }
-    let chunk = sources.len().div_ceil(threads);
-    let partials: Vec<Vec<f64>> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = sources
-            .chunks(chunk)
-            .map(|chunk_sources| {
-                scope.spawn(move |_| {
-                    let mut bc = vec![0.0f64; n];
-                    let mut ws = Workspace::new(n);
-                    for &s in chunk_sources {
-                        brandes_source(g, s, &mut bc, &mut ws);
-                    }
-                    bc
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("thread scope failed");
-    let mut bc = vec![0.0f64; n];
-    for partial in partials {
-        for (acc, p) in bc.iter_mut().zip(partial) {
-            *acc += p;
-        }
-    }
-    bc
-}
-
-/// Reusable per-thread buffers for one Brandes source iteration.
+/// Reusable buffers for one seed-style Brandes source iteration.
 struct Workspace {
     dist: Vec<i32>,
     sigma: Vec<f64>,
@@ -128,7 +100,8 @@ impl Workspace {
     }
 }
 
-/// One source iteration of Brandes' algorithm, accumulating into `bc`.
+/// One source iteration of Brandes' algorithm, accumulating into `bc`
+/// (seed-style, used only by the unfused baseline).
 fn brandes_source(g: &Csr, s: usize, bc: &mut [f64], ws: &mut Workspace) {
     ws.reset();
     ws.dist[s] = 0;
@@ -228,8 +201,32 @@ mod tests {
         let g = Csr::from_edges(n, &edges);
         let serial = betweenness(&g);
         let parallel = betweenness_parallel(&g, 4);
-        for (a, b) in serial.iter().zip(&parallel) {
-            assert!((a - b).abs() < 1e-9);
+        // Fixed chunk grid + in-order merge: bit-identical, not just close.
+        let a: Vec<u64> = serial.iter().map(|b| b.to_bits()).collect();
+        let b: Vec<u64> = parallel.iter().map(|b| b.to_bits()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn matches_seed_unfused_implementation() {
+        use rand::Rng;
+        let mut rng = inet_stats::rng::seeded_rng(21);
+        let n = 50;
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.gen_range(0.0..1.0) < 0.12 {
+                    edges.push((i, j));
+                }
+            }
+        }
+        let g = Csr::from_edges(n, &edges);
+        for k in [7, 20, 1000] {
+            let fused = betweenness_sampled(&g, k, 3);
+            let seed = betweenness_sampled_unfused(&g, k);
+            for (v, (a, b)) in fused.iter().zip(&seed).enumerate() {
+                assert!((a - b).abs() < 1e-9, "k {k} node {v}: {a} vs {b}");
+            }
         }
     }
 

@@ -12,25 +12,13 @@ use inet_graph::Csr;
 /// variant: scaled by `(n_v − 1)/(N − 1)` so small components don't get
 /// inflated scores). Isolated nodes score 0.
 pub fn closeness(g: &Csr) -> Vec<f64> {
-    let n = g.node_count();
-    let mut out = vec![0.0f64; n];
-    let mut dist = Vec::new();
-    for (v, slot) in out.iter_mut().enumerate() {
-        bfs_distances_into(g, v, &mut dist);
-        let mut sum = 0u64;
-        let mut reachable = 0u64;
-        for (t, &d) in dist.iter().enumerate() {
-            if t != v && d != UNREACHABLE {
-                sum += d as u64;
-                reachable += 1;
-            }
-        }
-        if sum > 0 && n > 1 {
-            let frac = reachable as f64 / (n as f64 - 1.0);
-            *slot = frac * reachable as f64 / sum as f64;
-        }
-    }
-    out
+    closeness_threaded(g, 1)
+}
+
+/// [`closeness`] with BFS sources fanned out over `threads` worker threads
+/// (bit-identical results for any thread count).
+pub fn closeness_threaded(g: &Csr, threads: usize) -> Vec<f64> {
+    crate::engine::closeness_values(g, threads)
 }
 
 /// Harmonic centrality: `Σ_{t≠v} 1/d(v, t)` (unreachable terms contribute
@@ -126,6 +114,18 @@ mod tests {
     }
 
     #[test]
+    fn closeness_threaded_is_bit_identical() {
+        let g = star(40);
+        let serial = closeness(&g);
+        for threads in [2, 5] {
+            let par = closeness_threaded(&g, threads);
+            let a: Vec<u64> = serial.iter().map(|x| x.to_bits()).collect();
+            let b: Vec<u64> = par.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(a, b, "threads {threads}");
+        }
+    }
+
+    #[test]
     fn harmonic_on_path() {
         let g = Csr::from_edges(3, &[(0, 1), (1, 2)]);
         let h = harmonic(&g);
@@ -161,7 +161,10 @@ mod tests {
         g.add_edge(n(1), n(2)).unwrap();
         g.add_edge(n(0), n(2)).unwrap();
         let e = eigenvector(&g.to_csr(), 1000, 1e-12).expect("converges");
-        assert!(e[0] > e[2] && e[1] > e[2], "heavy pair must dominate: {e:?}");
+        assert!(
+            e[0] > e[2] && e[1] > e[2],
+            "heavy pair must dominate: {e:?}"
+        );
     }
 
     #[test]

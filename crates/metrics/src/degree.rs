@@ -29,7 +29,13 @@ impl DegreeStats {
         let second_moment = degrees.iter().map(|&d| (d * d) as f64).sum::<f64>() / n;
         let max = degrees.iter().copied().max().unwrap_or(0);
         let isolated = degrees.iter().filter(|&&d| d == 0).count();
-        DegreeStats { degrees, mean, second_moment, max, isolated }
+        DegreeStats {
+            degrees,
+            mean,
+            second_moment,
+            max,
+            isolated,
+        }
     }
 
     /// Empirical CCDF `P(K ≥ k)` — the standard presentation of Internet

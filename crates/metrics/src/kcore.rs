@@ -26,7 +26,10 @@ impl KCoreDecomposition {
     pub fn measure(g: &Csr) -> Self {
         let n = g.node_count();
         if n == 0 {
-            return KCoreDecomposition { core: Vec::new(), shell_sizes: Vec::new() };
+            return KCoreDecomposition {
+                core: Vec::new(),
+                shell_sizes: Vec::new(),
+            };
         }
         // Batagelj–Zaveršnik: bucket sort nodes by current degree, peel in
         // ascending order, decrementing neighbors' effective degrees.

@@ -7,6 +7,7 @@
 //! map). Papers usually plot the *normalized* spectrum
 //! `k̄_nn(k) ⟨k⟩ / ⟨k²⟩`, which is flat at 1 for uncorrelated networks.
 
+use inet_graph::parallel::fanout_ordered;
 use inet_graph::Csr;
 use inet_stats::binned::{binned_mean_by_int, BinnedSpectrum};
 use serde::{Deserialize, Serialize};
@@ -26,26 +27,56 @@ pub struct KnnStats {
 impl KnnStats {
     /// Measures degree correlations of `g`.
     pub fn measure(g: &Csr) -> Self {
+        Self::measure_threaded(g, 1)
+    }
+
+    /// [`KnnStats::measure`] with the per-node and per-edge passes fanned
+    /// out over `threads` work-stealing workers. Chunk partials merge in
+    /// chunk order, so results are bit-identical for any thread count.
+    pub fn measure_threaded(g: &Csr, threads: usize) -> Self {
         let n = g.node_count();
         let deg: Vec<f64> = (0..n).map(|v| g.degree(v) as f64).collect();
-        let mut knn = vec![0.0f64; n];
-        for v in 0..n {
-            if deg[v] > 0.0 {
-                let sum: f64 = g.neighbors(v).iter().map(|&u| deg[u as usize]).sum();
-                knn[v] = sum / deg[v];
-            }
-        }
-        // Newman's r over edges (each edge contributes both orientations).
-        let mut m2 = 0.0f64; // number of edge endpoints = 2E
-        let mut sum_prod = 0.0;
-        let mut sum_mean = 0.0;
-        let mut sum_sq = 0.0;
-        for (u, v, _) in g.edges() {
-            let (ju, kv) = (deg[u], deg[v]);
-            m2 += 2.0;
-            sum_prod += 2.0 * ju * kv;
-            sum_mean += ju + kv;
-            sum_sq += ju * ju + kv * kv;
+        // Each chunk produces its own slice of knn (per-node, independent)
+        // plus Newman edge sums over the edges (u, v) with u in the chunk
+        // and v > u (each edge owned by its smaller endpoint exactly once).
+        let partials = fanout_ordered(
+            n,
+            threads,
+            || (),
+            |(), range| {
+                let mut knn_seg = Vec::with_capacity(range.len());
+                let (mut m2, mut sum_prod, mut sum_mean, mut sum_sq) = (0.0f64, 0.0, 0.0, 0.0);
+                for v in range {
+                    knn_seg.push(if deg[v] > 0.0 {
+                        let sum: f64 = g.neighbors(v).iter().map(|&u| deg[u as usize]).sum();
+                        sum / deg[v]
+                    } else {
+                        0.0
+                    });
+                    for &w in g.neighbors(v) {
+                        let w = w as usize;
+                        if w <= v {
+                            continue;
+                        }
+                        // Newman's r over edges (both orientations counted).
+                        let (ju, kv) = (deg[v], deg[w]);
+                        m2 += 2.0;
+                        sum_prod += 2.0 * ju * kv;
+                        sum_mean += ju + kv;
+                        sum_sq += ju * ju + kv * kv;
+                    }
+                }
+                (knn_seg, m2, sum_prod, sum_mean, sum_sq)
+            },
+        );
+        let mut knn = Vec::with_capacity(n);
+        let (mut m2, mut sum_prod, mut sum_mean, mut sum_sq) = (0.0f64, 0.0, 0.0, 0.0);
+        for (seg, pm2, pprod, pmean, psq) in partials {
+            knn.extend(seg);
+            m2 += pm2;
+            sum_prod += pprod;
+            sum_mean += pmean;
+            sum_sq += psq;
         }
         let assortativity = if m2 >= 4.0 {
             let mean = sum_mean / m2;
@@ -62,7 +93,11 @@ impl KnnStats {
         let mean_k = deg.iter().sum::<f64>() / n.max(1) as f64;
         let mean_k2 = deg.iter().map(|&d| d * d).sum::<f64>() / n.max(1) as f64;
         let normalization = if mean_k2 > 0.0 { mean_k / mean_k2 } else { 0.0 };
-        KnnStats { knn, assortativity, normalization }
+        KnnStats {
+            knn,
+            assortativity,
+            normalization,
+        }
     }
 
     /// Spectrum `k̄_nn(k)`: mean neighbor degree per exact degree value
@@ -98,7 +133,11 @@ mod tests {
         // Center sees only degree-1 leaves; leaves see only the degree-5 hub.
         assert_eq!(s.knn[0], 1.0);
         assert!(s.knn[1..].iter().all(|&x| x == 5.0));
-        assert!((s.assortativity + 1.0).abs() < 1e-9, "r = {}", s.assortativity);
+        assert!(
+            (s.assortativity + 1.0).abs() < 1e-9,
+            "r = {}",
+            s.assortativity
+        );
     }
 
     #[test]
@@ -123,7 +162,11 @@ mod tests {
         }
         let g = Csr::from_edges(6, &edges);
         let s = KnnStats::measure(&g);
-        assert!((s.assortativity - 1.0).abs() < 1e-9, "r = {}", s.assortativity);
+        assert!(
+            (s.assortativity - 1.0).abs() < 1e-9,
+            "r = {}",
+            s.assortativity
+        );
     }
 
     #[test]
@@ -144,6 +187,30 @@ mod tests {
         assert_eq!(sp.y, vec![2.0, 1.0]);
         let ns = s.normalized_spectrum(&g);
         assert!((ns.y[0] - 2.0 * 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threaded_matches_serial_bitwise() {
+        use rand::Rng;
+        let mut rng = inet_stats::rng::seeded_rng(13);
+        let n = 90;
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.gen_range(0.0..1.0) < 0.08 {
+                    edges.push((i, j));
+                }
+            }
+        }
+        let g = Csr::from_edges(n, &edges);
+        let serial = KnnStats::measure(&g);
+        for threads in [2, 7] {
+            let par = KnnStats::measure_threaded(&g, threads);
+            assert_eq!(serial.assortativity.to_bits(), par.assortativity.to_bits());
+            let a: Vec<u64> = serial.knn.iter().map(|x| x.to_bits()).collect();
+            let b: Vec<u64> = par.knn.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(a, b, "threads {threads}");
+        }
     }
 
     #[test]

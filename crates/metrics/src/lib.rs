@@ -26,8 +26,14 @@
 //! * The cycle census uses exact combinatorial formulas (Harary–Manvel) with
 //!   sparse per-node `A²` rows — no dense matrix is ever formed; the test
 //!   suite cross-validates against brute-force enumeration on small graphs.
-//! * Betweenness and path statistics can fan BFS sources out over threads
-//!   (crossbeam scoped threads); results are exact regardless of threading.
+//! * Betweenness, path statistics, closeness, clustering, `k̄_nn`, the cycle
+//!   census and rich-club fan their work out over threads through the
+//!   dependency-free work-stealing module [`inet_graph::parallel`]; partial
+//!   results merge in a fixed chunk order, so every number is **bit-identical
+//!   for any thread count**.
+//! * [`mod@engine`] fuses path statistics, betweenness, and closeness into
+//!   one Brandes BFS sweep per sampled source instead of one sweep per
+//!   metric.
 //!
 //! Measures are defined on the *simple* topology (distinct neighbors), the
 //! convention of the Internet-topology literature; weighted observables live
@@ -40,6 +46,7 @@ pub mod betweenness;
 pub mod centrality;
 pub mod clustering;
 pub mod degree;
+pub mod engine;
 pub mod kcore;
 pub mod knn;
 pub mod loops;
@@ -53,6 +60,7 @@ pub mod weighted;
 pub use betweenness::{betweenness, betweenness_sampled};
 pub use clustering::ClusteringStats;
 pub use degree::DegreeStats;
+pub use engine::{paths_and_betweenness, FusedReport};
 pub use kcore::KCoreDecomposition;
 pub use knn::KnnStats;
 pub use loops::CycleCensus;

@@ -18,6 +18,7 @@
 //! formula against brute-force cycle enumeration.
 
 use crate::clustering::ClusteringStats;
+use inet_graph::parallel::fanout_ordered;
 use inet_graph::Csr;
 use serde::{Deserialize, Serialize};
 
@@ -35,57 +36,83 @@ pub struct CycleCensus {
 impl CycleCensus {
     /// Counts 3-, 4- and 5-cycles of `g`.
     pub fn measure(g: &Csr) -> Self {
-        let clustering = ClusteringStats::measure(g);
-        Self::measure_with_clustering(g, &clustering)
+        Self::measure_threaded(g, 1)
+    }
+
+    /// [`CycleCensus::measure`] with the per-node `A²`-row pass fanned out
+    /// over `threads` work-stealing workers.
+    pub fn measure_threaded(g: &Csr, threads: usize) -> Self {
+        let clustering = ClusteringStats::measure_threaded(g, threads);
+        Self::measure_with_clustering_threaded(g, &clustering, threads)
     }
 
     /// Like [`CycleCensus::measure`], reusing already-computed clustering
     /// statistics (triangle counts).
     pub fn measure_with_clustering(g: &Csr, clustering: &ClusteringStats) -> Self {
+        Self::measure_with_clustering_threaded(g, clustering, 1)
+    }
+
+    /// [`CycleCensus::measure_with_clustering`] with the root nodes of the
+    /// sparse `A²` rows fanned out over `threads` workers. All accumulations
+    /// are integers, so the census is identical for any thread count.
+    pub fn measure_with_clustering_threaded(
+        g: &Csr,
+        clustering: &ClusteringStats,
+        threads: usize,
+    ) -> Self {
         let n = g.node_count();
         let c3 = clustering.triangle_count;
 
-        // Scratch: counts[w] = (A²)_{vw} for the current v; touched tracks
-        // the nonzero support for O(support) reset.
-        let mut counts = vec![0u32; n];
-        let mut touched: Vec<u32> = Vec::new();
-        let mut c4_ordered: u128 = 0;
-        let mut tr5: u128 = 0;
-
-        for v in 0..n {
-            // Build the sparse A² row of v (including the diagonal d_v).
-            for &u in g.neighbors(v) {
-                for &w in g.neighbors(u as usize) {
-                    if counts[w as usize] == 0 {
-                        touched.push(w);
+        // Per-worker scratch: counts[w] = (A²)_{vw} for the current v;
+        // touched tracks the nonzero support for O(support) reset.
+        let partials = fanout_ordered(
+            n,
+            threads,
+            || (vec![0u32; n], Vec::<u32>::new()),
+            |(counts, touched), range| {
+                let mut c4_ordered: u128 = 0;
+                let mut tr5: u128 = 0;
+                for v in range {
+                    // Build the sparse A² row of v (including the diagonal
+                    // d_v).
+                    for &u in g.neighbors(v) {
+                        for &w in g.neighbors(u as usize) {
+                            if counts[w as usize] == 0 {
+                                touched.push(w);
+                            }
+                            counts[w as usize] += 1;
+                        }
                     }
-                    counts[w as usize] += 1;
+                    // C4: ordered-pair accumulation over w != v.
+                    for &w in touched.iter() {
+                        let c = counts[w as usize] as u128;
+                        if w as usize != v && c >= 2 {
+                            c4_ordered += c * (c - 1) / 2;
+                        }
+                    }
+                    // tr(A⁵): Σ_x counts[x] Σ_{y ∈ N(x)} counts[y].
+                    for &x in touched.iter() {
+                        let cx = counts[x as usize] as u128;
+                        if cx == 0 {
+                            continue;
+                        }
+                        let mut inner: u128 = 0;
+                        for &y in g.neighbors(x as usize) {
+                            inner += counts[y as usize] as u128;
+                        }
+                        tr5 += cx * inner;
+                    }
+                    for &w in touched.iter() {
+                        counts[w as usize] = 0;
+                    }
+                    touched.clear();
                 }
-            }
-            // C4: ordered-pair accumulation over w != v.
-            for &w in &touched {
-                let c = counts[w as usize] as u128;
-                if w as usize != v && c >= 2 {
-                    c4_ordered += c * (c - 1) / 2;
-                }
-            }
-            // tr(A⁵): Σ_x counts[x] Σ_{y ∈ N(x)} counts[y].
-            for &x in &touched {
-                let cx = counts[x as usize] as u128;
-                if cx == 0 {
-                    continue;
-                }
-                let mut inner: u128 = 0;
-                for &y in g.neighbors(x as usize) {
-                    inner += counts[y as usize] as u128;
-                }
-                tr5 += cx * inner;
-            }
-            for &w in &touched {
-                counts[w as usize] = 0;
-            }
-            touched.clear();
-        }
+                (c4_ordered, tr5)
+            },
+        );
+        let (c4_ordered, tr5) = partials
+            .into_iter()
+            .fold((0u128, 0u128), |(a, b), (pa, pb)| (a + pa, b + pb));
 
         let c4 = (c4_ordered / 4) as u64;
 
@@ -99,7 +126,10 @@ impl CycleCensus {
             excursions += term as u128;
         }
         let numerator = tr5 as i128 - 30 * c3 as i128 - 10 * excursions as i128;
-        debug_assert!(numerator >= 0 && numerator % 10 == 0, "tr(A^5) bookkeeping broke");
+        debug_assert!(
+            numerator >= 0 && numerator % 10 == 0,
+            "tr(A^5) bookkeeping broke"
+        );
         let c5 = (numerator / 10) as u64;
 
         CycleCensus { c3, c4, c5 }
@@ -211,16 +241,51 @@ mod tests {
 
     #[test]
     fn pure_cycles() {
-        assert_eq!(CycleCensus::measure(&cycle(3)), CycleCensus { c3: 1, c4: 0, c5: 0 });
-        assert_eq!(CycleCensus::measure(&cycle(4)), CycleCensus { c3: 0, c4: 1, c5: 0 });
-        assert_eq!(CycleCensus::measure(&cycle(5)), CycleCensus { c3: 0, c4: 0, c5: 1 });
-        assert_eq!(CycleCensus::measure(&cycle(6)), CycleCensus { c3: 0, c4: 0, c5: 0 });
+        assert_eq!(
+            CycleCensus::measure(&cycle(3)),
+            CycleCensus {
+                c3: 1,
+                c4: 0,
+                c5: 0
+            }
+        );
+        assert_eq!(
+            CycleCensus::measure(&cycle(4)),
+            CycleCensus {
+                c3: 0,
+                c4: 1,
+                c5: 0
+            }
+        );
+        assert_eq!(
+            CycleCensus::measure(&cycle(5)),
+            CycleCensus {
+                c3: 0,
+                c4: 0,
+                c5: 1
+            }
+        );
+        assert_eq!(
+            CycleCensus::measure(&cycle(6)),
+            CycleCensus {
+                c3: 0,
+                c4: 0,
+                c5: 0
+            }
+        );
     }
 
     #[test]
     fn trees_have_no_cycles() {
         let g = Csr::from_edges(7, &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)]);
-        assert_eq!(CycleCensus::measure(&g), CycleCensus { c3: 0, c4: 0, c5: 0 });
+        assert_eq!(
+            CycleCensus::measure(&g),
+            CycleCensus {
+                c3: 0,
+                c4: 0,
+                c5: 0
+            }
+        );
     }
 
     #[test]
@@ -228,9 +293,8 @@ mod tests {
         // K_n: C3 = C(n,3), C4 = 3·C(n,4), C5 = 12·C(n,5).
         for n in 4..=7 {
             let census = CycleCensus::measure(&complete(n));
-            let choose = |n: u64, k: u64| -> u64 {
-                (0..k).fold(1u64, |acc, i| acc * (n - i) / (i + 1))
-            };
+            let choose =
+                |n: u64, k: u64| -> u64 { (0..k).fold(1u64, |acc, i| acc * (n - i) / (i + 1)) };
             assert_eq!(census.c3, choose(n as u64, 3), "K{n} triangles");
             assert_eq!(census.c4, 3 * choose(n as u64, 4), "K{n} squares");
             assert_eq!(census.c5, 12 * choose(n as u64, 5), "K{n} pentagons");
@@ -241,13 +305,32 @@ mod tests {
     fn petersen_graph() {
         // Petersen graph: girth 5, exactly 12 5-cycles, no 3- or 4-cycles.
         let edges = [
-            (0, 1), (1, 2), (2, 3), (3, 4), (4, 0), // outer C5
-            (5, 7), (7, 9), (9, 6), (6, 8), (8, 5), // inner pentagram
-            (0, 5), (1, 6), (2, 7), (3, 8), (4, 9), // spokes
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 0), // outer C5
+            (5, 7),
+            (7, 9),
+            (9, 6),
+            (6, 8),
+            (8, 5), // inner pentagram
+            (0, 5),
+            (1, 6),
+            (2, 7),
+            (3, 8),
+            (4, 9), // spokes
         ];
         let g = Csr::from_edges(10, &edges);
         let census = CycleCensus::measure(&g);
-        assert_eq!(census, CycleCensus { c3: 0, c4: 0, c5: 12 });
+        assert_eq!(
+            census,
+            CycleCensus {
+                c3: 0,
+                c4: 0,
+                c5: 12
+            }
+        );
     }
 
     #[test]
@@ -255,12 +338,23 @@ mod tests {
         // K_{2,3}: no odd cycles; C4 = C(2,2)*C(3,2) = 3.
         let g = Csr::from_edges(5, &[(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)]);
         let census = CycleCensus::measure(&g);
-        assert_eq!(census, CycleCensus { c3: 0, c4: 3, c5: 0 });
+        assert_eq!(
+            census,
+            CycleCensus {
+                c3: 0,
+                c4: 3,
+                c5: 0
+            }
+        );
     }
 
     #[test]
     fn count_accessor() {
-        let c = CycleCensus { c3: 1, c4: 2, c5: 3 };
+        let c = CycleCensus {
+            c3: 1,
+            c4: 2,
+            c5: 3,
+        };
         assert_eq!(c.count(3), Some(1));
         assert_eq!(c.count(4), Some(2));
         assert_eq!(c.count(5), Some(3));
@@ -271,12 +365,40 @@ mod tests {
     fn empty_and_tiny() {
         assert_eq!(
             CycleCensus::measure(&Csr::from_edges(0, &[])),
-            CycleCensus { c3: 0, c4: 0, c5: 0 }
+            CycleCensus {
+                c3: 0,
+                c4: 0,
+                c5: 0
+            }
         );
         assert_eq!(
             CycleCensus::measure(&Csr::from_edges(2, &[(0, 1)])),
-            CycleCensus { c3: 0, c4: 0, c5: 0 }
+            CycleCensus {
+                c3: 0,
+                c4: 0,
+                c5: 0
+            }
         );
+    }
+
+    #[test]
+    fn threaded_matches_serial() {
+        use rand::Rng;
+        let mut rng = inet_stats::rng::seeded_rng(19);
+        let n = 60;
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.gen_range(0.0..1.0) < 0.12 {
+                    edges.push((i, j));
+                }
+            }
+        }
+        let g = Csr::from_edges(n, &edges);
+        let serial = CycleCensus::measure(&g);
+        for threads in [2, 5] {
+            assert_eq!(serial, CycleCensus::measure_threaded(&g, threads));
+        }
     }
 
     #[test]

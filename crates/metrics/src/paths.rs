@@ -5,7 +5,13 @@
 //! path length sits around 3.6 hops at `N ≈ 11 000`. Exact all-pairs BFS is
 //! `O(N·E)`; for big graphs a stride-sampled subset of sources estimates the
 //! distribution with negligible bias on connected graphs.
+//!
+//! Traversals run through the fused engine in [`mod@crate::engine`]: one
+//! work-stealing BFS sweep produces the histogram (and, when requested
+//! through [`crate::engine::paths_and_betweenness`], betweenness in the same
+//! pass). Results are bit-identical for any thread count.
 
+use crate::engine;
 use inet_graph::traversal::{bfs_distances_into, UNREACHABLE};
 use inet_graph::Csr;
 use serde::{Deserialize, Serialize};
@@ -32,27 +38,85 @@ pub struct PathStats {
 impl PathStats {
     /// Exact all-sources statistics (single-threaded).
     pub fn measure(g: &Csr) -> Self {
-        let sources: Vec<usize> = (0..g.node_count()).collect();
-        Self::from_sources(g, &sources, 1, true)
+        Self::measure_parallel(g, 1)
     }
 
     /// Exact all-sources statistics with BFS fanned out over `threads`.
     pub fn measure_parallel(g: &Csr, threads: usize) -> Self {
-        let sources: Vec<usize> = (0..g.node_count()).collect();
-        Self::from_sources(g, &sources, threads, true)
+        let sources: Vec<u32> = (0..g.node_count() as u32).collect();
+        engine::paths_from_sources(g, &sources, true, threads)
     }
 
     /// Sampled statistics from `k` stride-spaced sources.
     pub fn measure_sampled(g: &Csr, k: usize, threads: usize) -> Self {
-        let n = g.node_count();
-        if k >= n {
-            return Self::measure_parallel(g, threads);
-        }
-        let sources: Vec<usize> = (0..k.max(1)).map(|i| i * n / k.max(1)).collect();
-        Self::from_sources(g, &sources, threads, false)
+        let (sources, exact) = engine::path_source_set(g.node_count(), k);
+        engine::paths_from_sources(g, &sources, exact, threads)
     }
 
-    fn from_sources(g: &Csr, sources: &[usize], threads: usize, exact: bool) -> Self {
+    /// Finalizes statistics from a merged distance histogram (the fused
+    /// engine's output). `counts[d]` holds reachable ordered pairs at
+    /// distance `d`; the efficiency sum is reconstructed as
+    /// `Σ_d counts[d]/d`, one division per distinct distance instead of one
+    /// per pair.
+    pub(crate) fn from_histogram(
+        counts: Vec<u64>,
+        unreachable_pairs: u64,
+        sources: usize,
+        exact: bool,
+    ) -> Self {
+        let reachable: u64 = counts.iter().sum();
+        let mean = if reachable > 0 {
+            counts
+                .iter()
+                .enumerate()
+                .map(|(d, &c)| d as f64 * c as f64)
+                .sum::<f64>()
+                / reachable as f64
+        } else {
+            0.0
+        };
+        let diameter = counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(|d| d as u32)
+            .unwrap_or(0);
+        let inv_sum: f64 = counts
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(d, &c)| c as f64 * (1.0 / d as f64))
+            .sum();
+        let total_pairs = reachable + unreachable_pairs;
+        let efficiency = if total_pairs > 0 {
+            inv_sum / total_pairs as f64
+        } else {
+            0.0
+        };
+        PathStats {
+            counts,
+            mean,
+            diameter,
+            efficiency,
+            sources,
+            exact,
+        }
+    }
+
+    /// The seed's two-pass sequential implementation (full per-node distance
+    /// scan per source, separate from betweenness). Kept as the benchmark
+    /// baseline and as the oracle for fused-equals-unfused tests.
+    #[doc(hidden)]
+    pub fn measure_sampled_unfused(g: &Csr, k: usize) -> Self {
+        let n = g.node_count();
+        if k >= n {
+            let sources: Vec<usize> = (0..n).collect();
+            return Self::from_sources_unfused(g, &sources, true);
+        }
+        let sources: Vec<usize> = (0..k.max(1)).map(|i| i * n / k.max(1)).collect();
+        Self::from_sources_unfused(g, &sources, false)
+    }
+
+    fn from_sources_unfused(g: &Csr, sources: &[usize], exact: bool) -> Self {
         let n = g.node_count();
         if n == 0 || sources.is_empty() {
             return PathStats {
@@ -64,33 +128,7 @@ impl PathStats {
                 exact,
             };
         }
-        let threads = threads.min(sources.len()).max(1);
-        let chunk = sources.len().div_ceil(threads);
-        let partials: Vec<(Vec<u64>, f64, u64)> = if threads == 1 {
-            vec![Self::scan(g, sources)]
-        } else {
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = sources
-                    .chunks(chunk)
-                    .map(|cs| scope.spawn(move |_| Self::scan(g, cs)))
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-            })
-            .expect("thread scope failed")
-        };
-        let mut counts: Vec<u64> = Vec::new();
-        let mut inv_sum = 0.0f64;
-        let mut unreachable_pairs = 0u64;
-        for (c, inv, unre) in partials {
-            if c.len() > counts.len() {
-                counts.resize(c.len(), 0);
-            }
-            for (i, v) in c.into_iter().enumerate() {
-                counts[i] += v;
-            }
-            inv_sum += inv;
-            unreachable_pairs += unre;
-        }
+        let (counts, inv_sum, unreachable_pairs) = Self::scan(g, sources);
         let reachable: u64 = counts.iter().sum();
         let mean = if reachable > 0 {
             counts
@@ -108,8 +146,19 @@ impl PathStats {
             .map(|d| d as u32)
             .unwrap_or(0);
         let total_pairs = reachable + unreachable_pairs;
-        let efficiency = if total_pairs > 0 { inv_sum / total_pairs as f64 } else { 0.0 };
-        PathStats { counts, mean, diameter, efficiency, sources: sources.len(), exact }
+        let efficiency = if total_pairs > 0 {
+            inv_sum / total_pairs as f64
+        } else {
+            0.0
+        };
+        PathStats {
+            counts,
+            mean,
+            diameter,
+            efficiency,
+            sources: sources.len(),
+            exact,
+        }
     }
 
     /// BFS from each source; returns (distance histogram over ordered pairs
@@ -204,12 +253,24 @@ mod tests {
         let g = path(30);
         let a = PathStats::measure(&g);
         let b = PathStats::measure_parallel(&g, 4);
-        assert_eq!(a.counts, b.counts);
-        assert_eq!(a.diameter, b.diameter);
-        assert_eq!(a.sources, b.sources);
-        assert!((a.mean - b.mean).abs() < 1e-12);
-        // Efficiency is a float sum whose order depends on the thread split.
-        assert!((a.efficiency - b.efficiency).abs() < 1e-9);
+        // The fused engine merges partials in fixed chunk order, so even the
+        // float fields are bit-identical across thread counts.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn matches_seed_unfused_implementation() {
+        let g = path(30);
+        for k in [5, 17, 1000] {
+            let fused = PathStats::measure_sampled(&g, k, 2);
+            let seed = PathStats::measure_sampled_unfused(&g, k);
+            assert_eq!(fused.counts, seed.counts, "k {k}");
+            assert_eq!(fused.diameter, seed.diameter);
+            assert_eq!(fused.sources, seed.sources);
+            assert_eq!(fused.exact, seed.exact);
+            assert!((fused.mean - seed.mean).abs() < 1e-12);
+            assert!((fused.efficiency - seed.efficiency).abs() < 1e-9);
+        }
     }
 
     #[test]

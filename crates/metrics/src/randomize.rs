@@ -14,10 +14,7 @@ use rand::Rng;
 ///
 /// Returns the rewired graph; the input is untouched.
 pub fn rewire_degree_preserving<R: Rng>(g: &Csr, swaps_per_edge: usize, rng: &mut R) -> Csr {
-    let mut edges: Vec<(u32, u32)> = g
-        .edges()
-        .map(|(u, v, _)| (u as u32, v as u32))
-        .collect();
+    let mut edges: Vec<(u32, u32)> = g.edges().map(|(u, v, _)| (u as u32, v as u32)).collect();
     let m = edges.len();
     if m < 2 {
         return g.clone();

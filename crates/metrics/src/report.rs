@@ -1,11 +1,10 @@
 //! One-call aggregate report of the headline topology scalars.
 
-use crate::betweenness::betweenness_sampled;
 use crate::clustering::ClusteringStats;
 use crate::degree::DegreeStats;
+use crate::engine::paths_and_betweenness;
 use crate::kcore::KCoreDecomposition;
 use crate::knn::KnnStats;
-use crate::paths::PathStats;
 use inet_graph::traversal::giant_fraction;
 use inet_graph::Csr;
 use serde::{Deserialize, Serialize};
@@ -52,13 +51,19 @@ pub struct ReportOptions {
     pub path_sources: usize,
     /// Sources for the betweenness estimate (exact if ≥ node count).
     pub betweenness_sources: usize,
-    /// Worker threads for the BFS-heavy measures.
+    /// Worker threads for the parallelized measures. The default is the
+    /// machine's available parallelism (clamped to at least 1), not a
+    /// hardcoded constant; results are bit-identical for any value.
     pub threads: usize,
 }
 
 impl Default for ReportOptions {
     fn default() -> Self {
-        ReportOptions { path_sources: 400, betweenness_sources: 200, threads: 4 }
+        ReportOptions {
+            path_sources: 400,
+            betweenness_sources: 200,
+            threads: inet_graph::parallel::default_threads(),
+        }
     }
 }
 
@@ -69,13 +74,19 @@ impl TopologyReport {
     }
 
     /// Measures everything with explicit effort options.
+    ///
+    /// Path statistics and betweenness come from **one** fused BFS sweep
+    /// over the union of the two source sets
+    /// ([`crate::engine::paths_and_betweenness`]); clustering and degree
+    /// correlations fan out over the same work-stealing pool.
     pub fn measure_with(g: &Csr, opt: ReportOptions) -> Self {
         let degree = DegreeStats::measure(g);
-        let clustering = ClusteringStats::measure(g);
-        let knn = KnnStats::measure(g);
+        let clustering = ClusteringStats::measure_threaded(g, opt.threads);
+        let knn = KnnStats::measure_threaded(g, opt.threads);
         let kcore = KCoreDecomposition::measure(g);
-        let paths = PathStats::measure_sampled(g, opt.path_sources, opt.threads);
-        let bc = betweenness_sampled(g, opt.betweenness_sources, opt.threads);
+        let fused =
+            paths_and_betweenness(g, opt.path_sources, opt.betweenness_sources, opt.threads);
+        let (paths, bc) = (fused.paths, fused.betweenness);
         TopologyReport {
             nodes: g.node_count(),
             edges: g.edge_count(),
@@ -170,11 +181,19 @@ mod tests {
         let g = er_graph(40, 0.15, 2);
         let exact = TopologyReport::measure_with(
             &g,
-            ReportOptions { path_sources: 1000, betweenness_sources: 1000, threads: 1 },
+            ReportOptions {
+                path_sources: 1000,
+                betweenness_sources: 1000,
+                threads: 1,
+            },
         );
         let threaded = TopologyReport::measure_with(
             &g,
-            ReportOptions { path_sources: 1000, betweenness_sources: 1000, threads: 4 },
+            ReportOptions {
+                path_sources: 1000,
+                betweenness_sources: 1000,
+                threads: 4,
+            },
         );
         // All discrete fields must be identical; float accumulations may
         // differ in the last bits with a different thread split.
@@ -186,6 +205,56 @@ mod tests {
         assert_eq!(exact.triangles, threaded.triangles);
         assert!((exact.mean_path_length - threaded.mean_path_length).abs() < 1e-9);
         assert!((exact.max_betweenness - threaded.max_betweenness).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fused_report_matches_seed_two_pass() {
+        // Acceptance check: the single fused sweep behind measure_with must
+        // reproduce the seed's two independent passes (paths, then Brandes).
+        let g = er_graph(120, 0.05, 7);
+        let opt = ReportOptions {
+            path_sources: 24,
+            betweenness_sources: 12,
+            threads: 3,
+        };
+        let r = TopologyReport::measure_with(&g, opt);
+        let paths = crate::paths::PathStats::measure_sampled_unfused(&g, opt.path_sources);
+        let bc = crate::betweenness::betweenness_sampled_unfused(&g, opt.betweenness_sources);
+        assert!((r.mean_path_length - paths.mean).abs() < 1e-12);
+        assert_eq!(r.diameter, paths.diameter);
+        let max_bc = bc.iter().copied().fold(0.0, f64::max);
+        assert!((r.max_betweenness - max_bc).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_is_bit_identical_across_thread_counts() {
+        let g = er_graph(150, 0.04, 4);
+        let base = TopologyReport::measure_with(
+            &g,
+            ReportOptions {
+                path_sources: 30,
+                betweenness_sources: 15,
+                threads: 1,
+            },
+        );
+        for threads in [2, 7] {
+            let other = TopologyReport::measure_with(
+                &g,
+                ReportOptions {
+                    path_sources: 30,
+                    betweenness_sources: 15,
+                    threads,
+                },
+            );
+            assert_eq!(base, other, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn default_threads_tracks_available_parallelism() {
+        let opt = ReportOptions::default();
+        assert!(opt.threads >= 1);
+        assert_eq!(opt.threads, inet_graph::parallel::default_threads());
     }
 
     #[test]

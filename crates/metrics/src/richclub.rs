@@ -8,6 +8,7 @@
 //! `ρ(k) > 1` at high degrees.
 
 use crate::randomize::rewire_degree_preserving;
+use inet_graph::parallel::fanout_ordered;
 use inet_graph::Csr;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -26,16 +27,41 @@ pub struct RichClub {
 impl RichClub {
     /// Computes `φ(k)` for every distinct degree value present.
     pub fn measure(g: &Csr) -> Self {
+        Self::measure_threaded(g, 1)
+    }
+
+    /// [`RichClub::measure`] with the per-edge minimum-degree gather fanned
+    /// out over `threads` workers. The gathered list is sorted before use,
+    /// so the spectrum is identical for any thread count.
+    pub fn measure_threaded(g: &Csr, threads: usize) -> Self {
         let n = g.node_count();
         let degrees: Vec<u64> = (0..n).map(|v| g.degree(v) as u64).collect();
         // Sorted degree list for N_{>k} via binary search.
         let mut sorted = degrees.clone();
         sorted.sort_unstable();
-        // Edge "min endpoint degree" list for E_{>k}.
-        let mut edge_min: Vec<u64> = g
-            .edges()
-            .map(|(u, v, _)| degrees[u].min(degrees[v]))
-            .collect();
+        // Edge "min endpoint degree" list for E_{>k}; each edge gathered by
+        // its smaller endpoint.
+        let segments = fanout_ordered(
+            n,
+            threads,
+            || (),
+            |(), range| {
+                let mut seg: Vec<u64> = Vec::new();
+                for u in range {
+                    for &v in g.neighbors(u) {
+                        let v = v as usize;
+                        if v > u {
+                            seg.push(degrees[u].min(degrees[v]));
+                        }
+                    }
+                }
+                seg
+            },
+        );
+        let mut edge_min: Vec<u64> = Vec::with_capacity(g.edge_count());
+        for seg in segments {
+            edge_min.extend(seg);
+        }
         edge_min.sort_unstable();
 
         let mut distinct = sorted.clone();
@@ -65,7 +91,20 @@ impl RichClub {
         swaps_per_edge: usize,
         rng: &mut R,
     ) -> Self {
-        let observed = Self::measure(g);
+        Self::normalized_threaded(g, rewired_samples, swaps_per_edge, rng, 1)
+    }
+
+    /// [`RichClub::normalized`] with each spectrum measured via
+    /// [`RichClub::measure_threaded`]. The rewiring RNG stream is untouched
+    /// by the thread count, so results match the sequential call exactly.
+    pub fn normalized_threaded<R: Rng>(
+        g: &Csr,
+        rewired_samples: usize,
+        swaps_per_edge: usize,
+        rng: &mut R,
+        threads: usize,
+    ) -> Self {
+        let observed = Self::measure_threaded(g, threads);
         if rewired_samples == 0 {
             return observed;
         }
@@ -74,7 +113,7 @@ impl RichClub {
         let mut null_cnt = vec![0usize; observed.k.len()];
         for _ in 0..rewired_samples {
             let rewired = rewire_degree_preserving(g, swaps_per_edge, rng);
-            let null = Self::measure(&rewired);
+            let null = Self::measure_threaded(&rewired, threads);
             for (i, &k) in observed.k.iter().enumerate() {
                 if let Some(j) = null.k.iter().position(|&nk| nk == k) {
                     null_phi[i] += null.phi[j];
@@ -169,6 +208,26 @@ mod tests {
         assert!(!mid.is_empty());
         for r in mid {
             assert!((r - 1.0).abs() < 0.35, "rho = {r}");
+        }
+    }
+
+    #[test]
+    fn threaded_matches_serial_bitwise() {
+        use rand::Rng;
+        let mut rng = inet_stats::rng::seeded_rng(23);
+        let n = 120;
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.gen_range(0.0..1.0) < 0.05 {
+                    edges.push((i, j));
+                }
+            }
+        }
+        let g = Csr::from_edges(n, &edges);
+        let serial = RichClub::measure(&g);
+        for threads in [2, 7] {
+            assert_eq!(serial, RichClub::measure_threaded(&g, threads));
         }
     }
 

@@ -37,7 +37,12 @@ impl WeightedStats {
         } else {
             0.0
         };
-        WeightedStats { strengths, mean_strength, max_strength, mean_multiplicity }
+        WeightedStats {
+            strengths,
+            mean_strength,
+            max_strength,
+            mean_multiplicity,
+        }
     }
 
     /// CCDF of node strengths.
@@ -218,7 +223,8 @@ mod tests {
             }
             // One fat edge with the remaining weight.
             let leaf = g.add_node();
-            g.add_edge_weighted(NodeId::new(i), leaf, b - (k - 1)).unwrap();
+            g.add_edge_weighted(NodeId::new(i), leaf, b - (k - 1))
+                .unwrap();
         }
         let csr = g.to_csr();
         let fit = fit_mu(&csr, 6).unwrap();
@@ -319,7 +325,10 @@ mod tests {
     #[test]
     fn mean_weighted_clustering_handles_degenerates() {
         assert_eq!(mean_weighted_clustering(&Csr::from_edges(0, &[])), 0.0);
-        assert_eq!(mean_weighted_clustering(&Csr::from_edges(3, &[(0, 1)])), 0.0);
+        assert_eq!(
+            mean_weighted_clustering(&Csr::from_edges(3, &[(0, 1)])),
+            0.0
+        );
         let tri = Csr::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
         assert!((mean_weighted_clustering(&tri) - 1.0).abs() < 1e-12);
     }

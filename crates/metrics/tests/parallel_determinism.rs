@@ -1,0 +1,163 @@
+//! Bit-identity of every parallelized metric across thread counts.
+//!
+//! The work-stealing fan-out in `inet_graph::parallel` uses a chunk grid
+//! that depends only on the item count and merges partials in chunk order,
+//! so each metric must produce **bit-identical** output — including every
+//! floating-point field — for any `threads ≥ 1`. These properties pin that
+//! contract on random ER and BA graphs and on the degenerate corners.
+
+use inet_graph::Csr;
+use inet_metrics::centrality::{closeness, closeness_threaded};
+use inet_metrics::paths_and_betweenness;
+use inet_metrics::richclub::RichClub;
+use inet_metrics::{
+    betweenness, betweenness_sampled, ClusteringStats, CycleCensus, KnnStats, PathStats,
+};
+use proptest::prelude::*;
+
+const THREADS: [usize; 3] = [1, 2, 7];
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Erdős–Rényi-style random graph: node count and an arbitrary edge list.
+fn er_strategy() -> impl Strategy<Value = Csr> {
+    (2usize..40).prop_flat_map(|n| {
+        let edge =
+            (0..n, 0..n).prop_filter_map(
+                "no self-loop",
+                |(u, v)| if u == v { None } else { Some((u, v)) },
+            );
+        (Just(n), proptest::collection::vec(edge, 0..120))
+            .prop_map(|(n, edges)| Csr::from_edges(n, &edges))
+    })
+}
+
+/// BA-style preferential-attachment graph grown from a proptest seed —
+/// heavy-tailed, so chunks have very uneven work.
+fn ba_strategy() -> impl Strategy<Value = Csr> {
+    (10usize..60, 0u64..1_000_000).prop_map(|(n, seed)| {
+        use inet_generators::Generator;
+        let gen = inet_generators::BarabasiAlbert::new(n, 2);
+        let mut rng = inet_stats::rng::seeded_rng(seed);
+        gen.generate(&mut rng).graph.to_csr()
+    })
+}
+
+/// Asserts every parallelized metric is bit-identical across [`THREADS`].
+fn assert_all_metrics_thread_invariant(g: &Csr) {
+    let fused1 = paths_and_betweenness(g, 7, 3, 1);
+    let paths1 = PathStats::measure_parallel(g, 1);
+    let bc1 = betweenness(g);
+    let bcs1 = betweenness_sampled(g, 5, 1);
+    let close1 = closeness(g);
+    let clust1 = ClusteringStats::measure(g);
+    let knn1 = KnnStats::measure(g);
+    let census1 = CycleCensus::measure(g);
+    let rc1 = RichClub::measure(g);
+    for threads in THREADS {
+        let fused = paths_and_betweenness(g, 7, 3, threads);
+        assert_eq!(
+            &fused.paths, &fused1.paths,
+            "fused paths, threads {}",
+            threads
+        );
+        assert_eq!(
+            bits(&fused.betweenness),
+            bits(&fused1.betweenness),
+            "fused betweenness, threads {}",
+            threads
+        );
+        assert_eq!(
+            &PathStats::measure_parallel(g, threads),
+            &paths1,
+            "exact paths, threads {}",
+            threads
+        );
+        assert_eq!(
+            bits(&inet_metrics::betweenness::betweenness_parallel(g, threads)),
+            bits(&bc1),
+            "exact betweenness, threads {}",
+            threads
+        );
+        assert_eq!(
+            bits(&betweenness_sampled(g, 5, threads)),
+            bits(&bcs1),
+            "sampled betweenness, threads {}",
+            threads
+        );
+        assert_eq!(
+            bits(&closeness_threaded(g, threads)),
+            bits(&close1),
+            "closeness, threads {}",
+            threads
+        );
+        assert_eq!(
+            &ClusteringStats::measure_threaded(g, threads),
+            &clust1,
+            "clustering, threads {}",
+            threads
+        );
+        let knn = KnnStats::measure_threaded(g, threads);
+        assert_eq!(bits(&knn.knn), bits(&knn1.knn), "knn, threads {}", threads);
+        assert_eq!(
+            knn.assortativity.to_bits(),
+            knn1.assortativity.to_bits(),
+            "assortativity, threads {}",
+            threads
+        );
+        assert_eq!(
+            CycleCensus::measure_threaded(g, threads),
+            census1,
+            "cycle census, threads {}",
+            threads
+        );
+        assert_eq!(
+            &RichClub::measure_threaded(g, threads),
+            &rc1,
+            "rich club, threads {}",
+            threads
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// ER graphs: every parallelized metric is bit-identical across thread
+    /// counts.
+    #[test]
+    fn er_graphs_thread_invariant(g in er_strategy()) {
+        assert_all_metrics_thread_invariant(&g);
+    }
+
+    /// Heavy-tailed BA graphs: hub-dominated chunks must not perturb any
+    /// output either.
+    #[test]
+    fn ba_graphs_thread_invariant(g in ba_strategy()) {
+        assert_all_metrics_thread_invariant(&g);
+    }
+}
+
+#[test]
+fn empty_graph_thread_invariant() {
+    let g = Csr::from_edges(0, &[]);
+    assert_all_metrics_thread_invariant(&g);
+}
+
+#[test]
+fn single_node_thread_invariant() {
+    let g = Csr::from_edges(1, &[]);
+    assert_all_metrics_thread_invariant(&g);
+}
+
+#[test]
+fn thread_counts_beyond_chunk_count_are_fine() {
+    // More workers than chunks (tiny graph, 64-chunk grid of 3 items).
+    let g = Csr::from_edges(3, &[(0, 1), (1, 2)]);
+    let a = paths_and_betweenness(&g, usize::MAX, usize::MAX, 1);
+    let b = paths_and_betweenness(&g, usize::MAX, usize::MAX, 64);
+    assert_eq!(a.paths, b.paths);
+    assert_eq!(bits(&a.betweenness), bits(&b.betweenness));
+}

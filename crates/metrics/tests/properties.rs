@@ -2,8 +2,8 @@
 
 use inet_graph::Csr;
 use inet_metrics::{
-    betweenness, loops, randomize, ClusteringStats, CycleCensus, DegreeStats,
-    KCoreDecomposition, KnnStats, PathStats,
+    betweenness, loops, randomize, ClusteringStats, CycleCensus, DegreeStats, KCoreDecomposition,
+    KnnStats, PathStats,
 };
 use inet_stats::rng::seeded_rng;
 use proptest::prelude::*;
@@ -11,8 +11,11 @@ use proptest::prelude::*;
 /// Random-graph strategy: (node count, edge list).
 fn graph_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
     (3usize..30).prop_flat_map(|n| {
-        let edge = (0..n, 0..n)
-            .prop_filter_map("no self-loop", |(u, v)| if u == v { None } else { Some((u, v)) });
+        let edge =
+            (0..n, 0..n).prop_filter_map(
+                "no self-loop",
+                |(u, v)| if u == v { None } else { Some((u, v)) },
+            );
         (Just(n), proptest::collection::vec(edge, 0..90))
     })
 }

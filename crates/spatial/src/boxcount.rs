@@ -65,7 +65,11 @@ mod tests {
         ];
         assert_eq!(occupied_boxes(&pts, 1), 2);
         assert_eq!(occupied_boxes(&pts, 2), 2);
-        assert_eq!(occupied_boxes(&pts, 3), 3, "0.125-cells separate the close pair");
+        assert_eq!(
+            occupied_boxes(&pts, 3),
+            3,
+            "0.125-cells separate the close pair"
+        );
     }
 
     #[test]

@@ -40,7 +40,10 @@ impl FractalSet {
     /// Generator for the Internet's empirical router dimension `D_f = 1.5`
     /// at depth 8.
     pub fn internet() -> Self {
-        FractalSet { dimension: 1.5, depth: 8 }
+        FractalSet {
+            dimension: 1.5,
+            depth: 8,
+        }
     }
 
     /// Creates a generator.
@@ -108,13 +111,11 @@ impl FractalSet {
     /// # Panics
     ///
     /// Panics if `cells` is empty.
-    pub fn place_points<R: Rng>(
-        &self,
-        cells: &[(u32, u32)],
-        n: usize,
-        rng: &mut R,
-    ) -> Vec<Point2> {
-        assert!(!cells.is_empty(), "cannot place points on an empty cell set");
+    pub fn place_points<R: Rng>(&self, cells: &[(u32, u32)], n: usize, rng: &mut R) -> Vec<Point2> {
+        assert!(
+            !cells.is_empty(),
+            "cannot place points on an empty cell set"
+        );
         let side = (1u64 << self.depth) as f64;
         (0..n)
             .map(|_| {
@@ -137,8 +138,9 @@ mod tests {
     #[test]
     fn survival_probability_formula() {
         assert!((FractalSet::new(2.0, 4).survival_probability() - 1.0).abs() < 1e-12);
-        assert!((FractalSet::new(1.5, 4).survival_probability() - 2f64.powf(1.5) / 4.0).abs()
-            < 1e-12);
+        assert!(
+            (FractalSet::new(1.5, 4).survival_probability() - 2f64.powf(1.5) / 4.0).abs() < 1e-12
+        );
         assert!((FractalSet::new(1.0, 4).survival_probability() - 0.5).abs() < 1e-12);
     }
 
@@ -173,7 +175,9 @@ mod tests {
         let f = FractalSet::internet();
         let pts = f.generate(3000, &mut rng);
         assert_eq!(pts.len(), 3000);
-        assert!(pts.iter().all(|p| (0.0..1.0).contains(&p.x) && (0.0..1.0).contains(&p.y)));
+        assert!(pts
+            .iter()
+            .all(|p| (0.0..1.0).contains(&p.x) && (0.0..1.0).contains(&p.y)));
     }
 
     #[test]

@@ -32,7 +32,11 @@ impl GridIndex {
             let (cx, cy) = Self::cell_of(p, side);
             cells[cy * side + cx].push(i as u32);
         }
-        GridIndex { cells, points: points.to_vec(), side }
+        GridIndex {
+            cells,
+            points: points.to_vec(),
+            side,
+        }
     }
 
     fn cell_of(p: &Point2, side: usize) -> (usize, usize) {

@@ -46,7 +46,9 @@ mod tests {
         let mut rng = seeded_rng(1);
         let pts = uniform_points(500, &mut rng);
         assert_eq!(pts.len(), 500);
-        assert!(pts.iter().all(|p| (0.0..1.0).contains(&p.x) && (0.0..1.0).contains(&p.y)));
+        assert!(pts
+            .iter()
+            .all(|p| (0.0..1.0).contains(&p.x) && (0.0..1.0).contains(&p.y)));
     }
 
     #[test]
@@ -67,10 +69,15 @@ mod tests {
         let mut rng = seeded_rng(3);
         let pts = levy_points(2000, 1.2, &mut rng);
         assert_eq!(pts.len(), 2000);
-        assert!(pts.iter().all(|p| (0.0..1.0).contains(&p.x) && (0.0..1.0).contains(&p.y)));
+        assert!(pts
+            .iter()
+            .all(|p| (0.0..1.0).contains(&p.x) && (0.0..1.0).contains(&p.y)));
         // Clustering check: median consecutive step is much smaller than the
         // mean (heavy-tailed steps).
-        let steps: Vec<f64> = pts.windows(2).map(|w| w[0].dist_torus(&w[1], 1.0)).collect();
+        let steps: Vec<f64> = pts
+            .windows(2)
+            .map(|w| w[0].dist_torus(&w[1], 1.0))
+            .collect();
         let med = inet_stats::summary::median(&steps).unwrap();
         let mean = inet_stats::Summary::from_slice(&steps).mean;
         assert!(med < mean, "median {med} !< mean {mean}");

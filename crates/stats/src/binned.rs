@@ -67,7 +67,11 @@ pub fn binned_mean_by_int(x: &[u64], y: &[f64]) -> BinnedSpectrum {
         ys.push(sum / c as f64);
         counts.push(c);
     }
-    BinnedSpectrum { x: xs, y: ys, count: counts }
+    BinnedSpectrum {
+        x: xs,
+        y: ys,
+        count: counts,
+    }
 }
 
 /// Log-binned conditional mean: `x` values are pooled into geometric bins
@@ -103,7 +107,11 @@ pub fn binned_mean_log(x: &[f64], y: &[f64], bins_per_decade: usize) -> BinnedSp
         ys.push(sum / c as f64);
         counts.push(c);
     }
-    BinnedSpectrum { x: xs, y: ys, count: counts }
+    BinnedSpectrum {
+        x: xs,
+        y: ys,
+        count: counts,
+    }
 }
 
 #[cfg(test)]

@@ -25,7 +25,10 @@ impl Ccdf {
         }
         // First index with value > x; all samples at indices >= that point
         // have value > x... we need P(X >= x): count values v >= x.
-        match self.values.binary_search_by(|v| v.partial_cmp(&x).expect("finite")) {
+        match self
+            .values
+            .binary_search_by(|v| v.partial_cmp(&x).expect("finite"))
+        {
             Ok(i) => self.ccdf[i],
             Err(i) => {
                 if i >= self.values.len() {

@@ -91,7 +91,10 @@ impl Zipf {
     /// Draws a value in `1..=n`.
     pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen_range(0.0..1.0);
-        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("finite")) {
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite"))
+        {
             Ok(i) => i + 2,
             Err(i) => i + 1,
         }
@@ -126,7 +129,9 @@ mod tests {
     #[test]
     fn log_normal_median() {
         let mut rng = seeded_rng(11);
-        let xs: Vec<f64> = (0..50_000).map(|_| log_normal(1.0, 0.5, &mut rng)).collect();
+        let xs: Vec<f64> = (0..50_000)
+            .map(|_| log_normal(1.0, 0.5, &mut rng))
+            .collect();
         let med = crate::summary::median(&xs).unwrap();
         assert!((med - 1.0f64.exp()).abs() < 0.08, "median {med}");
         assert!(xs.iter().all(|&x| x > 0.0));
@@ -164,7 +169,11 @@ mod tests {
         }
         for (k, &count) in counts.iter().enumerate().skip(1) {
             let got = count as f64 / n as f64;
-            assert!((got - z.pmf(k)).abs() < 0.01, "k={k}: {got} vs {}", z.pmf(k));
+            assert!(
+                (got - z.pmf(k)).abs() < 0.01,
+                "k={k}: {got} vs {}",
+                z.pmf(k)
+            );
         }
     }
 

@@ -27,7 +27,13 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
         assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid range");
-        Histogram { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0 }
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
     }
 
     /// Adds one sample.
@@ -75,7 +81,11 @@ impl Histogram {
             .iter()
             .enumerate()
             .map(|(i, &c)| {
-                let d = if total > 0.0 { c as f64 / (total * w) } else { 0.0 };
+                let d = if total > 0.0 {
+                    c as f64 / (total * w)
+                } else {
+                    0.0
+                };
                 (self.bin_center(i), d)
             })
             .collect()
@@ -110,7 +120,13 @@ impl LogHistogram {
         assert!(bins > 0, "histogram needs at least one bin");
         assert!(lo > 0.0 && lo < hi && hi.is_finite(), "invalid log range");
         let ratio = (hi / lo).powf(1.0 / bins as f64);
-        LogHistogram { lo, ratio, counts: vec![0; bins], underflow: 0, overflow: 0 }
+        LogHistogram {
+            lo,
+            ratio,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
     }
 
     /// Log histogram sized for positive integer data `1..=max` with roughly
@@ -161,8 +177,7 @@ impl LogHistogram {
 
     /// `(geometric center, density per unit x)` for non-empty bins only.
     pub fn density(&self) -> Vec<(f64, f64)> {
-        let total: u64 =
-            self.counts.iter().sum::<u64>() + self.underflow + self.overflow;
+        let total: u64 = self.counts.iter().sum::<u64>() + self.underflow + self.overflow;
         if total == 0 {
             return Vec::new();
         }
@@ -244,8 +259,11 @@ mod tests {
         }
         let d = h.density();
         // Fit slope on log–log via simple least squares; expect ≈ -2.
-        let pts: Vec<(f64, f64)> =
-            d.iter().filter(|&&(_, y)| y > 0.0).map(|&(x, y)| (x.ln(), y.ln())).collect();
+        let pts: Vec<(f64, f64)> = d
+            .iter()
+            .filter(|&&(_, y)| y > 0.0)
+            .map(|&(x, y)| (x.ln(), y.ln()))
+            .collect();
         let n = pts.len() as f64;
         let sx: f64 = pts.iter().map(|p| p.0).sum();
         let sy: f64 = pts.iter().map(|p| p.1).sum();

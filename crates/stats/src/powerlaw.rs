@@ -252,7 +252,9 @@ mod tests {
     #[test]
     fn continuous_mle_recovers_planted_exponent() {
         let mut rng = seeded_rng(7);
-        let xs: Vec<f64> = (0..20_000).map(|_| sample_continuous(2.5, 1.0, &mut rng)).collect();
+        let xs: Vec<f64> = (0..20_000)
+            .map(|_| sample_continuous(2.5, 1.0, &mut rng))
+            .collect();
         let fit = fit_continuous(&xs, 1.0).unwrap();
         assert!((fit.gamma - 2.5).abs() < 0.05, "gamma = {}", fit.gamma);
         assert!(fit.ks < 0.02);
@@ -262,7 +264,9 @@ mod tests {
     #[test]
     fn discrete_mle_recovers_planted_exponent() {
         let mut rng = seeded_rng(11);
-        let xs: Vec<u64> = (0..20_000).map(|_| sample_discrete(2.2, 5, &mut rng)).collect();
+        let xs: Vec<u64> = (0..20_000)
+            .map(|_| sample_discrete(2.2, 5, &mut rng))
+            .collect();
         let fit = fit_discrete(&xs, 5).unwrap();
         assert!((fit.gamma - 2.2).abs() < 0.07, "gamma = {}", fit.gamma);
         assert!(fit.gamma_se < 0.02);
@@ -287,7 +291,10 @@ mod tests {
     fn degenerate_inputs() {
         assert!(fit_continuous(&[], 1.0).is_none());
         assert!(fit_continuous(&[2.0], 1.0).is_none());
-        assert!(fit_continuous(&[1.0, 1.0, 1.0], 1.0).is_none(), "zero log-sum");
+        assert!(
+            fit_continuous(&[1.0, 1.0, 1.0], 1.0).is_none(),
+            "zero log-sum"
+        );
         assert!(fit_continuous(&[1.0, 2.0], 0.0).is_none());
         assert!(fit_discrete(&[], 1).is_none());
         assert!(fit_discrete(&[5, 9], 0).is_none());
@@ -307,10 +314,16 @@ mod tests {
     #[test]
     fn bootstrap_ci_brackets_point_estimate() {
         let mut rng = seeded_rng(21);
-        let xs: Vec<u64> = (0..3000).map(|_| sample_discrete(2.3, 2, &mut rng)).collect();
+        let xs: Vec<u64> = (0..3000)
+            .map(|_| sample_discrete(2.3, 2, &mut rng))
+            .collect();
         let fit = fit_discrete(&xs, 2).unwrap();
         let (lo, hi, summary) = bootstrap_gamma_ci(&xs, 2, 60, &mut rng).unwrap();
-        assert!(lo <= fit.gamma && fit.gamma <= hi, "{lo} !<= {} !<= {hi}", fit.gamma);
+        assert!(
+            lo <= fit.gamma && fit.gamma <= hi,
+            "{lo} !<= {} !<= {hi}",
+            fit.gamma
+        );
         assert!(hi - lo < 0.3);
         assert_eq!(summary.n, 60);
     }
@@ -341,7 +354,9 @@ mod tests {
     #[test]
     fn ks_increases_with_model_mismatch() {
         let mut rng = seeded_rng(13);
-        let xs: Vec<f64> = (0..5000).map(|_| sample_continuous(2.5, 1.0, &mut rng)).collect();
+        let xs: Vec<f64> = (0..5000)
+            .map(|_| sample_continuous(2.5, 1.0, &mut rng))
+            .collect();
         let mut sorted = xs.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let ks_good = ks_continuous(&sorted, 2.5, 1.0);

@@ -58,14 +58,18 @@ pub fn linear_fit(x: &[f64], y: &[f64]) -> Option<LinearFit> {
     let r2 = if syy > 0.0 { 1.0 - ss_res / syy } else { 0.0 };
     let (slope_se, intercept_se) = if n > 2 {
         let s2 = ss_res / (nf - 2.0);
-        (
-            (s2 / sxx).sqrt(),
-            (s2 * (1.0 / nf + mx * mx / sxx)).sqrt(),
-        )
+        ((s2 / sxx).sqrt(), (s2 * (1.0 / nf + mx * mx / sxx)).sqrt())
     } else {
         (0.0, 0.0)
     };
-    Some(LinearFit { slope, intercept, slope_se, intercept_se, r2, n })
+    Some(LinearFit {
+        slope,
+        intercept,
+        slope_se,
+        intercept_se,
+        r2,
+        n,
+    })
 }
 
 /// Fits a power law `y ≈ c · x^exponent` by least squares on `ln x, ln y`.

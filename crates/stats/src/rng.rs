@@ -38,8 +38,14 @@ mod tests {
 
     #[test]
     fn same_seed_same_stream() {
-        let a: Vec<u64> = seeded_rng(42).sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u64> = seeded_rng(42).sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u64> = seeded_rng(42)
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let b: Vec<u64> = seeded_rng(42)
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_eq!(a, b);
     }
 
@@ -54,7 +60,10 @@ mod tests {
     fn child_seeds_are_distinct_across_streams() {
         let mut seen = std::collections::HashSet::new();
         for stream in 0..1000 {
-            assert!(seen.insert(child_seed(99, stream)), "collision at stream {stream}");
+            assert!(
+                seen.insert(child_seed(99, stream)),
+                "collision at stream {stream}"
+            );
         }
     }
 

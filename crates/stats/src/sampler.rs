@@ -24,7 +24,11 @@ pub struct DynamicWeightedSampler {
 impl DynamicWeightedSampler {
     /// Creates an empty sampler.
     pub fn new() -> Self {
-        DynamicWeightedSampler { tree: vec![0.0], weights: Vec::new(), total: 0.0 }
+        DynamicWeightedSampler {
+            tree: vec![0.0],
+            weights: Vec::new(),
+            total: 0.0,
+        }
     }
 
     /// Creates a sampler from initial weights.
@@ -70,7 +74,10 @@ impl DynamicWeightedSampler {
     ///
     /// Panics if `w` is negative or non-finite.
     pub fn push(&mut self, w: f64) -> usize {
-        assert!(w.is_finite() && w >= 0.0, "weight must be finite and non-negative");
+        assert!(
+            w.is_finite() && w >= 0.0,
+            "weight must be finite and non-negative"
+        );
         let i = self.weights.len();
         self.weights.push(0.0);
         self.tree.push(0.0);
@@ -95,7 +102,10 @@ impl DynamicWeightedSampler {
     ///
     /// Panics if `i` is out of range, or `w` is negative or non-finite.
     pub fn set_weight(&mut self, i: usize, w: f64) {
-        assert!(w.is_finite() && w >= 0.0, "weight must be finite and non-negative");
+        assert!(
+            w.is_finite() && w >= 0.0,
+            "weight must be finite and non-negative"
+        );
         let delta = w - self.weights[i];
         self.weights[i] = w;
         self.total += delta;

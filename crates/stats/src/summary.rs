@@ -143,7 +143,11 @@ mod tests {
         let base = 1e9;
         let vals: Vec<f64> = [4.0, 7.0, 13.0, 16.0].iter().map(|x| x + base).collect();
         let s = Summary::from_slice(&vals);
-        assert!((s.variance - 30.0).abs() < 1e-6, "variance was {}", s.variance);
+        assert!(
+            (s.variance - 30.0).abs() < 1e-6,
+            "variance was {}",
+            s.variance
+        );
     }
 
     #[test]

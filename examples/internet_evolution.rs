@@ -51,8 +51,7 @@ fn main() {
     );
 
     // --- 4. Validate against the published AS-map targets. ---------------
-    let (giant, _) =
-        inet_model::graph::traversal::giant_component(&run.network.graph.to_csr());
+    let (giant, _) = inet_model::graph::traversal::giant_component(&run.network.graph.to_csr());
     let validation = ValidationReport::run(&giant, &inet_model::reference::AS_MAP_2001);
     println!("\nvalidation against the 2001 AS-map targets:");
     println!("{}", validation.render());

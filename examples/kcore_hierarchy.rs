@@ -29,7 +29,10 @@ fn main() {
         giant.node_count(),
         decomposition.coreness()
     );
-    println!("\n{:<6} {:>12} {:>12} {:>16}", "k", "shell size", "core size", "core mean degree");
+    println!(
+        "\n{:<6} {:>12} {:>12} {:>16}",
+        "k", "shell size", "core size", "core mean degree"
+    );
     for (k, shell, core) in decomposition.shell_profile() {
         if shell == 0 {
             continue;
@@ -46,20 +49,14 @@ fn main() {
     let (_, members) = decomposition.core_subgraph(&giant, top);
     let users = run.network.users.as_ref().expect("user pool recorded");
     let total_users: f64 = users.iter().sum();
-    let core_users: f64 = members
-        .iter()
-        .map(|&v| users[node_map[v]])
-        .sum();
+    let core_users: f64 = members.iter().map(|&v| users[node_map[v]]).sum();
     println!(
         "\ninnermost {top}-core: {} ASs holding {:.1}% of all users",
         members.len(),
         100.0 * core_users / total_users
     );
-    let mean_birth_rank: f64 = members
-        .iter()
-        .map(|&v| node_map[v] as f64)
-        .sum::<f64>()
-        / members.len().max(1) as f64;
+    let mean_birth_rank: f64 =
+        members.iter().map(|&v| node_map[v] as f64).sum::<f64>() / members.len().max(1) as f64;
     println!(
         "mean birth rank of core members: {:.0} of {} (lower = older: \
          first movers hold the center)",

@@ -15,7 +15,10 @@ fn main() {
     let model = SerranoModel::new(SerranoParams::small(1000));
     let run = model.run(&mut rng);
 
-    println!("grew an Internet in {} iterations ('months'):", run.iterations);
+    println!(
+        "grew an Internet in {} iterations ('months'):",
+        run.iterations
+    );
     println!(
         "  {} ASs, {} inter-AS links, total bandwidth {}",
         run.network.graph.node_count(),

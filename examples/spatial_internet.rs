@@ -42,7 +42,11 @@ fn main() {
         let assort = KnnStats::measure(&giant).assortativity;
         print!(
             "\nmodel {:<16} clustering = {clustering:.3}, assortativity = {assort:+.3}",
-            if distance { "with distance:" } else { "without distance:" }
+            if distance {
+                "with distance:"
+            } else {
+                "without distance:"
+            }
         );
         if let Some(positions) = &run.network.positions {
             let lengths: Vec<f64> = run

@@ -8,6 +8,11 @@
 //! inet trace    [months]                # synthetic growth trace + fitted rates
 //! ```
 //!
+//! `measure` and `validate` accept `--threads N` (anywhere on the command
+//! line) to set the worker-thread count of the parallel metrics kernels; the
+//! default is the machine's available parallelism. Results are bit-identical
+//! for any thread count.
+//!
 //! Models: `serrano`, `serrano-nodist`, `ba`, `ab-ext`, `bianconi`, `glp`,
 //! `pfp`, `inet`, `waxman`, `er`, `fkp`, `brite`, `goh`, `ws`, `rgg`. Edge lists use the workspace's
 //! `# nodes N` + `u v w` format; `-` reads stdin.
@@ -21,14 +26,42 @@ use std::io::Read;
 #[derive(Debug, PartialEq)]
 enum Command {
     Generate { model: String, n: usize, seed: u64 },
-    Measure { path: String },
-    Validate { path: String },
+    Measure { path: String, threads: usize },
+    Validate { path: String, threads: usize },
     Tiers { path: String },
     Trace { months: usize },
     Help,
 }
 
+/// Extracts a `--threads N` option (any position), returning the remaining
+/// arguments and the thread count (defaulting to the machine's available
+/// parallelism).
+fn extract_threads(args: &[String]) -> Result<(Vec<String>, usize), String> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut threads = inet_suite::inet_model::graph::parallel::default_threads();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--threads" {
+            let value = args
+                .get(i + 1)
+                .ok_or("--threads: missing <N>")?
+                .parse::<usize>()
+                .map_err(|_| "--threads: <N> must be an integer".to_string())?;
+            if value == 0 {
+                return Err("--threads: <N> must be at least 1".into());
+            }
+            threads = value;
+            i += 2;
+        } else {
+            rest.push(args[i].clone());
+            i += 1;
+        }
+    }
+    Ok((rest, threads))
+}
+
 fn parse_args(args: &[String]) -> Result<Command, String> {
+    let (args, threads) = extract_threads(args)?;
     match args.first().map(String::as_str) {
         None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
         Some("generate") => {
@@ -51,9 +84,11 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
         }
         Some("measure") => Ok(Command::Measure {
             path: args.get(1).ok_or("measure: missing <file>")?.clone(),
+            threads,
         }),
         Some("validate") => Ok(Command::Validate {
             path: args.get(1).ok_or("validate: missing <file>")?.clone(),
+            threads,
         }),
         Some("tiers") => Ok(Command::Tiers {
             path: args.get(1).ok_or("tiers: missing <file>")?.clone(),
@@ -133,6 +168,10 @@ fn run(cmd: Command) -> Result<(), String> {
                  inet validate <file|->             compare vs the 2001 AS-map targets\n  \
                  inet tiers    <file|->             backbone/transit/fringe split\n  \
                  inet trace    [months]             synthetic growth trace + rate fits\n\n\
+                 options:\n  \
+                 --threads <N>                      worker threads for measure/validate\n  \
+                 \u{20}                                  (default: available parallelism;\n  \
+                 \u{20}                                  results are identical for any N)\n\n\
                  models: serrano serrano-nodist ba ab-ext bianconi glp pfp inet waxman er fkp brite goh ws rgg"
             );
             Ok(())
@@ -154,15 +193,27 @@ fn run(cmd: Command) -> Result<(), String> {
             );
             Ok(())
         }
-        Command::Measure { path } => {
+        Command::Measure { path, threads } => {
             let g = load_graph(&path)?;
-            let report = TopologyReport::measure(&giant(&g));
+            let opt = inet_suite::inet_model::metrics::report::ReportOptions {
+                threads,
+                ..Default::default()
+            };
+            let report = TopologyReport::measure_with(&giant(&g), opt);
             println!("{}", report.render());
             Ok(())
         }
-        Command::Validate { path } => {
+        Command::Validate { path, threads } => {
             let g = load_graph(&path)?;
-            let v = ValidationReport::run(&giant(&g), &inet_suite::inet_model::reference::AS_MAP_2001);
+            let opt = inet_suite::inet_model::metrics::report::ReportOptions {
+                threads,
+                ..Default::default()
+            };
+            let v = ValidationReport::run_with(
+                &giant(&g),
+                &inet_suite::inet_model::reference::AS_MAP_2001,
+                opt,
+            );
             println!("{}", v.render());
             if v.pass_count() * 2 >= v.outcomes.len() {
                 Ok(())
@@ -185,7 +236,10 @@ fn run(cmd: Command) -> Result<(), String> {
         }
         Command::Trace { months } => {
             let mut rng = seeded_rng(2001);
-            let config = TraceConfig { months, ..TraceConfig::oregon_era() };
+            let config = TraceConfig {
+                months,
+                ..TraceConfig::oregon_era()
+            };
             let trace = InternetTrace::generate(config, &mut rng);
             let fits = FittedRates::fit(&trace).ok_or("trace unfittable")?;
             println!("{}", fits.render());
@@ -224,22 +278,37 @@ mod tests {
     fn parses_generate() {
         assert_eq!(
             parse_args(&strs(&["generate", "ba", "100", "7"])).unwrap(),
-            Command::Generate { model: "ba".into(), n: 100, seed: 7 }
+            Command::Generate {
+                model: "ba".into(),
+                n: 100,
+                seed: 7
+            }
         );
         assert_eq!(
             parse_args(&strs(&["generate", "glp", "100"])).unwrap(),
-            Command::Generate { model: "glp".into(), n: 100, seed: 42 }
+            Command::Generate {
+                model: "glp".into(),
+                n: 100,
+                seed: 42
+            }
         );
         assert!(parse_args(&strs(&["generate", "ba"])).is_err());
         assert!(parse_args(&strs(&["generate", "ba", "x"])).is_err());
-        assert!(parse_args(&strs(&["generate", "ba", "4"])).is_err(), "n too small");
+        assert!(
+            parse_args(&strs(&["generate", "ba", "4"])).is_err(),
+            "n too small"
+        );
     }
 
     #[test]
     fn parses_file_commands_and_trace() {
+        let default = inet_suite::inet_model::graph::parallel::default_threads();
         assert_eq!(
             parse_args(&strs(&["measure", "g.txt"])).unwrap(),
-            Command::Measure { path: "g.txt".into() }
+            Command::Measure {
+                path: "g.txt".into(),
+                threads: default
+            }
         );
         assert!(parse_args(&strs(&["measure"])).is_err());
         assert_eq!(
@@ -251,10 +320,51 @@ mod tests {
     }
 
     #[test]
+    fn parses_threads_flag_in_any_position() {
+        assert_eq!(
+            parse_args(&strs(&["measure", "g.txt", "--threads", "3"])).unwrap(),
+            Command::Measure {
+                path: "g.txt".into(),
+                threads: 3
+            }
+        );
+        assert_eq!(
+            parse_args(&strs(&["--threads", "8", "validate", "g.txt"])).unwrap(),
+            Command::Validate {
+                path: "g.txt".into(),
+                threads: 8
+            }
+        );
+        assert!(parse_args(&strs(&["measure", "g.txt", "--threads"])).is_err());
+        assert!(parse_args(&strs(&["measure", "g.txt", "--threads", "x"])).is_err());
+        assert!(parse_args(&strs(&["measure", "g.txt", "--threads", "0"])).is_err());
+    }
+
+    #[test]
+    fn help_mentions_threads_option() {
+        // The flag must be discoverable from `inet help`.
+        run(Command::Help).unwrap();
+        assert!(parse_args(&strs(&["--threads", "2", "help"])).is_ok());
+    }
+
+    #[test]
     fn every_advertised_model_builds() {
         for model in [
-            "serrano", "serrano-nodist", "ba", "ab-ext", "bianconi", "glp", "pfp", "inet",
-            "waxman", "er", "fkp", "brite", "goh", "ws", "rgg",
+            "serrano",
+            "serrano-nodist",
+            "ba",
+            "ab-ext",
+            "bianconi",
+            "glp",
+            "pfp",
+            "inet",
+            "waxman",
+            "er",
+            "fkp",
+            "brite",
+            "goh",
+            "ws",
+            "rgg",
         ] {
             assert!(build_generator(model, 100).is_ok(), "{model}");
         }
@@ -275,8 +385,15 @@ mod tests {
         let loaded = load_graph(path.to_str().unwrap()).unwrap();
         assert_eq!(loaded, net.graph);
         // run() paths execute without error.
-        run(Command::Measure { path: path.to_str().unwrap().into() }).unwrap();
-        run(Command::Tiers { path: path.to_str().unwrap().into() }).unwrap();
+        run(Command::Measure {
+            path: path.to_str().unwrap().into(),
+            threads: 2,
+        })
+        .unwrap();
+        run(Command::Tiers {
+            path: path.to_str().unwrap().into(),
+        })
+        .unwrap();
         run(Command::Trace { months: 20 }).unwrap();
     }
 }

@@ -35,7 +35,9 @@ fn every_generator_produces_a_valid_graph_of_requested_size() {
             net.name,
             net.graph.node_count()
         );
-        net.graph.validate().unwrap_or_else(|e| panic!("{}: {e}", net.name));
+        net.graph
+            .validate()
+            .unwrap_or_else(|e| panic!("{}: {e}", net.name));
         assert!(!net.name.is_empty());
     }
 }
@@ -107,5 +109,8 @@ fn heavy_tail_generators_beat_homogeneous_ones_on_max_degree() {
     let ba = max_deg(Box::new(BarabasiAlbert::new(n, 2)));
     let serrano = max_deg(Box::new(SerranoModel::new(SerranoParams::small(n))));
     assert!(ba > 2 * er, "BA hub ({ba}) should dwarf ER max ({er})");
-    assert!(serrano > 2 * er, "Serrano hub ({serrano}) should dwarf ER max ({er})");
+    assert!(
+        serrano > 2 * er,
+        "Serrano hub ({serrano}) should dwarf ER max ({er})"
+    );
 }

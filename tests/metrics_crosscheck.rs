@@ -86,7 +86,9 @@ fn rewired_null_model_keeps_degrees_but_moves_edges() {
     // heavy-tailed graph — chance hub-hub triangles can raise it — so we
     // assert edge movement, not a clustering direction.
     let set = |g: &Csr| {
-        g.edges().map(|(u, v, _)| (u, v)).collect::<std::collections::HashSet<_>>()
+        g.edges()
+            .map(|(u, v, _)| (u, v))
+            .collect::<std::collections::HashSet<_>>()
     };
     let overlap = set(&g).intersection(&set(&rewired)).count();
     assert!(

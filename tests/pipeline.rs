@@ -38,9 +38,18 @@ fn reference_map_pipeline() {
     let reference = inet_model::reference::build_reference_csr(&targets, &mut rng);
     assert!(reference.node_count() as f64 > 0.9 * targets.nodes as f64);
     let report = TopologyReport::measure(&reference);
-    assert!(report.gamma.is_some(), "reference map must have a fittable tail");
-    assert!(report.mean_path_length < 5.0, "reference map must be small world");
-    assert!(report.assortativity < 0.0, "reference map must be disassortative");
+    assert!(
+        report.gamma.is_some(),
+        "reference map must have a fittable tail"
+    );
+    assert!(
+        report.mean_path_length < 5.0,
+        "reference map must be small world"
+    );
+    assert!(
+        report.assortativity < 0.0,
+        "reference map must be disassortative"
+    );
 }
 
 #[test]
@@ -53,7 +62,11 @@ fn model_history_feeds_growth_fits() {
     let half = t.len() / 2;
     let fit = inet_model::stats::regression::exp_growth_fit(&t[half..], &users[half..])
         .expect("fittable");
-    assert!((fit.rate - 0.035).abs() < 0.01, "user growth rate {} drifted", fit.rate);
+    assert!(
+        (fit.rate - 0.035).abs() < 0.01,
+        "user growth rate {} drifted",
+        fit.rate
+    );
 }
 
 #[test]

@@ -47,7 +47,11 @@ fn experiment_runs_are_reproducible() {
     assert_eq!(a.iterations, b.iterations);
     let ua: f64 = a.network.users.as_ref().expect("users").iter().sum();
     let ub: f64 = b.network.users.as_ref().expect("users").iter().sum();
-    assert_eq!(ua.to_bits(), ub.to_bits(), "user pool must be bit-identical");
+    assert_eq!(
+        ua.to_bits(),
+        ub.to_bits(),
+        "user pool must be bit-identical"
+    );
 }
 
 #[test]

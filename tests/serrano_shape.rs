@@ -29,7 +29,10 @@ fn degree_distribution_is_heavy_tailed_with_internet_exponent() {
     // Hub scale: the max degree grabs a macroscopic share of the network,
     // the paper's linear-scaling claim.
     let kmax = g.max_degree();
-    assert!(kmax as f64 > 0.05 * g.node_count() as f64, "kmax = {kmax} not macroscopic");
+    assert!(
+        kmax as f64 > 0.05 * g.node_count() as f64,
+        "kmax = {kmax} not macroscopic"
+    );
 }
 
 #[test]
@@ -66,10 +69,17 @@ fn small_world_and_clustered() {
 
 #[test]
 fn disassortative_like_the_internet() {
-    for (variant, stream) in [(ModelVariant::WithDistance, 5), (ModelVariant::WithoutDistance, 6)] {
+    for (variant, stream) in [
+        (ModelVariant::WithDistance, 5),
+        (ModelVariant::WithoutDistance, 6),
+    ] {
         let (g, _) = giant(variant, stream);
         let r = KnnStats::measure(&g).assortativity;
-        assert!(r < -0.05, "{}: assortativity {r} not disassortative", variant.label());
+        assert!(
+            r < -0.05,
+            "{}: assortativity {r} not disassortative",
+            variant.label()
+        );
     }
 }
 
@@ -110,13 +120,20 @@ fn size_distribution_tail_is_one_plus_tau() {
 
 #[test]
 fn both_variants_grow_to_target_and_conserve_users() {
-    for (variant, stream) in [(ModelVariant::WithDistance, 9), (ModelVariant::WithoutDistance, 10)] {
+    for (variant, stream) in [
+        (ModelVariant::WithDistance, 9),
+        (ModelVariant::WithoutDistance, 10),
+    ] {
         let run = variant.run(1500, stream);
         assert!(run.network.graph.node_count() >= 1500);
         let users = run.network.users.as_ref().expect("users");
         let total: f64 = users.iter().sum();
         let recorded = run.history.last().expect("history").users;
-        assert!((total - recorded).abs() < 1e-6 * total, "{}", variant.label());
+        assert!(
+            (total - recorded).abs() < 1e-6 * total,
+            "{}",
+            variant.label()
+        );
         assert!(users.iter().all(|&u| u > 0.0));
     }
 }
