@@ -23,6 +23,7 @@
 //! | topology measures | `inet-metrics` | [`metrics`] |
 //! | generators | `inet-generators` | [`generators`] |
 //! | growth machinery | `inet-growth` | [`growth`] |
+//! | attack/failure response | `inet-resilience` | [`resilience`] |
 //!
 //! ## Quickstart
 //!
@@ -49,6 +50,7 @@ pub use inet_generators as generators;
 pub use inet_graph as graph;
 pub use inet_growth as growth;
 pub use inet_metrics as metrics;
+pub use inet_resilience as resilience;
 pub use inet_spatial as spatial;
 pub use inet_stats as stats;
 
@@ -66,6 +68,9 @@ pub mod prelude {
         TopologyReport,
     };
     pub use crate::reference::{build_reference_map, ReferenceTargets};
+    pub use crate::resilience::{
+        percolation_curve, run_sweep, AttackCurve, Strategy, SweepConfig, SweepResult,
+    };
     pub use crate::stats::rng::{child_rng, seeded_rng};
     pub use crate::validation::{ValidationOutcome, ValidationReport};
 }

@@ -58,9 +58,12 @@ impl ValidationReport {
             targets.mean_degree,
             0.5 * targets.mean_degree,
         );
+        // An unfittable tail reports 0 (a guaranteed FAIL against any real
+        // gamma target) rather than NaN, which would poison downstream
+        // arithmetic and render as "NaN" in the table.
         check(
             "gamma",
-            report.gamma.unwrap_or(f64::NAN),
+            report.gamma.unwrap_or(0.0),
             targets.gamma,
             3.0 * targets.gamma_tolerance,
         );
@@ -163,6 +166,25 @@ mod tests {
         // It should fail the heavy-tail check in particular.
         let gamma = v.outcomes.iter().find(|o| o.metric == "gamma").unwrap();
         assert!(!gamma.pass, "ER graph passed the gamma check: {gamma:?}");
+    }
+
+    #[test]
+    fn unfittable_gamma_yields_finite_fail_not_nan() {
+        // A tiny triangle has no power-law tail to fit: the gamma check
+        // must come back as a finite-valued FAIL, never NaN.
+        let g = Csr::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let v = ValidationReport::run(&g, &AS_MAP_2001);
+        for o in &v.outcomes {
+            assert!(
+                o.measured.is_finite(),
+                "{}: measured {} is not finite",
+                o.metric,
+                o.measured
+            );
+        }
+        let gamma = v.outcomes.iter().find(|o| o.metric == "gamma").unwrap();
+        assert!(!gamma.pass);
+        assert!(!v.render().contains("NaN"));
     }
 
     #[test]

@@ -16,6 +16,14 @@
 use crate::{GraphError, MultiGraph, NodeId, Result};
 use std::io::{BufRead, Write};
 
+/// Upper bound on node ids (and declared node counts) accepted by
+/// [`read_edge_list`]. Parsed graphs use dense id-indexed storage, so a
+/// single typo'd id like `4000000000` would otherwise trigger a multi-GB
+/// allocation; beyond this cap parsing fails with a structured
+/// [`GraphError::Parse`] instead. 50 M nodes is ~500× the 2025 AS-level
+/// Internet.
+pub const MAX_NODES: usize = 50_000_000;
+
 /// Writes `g` as a weighted edge list (one `u v w` line per distinct edge).
 pub fn write_edge_list<W: Write>(g: &MultiGraph, mut out: W) -> Result<()> {
     writeln!(
@@ -52,7 +60,18 @@ pub fn read_edge_list<R: BufRead>(input: R) -> Result<MultiGraph> {
             if declared_nodes.is_none() {
                 let mut parts = trimmed.trim_start_matches('#').split_whitespace();
                 if parts.next() == Some("nodes") {
-                    declared_nodes = parts.next().and_then(|tok| tok.parse::<usize>().ok());
+                    if let Some(count) = parts.next().and_then(|tok| tok.parse::<u64>().ok()) {
+                        if count > MAX_NODES as u64 {
+                            return Err(GraphError::Parse {
+                                line: line_no,
+                                message: format!(
+                                    "declared node count {count} exceeds the supported \
+                                     maximum {MAX_NODES}"
+                                ),
+                            });
+                        }
+                        declared_nodes = Some(count as usize);
+                    }
                 }
             }
             continue;
@@ -68,8 +87,28 @@ pub fn read_edge_list<R: BufRead>(input: R) -> Result<MultiGraph> {
                 message: format!("invalid {what} '{tok}'"),
             })
         };
-        let u = parse_field(parts.next(), "source", line_no)? as usize;
-        let v = parse_field(parts.next(), "target", line_no)? as usize;
+        let check_id = |id: u64, what: &str, line_no: usize| -> Result<usize> {
+            if id >= MAX_NODES as u64 {
+                return Err(GraphError::Parse {
+                    line: line_no,
+                    message: format!(
+                        "{what} id {id} exceeds the supported maximum {}",
+                        MAX_NODES - 1
+                    ),
+                });
+            }
+            Ok(id as usize)
+        };
+        let u = check_id(
+            parse_field(parts.next(), "source", line_no)?,
+            "source",
+            line_no,
+        )?;
+        let v = check_id(
+            parse_field(parts.next(), "target", line_no)?,
+            "target",
+            line_no,
+        )?;
         let w = match parts.next() {
             Some(tok) => tok.parse::<u64>().map_err(|_| GraphError::Parse {
                 line: line_no,
@@ -165,6 +204,27 @@ mod tests {
                 "input {input:?}: expected {needle:?} in {err}"
             );
         }
+    }
+
+    #[test]
+    fn huge_node_ids_are_rejected_without_allocating() {
+        // The motivating case: a typo'd id must be a one-line parse error,
+        // not an attempted 4-billion-node allocation.
+        let err = read_edge_list("0 4000000000\n".as_bytes()).unwrap_err();
+        assert!(
+            err.to_string().contains("exceeds the supported maximum"),
+            "{err}"
+        );
+        let err = read_edge_list("18446744073709551615 1\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "{err}");
+        // The boundary itself: MAX_NODES - 1 is the largest legal id.
+        assert!(read_edge_list(format!("0 {}\n", MAX_NODES).as_bytes()).is_err());
+    }
+
+    #[test]
+    fn huge_declared_node_count_is_rejected() {
+        let err = read_edge_list("# nodes 4000000000\n0 1\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("declared node count"), "{err}");
     }
 
     #[test]

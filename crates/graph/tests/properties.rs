@@ -115,6 +115,51 @@ proptest! {
         }
     }
 
+    /// The edge-list reader is total over arbitrary (including malformed
+    /// and adversarial) input lines: every line shape either parses or
+    /// returns a structured error — never a panic, and never an attempted
+    /// giant allocation from an oversized id.
+    #[test]
+    fn reader_is_total_on_arbitrary_lines(
+        lines in collection::vec((0u64..u64::MAX, 0u64..u64::MAX, 0u8..8), 0..24)
+    ) {
+        let text = lines
+            .iter()
+            .map(|&(u, v, shape)| match shape {
+                0 => format!("{u} {v}"),
+                1 => format!("{u} {v} {}", v.wrapping_add(1)),
+                2 => format!("{u}"),
+                3 => format!("x{u} {v}"),
+                4 => format!("# nodes {u}"),
+                5 => format!("{u} {v} 0"),
+                6 => format!("{u} {v} {v} {u}"),
+                _ => format!("   # junk {u}"),
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        // Must return (Ok or Err) promptly; a parsed graph respects the cap.
+        if let Ok(g) = inet_graph::io::read_edge_list(text.as_bytes()) {
+            prop_assert!(g.node_count() <= inet_graph::io::MAX_NODES);
+        }
+    }
+
+    /// Any node id at or above the cap is rejected with a parse error that
+    /// names the offending line.
+    #[test]
+    fn oversized_ids_always_error(
+        small in 0u64..1000,
+        huge in (inet_graph::io::MAX_NODES as u64)..u64::MAX,
+        flip in 0u8..2,
+    ) {
+        let line = if flip == 0 {
+            format!("{small} {huge}")
+        } else {
+            format!("{huge} {small}")
+        };
+        let err = inet_graph::io::read_edge_list(line.as_bytes()).unwrap_err();
+        prop_assert!(err.to_string().contains("exceeds"), "{}", err);
+    }
+
     /// Removing an edge then re-adding it with the same weight restores the
     /// exact graph.
     #[test]

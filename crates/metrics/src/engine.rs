@@ -692,6 +692,50 @@ mod tests {
     }
 
     #[test]
+    fn fused_engine_on_disconnected_multi_component_graphs() {
+        // The percolation engine feeds the metrics exactly these: damaged
+        // graphs with several components and isolated nodes. The fused
+        // sweep must stay finite, count unreachable pairs instead of
+        // poisoning the means, match the unfused two-pass on every
+        // component, and stay bit-identical across thread counts.
+        let mut edges = vec![(0, 1), (1, 2), (2, 0)]; // triangle
+        edges.extend((4..9).map(|i| (i, i + 1))); // path 4..=9
+        edges.extend([(11, 12), (12, 13), (11, 13), (11, 14)]); // tailed triangle
+        let g = Csr::from_edges(16, &edges); // 3, 10, 15 isolated
+        for (kp, kb) in [(usize::MAX, usize::MAX), (7, 3)] {
+            let fused = paths_and_betweenness(&g, kp, kb, 1);
+            let paths = crate::paths::PathStats::measure_sampled_unfused(&g, kp);
+            let bc = crate::betweenness::betweenness_sampled_unfused(&g, kb);
+            assert_eq!(fused.paths.counts, paths.counts, "kp {kp}");
+            assert_eq!(fused.paths.diameter, paths.diameter);
+            assert!(fused.paths.mean.is_finite());
+            assert!(fused.paths.efficiency.is_finite());
+            for (v, (a, b)) in fused.betweenness.iter().zip(&bc).enumerate() {
+                assert!(a.is_finite(), "node {v}");
+                assert!((a - b).abs() < 1e-9, "node {v}: fused {a}, unfused {b}");
+            }
+            for threads in [2, 7] {
+                let other = paths_and_betweenness(&g, kp, kb, threads);
+                assert_eq!(other.paths, fused.paths, "threads {threads}");
+                assert_eq!(other.betweenness, fused.betweenness, "threads {threads}");
+            }
+        }
+        // Exact run: the longest path lives in the 4..=9 chain (length 5),
+        // and cross-component pairs count as unreachable, not distance 0.
+        let exact = paths_and_betweenness(&g, usize::MAX, usize::MAX, 1);
+        assert_eq!(exact.paths.diameter, 5);
+        let reachable: u64 = exact.paths.counts.iter().sum();
+        assert!(
+            reachable < 16 * 15,
+            "cross-component pairs must be unreachable, not distance 0"
+        );
+        // Isolated nodes carry zero betweenness.
+        for v in [3usize, 10, 15] {
+            assert_eq!(exact.betweenness[v], 0.0, "isolated node {v}");
+        }
+    }
+
+    #[test]
     fn union_source_sets_share_traversals() {
         // kb strides are a subset of kp strides when kp is a multiple of kb,
         // so the union must be exactly the path set.

@@ -171,6 +171,64 @@ mod tests {
     }
 
     #[test]
+    fn disconnected_components_decompose_independently() {
+        // K4 (core 3) + triangle (core 2) + path (core 1) + 2 isolated
+        // nodes, all in one disconnected graph: the decomposition of each
+        // component must be unaffected by the others.
+        let mut edges = Vec::new();
+        for i in 0..4usize {
+            for j in (i + 1)..4 {
+                edges.push((i, j));
+            }
+        }
+        edges.extend([(4, 5), (5, 6), (4, 6)]); // triangle
+        edges.extend([(7, 8), (8, 9)]); // path
+        let g = Csr::from_edges(12, &edges); // 10, 11 isolated
+        let d = KCoreDecomposition::measure(&g);
+        assert_eq!(&d.core[0..4], &[3, 3, 3, 3]);
+        assert_eq!(&d.core[4..7], &[2, 2, 2]);
+        assert_eq!(&d.core[7..10], &[1, 1, 1]);
+        assert_eq!(&d.core[10..12], &[0, 0]);
+        assert_eq!(d.coreness(), 3);
+        assert_eq!(d.shell_sizes, vec![2, 3, 3, 4]);
+    }
+
+    #[test]
+    fn core_subgraph_spans_multiple_components() {
+        // Two disjoint triangles + a bridgeless path: the 2-core subgraph
+        // is itself disconnected and must keep BOTH triangles.
+        let edges = [
+            (0, 1),
+            (1, 2),
+            (0, 2),
+            (3, 4),
+            (4, 5),
+            (3, 5),
+            (6, 7),
+            (7, 8),
+        ];
+        let g = Csr::from_edges(9, &edges);
+        let d = KCoreDecomposition::measure(&g);
+        let (core2, map) = d.core_subgraph(&g, 2);
+        assert_eq!(core2.node_count(), 6);
+        assert_eq!(core2.edge_count(), 6);
+        assert!(core2.validate());
+        let mapped: Vec<usize> = map.clone();
+        assert_eq!(mapped, vec![0, 1, 2, 3, 4, 5]);
+        // Each extracted node keeps exactly its in-core neighbors.
+        for v in 0..core2.node_count() {
+            assert_eq!(core2.degree(v), 2, "triangle node {v}");
+        }
+        // k above the coreness: empty subgraph, not a panic.
+        let (core9, map9) = d.core_subgraph(&g, 9);
+        assert_eq!(core9.node_count(), 0);
+        assert!(map9.is_empty());
+        // k = 0 keeps everything.
+        let (core0, _) = d.core_subgraph(&g, 0);
+        assert_eq!(core0.node_count(), 9);
+    }
+
+    #[test]
     fn core_subgraph_extraction() {
         let mut edges = vec![(3, 4), (4, 5)];
         for i in 0..4 {

@@ -284,4 +284,76 @@ mod tests {
         assert_eq!(r.gamma, None);
         assert!(r.render().contains("n/a"));
     }
+
+    /// Every float field of a report — all measures have divide-by-count
+    /// denominators somewhere.
+    fn float_fields(r: &TopologyReport) -> [(&'static str, f64); 7] {
+        [
+            ("mean_degree", r.mean_degree),
+            ("mean_clustering", r.mean_clustering),
+            ("transitivity", r.transitivity),
+            ("assortativity", r.assortativity),
+            ("mean_path_length", r.mean_path_length),
+            ("giant_fraction", r.giant_fraction),
+            ("max_betweenness", r.max_betweenness),
+        ]
+    }
+
+    #[test]
+    fn empty_graph_report_is_zero_not_nan() {
+        // Regression: the percolation engine hands `measure` exactly these
+        // degenerate graphs. Every float must be finite (no 0/0), and the
+        // natural zeros must actually be zero.
+        let r = TopologyReport::measure(&Csr::from_edges(0, &[]));
+        for (name, v) in float_fields(&r) {
+            assert!(v.is_finite(), "{name} = {v} on the empty graph");
+        }
+        assert_eq!(r.mean_degree, 0.0);
+        assert_eq!(r.mean_path_length, 0.0);
+        assert_eq!(r.max_betweenness, 0.0);
+        assert_eq!(r.diameter, 0);
+        assert_eq!(r.coreness, 0);
+        assert!(!r.render().contains("NaN"));
+    }
+
+    #[test]
+    fn fully_disconnected_graph_report_is_zero_not_nan() {
+        // 40 isolated nodes: no edges, no paths, no triangles, no core.
+        let r = TopologyReport::measure(&Csr::from_edges(40, &[]));
+        assert_eq!(r.nodes, 40);
+        assert_eq!(r.edges, 0);
+        for (name, v) in float_fields(&r) {
+            assert!(v.is_finite(), "{name} = {v} on the edgeless graph");
+        }
+        assert_eq!(r.mean_degree, 0.0);
+        assert_eq!(r.mean_clustering, 0.0);
+        assert_eq!(r.transitivity, 0.0);
+        assert_eq!(r.mean_path_length, 0.0);
+        assert_eq!(r.triangles, 0);
+        assert_eq!(r.gamma, None);
+        assert!(!r.render().contains("NaN"));
+    }
+
+    #[test]
+    fn disconnected_components_report_stays_finite() {
+        // Two components + isolated nodes, measured WITHOUT extracting the
+        // giant first — unreachable BFS targets must not poison the means.
+        let g = Csr::from_edges(12, &[(0, 1), (1, 2), (2, 0), (4, 5), (5, 6), (6, 7)]);
+        for threads in [1, 3] {
+            let r = TopologyReport::measure_with(
+                &g,
+                ReportOptions {
+                    path_sources: 100,
+                    betweenness_sources: 100,
+                    threads,
+                },
+            );
+            for (name, v) in float_fields(&r) {
+                assert!(v.is_finite(), "{name} = {v} on the disconnected graph");
+            }
+            assert!(r.mean_path_length >= 1.0, "paths exist within components");
+            assert!((r.giant_fraction - 4.0 / 12.0).abs() < 1e-12);
+            assert!(!r.render().contains("NaN"));
+        }
+    }
 }

@@ -1,0 +1,591 @@
+//! Sweep checkpoints: crash-safe progress files for long attack sweeps.
+//!
+//! A sweep over `strategies × replicas` cells writes one JSON state file,
+//! atomically (write to `<path>.tmp`, then rename), after every completed
+//! cell. Re-running with `--resume <path>` loads the file, verifies that it
+//! belongs to the same `(graph, configuration)` via a fingerprint, and
+//! skips every cell already present — an interrupted run finishes instead
+//! of restarting.
+//!
+//! The file format is a small, versioned JSON document:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "fingerprint": "9a3c…",          // FNV-1a 64 over graph + config, hex
+//!   "cells": [
+//!     {"strategy": "degree", "replica": 0, "resampled": false,
+//!      "nodes": 500, "edges": 1234, "critical_fraction": 0.062,
+//!      "points": [[0, 500, 1234, 0.0], …]}   // [removed, giant, edges, ⟨s⟩]
+//!   ],
+//!   "failures": [
+//!     {"strategy": "random", "replica": 3, "attempt": 0, "message": "…"}
+//!   ]
+//! }
+//! ```
+//!
+//! Serialization is hand-rolled (the workspace is offline; no JSON
+//! dependency exists) and uses `{:?}` float formatting, which is Rust's
+//! shortest round-trip form, so a load-save cycle is lossless.
+
+use crate::percolation::{AttackCurve, CurvePoint};
+use inet_graph::Csr;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Format version written by this build; loads of other versions fail.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// One finished `(strategy, replica)` cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRecord {
+    /// Canonical strategy name (see [`crate::strategy::Strategy::name`]).
+    pub strategy: String,
+    /// Replica index within the strategy.
+    pub replica: usize,
+    /// `true` when the first attempt panicked and this curve comes from the
+    /// resample pass.
+    pub resampled: bool,
+    /// The completed attack curve.
+    pub curve: AttackCurve,
+}
+
+/// One worker failure (a caught panic), kept for the run report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureRecord {
+    /// Canonical strategy name of the failing cell.
+    pub strategy: String,
+    /// Replica index of the failing cell.
+    pub replica: usize,
+    /// 0 for the first attempt, 1 for the resample.
+    pub attempt: usize,
+    /// The panic message.
+    pub message: String,
+}
+
+/// The persisted state of a sweep.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Checkpoint {
+    /// Graph+config fingerprint the cells belong to.
+    pub fingerprint: u64,
+    /// Completed cells, in completion order.
+    pub cells: Vec<CellRecord>,
+    /// Caught worker panics, in occurrence order.
+    pub failures: Vec<FailureRecord>,
+}
+
+/// FNV-1a 64 fingerprint binding a checkpoint to one `(graph, config)`
+/// pair: node count, edge count, every edge, and the config description
+/// all feed the hash, so resuming against a different graph or sweep shape
+/// is rejected instead of silently mixing results.
+pub fn fingerprint(g: &Csr, config: &str) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |word: u64| {
+        for byte in word.to_le_bytes() {
+            h = (h ^ byte as u64).wrapping_mul(PRIME);
+        }
+    };
+    eat(g.node_count() as u64);
+    eat(g.edge_count() as u64);
+    for (u, v, w) in g.edges() {
+        eat(u as u64);
+        eat(v as u64);
+        eat(w);
+    }
+    for byte in config.as_bytes() {
+        h = (h ^ *byte as u64).wrapping_mul(PRIME);
+    }
+    h
+}
+
+impl Checkpoint {
+    /// A fresh, empty checkpoint for `fingerprint`.
+    pub fn new(fingerprint: u64) -> Self {
+        Checkpoint {
+            fingerprint,
+            cells: Vec::new(),
+            failures: Vec::new(),
+        }
+    }
+
+    /// `true` if a cell for `(strategy, replica)` is already recorded.
+    pub fn has_cell(&self, strategy: &str, replica: usize) -> bool {
+        self.cells
+            .iter()
+            .any(|c| c.strategy == strategy && c.replica == replica)
+    }
+
+    /// Serializes to the versioned JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"version\": {CHECKPOINT_VERSION},");
+        let _ = writeln!(out, "  \"fingerprint\": \"{:016x}\",", self.fingerprint);
+        out.push_str("  \"cells\": [");
+        for (i, cell) in self.cells.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                out,
+                "    {{\"strategy\": {}, \"replica\": {}, \"resampled\": {}, \
+                 \"nodes\": {}, \"edges\": {}, \"critical_fraction\": {:?}, \"points\": [",
+                json_string(&cell.strategy),
+                cell.replica,
+                cell.resampled,
+                cell.curve.nodes,
+                cell.curve.edges,
+                cell.curve.critical_fraction,
+            );
+            for (j, p) in cell.curve.points.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(
+                    out,
+                    "[{}, {}, {}, {:?}]",
+                    p.removed, p.giant, p.edges, p.mean_component
+                );
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  ],\n  \"failures\": [");
+        for (i, f) in self.failures.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                out,
+                "    {{\"strategy\": {}, \"replica\": {}, \"attempt\": {}, \"message\": {}}}",
+                json_string(&f.strategy),
+                f.replica,
+                f.attempt,
+                json_string(&f.message),
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Parses a document produced by [`Checkpoint::to_json`]. Rejects other
+    /// versions and malformed input with a one-line error.
+    pub fn parse(text: &str) -> Result<Checkpoint, String> {
+        let root = JsonValue::parse(text)?;
+        let version = root.field("version")?.as_u64()?;
+        if version != CHECKPOINT_VERSION {
+            return Err(format!(
+                "checkpoint version {version} not supported (expected {CHECKPOINT_VERSION})"
+            ));
+        }
+        let fingerprint = u64::from_str_radix(root.field("fingerprint")?.as_str()?, 16)
+            .map_err(|e| format!("bad checkpoint fingerprint: {e}"))?;
+        let mut cells = Vec::new();
+        for cell in root.field("cells")?.as_array()? {
+            let points = cell
+                .field("points")?
+                .as_array()?
+                .iter()
+                .map(|p| {
+                    let q = p.as_array()?;
+                    if q.len() != 4 {
+                        return Err("curve point must have 4 entries".to_string());
+                    }
+                    Ok(CurvePoint {
+                        removed: q[0].as_u64()? as usize,
+                        giant: q[1].as_u64()? as usize,
+                        edges: q[2].as_u64()? as usize,
+                        mean_component: q[3].as_f64()?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            cells.push(CellRecord {
+                strategy: cell.field("strategy")?.as_str()?.to_string(),
+                replica: cell.field("replica")?.as_u64()? as usize,
+                resampled: cell.field("resampled")?.as_bool()?,
+                curve: AttackCurve {
+                    nodes: cell.field("nodes")?.as_u64()? as usize,
+                    edges: cell.field("edges")?.as_u64()? as usize,
+                    points,
+                    critical_fraction: cell.field("critical_fraction")?.as_f64()?,
+                },
+            });
+        }
+        let mut failures = Vec::new();
+        for f in root.field("failures")?.as_array()? {
+            failures.push(FailureRecord {
+                strategy: f.field("strategy")?.as_str()?.to_string(),
+                replica: f.field("replica")?.as_u64()? as usize,
+                attempt: f.field("attempt")?.as_u64()? as usize,
+                message: f.field("message")?.as_str()?.to_string(),
+            });
+        }
+        Ok(Checkpoint {
+            fingerprint,
+            cells,
+            failures,
+        })
+    }
+
+    /// Atomically writes the checkpoint to `path` (via `<path>.tmp` +
+    /// rename), so a crash mid-write never corrupts an existing file.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_json())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Loads a checkpoint from `path`. Returns `Ok(None)` when the file
+    /// does not exist (a fresh run), `Err` on unreadable or malformed
+    /// content.
+    pub fn load(path: &Path) -> Result<Option<Checkpoint>, String> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(format!("cannot read checkpoint {}: {e}", path.display())),
+        };
+        Checkpoint::parse(&text)
+            .map(Some)
+            .map_err(|e| format!("cannot parse checkpoint {}: {e}", path.display()))
+    }
+}
+
+/// Escapes `s` as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A minimal JSON value — just enough of the grammar for the checkpoint
+/// schema (and for rejecting malformed files with a useful message).
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<JsonValue>),
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    fn parse(text: &str) -> Result<JsonValue, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn field(&self, name: &str) -> Result<&JsonValue, String> {
+        match self {
+            JsonValue::Object(fields) => fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field '{name}'")),
+            _ => Err(format!("expected object while reading '{name}'")),
+        }
+    }
+
+    fn as_array(&self) -> Result<&[JsonValue], String> {
+        match self {
+            JsonValue::Array(items) => Ok(items),
+            _ => Err("expected array".to_string()),
+        }
+    }
+
+    fn as_str(&self) -> Result<&str, String> {
+        match self {
+            JsonValue::String(s) => Ok(s),
+            _ => Err("expected string".to_string()),
+        }
+    }
+
+    fn as_bool(&self) -> Result<bool, String> {
+        match self {
+            JsonValue::Bool(b) => Ok(*b),
+            _ => Err("expected boolean".to_string()),
+        }
+    }
+
+    fn as_f64(&self) -> Result<f64, String> {
+        match self {
+            JsonValue::Number(x) => Ok(*x),
+            _ => Err("expected number".to_string()),
+        }
+    }
+
+    fn as_u64(&self) -> Result<u64, String> {
+        let x = self.as_f64()?;
+        if x >= 0.0 && x.fract() == 0.0 && x <= u64::MAX as f64 {
+            Ok(x as u64)
+        } else {
+            Err(format!("expected non-negative integer, got {x}"))
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&byte) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {pos}", byte as char))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Object(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                expect(bytes, pos, b':')?;
+                fields.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Object(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Array(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(JsonValue::String(parse_string(bytes, pos)?)),
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(JsonValue::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(JsonValue::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(JsonValue::Null)
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = *pos;
+            *pos += 1;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+            {
+                *pos += 1;
+            }
+            std::str::from_utf8(&bytes[start..*pos])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .filter(|x| x.is_finite())
+                .map(JsonValue::Number)
+                .ok_or_else(|| format!("bad number at byte {start}"))
+        }
+        _ => Err(format!("unexpected content at byte {pos}")),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    let mut chars = std::str::from_utf8(&bytes[*pos..])
+        .map_err(|_| "checkpoint is not UTF-8".to_string())?
+        .char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => {
+                *pos += i + 1;
+                return Ok(out);
+            }
+            '\\' => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, '/')) => out.push('/'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'u')) => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let (_, h) = chars.next().ok_or("truncated \\u escape")?;
+                        code = code * 16 + h.to_digit(16).ok_or("bad \\u escape")?;
+                    }
+                    out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                }
+                other => return Err(format!("bad escape {other:?}")),
+            },
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_checkpoint() -> Checkpoint {
+        let mut ck = Checkpoint::new(0xdead_beef_0bad_f00d);
+        ck.cells.push(CellRecord {
+            strategy: "degree".to_string(),
+            replica: 0,
+            resampled: false,
+            curve: AttackCurve {
+                nodes: 5,
+                edges: 4,
+                points: vec![
+                    CurvePoint {
+                        removed: 0,
+                        giant: 5,
+                        edges: 4,
+                        mean_component: 0.0,
+                    },
+                    CurvePoint {
+                        removed: 5,
+                        giant: 0,
+                        edges: 0,
+                        mean_component: 1.0 / 3.0,
+                    },
+                ],
+                critical_fraction: 0.4,
+            },
+        });
+        ck.cells.push(CellRecord {
+            strategy: "random".to_string(),
+            replica: 2,
+            resampled: true,
+            curve: AttackCurve {
+                nodes: 5,
+                edges: 4,
+                points: vec![],
+                critical_fraction: 0.0,
+            },
+        });
+        ck.failures.push(FailureRecord {
+            strategy: "random".to_string(),
+            replica: 2,
+            attempt: 0,
+            message: "injected \"panic\"\nwith newline \\ and slash".to_string(),
+        });
+        ck
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let ck = sample_checkpoint();
+        let parsed = Checkpoint::parse(&ck.to_json()).unwrap();
+        assert_eq!(parsed, ck);
+        // Idempotent: a second cycle produces identical text.
+        assert_eq!(parsed.to_json(), ck.to_json());
+    }
+
+    #[test]
+    fn empty_checkpoint_round_trips() {
+        let ck = Checkpoint::new(7);
+        assert_eq!(Checkpoint::parse(&ck.to_json()).unwrap(), ck);
+    }
+
+    #[test]
+    fn rejects_wrong_version_and_garbage() {
+        let wrong = sample_checkpoint().to_json().replace(
+            &format!("\"version\": {CHECKPOINT_VERSION}"),
+            "\"version\": 99",
+        );
+        assert!(Checkpoint::parse(&wrong).unwrap_err().contains("version"));
+        assert!(Checkpoint::parse("").is_err());
+        assert!(Checkpoint::parse("{\"version\": 1").is_err());
+        assert!(Checkpoint::parse("not json at all").is_err());
+        assert!(Checkpoint::parse("{} trailing").is_err());
+    }
+
+    #[test]
+    fn has_cell_matches_strategy_and_replica() {
+        let ck = sample_checkpoint();
+        assert!(ck.has_cell("degree", 0));
+        assert!(ck.has_cell("random", 2));
+        assert!(!ck.has_cell("degree", 1));
+        assert!(!ck.has_cell("kcore", 0));
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let dir = std::env::temp_dir().join("inet-resilience-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.json");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(Checkpoint::load(&path).unwrap(), None);
+        let ck = sample_checkpoint();
+        ck.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), Some(ck));
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "tmp file must be renamed away"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fingerprint_separates_graphs_and_configs() {
+        let a = Csr::from_edges(3, &[(0, 1), (1, 2)]);
+        let b = Csr::from_edges(3, &[(0, 1), (0, 2)]);
+        assert_ne!(fingerprint(&a, "cfg"), fingerprint(&b, "cfg"));
+        assert_ne!(fingerprint(&a, "cfg"), fingerprint(&a, "cfg2"));
+        assert_eq!(fingerprint(&a, "cfg"), fingerprint(&a, "cfg"));
+    }
+}

@@ -1,0 +1,341 @@
+//! Percolation curves by reverse-incremental union-find.
+//!
+//! Removing nodes one by one and recomputing components after every step is
+//! `O(N·E)`. Running the film backwards is almost free: start from the empty
+//! graph, *add* the nodes in reverse removal order, and merge components
+//! with a union-find as each node's edges to already-present neighbors
+//! activate. One full attack curve — giant component size, mean finite
+//! component size, and remaining edge count after every removal — costs
+//! `O(E·α(N))` total.
+//!
+//! Everything here is integer arithmetic plus one division per recorded
+//! point, so a curve is a pure function of `(graph, order)`: bit-identical
+//! on every run and for any thread count of the surrounding sweep.
+
+use inet_graph::Csr;
+
+/// State of the damaged network after `removed` nodes are gone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CurvePoint {
+    /// Number of nodes removed so far.
+    pub removed: usize,
+    /// Size of the largest surviving connected component.
+    pub giant: usize,
+    /// Number of surviving edges (both endpoints alive).
+    pub edges: usize,
+    /// Mean size `⟨s⟩ = Σ's²/Σ's` of the *finite* components (the giant is
+    /// excluded, as in percolation theory); 0 when none survive.
+    pub mean_component: f64,
+}
+
+/// A full percolation/attack response curve for one removal order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackCurve {
+    /// Nodes in the intact graph.
+    pub nodes: usize,
+    /// Edges in the intact graph.
+    pub edges: usize,
+    /// Recorded states, ascending in `removed`; always includes the intact
+    /// graph (`removed = 0`) and the empty graph (`removed = nodes`).
+    pub points: Vec<CurvePoint>,
+    /// Critical removal fraction `f_c`: the smallest `removed/nodes` at
+    /// which the giant component drops below `⌈√N⌉` (the standard
+    /// finite-size proxy for the percolation transition). 0 for graphs that
+    /// start below the threshold.
+    pub critical_fraction: f64,
+}
+
+impl AttackCurve {
+    /// Giant-component fraction `S(f)` at removal fraction `f`, read from
+    /// the recorded point with the largest `removed ≤ f·N`.
+    pub fn giant_fraction_at(&self, f: f64) -> f64 {
+        if self.nodes == 0 {
+            return 0.0;
+        }
+        let target = (f.clamp(0.0, 1.0) * self.nodes as f64).floor() as usize;
+        let mut best = &self.points[0];
+        for p in &self.points {
+            if p.removed <= target {
+                best = p;
+            } else {
+                break;
+            }
+        }
+        best.giant as f64 / self.nodes as f64
+    }
+}
+
+/// Union-find with union by size and path halving.
+struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, mut v: u32) -> u32 {
+        while self.parent[v as usize] != v {
+            let grand = self.parent[self.parent[v as usize] as usize];
+            self.parent[v as usize] = grand;
+            v = grand;
+        }
+        v
+    }
+
+    /// Merges the components of `a` and `b`; returns the new root's size, or
+    /// `None` if they were already connected.
+    fn union(&mut self, a: u32, b: u32) -> Option<(u32, u32, u32)> {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return None;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        let (sb, ss) = (self.size[big as usize], self.size[small as usize]);
+        self.parent[small as usize] = big;
+        self.size[big as usize] = sb + ss;
+        Some((sb, ss, sb + ss))
+    }
+}
+
+/// Computes the attack curve for removing the nodes of `g` in `order`
+/// (a permutation of `0..N`). States are recorded every `record_every`
+/// removals (`0` and `1` both mean every step); `removed = 0` and
+/// `removed = N` are always recorded.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of `0..g.node_count()` — the
+/// removal strategies in [`crate::strategy`] always produce one.
+pub fn percolation_curve(g: &Csr, order: &[u32], record_every: usize) -> AttackCurve {
+    let n = g.node_count();
+    assert_eq!(order.len(), n, "removal order must cover every node");
+    if n == 0 {
+        return AttackCurve {
+            nodes: 0,
+            edges: 0,
+            points: vec![CurvePoint {
+                removed: 0,
+                giant: 0,
+                edges: 0,
+                mean_component: 0.0,
+            }],
+            critical_fraction: 0.0,
+        };
+    }
+    let mut seen = vec![false; n];
+    for &v in order {
+        assert!(
+            (v as usize) < n && !std::mem::replace(&mut seen[v as usize], true),
+            "removal order must be a permutation of node ids"
+        );
+    }
+
+    let stride = record_every.max(1);
+    let threshold = (n as f64).sqrt().ceil() as usize;
+    let mut uf = UnionFind::new(n);
+    let mut alive = vec![false; n];
+    // Running aggregates over the active (re-added) nodes.
+    let mut active_nodes = 0usize;
+    let mut active_edges = 0usize;
+    let mut giant = 0usize;
+    let mut sum_sq: u64 = 0; // Σ s² over active components
+    let mut critical_removed = n; // min removed with giant < threshold
+    let mut points: Vec<CurvePoint> = Vec::with_capacity(n / stride + 2);
+
+    let mut record =
+        |removed: usize, giant: usize, active_nodes: usize, active_edges: usize, sum_sq: u64| {
+            let finite_nodes = active_nodes - giant;
+            let finite_sq = sum_sq - (giant * giant) as u64;
+            let mean_component = if finite_nodes > 0 {
+                finite_sq as f64 / finite_nodes as f64
+            } else {
+                0.0
+            };
+            points.push(CurvePoint {
+                removed,
+                giant,
+                edges: active_edges,
+                mean_component,
+            });
+        };
+
+    // The empty graph: everything removed.
+    record(n, giant, active_nodes, active_edges, sum_sq);
+    for i in (0..n).rev() {
+        let v = order[i];
+        alive[v as usize] = true;
+        active_nodes += 1;
+        sum_sq += 1;
+        giant = giant.max(1);
+        for &u in g.neighbors(v as usize) {
+            if alive[u as usize] {
+                active_edges += 1;
+                if let Some((sa, sb, merged)) = uf.union(v, u) {
+                    sum_sq += (merged * merged) as u64;
+                    sum_sq -= (sa * sa) as u64 + (sb * sb) as u64;
+                    giant = giant.max(merged as usize);
+                }
+            }
+        }
+        // This state corresponds to `removed = i`.
+        if giant < threshold {
+            critical_removed = i;
+        }
+        if i % stride == 0 {
+            record(i, giant, active_nodes, active_edges, sum_sq);
+        }
+    }
+    points.reverse();
+
+    let critical_fraction = if giant < threshold {
+        // Even the intact graph is below threshold: fragmented from the start.
+        0.0
+    } else {
+        critical_removed as f64 / n as f64
+    };
+    AttackCurve {
+        nodes: n,
+        edges: g.edge_count(),
+        points,
+        critical_fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Csr {
+        Csr::from_edges(n, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn intact_and_empty_endpoints() {
+        let g = path(10);
+        let order: Vec<u32> = (0..10).collect();
+        let c = percolation_curve(&g, &order, 1);
+        assert_eq!(c.points.first().unwrap().removed, 0);
+        assert_eq!(c.points.first().unwrap().giant, 10);
+        assert_eq!(c.points.first().unwrap().edges, 9);
+        assert_eq!(c.points.last().unwrap().removed, 10);
+        assert_eq!(c.points.last().unwrap().giant, 0);
+        assert_eq!(c.points.last().unwrap().edges, 0);
+    }
+
+    #[test]
+    fn removing_path_head_shrinks_giant_by_one() {
+        let g = path(6);
+        let order: Vec<u32> = (0..6).collect();
+        let c = percolation_curve(&g, &order, 1);
+        for p in &c.points {
+            assert_eq!(p.giant, 6 - p.removed, "removed {}", p.removed);
+        }
+    }
+
+    #[test]
+    fn removing_star_center_first_shatters() {
+        let edges: Vec<(usize, usize)> = (1..8).map(|i| (0, i)).collect();
+        let g = Csr::from_edges(8, &edges);
+        let mut order: Vec<u32> = (0..8).collect();
+        let c = percolation_curve(&g, &order, 1);
+        // After removing the hub: 7 isolated leaves.
+        assert_eq!(c.points[1].giant, 1);
+        assert_eq!(c.points[1].edges, 0);
+        assert_eq!(c.points[1].mean_component, 1.0);
+        // Threshold ⌈√8⌉ = 3: giant falls below it at the first removal.
+        assert!((c.critical_fraction - 1.0 / 8.0).abs() < 1e-12);
+        // Leaf-first order keeps the hub connected much longer.
+        order.rotate_left(1); // 1,2,...,7,0
+        let leaf_first = percolation_curve(&g, &order, 1);
+        assert!(leaf_first.critical_fraction > c.critical_fraction);
+    }
+
+    #[test]
+    fn mean_component_excludes_the_giant() {
+        // Components of sizes 4 (giant), 2, 1 after zero removals.
+        let g = Csr::from_edges(7, &[(0, 1), (1, 2), (2, 3), (4, 5)]);
+        let order: Vec<u32> = (0..7).collect();
+        let c = percolation_curve(&g, &order, 1);
+        let p0 = &c.points[0];
+        assert_eq!(p0.giant, 4);
+        assert_eq!(p0.edges, 4);
+        // ⟨s⟩ over finite components: (2² + 1²) / (2 + 1) = 5/3.
+        assert!((p0.mean_component - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn giant_and_edges_are_monotone() {
+        use rand::Rng;
+        let mut rng = inet_stats::rng::seeded_rng(5);
+        let n = 60;
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.gen_range(0.0..1.0) < 0.06 {
+                    edges.push((i, j));
+                }
+            }
+        }
+        let g = Csr::from_edges(n, &edges);
+        let order: Vec<u32> = (0..n as u32).collect();
+        let c = percolation_curve(&g, &order, 1);
+        for w in c.points.windows(2) {
+            assert!(w[0].giant >= w[1].giant);
+            assert!(w[0].edges >= w[1].edges);
+            assert_eq!(w[0].removed + 1, w[1].removed);
+        }
+    }
+
+    #[test]
+    fn record_stride_keeps_endpoints() {
+        let g = path(100);
+        let order: Vec<u32> = (0..100).collect();
+        let c = percolation_curve(&g, &order, 7);
+        assert_eq!(c.points.first().unwrap().removed, 0);
+        assert_eq!(c.points.last().unwrap().removed, 100);
+        for p in &c.points {
+            assert!(p.removed == 100 || p.removed % 7 == 0);
+        }
+        // Strided and full curves agree wherever both record.
+        let full = percolation_curve(&g, &order, 1);
+        for p in &c.points {
+            assert!(full.points.contains(p));
+        }
+        assert_eq!(c.critical_fraction, full.critical_fraction);
+    }
+
+    #[test]
+    fn giant_fraction_lookup() {
+        let g = path(10);
+        let order: Vec<u32> = (0..10).collect();
+        let c = percolation_curve(&g, &order, 1);
+        assert!((c.giant_fraction_at(0.0) - 1.0).abs() < 1e-12);
+        assert!((c.giant_fraction_at(0.5) - 0.5).abs() < 1e-12);
+        assert_eq!(c.giant_fraction_at(1.0), 0.0);
+    }
+
+    #[test]
+    fn empty_graph_curve() {
+        let c = percolation_curve(&Csr::from_edges(0, &[]), &[], 1);
+        assert_eq!(c.nodes, 0);
+        assert_eq!(c.points.len(), 1);
+        assert_eq!(c.critical_fraction, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn rejects_non_permutation() {
+        let g = path(3);
+        percolation_curve(&g, &[0, 0, 2], 1);
+    }
+}

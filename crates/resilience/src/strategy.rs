@@ -1,0 +1,371 @@
+//! Node-removal strategies: who dies first?
+//!
+//! Each strategy turns a graph into a deterministic removal order (a
+//! permutation of node ids). Two families:
+//!
+//! * **Static ranking** — score every node once on the intact graph and
+//!   remove in descending score order. Cheap, and the classic protocol of
+//!   Albert–Jeong–Barabási attack studies.
+//! * **Recalculated** — re-score the *damaged* graph as the attack
+//!   proceeds. Degree recalculation is exact per removal (a lazy max-heap);
+//!   k-core and betweenness recalculate in batches of `⌈N/64⌉` removals,
+//!   which captures the adaptive effect at a bounded `64×` recompute cost.
+//!
+//! Ties always break toward the smaller node id, and the only randomness
+//! (uniform failure) comes from an explicit seed, so every order is a pure
+//! function of `(graph, strategy, seed)`.
+
+use inet_graph::Csr;
+use inet_metrics::betweenness::betweenness_sampled;
+use inet_metrics::kcore::KCoreDecomposition;
+use rand::seq::SliceRandom;
+
+/// Batches between recalculations for the batched adaptive strategies.
+const RECALC_BATCHES: usize = 64;
+
+/// A node-removal strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Uniform random failure (the seeded replica axis of a sweep).
+    Random,
+    /// Remove highest-degree nodes first.
+    Degree {
+        /// Re-rank on the damaged graph (exact, per removal).
+        recalc: bool,
+    },
+    /// Remove highest-core-number nodes first (degree breaks score ties).
+    KCore {
+        /// Re-rank on the damaged graph (batched).
+        recalc: bool,
+    },
+    /// Remove highest-betweenness nodes first (sampled Brandes scores).
+    Betweenness {
+        /// Re-rank on the damaged graph (batched).
+        recalc: bool,
+    },
+}
+
+/// Every strategy name accepted by [`Strategy::parse`], in display order.
+pub const STRATEGY_NAMES: [&str; 7] = [
+    "random",
+    "degree",
+    "degree-recalc",
+    "kcore",
+    "kcore-recalc",
+    "betweenness",
+    "betweenness-recalc",
+];
+
+impl Strategy {
+    /// Parses a CLI strategy name.
+    pub fn parse(name: &str) -> Result<Strategy, String> {
+        Ok(match name {
+            "random" => Strategy::Random,
+            "degree" => Strategy::Degree { recalc: false },
+            "degree-recalc" => Strategy::Degree { recalc: true },
+            "kcore" => Strategy::KCore { recalc: false },
+            "kcore-recalc" => Strategy::KCore { recalc: true },
+            "betweenness" => Strategy::Betweenness { recalc: false },
+            "betweenness-recalc" => Strategy::Betweenness { recalc: true },
+            other => {
+                return Err(format!(
+                    "unknown strategy '{other}' (known: {})",
+                    STRATEGY_NAMES.join(" ")
+                ))
+            }
+        })
+    }
+
+    /// The canonical name, inverse of [`Strategy::parse`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Random => "random",
+            Strategy::Degree { recalc: false } => "degree",
+            Strategy::Degree { recalc: true } => "degree-recalc",
+            Strategy::KCore { recalc: false } => "kcore",
+            Strategy::KCore { recalc: true } => "kcore-recalc",
+            Strategy::Betweenness { recalc: false } => "betweenness",
+            Strategy::Betweenness { recalc: true } => "betweenness-recalc",
+        }
+    }
+
+    /// `true` when the order depends on the seed (replicas are meaningful).
+    pub fn stochastic(&self) -> bool {
+        matches!(self, Strategy::Random)
+    }
+
+    /// Computes the removal order for `g`. `seed` feeds only the stochastic
+    /// strategies; `bc_sources` bounds the Brandes source sample for the
+    /// betweenness rankings.
+    pub fn removal_order(&self, g: &Csr, seed: u64, bc_sources: usize) -> Vec<u32> {
+        match *self {
+            Strategy::Random => random_order(g, seed),
+            Strategy::Degree { recalc: false } => static_order(g, |g| {
+                (0..g.node_count()).map(|v| g.degree(v) as u64).collect()
+            }),
+            Strategy::Degree { recalc: true } => adaptive_degree_order(g),
+            Strategy::KCore { recalc } => {
+                let score = |g: &Csr| -> Vec<u64> {
+                    let cores = KCoreDecomposition::measure(g).core;
+                    // Core number dominates; degree breaks ties within a shell.
+                    (0..g.node_count())
+                        .map(|v| ((cores[v] as u64) << 32) | g.degree(v) as u64)
+                        .collect()
+                };
+                if recalc {
+                    batched_order(g, score)
+                } else {
+                    static_order(g, score)
+                }
+            }
+            Strategy::Betweenness { recalc } => {
+                let score = move |g: &Csr| -> Vec<u64> {
+                    // Monotone f64 → u64 key (scores are always ≥ 0).
+                    betweenness_sampled(g, bc_sources.max(1), 1)
+                        .into_iter()
+                        .map(|b| b.to_bits())
+                        .collect()
+                };
+                if recalc {
+                    batched_order(g, score)
+                } else {
+                    static_order(g, score)
+                }
+            }
+        }
+    }
+}
+
+/// Seeded uniform permutation.
+fn random_order(g: &Csr, seed: u64) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..g.node_count() as u32).collect();
+    order.shuffle(&mut inet_stats::rng::seeded_rng(seed));
+    order
+}
+
+/// Rank once on the intact graph: descending score, ascending id on ties.
+fn static_order(g: &Csr, score: impl Fn(&Csr) -> Vec<u64>) -> Vec<u32> {
+    let scores = score(g);
+    let mut order: Vec<u32> = (0..g.node_count() as u32).collect();
+    order.sort_by_key(|&v| (std::cmp::Reverse(scores[v as usize]), v));
+    order
+}
+
+/// Exact adaptive highest-degree-first order via a lazy max-heap: each
+/// degree decrement pushes a fresh `(degree, node)` entry, and stale entries
+/// are discarded on pop. `O(E log E)`.
+fn adaptive_degree_order(g: &Csr) -> Vec<u32> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let n = g.node_count();
+    let mut degree: Vec<u32> = (0..n).map(|v| g.degree(v) as u32).collect();
+    let mut removed = vec![false; n];
+    let mut heap: BinaryHeap<(u32, Reverse<u32>)> = (0..n as u32)
+        .map(|v| (degree[v as usize], Reverse(v)))
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some((d, Reverse(v))) = heap.pop() {
+        if removed[v as usize] || degree[v as usize] != d {
+            continue; // stale entry
+        }
+        removed[v as usize] = true;
+        order.push(v);
+        for &u in g.neighbors(v as usize) {
+            let ui = u as usize;
+            if !removed[ui] {
+                degree[ui] -= 1;
+                heap.push((degree[ui], Reverse(u)));
+            }
+        }
+    }
+    order
+}
+
+/// Batched adaptive order: re-score the surviving induced subgraph every
+/// `⌈N/RECALC_BATCHES⌉` removals and take the next batch from the fresh
+/// ranking (descending score, ascending original id on ties).
+fn batched_order(g: &Csr, score: impl Fn(&Csr) -> Vec<u64>) -> Vec<u32> {
+    let n = g.node_count();
+    let batch = n.div_ceil(RECALC_BATCHES).max(1);
+    let mut alive = vec![true; n];
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    while order.len() < n {
+        let (sub, map) = g.induced_subgraph(&alive);
+        let sub_scores = score(&sub);
+        let mut ranked: Vec<u32> = (0..sub.node_count() as u32).collect();
+        ranked.sort_by_key(|&v| (std::cmp::Reverse(sub_scores[v as usize]), map[v as usize]));
+        for &v in ranked.iter().take(batch.min(ranked.len())) {
+            let old = map[v as usize];
+            alive[old] = false;
+            order.push(old as u32);
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_permutation(order: &[u32], n: usize) -> bool {
+        let mut seen = vec![false; n];
+        order.len() == n
+            && order
+                .iter()
+                .all(|&v| (v as usize) < n && !std::mem::replace(&mut seen[v as usize], true))
+    }
+
+    fn sample_graph() -> Csr {
+        // Hub 0 (degree 5), a triangle 1-2-3, leaves.
+        Csr::from_edges(
+            8,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 4),
+                (0, 5),
+                (0, 6),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (6, 7),
+            ],
+        )
+    }
+
+    #[test]
+    fn parse_and_name_round_trip() {
+        for name in STRATEGY_NAMES {
+            assert_eq!(Strategy::parse(name).unwrap().name(), name);
+        }
+        assert!(Strategy::parse("voodoo").is_err());
+        assert!(Strategy::parse("voodoo").unwrap_err().contains("random"));
+    }
+
+    #[test]
+    fn every_strategy_yields_a_permutation() {
+        let g = sample_graph();
+        for name in STRATEGY_NAMES {
+            let s = Strategy::parse(name).unwrap();
+            let order = s.removal_order(&g, 7, 4);
+            assert!(is_permutation(&order, 8), "{name}: {order:?}");
+        }
+    }
+
+    #[test]
+    fn degree_attack_hits_the_hub_first() {
+        let g = sample_graph();
+        for s in [
+            Strategy::Degree { recalc: false },
+            Strategy::Degree { recalc: true },
+        ] {
+            assert_eq!(s.removal_order(&g, 0, 4)[0], 0, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn static_ties_break_by_id() {
+        // 4 isolated nodes: all scores equal.
+        let g = Csr::from_edges(4, &[]);
+        let order = Strategy::Degree { recalc: false }.removal_order(&g, 0, 4);
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn adaptive_degree_reranks_after_damage() {
+        // Hub A (0) degree 4, hub B (5) degree 3 + shared leaf: after A is
+        // removed, B's degree drops; a static rank keeps B second, but so
+        // does the adaptive one here — build a case where they differ:
+        // star A = 0 with leaves 1..5 (degree 5), clique 6-7-8-9 (degrees 3).
+        let mut edges: Vec<(usize, usize)> = (1..6).map(|i| (0, i)).collect();
+        for i in 6..10 {
+            for j in (i + 1)..10 {
+                edges.push((i, j));
+            }
+        }
+        let g = Csr::from_edges(10, &edges);
+        let adaptive = Strategy::Degree { recalc: true }.removal_order(&g, 0, 4);
+        // After removing hub 0, leaves have degree 0 but the clique still
+        // has degree 3: adaptive keeps dismantling the clique until its
+        // remnant ties with the leaves (degree 1, id order takes over).
+        assert_eq!(adaptive[0], 0);
+        assert_eq!(&adaptive[1..4], &[6, 7, 8]);
+        // Static ranking instead removes by intact degree: clique first too
+        // (3 > 1), so compare against a chain where recalc matters:
+        let chain = Csr::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let adaptive = Strategy::Degree { recalc: true }.removal_order(&chain, 0, 4);
+        // Interior 1 goes first (degree 2, smallest id); 3 keeps degree 2 in
+        // the damaged graph so it goes next — not id order.
+        assert_eq!(&adaptive[..2], &[1, 3]);
+    }
+
+    #[test]
+    fn random_orders_differ_by_seed_and_reproduce() {
+        let g = sample_graph();
+        let a = Strategy::Random.removal_order(&g, 1, 4);
+        let b = Strategy::Random.removal_order(&g, 1, 4);
+        let c = Strategy::Random.removal_order(&g, 2, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(is_permutation(&c, 8));
+    }
+
+    #[test]
+    fn deterministic_strategies_ignore_the_seed() {
+        let g = sample_graph();
+        for name in STRATEGY_NAMES.iter().filter(|&&s| s != "random") {
+            let s = Strategy::parse(name).unwrap();
+            assert_eq!(
+                s.removal_order(&g, 1, 4),
+                s.removal_order(&g, 99, 4),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn kcore_attack_targets_the_core() {
+        // K4 core (0..4) + long tail: core members die first.
+        let mut edges = vec![(3, 4), (4, 5), (5, 6)];
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                edges.push((i, j));
+            }
+        }
+        let g = Csr::from_edges(7, &edges);
+        let order = Strategy::KCore { recalc: false }.removal_order(&g, 0, 4);
+        let first4: Vec<u32> = order[..4].to_vec();
+        for v in 0..4u32 {
+            assert!(first4.contains(&v), "core node {v} not removed early");
+        }
+    }
+
+    #[test]
+    fn betweenness_attack_finds_the_bridge() {
+        // Two K4s joined by a single bridge node 8.
+        let mut edges = Vec::new();
+        for base in [0usize, 4] {
+            for i in base..base + 4 {
+                for j in (i + 1)..base + 4 {
+                    edges.push((i, j));
+                }
+            }
+        }
+        edges.push((0, 8));
+        edges.push((4, 8));
+        let g = Csr::from_edges(9, &edges);
+        for recalc in [false, true] {
+            let order = Strategy::Betweenness { recalc }.removal_order(&g, 0, 16);
+            assert_eq!(order[0], 8, "recalc {recalc}: bridge must die first");
+        }
+    }
+
+    #[test]
+    fn empty_graph_orders_are_empty() {
+        let g = Csr::from_edges(0, &[]);
+        for name in STRATEGY_NAMES {
+            let s = Strategy::parse(name).unwrap();
+            assert!(s.removal_order(&g, 0, 4).is_empty(), "{name}");
+        }
+    }
+}

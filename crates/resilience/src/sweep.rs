@@ -1,0 +1,495 @@
+//! Robust parallel attack sweeps over `strategies × replicas`.
+//!
+//! A sweep's unit of work is a **cell**: one `(strategy, replica)` pair,
+//! computed as `removal_order → percolation_curve`. Cells fan out over the
+//! deterministic work-stealing pool in [`inet_graph::parallel`], and the
+//! sweep is hardened in two ways the plain pool is not:
+//!
+//! * **Panic isolation** — each cell runs under `catch_unwind`. A worker
+//!   panic becomes a [`FailureRecord`], the cell is resampled once with a
+//!   fresh derived seed, and the sweep carries on; only a second failure
+//!   leaves a hole (still recorded, never a process abort).
+//! * **Checkpointing** — with [`SweepConfig::checkpoint`] set, every
+//!   finished cell is appended to an atomically-rewritten JSON state file.
+//!   Re-running the same configuration with the same file resumes: done
+//!   cells are loaded, not recomputed (enforced in tests via the panic
+//!   hook — a resumed cell never trips it).
+//!
+//! Results are deterministic for any thread count: each cell's seed is a
+//! pure function of `(base_seed, cell index)`, the curve math is integer
+//! union-find, and the output ordering is canonical (configuration order),
+//! not completion order.
+
+use crate::checkpoint::{fingerprint, CellRecord, Checkpoint, FailureRecord};
+use crate::percolation::percolation_curve;
+use crate::strategy::Strategy;
+use inet_graph::parallel::fanout_ordered;
+use inet_graph::Csr;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// Configuration of one attack sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Strategies to run, in report order.
+    pub strategies: Vec<Strategy>,
+    /// Replicas per *stochastic* strategy (deterministic strategies always
+    /// run exactly one replica; extra copies would be identical).
+    pub replicas: usize,
+    /// Base seed; each cell derives its own stream via
+    /// [`inet_stats::rng::child_seed`].
+    pub base_seed: u64,
+    /// Worker threads for the cell fan-out.
+    pub threads: usize,
+    /// Record a curve point every this many removals (0/1 = every step).
+    pub record_every: usize,
+    /// Brandes source-sample size for the betweenness strategies.
+    pub bc_sources: usize,
+    /// Checkpoint file: load/skip completed cells on entry, persist each
+    /// cell on completion.
+    pub checkpoint: Option<PathBuf>,
+    /// Test-only failure injection: cells whose index is listed here panic
+    /// on their first attempt (the resample attempt runs clean). Leave
+    /// empty outside tests.
+    #[doc(hidden)]
+    pub fail_cells: Vec<usize>,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            strategies: vec![Strategy::Random],
+            replicas: 1,
+            base_seed: 0,
+            threads: 1,
+            record_every: 1,
+            bc_sources: 64,
+            checkpoint: None,
+            fail_cells: Vec::new(),
+        }
+    }
+}
+
+/// One unit of sweep work.
+#[derive(Debug, Clone)]
+struct Cell {
+    strategy: Strategy,
+    replica: usize,
+    /// Position in the canonical cell list; seeds derive from this, so a
+    /// cell's curve is independent of how many cells were resumed.
+    index: usize,
+}
+
+impl SweepConfig {
+    /// The canonical cell list: strategies in configuration order, replicas
+    /// ascending; deterministic strategies contribute one cell each.
+    pub fn cells(&self) -> Vec<(Strategy, usize)> {
+        let mut out = Vec::new();
+        for &s in &self.strategies {
+            let reps = if s.stochastic() {
+                self.replicas.max(1)
+            } else {
+                1
+            };
+            for r in 0..reps {
+                out.push((s, r));
+            }
+        }
+        out
+    }
+
+    /// The configuration part of the checkpoint fingerprint. Thread count
+    /// and the test hook are deliberately excluded: neither changes any
+    /// result, so resuming with a different `--threads` is legal.
+    fn config_string(&self) -> String {
+        let names: Vec<&str> = self.strategies.iter().map(|s| s.name()).collect();
+        format!(
+            "v1 strategies=[{}] replicas={} seed={} record={} bc_sources={}",
+            names.join(","),
+            self.replicas,
+            self.base_seed,
+            self.record_every,
+            self.bc_sources
+        )
+    }
+}
+
+/// The outcome of [`run_sweep`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult {
+    /// Completed cells in canonical order (configuration order, replicas
+    /// ascending) — one entry per cell that succeeded on either attempt,
+    /// including cells loaded from the checkpoint.
+    pub cells: Vec<CellRecord>,
+    /// Every caught worker panic, canonically ordered; a cell with a
+    /// failure at attempt 0 and a cell entry was rescued by the resample.
+    pub failures: Vec<FailureRecord>,
+    /// Cells skipped because the checkpoint already contained them.
+    pub resumed: usize,
+    /// Non-fatal problems (e.g. a checkpoint write that failed).
+    pub warnings: Vec<String>,
+}
+
+/// Mutex-guarded mutable sweep state shared by workers.
+struct SweepState {
+    ckpt: Checkpoint,
+    warnings: Vec<String>,
+}
+
+/// Runs a full attack sweep on `g`. Errors only on configuration problems
+/// (unusable checkpoint); worker panics degrade per-cell instead.
+pub fn run_sweep(g: &Csr, cfg: &SweepConfig) -> Result<SweepResult, String> {
+    let fp = fingerprint(g, &cfg.config_string());
+    let ckpt = match &cfg.checkpoint {
+        Some(path) => match Checkpoint::load(path)? {
+            Some(existing) if existing.fingerprint != fp => {
+                return Err(format!(
+                    "checkpoint {} belongs to a different graph or sweep configuration \
+                     (refusing to mix results; delete it or change --resume)",
+                    path.display()
+                ));
+            }
+            Some(existing) => existing,
+            None => Checkpoint::new(fp),
+        },
+        None => Checkpoint::new(fp),
+    };
+
+    let all: Vec<Cell> = cfg
+        .cells()
+        .into_iter()
+        .enumerate()
+        .map(|(index, (strategy, replica))| Cell {
+            strategy,
+            replica,
+            index,
+        })
+        .collect();
+    let total = all.len();
+    let pending: Vec<Cell> = all
+        .iter()
+        .filter(|c| !ckpt.has_cell(c.strategy.name(), c.replica))
+        .cloned()
+        .collect();
+    let resumed = total - pending.len();
+
+    let state = Mutex::new(SweepState {
+        ckpt,
+        warnings: Vec::new(),
+    });
+    let persist = |state: &mut SweepState| {
+        if let Some(path) = &cfg.checkpoint {
+            if let Err(e) = state.ckpt.save(path) {
+                state
+                    .warnings
+                    .push(format!("checkpoint save to {} failed: {e}", path.display()));
+            }
+        }
+    };
+
+    // One pass over `cells`; returns the cells whose attempt panicked.
+    let run_pass = |cells: &[Cell], attempt: usize| -> Vec<Cell> {
+        let failed_chunks = fanout_ordered(
+            cells.len(),
+            cfg.threads,
+            || (),
+            |_scratch, range| {
+                let mut failed = Vec::new();
+                for cell in &cells[range] {
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        if attempt == 0 && cfg.fail_cells.contains(&cell.index) {
+                            panic!("injected worker failure (test hook)");
+                        }
+                        compute_cell(g, cfg, cell, attempt, total)
+                    }));
+                    let mut st = state.lock().unwrap_or_else(|p| p.into_inner());
+                    match outcome {
+                        Ok(record) => {
+                            st.ckpt.cells.push(record);
+                        }
+                        Err(payload) => {
+                            st.ckpt.failures.push(FailureRecord {
+                                strategy: cell.strategy.name().to_string(),
+                                replica: cell.replica,
+                                attempt,
+                                message: panic_message(&*payload),
+                            });
+                            failed.push(cell.clone());
+                        }
+                    }
+                    persist(&mut st);
+                }
+                failed
+            },
+        );
+        failed_chunks.into_iter().flatten().collect()
+    };
+
+    let failed_once = run_pass(&pending, 0);
+    let _failed_twice = run_pass(&failed_once, 1);
+
+    let SweepState { ckpt, warnings } = state.into_inner().unwrap_or_else(|p| p.into_inner());
+
+    // Canonical ordering for deterministic output regardless of which
+    // worker finished which cell first.
+    let strategy_pos = |name: &str| {
+        cfg.strategies
+            .iter()
+            .position(|s| s.name() == name)
+            .unwrap_or(usize::MAX)
+    };
+    let cells: Vec<CellRecord> = all
+        .iter()
+        .filter_map(|cell| {
+            ckpt.cells
+                .iter()
+                .find(|r| r.strategy == cell.strategy.name() && r.replica == cell.replica)
+                .cloned()
+        })
+        .collect();
+    let mut failures = ckpt.failures;
+    failures.sort_by_key(|f| (strategy_pos(&f.strategy), f.replica, f.attempt));
+
+    Ok(SweepResult {
+        cells,
+        failures,
+        resumed,
+        warnings,
+    })
+}
+
+/// Computes one cell (may panic; the caller catches).
+fn compute_cell(
+    g: &Csr,
+    cfg: &SweepConfig,
+    cell: &Cell,
+    attempt: usize,
+    total: usize,
+) -> CellRecord {
+    let seed = inet_stats::rng::child_seed(cfg.base_seed, (attempt * total + cell.index) as u64);
+    let order = cell.strategy.removal_order(g, seed, cfg.bc_sources);
+    let curve = percolation_curve(g, &order, cfg.record_every);
+    CellRecord {
+        strategy: cell.strategy.name().to_string(),
+        replica: cell.replica,
+        resampled: attempt > 0,
+        curve,
+    }
+}
+
+/// Best-effort text from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_graph() -> Csr {
+        // Two hubs bridged: rich structure for every strategy, small enough
+        // for exact betweenness recalcs in tests.
+        let mut edges: Vec<(usize, usize)> = (1..7).map(|i| (0, i)).collect();
+        edges.extend((8..14).map(|i| (7, i)));
+        edges.push((6, 8));
+        edges.push((1, 2));
+        edges.push((9, 10));
+        Csr::from_edges(14, &edges)
+    }
+
+    fn base_cfg() -> SweepConfig {
+        SweepConfig {
+            strategies: vec![
+                Strategy::Random,
+                Strategy::Degree { recalc: false },
+                Strategy::Degree { recalc: true },
+            ],
+            replicas: 3,
+            base_seed: 42,
+            threads: 2,
+            record_every: 1,
+            bc_sources: 8,
+            checkpoint: None,
+            fail_cells: Vec::new(),
+        }
+    }
+
+    fn tmp_ckpt(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("inet-resilience-sweep-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn cell_list_shape() {
+        let cfg = base_cfg();
+        let cells = cfg.cells();
+        // random gets 3 replicas, the two deterministic strategies 1 each.
+        assert_eq!(cells.len(), 5);
+        assert_eq!(
+            cells.iter().filter(|(s, _)| s.stochastic()).count(),
+            3,
+            "{cells:?}"
+        );
+    }
+
+    #[test]
+    fn sweep_completes_every_cell() {
+        let g = test_graph();
+        let cfg = base_cfg();
+        let result = run_sweep(&g, &cfg).unwrap();
+        assert_eq!(result.cells.len(), 5);
+        assert!(result.failures.is_empty());
+        assert_eq!(result.resumed, 0);
+        for cell in &result.cells {
+            assert_eq!(cell.curve.nodes, 14);
+            assert!(!cell.resampled);
+        }
+        // Random replicas use distinct seeds → (almost surely) distinct curves.
+        assert_ne!(result.cells[0].curve, result.cells[1].curve);
+    }
+
+    #[test]
+    fn sweep_is_bit_identical_across_thread_counts() {
+        let g = test_graph();
+        let mut reference = None;
+        for threads in [1, 2, 7] {
+            let cfg = SweepConfig {
+                threads,
+                ..base_cfg()
+            };
+            let result = run_sweep(&g, &cfg).unwrap();
+            match &reference {
+                None => reference = Some(result),
+                Some(r) => assert_eq!(&result, r, "threads {threads}"),
+            }
+        }
+    }
+
+    #[test]
+    fn injected_panic_degrades_to_recorded_resample() {
+        let g = test_graph();
+        let cfg = SweepConfig {
+            fail_cells: vec![1, 3],
+            ..base_cfg()
+        };
+        let result = run_sweep(&g, &cfg).unwrap();
+        // Still every cell completed — the resample pass rescued both.
+        assert_eq!(result.cells.len(), 5);
+        assert_eq!(result.failures.len(), 2);
+        for f in &result.failures {
+            assert_eq!(f.attempt, 0);
+            assert!(f.message.contains("injected"));
+        }
+        let resampled: Vec<_> = result.cells.iter().filter(|c| c.resampled).collect();
+        assert_eq!(resampled.len(), 2);
+        // A clean run and the failing run agree on the unaffected cells.
+        let clean = run_sweep(&g, &base_cfg()).unwrap();
+        for (a, b) in result.cells.iter().zip(&clean.cells) {
+            if !a.resampled {
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_skips_finished_cells() {
+        let g = test_graph();
+        let path = tmp_ckpt("resume.json");
+        let cfg = SweepConfig {
+            checkpoint: Some(path.clone()),
+            ..base_cfg()
+        };
+        let first = run_sweep(&g, &cfg).unwrap();
+        assert_eq!(first.resumed, 0);
+        assert!(path.exists());
+
+        // Simulate an interrupted run: drop the last two finished cells.
+        let mut ckpt = Checkpoint::load(&path).unwrap().unwrap();
+        ckpt.cells.truncate(3);
+        ckpt.save(&path).unwrap();
+
+        // Resume with the panic hook armed on EVERY cell: only recomputed
+        // cells could trip it, so zero failures proves the three loaded
+        // cells were not recomputed, and the two missing ones were (their
+        // failures got resampled).
+        let resume_cfg = SweepConfig {
+            checkpoint: Some(path.clone()),
+            fail_cells: (0..5).collect(),
+            ..base_cfg()
+        };
+        let second = run_sweep(&g, &resume_cfg).unwrap();
+        assert_eq!(second.resumed, 3);
+        assert_eq!(second.cells.len(), 5);
+        assert_eq!(
+            second.failures.len(),
+            2,
+            "only the 2 recomputed cells may trip the hook: {:?}",
+            second.failures
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resumed_results_match_uninterrupted_run() {
+        let g = test_graph();
+        let path = tmp_ckpt("resume-match.json");
+        let cfg = SweepConfig {
+            checkpoint: Some(path.clone()),
+            ..base_cfg()
+        };
+        let full = run_sweep(&g, &cfg).unwrap();
+        let mut ckpt = Checkpoint::load(&path).unwrap().unwrap();
+        ckpt.cells.truncate(2);
+        ckpt.save(&path).unwrap();
+        let resumed = run_sweep(&g, &cfg).unwrap();
+        assert_eq!(resumed.cells, full.cells);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mismatched_checkpoint_is_refused() {
+        let g = test_graph();
+        let path = tmp_ckpt("mismatch.json");
+        let cfg = SweepConfig {
+            checkpoint: Some(path.clone()),
+            ..base_cfg()
+        };
+        run_sweep(&g, &cfg).unwrap();
+        // Same file, different seed → different fingerprint.
+        let other = SweepConfig {
+            base_seed: 1,
+            ..cfg.clone()
+        };
+        let err = run_sweep(&g, &other).unwrap_err();
+        assert!(
+            err.contains("different graph or sweep configuration"),
+            "{err}"
+        );
+        // And a different graph is refused too.
+        let g2 = Csr::from_edges(3, &[(0, 1)]);
+        assert!(run_sweep(&g2, &cfg).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_strategy_list_yields_empty_result() {
+        let g = test_graph();
+        let cfg = SweepConfig {
+            strategies: Vec::new(),
+            ..base_cfg()
+        };
+        let result = run_sweep(&g, &cfg).unwrap();
+        assert!(result.cells.is_empty());
+        assert!(result.failures.is_empty());
+    }
+}

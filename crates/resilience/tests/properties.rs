@@ -1,0 +1,163 @@
+//! Property-based tests for the resilience engine: removal orders are
+//! permutations, percolation curves obey their invariants, sweeps are
+//! bit-identical for any thread count, and the robustness machinery
+//! (panic isolation, checkpoints) holds under arbitrary graphs.
+
+use inet_resilience::{
+    percolation_curve, run_sweep, Checkpoint, Strategy as Attack, SweepConfig, STRATEGY_NAMES,
+};
+use proptest::prelude::*;
+
+/// A random connected-ish edge set over `n` nodes, n in 2..30. A spanning
+/// chain keeps curves non-trivial; extra random edges add structure.
+fn graph_edges() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2usize..30).prop_flat_map(|n| {
+        let edge =
+            (0..n, 0..n).prop_filter_map("no self-loops", |(u, v)| (u != v).then_some((u, v)));
+        (Just(n), proptest::collection::vec(edge, 0..60)).prop_map(|(n, mut edges)| {
+            for i in 1..n {
+                edges.push((i - 1, i));
+            }
+            (n, edges)
+        })
+    })
+}
+
+fn csr(n: usize, edges: &[(usize, usize)]) -> inet_graph::Csr {
+    inet_graph::Csr::from_edges(n, edges)
+}
+
+fn is_permutation(order: &[u32], n: usize) -> bool {
+    let mut seen = vec![false; n];
+    order.len() == n
+        && order
+            .iter()
+            .all(|&v| (v as usize) < n && !std::mem::replace(&mut seen[v as usize], true))
+}
+
+proptest! {
+    /// Every strategy produces a permutation of the node ids, and the same
+    /// order again on a second call with the same seed.
+    #[test]
+    fn removal_orders_are_reproducible_permutations(
+        (n, edges) in graph_edges(),
+        seed in 0u64..1000,
+    ) {
+        let g = csr(n, &edges);
+        for name in STRATEGY_NAMES {
+            let s = Attack::parse(name).unwrap();
+            let order = s.removal_order(&g, seed, 8);
+            prop_assert!(is_permutation(&order, n), "{}: {:?}", name, order);
+            prop_assert_eq!(&order, &s.removal_order(&g, seed, 8), "{} not reproducible", name);
+        }
+    }
+
+    /// Curve invariants for an arbitrary order: endpoints recorded, giant
+    /// and edge counts monotone non-increasing, giant bounded by survivors,
+    /// f_c in [0, 1].
+    #[test]
+    fn curve_invariants((n, edges) in graph_edges(), seed in 0u64..1000) {
+        let g = csr(n, &edges);
+        let order = Attack::Random.removal_order(&g, seed, 8);
+        let c = percolation_curve(&g, &order, 1);
+        prop_assert_eq!(c.points.first().unwrap().removed, 0);
+        prop_assert_eq!(c.points.first().unwrap().giant,
+            inet_graph::traversal::giant_component(&g).0.node_count().max(1));
+        prop_assert_eq!(c.points.last().unwrap().removed, n);
+        prop_assert_eq!(c.points.last().unwrap().giant, 0);
+        for w in c.points.windows(2) {
+            prop_assert!(w[0].giant >= w[1].giant);
+            prop_assert!(w[0].edges >= w[1].edges);
+        }
+        for p in &c.points {
+            prop_assert!(p.giant <= n - p.removed);
+            prop_assert!(p.mean_component >= 0.0 && p.mean_component.is_finite());
+        }
+        prop_assert!((0.0..=1.0).contains(&c.critical_fraction));
+    }
+
+    /// The tentpole determinism guarantee: a full sweep — every strategy,
+    /// multiple replicas — returns bit-identical results for thread counts
+    /// {1, 2, 7}.
+    #[test]
+    fn sweep_bit_identical_across_threads(
+        (n, edges) in graph_edges(),
+        seed in 0u64..1000,
+    ) {
+        let g = csr(n, &edges);
+        let strategies: Vec<Attack> =
+            STRATEGY_NAMES.iter().map(|s| Attack::parse(s).unwrap()).collect();
+        let mut reference = None;
+        for threads in [1usize, 2, 7] {
+            let cfg = SweepConfig {
+                strategies: strategies.clone(),
+                replicas: 2,
+                base_seed: seed,
+                threads,
+                record_every: 1,
+                bc_sources: 8,
+                ..SweepConfig::default()
+            };
+            let result = run_sweep(&g, &cfg).unwrap();
+            prop_assert_eq!(result.cells.len(), strategies.len() + 1); // +1: random's 2nd replica
+            match &reference {
+                None => reference = Some(result),
+                Some(r) => prop_assert_eq!(&result, r, "threads {} diverged", threads),
+            }
+        }
+    }
+
+    /// Checkpoint JSON round-trips losslessly for arbitrary sweep output.
+    #[test]
+    fn checkpoint_round_trips_sweep_state(
+        (n, edges) in graph_edges(),
+        seed in 0u64..1000,
+    ) {
+        let g = csr(n, &edges);
+        let cfg = SweepConfig {
+            strategies: vec![Attack::Random, Attack::Degree { recalc: true }],
+            replicas: 2,
+            base_seed: seed,
+            record_every: 3,
+            ..SweepConfig::default()
+        };
+        let result = run_sweep(&g, &cfg).unwrap();
+        let mut ckpt = Checkpoint::new(seed);
+        ckpt.cells = result.cells.clone();
+        let parsed = Checkpoint::parse(&ckpt.to_json()).unwrap();
+        prop_assert_eq!(parsed, ckpt);
+    }
+
+    /// Panic isolation under arbitrary graphs: injecting a failure into any
+    /// cell still completes the sweep, records the failure, and leaves every
+    /// other cell byte-identical to a clean run.
+    #[test]
+    fn injected_failures_never_abort(
+        (n, edges) in graph_edges(),
+        seed in 0u64..1000,
+        fail in 0usize..4,
+    ) {
+        let g = csr(n, &edges);
+        let mk = |fail_cells: Vec<usize>| SweepConfig {
+            strategies: vec![Attack::Random, Attack::Degree { recalc: false }],
+            replicas: 3,
+            base_seed: seed,
+            threads: 2,
+            fail_cells,
+            ..SweepConfig::default()
+        };
+        let clean = run_sweep(&g, &mk(vec![])).unwrap();
+        let hurt = run_sweep(&g, &mk(vec![fail])).unwrap();
+        prop_assert_eq!(hurt.cells.len(), clean.cells.len());
+        prop_assert_eq!(hurt.failures.len(), 1);
+        prop_assert_eq!(hurt.failures[0].attempt, 0);
+        for (a, b) in hurt.cells.iter().zip(&clean.cells) {
+            if a.resampled {
+                prop_assert_eq!(&a.strategy, &b.strategy);
+                prop_assert_eq!(a.replica, b.replica);
+            } else {
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+}

@@ -6,10 +6,17 @@
 //! inet validate <edge-list-file|->      # compare against the 2001 AS-map targets
 //! inet tiers    <edge-list-file|->      # backbone/transit/fringe stratification
 //! inet trace    [months]                # synthetic growth trace + fitted rates
+//! inet attack   <model|file|->          # percolation / targeted-attack sweep
 //! ```
 //!
-//! `measure` and `validate` accept `--threads N` (anywhere on the command
-//! line) to set the worker-thread count of the parallel metrics kernels; the
+//! `attack` removes nodes under one or more strategies (`--strategy
+//! random,degree-recalc,...`), reports the critical fraction `f_c` and the
+//! giant-component response `S(f)` per cell, and with `--resume <file>`
+//! checkpoints completed cells so an interrupted sweep picks up where it
+//! stopped.
+//!
+//! `measure`, `validate` and `attack` accept `--threads N` (anywhere on the
+//! command line) to set the worker-thread count of the parallel kernels; the
 //! default is the machine's available parallelism. Results are bit-identical
 //! for any thread count.
 //!
@@ -30,7 +37,31 @@ enum Command {
     Validate { path: String, threads: usize },
     Tiers { path: String },
     Trace { months: usize },
+    Attack(AttackArgs),
     Help,
+}
+
+/// Arguments of the `attack` subcommand.
+#[derive(Debug, PartialEq)]
+struct AttackArgs {
+    /// Model name, edge-list path, or `-` for stdin.
+    source: String,
+    /// Nodes when `source` is a model.
+    n: usize,
+    /// Base seed: model generation and replica streams derive from it.
+    seed: u64,
+    /// Removal strategies, in report order.
+    strategies: Vec<Strategy>,
+    /// Replicas per stochastic strategy.
+    replicas: usize,
+    /// Curve recording stride (0 = auto: ~200 points per curve).
+    record: usize,
+    /// Checkpoint file for resumable sweeps.
+    resume: Option<String>,
+    /// Directory for per-cell curve CSVs.
+    curves: Option<String>,
+    /// Worker threads.
+    threads: usize,
 }
 
 /// Extracts a `--threads N` option (any position), returning the remaining
@@ -93,6 +124,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
         Some("tiers") => Ok(Command::Tiers {
             path: args.get(1).ok_or("tiers: missing <file>")?.clone(),
         }),
+        Some("attack") => parse_attack(&args[1..], threads).map(Command::Attack),
         Some("trace") => {
             let months = match args.get(1) {
                 Some(s) => s
@@ -107,6 +139,94 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
         }
         Some(other) => Err(format!("unknown command '{other}' (try 'inet help')")),
     }
+}
+
+/// Parses the `attack` arguments (everything after the subcommand word;
+/// `--threads` was already extracted).
+fn parse_attack(args: &[String], threads: usize) -> Result<AttackArgs, String> {
+    fn value<'a>(args: &'a [String], i: &mut usize, name: &str) -> Result<&'a str, String> {
+        let v = args
+            .get(*i + 1)
+            .ok_or_else(|| format!("attack: {name}: missing value"))?;
+        *i += 2;
+        Ok(v)
+    }
+    let mut source: Option<String> = None;
+    let mut n = 1000usize;
+    let mut seed = 42u64;
+    let mut strategies = vec![Strategy::Random, Strategy::Degree { recalc: false }];
+    let mut replicas = 4usize;
+    let mut record = 0usize;
+    let mut resume = None;
+    let mut curves = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--n" => {
+                n = value(args, &mut i, "--n")?
+                    .parse()
+                    .map_err(|_| "attack: --n must be an integer".to_string())?;
+                if !(8..=500_000).contains(&n) {
+                    return Err("attack: --n must lie in 8..=500000".into());
+                }
+            }
+            "--seed" => {
+                seed = value(args, &mut i, "--seed")?
+                    .parse()
+                    .map_err(|_| "attack: --seed must be an integer".to_string())?;
+            }
+            "--strategy" => {
+                strategies = value(args, &mut i, "--strategy")?
+                    .split(',')
+                    .filter(|s| !s.trim().is_empty())
+                    .map(|s| Strategy::parse(s.trim()))
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|e| format!("attack: {e}"))?;
+                if strategies.is_empty() {
+                    return Err("attack: --strategy needs at least one strategy".into());
+                }
+            }
+            "--replicas" => {
+                replicas = value(args, &mut i, "--replicas")?
+                    .parse()
+                    .map_err(|_| "attack: --replicas must be an integer".to_string())?;
+                if !(1..=10_000).contains(&replicas) {
+                    return Err("attack: --replicas must lie in 1..=10000".into());
+                }
+            }
+            "--record" => {
+                record = value(args, &mut i, "--record")?
+                    .parse()
+                    .map_err(|_| "attack: --record must be an integer".to_string())?;
+            }
+            "--resume" => {
+                resume = Some(value(args, &mut i, "--resume")?.to_string());
+            }
+            "--curves" => {
+                curves = Some(value(args, &mut i, "--curves")?.to_string());
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("attack: unknown option '{flag}'"));
+            }
+            positional => {
+                if source.replace(positional.to_string()).is_some() {
+                    return Err("attack: more than one <model|file> given".into());
+                }
+                i += 1;
+            }
+        }
+    }
+    Ok(AttackArgs {
+        source: source.ok_or("attack: missing <model|file|->")?,
+        n,
+        seed,
+        strategies,
+        replicas,
+        record,
+        resume,
+        curves,
+        threads,
+    })
 }
 
 fn build_generator(model: &str, n: usize) -> Result<Box<dyn Generator>, String> {
@@ -167,9 +287,18 @@ fn run(cmd: Command) -> Result<(), String> {
                  inet measure  <file|->             headline report\n  \
                  inet validate <file|->             compare vs the 2001 AS-map targets\n  \
                  inet tiers    <file|->             backbone/transit/fringe split\n  \
-                 inet trace    [months]             synthetic growth trace + rate fits\n\n\
+                 inet trace    [months]             synthetic growth trace + rate fits\n  \
+                 inet attack   <model|file|->       percolation / targeted-attack sweep\n\n\
+                 attack options:\n  \
+                 --strategy <a,b,...>               random degree degree-recalc kcore\n  \
+                 \u{20}                                  kcore-recalc betweenness betweenness-recalc\n  \
+                 --n <N> --seed <S>                 model size / base seed\n  \
+                 --replicas <R>                     replicas per stochastic strategy\n  \
+                 --record <K>                       curve point every K removals (0 = auto)\n  \
+                 --resume <file>                    checkpoint: resume interrupted sweeps\n  \
+                 --curves <dir>                     write per-cell curve CSVs\n\n\
                  options:\n  \
-                 --threads <N>                      worker threads for measure/validate\n  \
+                 --threads <N>                      worker threads (measure/validate/attack)\n  \
                  \u{20}                                  (default: available parallelism;\n  \
                  \u{20}                                  results are identical for any N)\n\n\
                  models: serrano serrano-nodist ba ab-ext bianconi glp pfp inet waxman er fkp brite goh ws rgg"
@@ -234,6 +363,7 @@ fn run(cmd: Command) -> Result<(), String> {
             );
             Ok(())
         }
+        Command::Attack(args) => run_attack(args),
         Command::Trace { months } => {
             let mut rng = seeded_rng(2001);
             let config = TraceConfig {
@@ -246,6 +376,93 @@ fn run(cmd: Command) -> Result<(), String> {
             Ok(())
         }
     }
+}
+
+/// Executes an attack sweep and prints the per-cell response summary.
+fn run_attack(args: AttackArgs) -> Result<(), String> {
+    // `-`, an existing file, or anything path-like loads from disk;
+    // otherwise the source names a generator model.
+    let is_file = args.source == "-"
+        || args.source.contains('/')
+        || std::path::Path::new(&args.source).exists();
+    let csr = if is_file {
+        load_graph(&args.source)?.to_csr()
+    } else {
+        let generator = build_generator(&args.source, args.n)
+            .map_err(|e| format!("attack: {e} (models double as sources; or pass a file path)"))?;
+        let mut rng = seeded_rng(args.seed);
+        let net = generator.generate(&mut rng);
+        eprintln!(
+            "# attacking generated {} ({} nodes, {} edges)",
+            net.name,
+            net.graph.node_count(),
+            net.graph.edge_count()
+        );
+        net.graph.to_csr()
+    };
+    let record_every = if args.record == 0 {
+        (csr.node_count() / 200).max(1)
+    } else {
+        args.record
+    };
+    let cfg = SweepConfig {
+        strategies: args.strategies,
+        replicas: args.replicas,
+        base_seed: args.seed,
+        threads: args.threads,
+        record_every,
+        bc_sources: 64,
+        checkpoint: args.resume.clone().map(std::path::PathBuf::from),
+        ..SweepConfig::default()
+    };
+    let result = run_sweep(&csr, &cfg)?;
+
+    if result.resumed > 0 {
+        println!(
+            "resumed {} finished cell(s) from {}",
+            result.resumed,
+            args.resume.as_deref().unwrap_or("checkpoint")
+        );
+    }
+    println!("strategy             rep    f_c   S(.05)  S(.20)  S(.50)");
+    for cell in &result.cells {
+        println!(
+            "{:<20} {:>3}  {:>5.3}   {:>5.3}   {:>5.3}   {:>5.3}{}",
+            cell.strategy,
+            cell.replica,
+            cell.curve.critical_fraction,
+            cell.curve.giant_fraction_at(0.05),
+            cell.curve.giant_fraction_at(0.20),
+            cell.curve.giant_fraction_at(0.50),
+            if cell.resampled { "  (resampled)" } else { "" }
+        );
+    }
+    for f in &result.failures {
+        eprintln!(
+            "warning: {} replica {} panicked on attempt {}: {}",
+            f.strategy, f.replica, f.attempt, f.message
+        );
+    }
+    for w in &result.warnings {
+        eprintln!("warning: {w}");
+    }
+    if let Some(dir) = &args.curves {
+        let dir = std::path::Path::new(dir);
+        std::fs::create_dir_all(dir).map_err(|e| format!("attack: --curves: {e}"))?;
+        for cell in &result.cells {
+            let mut csv = String::from("removed,giant,edges,mean_component\n");
+            for p in &cell.curve.points {
+                csv.push_str(&format!(
+                    "{},{},{},{}\n",
+                    p.removed, p.giant, p.edges, p.mean_component
+                ));
+            }
+            let path = dir.join(format!("{}-r{}.csv", cell.strategy, cell.replica));
+            std::fs::write(&path, csv).map_err(|e| format!("attack: {}: {e}", path.display()))?;
+        }
+        println!("curves written to {}", dir.display());
+    }
+    Ok(())
 }
 
 fn main() {
@@ -345,6 +562,116 @@ mod tests {
         // The flag must be discoverable from `inet help`.
         run(Command::Help).unwrap();
         assert!(parse_args(&strs(&["--threads", "2", "help"])).is_ok());
+    }
+
+    #[test]
+    fn parses_attack_with_defaults_and_flags() {
+        let default = inet_suite::inet_model::graph::parallel::default_threads();
+        assert_eq!(
+            parse_args(&strs(&["attack", "ba"])).unwrap(),
+            Command::Attack(AttackArgs {
+                source: "ba".into(),
+                n: 1000,
+                seed: 42,
+                strategies: vec![Strategy::Random, Strategy::Degree { recalc: false }],
+                replicas: 4,
+                record: 0,
+                resume: None,
+                curves: None,
+                threads: default,
+            })
+        );
+        assert_eq!(
+            parse_args(&strs(&[
+                "attack",
+                "serrano",
+                "--n",
+                "500",
+                "--seed",
+                "9",
+                "--strategy",
+                "kcore-recalc,betweenness",
+                "--replicas",
+                "2",
+                "--record",
+                "5",
+                "--resume",
+                "ck.json",
+                "--curves",
+                "out",
+                "--threads",
+                "3",
+            ]))
+            .unwrap(),
+            Command::Attack(AttackArgs {
+                source: "serrano".into(),
+                n: 500,
+                seed: 9,
+                strategies: vec![
+                    Strategy::KCore { recalc: true },
+                    Strategy::Betweenness { recalc: false },
+                ],
+                replicas: 2,
+                record: 5,
+                resume: Some("ck.json".into()),
+                curves: Some("out".into()),
+                threads: 3,
+            })
+        );
+    }
+
+    #[test]
+    fn attack_parse_errors_are_one_line_not_panics() {
+        // Every malformed invocation must come back as Err, never panic.
+        for bad in [
+            vec!["attack"],
+            vec!["attack", "ba", "--strategy", "voodoo"],
+            vec!["attack", "ba", "--strategy", ","],
+            vec!["attack", "ba", "--n", "x"],
+            vec!["attack", "ba", "--n", "4"],
+            vec!["attack", "ba", "--replicas", "0"],
+            vec!["attack", "ba", "--replicas"],
+            vec!["attack", "ba", "--seed", "-3"],
+            vec!["attack", "ba", "--record", "many"],
+            vec!["attack", "ba", "--bogus"],
+            vec!["attack", "ba", "glp"],
+        ] {
+            let err = parse_args(&strs(&bad)).unwrap_err();
+            assert!(!err.is_empty() && !err.contains('\n'), "{bad:?}: {err}");
+        }
+        // The unknown-strategy message lists the valid names.
+        let err = parse_args(&strs(&["attack", "ba", "--strategy", "voodoo"])).unwrap_err();
+        assert!(
+            err.contains("unknown strategy") && err.contains("degree-recalc"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn attack_end_to_end_with_resume_and_curves() {
+        let dir = std::env::temp_dir().join("inet_cli_attack_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("state.json");
+        let curves = dir.join("curves");
+        let mk = || AttackArgs {
+            source: "ba".into(),
+            n: 80,
+            seed: 11,
+            strategies: vec![Strategy::Random, Strategy::Degree { recalc: true }],
+            replicas: 2,
+            record: 1,
+            resume: Some(ckpt.to_str().unwrap().into()),
+            curves: Some(curves.to_str().unwrap().into()),
+            threads: 2,
+        };
+        run_attack(mk()).unwrap();
+        assert!(ckpt.exists(), "checkpoint must be written");
+        assert!(curves.join("random-r0.csv").exists());
+        assert!(curves.join("degree-recalc-r0.csv").exists());
+        // Second invocation resumes from the finished checkpoint.
+        run_attack(mk()).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
