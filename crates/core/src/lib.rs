@@ -46,6 +46,7 @@ pub mod experiment;
 pub mod reference;
 pub mod validation;
 
+pub use inet_fault as fault;
 pub use inet_generators as generators;
 pub use inet_graph as graph;
 pub use inet_growth as growth;

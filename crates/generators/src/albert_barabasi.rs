@@ -14,7 +14,8 @@
 //! `γ ∈ (2, ∞)`, which is why the paper's intro lists this family among the
 //! degree-driven candidates for Internet modeling.
 
-use crate::{GeneratedNetwork, Generator};
+use crate::error::require;
+use crate::{GeneratedNetwork, Generator, ModelError};
 use inet_graph::{MultiGraph, NodeId};
 use inet_stats::DynamicWeightedSampler;
 use rand::{rngs::StdRng, Rng};
@@ -37,14 +38,22 @@ impl AlbertBarabasiExtended {
     ///
     /// # Panics
     ///
-    /// Panics unless `p, q >= 0`, `p + q < 1`, `m >= 1`, `n > m + 1`.
+    /// Panics unless `p, q >= 0`, `p + q < 1`, `m >= 1`, `n > m + 1`;
+    /// [`AlbertBarabasiExtended::try_new`] is the panic-free form.
+    #[allow(clippy::panic)] // documented fail-fast constructor
     pub fn new(n: usize, m: usize, p: f64, q: f64) -> Self {
-        assert!(
-            p >= 0.0 && q >= 0.0 && p + q < 1.0,
-            "need p, q >= 0 and p + q < 1"
-        );
-        assert!(m >= 1 && n > m + 1, "need n > m + 1");
-        AlbertBarabasiExtended { n, m, p, q }
+        match Self::try_new(n, m, p, q) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a generator, rejecting invalid parameters with a typed
+    /// error.
+    pub fn try_new(n: usize, m: usize, p: f64, q: f64) -> Result<Self, ModelError> {
+        let g = AlbertBarabasiExtended { n, m, p, q };
+        Generator::validate(&g)?;
+        Ok(g)
     }
 
     /// Preference with the model's `+1` shift (`Π_i ∝ k_i + 1`), which
@@ -57,6 +66,21 @@ impl AlbertBarabasiExtended {
 impl Generator for AlbertBarabasiExtended {
     fn name(&self) -> String {
         format!("AB-ext m={} p={:.2} q={:.2}", self.m, self.p, self.q)
+    }
+
+    fn validate(&self) -> Result<(), ModelError> {
+        require(
+            self.p >= 0.0 && self.q >= 0.0 && self.p + self.q < 1.0,
+            "AB-ext",
+            "need p, q >= 0 and p + q < 1",
+            format!("p = {}, q = {}", self.p, self.q),
+        )?;
+        require(
+            self.m >= 1 && self.n > self.m + 1,
+            "AB-ext",
+            "need m >= 1 and n > m + 1",
+            format!("n = {}, m = {}", self.n, self.m),
+        )
     }
 
     fn generate(&self, rng: &mut StdRng) -> GeneratedNetwork {

@@ -6,7 +6,8 @@
 //! preferential attachment" baseline — right tail mechanism, wrong exponent
 //! and no clustering.
 
-use crate::{GeneratedNetwork, Generator};
+use crate::error::require;
+use crate::{GeneratedNetwork, Generator, ModelError};
 use inet_graph::{MultiGraph, NodeId};
 use inet_stats::DynamicWeightedSampler;
 use rand::rngs::StdRng;
@@ -25,17 +26,43 @@ impl BarabasiAlbert {
     ///
     /// # Panics
     ///
-    /// Panics unless `m >= 1` and `n > m`.
+    /// Panics unless `m >= 1` and `n > m`; [`BarabasiAlbert::try_new`] is
+    /// the panic-free form.
+    #[allow(clippy::panic)] // documented fail-fast constructor
     pub fn new(n: usize, m: usize) -> Self {
-        assert!(m >= 1, "need at least one edge per node");
-        assert!(n > m, "need more nodes than edges per step");
-        BarabasiAlbert { n, m }
+        match Self::try_new(n, m) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a BA generator, rejecting invalid parameters with a typed
+    /// error.
+    pub fn try_new(n: usize, m: usize) -> Result<Self, ModelError> {
+        let g = BarabasiAlbert { n, m };
+        Generator::validate(&g)?;
+        Ok(g)
     }
 }
 
 impl Generator for BarabasiAlbert {
     fn name(&self) -> String {
         format!("BA m={}", self.m)
+    }
+
+    fn validate(&self) -> Result<(), ModelError> {
+        require(
+            self.m >= 1,
+            "BA",
+            "need at least one edge per node",
+            format!("m = {}", self.m),
+        )?;
+        require(
+            self.n > self.m,
+            "BA",
+            "need more nodes than edges per step",
+            format!("n = {}, m = {}", self.n, self.m),
+        )
     }
 
     fn generate(&self, rng: &mut StdRng) -> GeneratedNetwork {

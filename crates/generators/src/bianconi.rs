@@ -8,7 +8,8 @@
 //! old low-fitness nodes ("fit-get-richer"), unlike plain BA where age
 //! always wins.
 
-use crate::{GeneratedNetwork, Generator};
+use crate::error::require;
+use crate::{GeneratedNetwork, Generator, ModelError};
 use inet_graph::{MultiGraph, NodeId};
 use inet_stats::DynamicWeightedSampler;
 use rand::{rngs::StdRng, Rng};
@@ -39,11 +40,22 @@ impl BianconiBarabasi {
     ///
     /// # Panics
     ///
-    /// Panics unless `m >= 1` and `n > m`.
+    /// Panics unless `m >= 1` and `n > m`; [`BianconiBarabasi::try_new`]
+    /// is the panic-free form.
+    #[allow(clippy::panic)] // documented fail-fast constructor
     pub fn new(n: usize, m: usize, fitness: FitnessDistribution) -> Self {
-        assert!(m >= 1, "need at least one edge per node");
-        assert!(n > m, "need more nodes than edges per step");
-        BianconiBarabasi { n, m, fitness }
+        match Self::try_new(n, m, fitness) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a generator, rejecting invalid parameters with a typed
+    /// error.
+    pub fn try_new(n: usize, m: usize, fitness: FitnessDistribution) -> Result<Self, ModelError> {
+        let g = BianconiBarabasi { n, m, fitness };
+        Generator::validate(&g)?;
+        Ok(g)
     }
 
     fn draw_fitness(&self, rng: &mut StdRng) -> f64 {
@@ -62,6 +74,21 @@ impl Generator for BianconiBarabasi {
             FitnessDistribution::Constant => "constant",
         };
         format!("Bianconi-Barabasi m={} eta={f}", self.m)
+    }
+
+    fn validate(&self) -> Result<(), ModelError> {
+        require(
+            self.m >= 1,
+            "Bianconi-Barabasi",
+            "need at least one edge per node",
+            format!("m = {}", self.m),
+        )?;
+        require(
+            self.n > self.m,
+            "Bianconi-Barabasi",
+            "need more nodes than edges per step",
+            format!("n = {}, m = {}", self.n, self.m),
+        )
     }
 
     fn generate(&self, rng: &mut StdRng) -> GeneratedNetwork {

@@ -7,7 +7,8 @@
 //! proportional to `k_j · exp(−d_ij / θ)`. Locality raises clustering and
 //! shortens links relative to plain BA while keeping the heavy tail.
 
-use crate::{GeneratedNetwork, Generator};
+use crate::error::require;
+use crate::{GeneratedNetwork, Generator, ModelError};
 use inet_graph::{MultiGraph, NodeId};
 use inet_spatial::{FractalSet, Point2};
 use rand::{rngs::StdRng, Rng};
@@ -41,16 +42,32 @@ impl BriteLike {
     ///
     /// # Panics
     ///
-    /// Panics unless `m >= 1`, `n > m + 1`, `theta > 0`.
+    /// Panics unless `m >= 1`, `n > m + 1`, `theta > 0`;
+    /// [`BriteLike::try_new`] is the panic-free form.
+    #[allow(clippy::panic)] // documented fail-fast constructor
     pub fn new(n: usize, m: usize, theta: f64, placement: Placement) -> Self {
-        assert!(m >= 1 && n > m + 1, "need n > m + 1");
-        assert!(theta > 0.0, "theta must be positive");
-        BriteLike {
+        match Self::try_new(n, m, theta, placement) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a generator, rejecting invalid parameters with a typed
+    /// error.
+    pub fn try_new(
+        n: usize,
+        m: usize,
+        theta: f64,
+        placement: Placement,
+    ) -> Result<Self, ModelError> {
+        let g = BriteLike {
             n,
             m,
             theta,
             placement,
-        }
+        };
+        Generator::validate(&g)?;
+        Ok(g)
     }
 
     fn positions(&self, rng: &mut StdRng) -> Vec<Point2> {
@@ -68,6 +85,30 @@ impl Generator for BriteLike {
             Placement::Fractal(d) => format!("fractal{d:.1}"),
         };
         format!("BRITE m={} theta={:.2} {place}", self.m, self.theta)
+    }
+
+    fn validate(&self) -> Result<(), ModelError> {
+        require(
+            self.m >= 1 && self.n > self.m + 1,
+            "BRITE",
+            "need m >= 1 and n > m + 1",
+            format!("n = {}, m = {}", self.n, self.m),
+        )?;
+        require(
+            self.theta > 0.0,
+            "BRITE",
+            "theta must be positive",
+            format!("theta = {}", self.theta),
+        )?;
+        if let Placement::Fractal(dim) = self.placement {
+            require(
+                dim > 0.0 && dim <= 2.0,
+                "BRITE",
+                "fractal dimension must lie in (0, 2]",
+                format!("dim = {dim}"),
+            )?;
+        }
+        Ok(())
     }
 
     fn generate(&self, rng: &mut StdRng) -> GeneratedNetwork {

@@ -2,7 +2,8 @@
 //! degree sequence (up to the stubs dropped to avoid self-loops and
 //! duplicates).
 
-use crate::{GeneratedNetwork, Generator};
+use crate::error::require;
+use crate::{GeneratedNetwork, Generator, ModelError};
 use inet_graph::{MultiGraph, NodeId};
 use rand::{rngs::StdRng, Rng};
 
@@ -24,19 +25,38 @@ impl ConfigurationModel {
     ///
     /// # Panics
     ///
-    /// Panics if the degree sum is odd (not pairable).
+    /// Panics if the degree sum is odd (not pairable);
+    /// [`ConfigurationModel::try_new`] is the panic-free form.
+    #[allow(clippy::panic)] // documented fail-fast constructor
     pub fn new(degrees: Vec<u64>) -> Self {
-        assert!(
-            degrees.iter().sum::<u64>() % 2 == 0,
-            "degree sum must be even"
-        );
-        ConfigurationModel { degrees }
+        match Self::try_new(degrees) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates the model from a degree sequence, rejecting unpairable
+    /// sequences with a typed error.
+    pub fn try_new(degrees: Vec<u64>) -> Result<Self, ModelError> {
+        let g = ConfigurationModel { degrees };
+        Generator::validate(&g)?;
+        Ok(g)
     }
 }
 
 impl Generator for ConfigurationModel {
     fn name(&self) -> String {
         format!("config-model n={}", self.degrees.len())
+    }
+
+    fn validate(&self) -> Result<(), ModelError> {
+        let sum: u64 = self.degrees.iter().sum();
+        require(
+            sum % 2 == 0,
+            "config-model",
+            "degree sum must be even",
+            format!("sum = {sum}"),
+        )
     }
 
     fn generate(&self, rng: &mut StdRng) -> GeneratedNetwork {

@@ -1,6 +1,7 @@
 //! Erdős–Rényi random graphs: `G(n, p)` and `G(n, m)`.
 
-use crate::{GeneratedNetwork, Generator};
+use crate::error::require;
+use crate::{GeneratedNetwork, Generator, ModelError};
 use inet_graph::{MultiGraph, NodeId};
 use rand::{rngs::StdRng, Rng};
 
@@ -20,22 +21,55 @@ impl Gnp {
     ///
     /// # Panics
     ///
-    /// Panics unless `0 <= p <= 1`.
+    /// Panics unless `0 <= p <= 1`; [`Gnp::try_new`] is the panic-free
+    /// form.
+    #[allow(clippy::panic)] // documented fail-fast constructor
     pub fn new(n: usize, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "p must be a probability");
-        Gnp { n, p }
+        match Self::try_new(n, p) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a `G(n, p)` generator, rejecting invalid parameters with a
+    /// typed error.
+    pub fn try_new(n: usize, p: f64) -> Result<Self, ModelError> {
+        let g = Gnp { n, p };
+        Generator::validate(&g)?;
+        Ok(g)
     }
 
     /// The `G(n, p)` matching a target mean degree `⟨k⟩ = p (n−1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n >= 2`.
+    #[allow(clippy::panic)] // documented fail-fast constructor
     pub fn with_mean_degree(n: usize, mean_degree: f64) -> Self {
-        assert!(n >= 2, "need at least two nodes");
-        Self::new(n, (mean_degree / (n as f64 - 1.0)).clamp(0.0, 1.0))
+        match require(
+            n >= 2,
+            "ER G(n,p)",
+            "need at least two nodes",
+            format!("n = {n}"),
+        ) {
+            Ok(()) => Self::new(n, (mean_degree / (n as f64 - 1.0)).clamp(0.0, 1.0)),
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 
 impl Generator for Gnp {
     fn name(&self) -> String {
         format!("ER G(n,p) p={:.4}", self.p)
+    }
+
+    fn validate(&self) -> Result<(), ModelError> {
+        require(
+            (0.0..=1.0).contains(&self.p),
+            "ER G(n,p)",
+            "p must be a probability",
+            format!("p = {}", self.p),
+        )
     }
 
     fn generate(&self, rng: &mut StdRng) -> GeneratedNetwork {
@@ -103,17 +137,38 @@ impl Gnm {
     ///
     /// # Panics
     ///
-    /// Panics if `m` exceeds `C(n, 2)`.
+    /// Panics if `m` exceeds `C(n, 2)`; [`Gnm::try_new`] is the panic-free
+    /// form.
+    #[allow(clippy::panic)] // documented fail-fast constructor
     pub fn new(n: usize, m: usize) -> Self {
-        let max = n.saturating_mul(n.saturating_sub(1)) / 2;
-        assert!(m <= max, "m = {m} exceeds C({n},2) = {max}");
-        Gnm { n, m }
+        match Self::try_new(n, m) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a `G(n, m)` generator, rejecting invalid parameters with a
+    /// typed error.
+    pub fn try_new(n: usize, m: usize) -> Result<Self, ModelError> {
+        let g = Gnm { n, m };
+        Generator::validate(&g)?;
+        Ok(g)
     }
 }
 
 impl Generator for Gnm {
     fn name(&self) -> String {
         format!("ER G(n,m) m={}", self.m)
+    }
+
+    fn validate(&self) -> Result<(), ModelError> {
+        let max = self.n.saturating_mul(self.n.saturating_sub(1)) / 2;
+        require(
+            self.m <= max,
+            "ER G(n,m)",
+            "m exceeds C(n,2)",
+            format!("m = {}, C({},2) = {max}", self.m, self.n),
+        )
     }
 
     fn generate(&self, rng: &mut StdRng) -> GeneratedNetwork {

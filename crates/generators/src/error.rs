@@ -1,0 +1,130 @@
+//! Typed error taxonomy of the generator layer.
+//!
+//! Mirrors [`inet_graph::GraphError`]: every way a model can refuse to run
+//! or fail mid-growth is a variant with enough structure for a CLI to map
+//! it to a one-line message and a distinct exit code, instead of an
+//! `assert!` killing a multi-hour sweep.
+
+use std::fmt;
+
+/// Errors produced by generator parameter validation and fallible
+/// generation ([`crate::Generator::try_generate`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A parameter (or parameter combination) violates the model's
+    /// documented domain.
+    InvalidParam {
+        /// Short model tag (e.g. `"BA"`).
+        model: &'static str,
+        /// The violated constraint, phrased as the requirement.
+        constraint: &'static str,
+        /// The offending value(s), rendered.
+        got: String,
+    },
+    /// Generation itself failed after validation passed — a caught panic
+    /// from the growth loop, surfaced as data instead of an abort.
+    Internal {
+        /// The generator's display name.
+        model: String,
+        /// Best-effort panic message.
+        message: String,
+    },
+    /// An injected fault from the `fault-inject` harness fired at the
+    /// `generator.generate` failpoint.
+    Fault(inet_fault::FaultError),
+}
+
+impl ModelError {
+    /// Convenience constructor for [`ModelError::InvalidParam`].
+    pub fn invalid(model: &'static str, constraint: &'static str, got: impl fmt::Display) -> Self {
+        ModelError::InvalidParam {
+            model,
+            constraint,
+            got: got.to_string(),
+        }
+    }
+}
+
+/// Returns `Err(InvalidParam)` unless `ok` holds. The generators call this
+/// once per documented constraint; the `constraint` strings double as the
+/// panic messages of the legacy `new` constructors, so `#[should_panic]`
+/// expectations keep matching.
+pub(crate) fn require(
+    ok: bool,
+    model: &'static str,
+    constraint: &'static str,
+    got: impl fmt::Display,
+) -> Result<(), ModelError> {
+    if ok {
+        Ok(())
+    } else {
+        Err(ModelError::invalid(model, constraint, got))
+    }
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidParam {
+                model,
+                constraint,
+                got,
+            } => write!(f, "{model}: {constraint} (got {got})"),
+            ModelError::Internal { model, message } => {
+                write!(f, "{model}: generation failed: {message}")
+            }
+            ModelError::Fault(e) => write!(f, "generator: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl From<inet_fault::FaultError> for ModelError {
+    fn from(e: inet_fault::FaultError) -> Self {
+        ModelError::Fault(e)
+    }
+}
+
+/// Best-effort text from a caught panic payload.
+pub(crate) fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_model_constraint_and_value() {
+        let e = ModelError::invalid("BA", "need more nodes than edges per step", "n = 2, m = 5");
+        let text = e.to_string();
+        assert!(text.contains("BA"), "{text}");
+        assert!(text.contains("more nodes than edges"), "{text}");
+        assert!(text.contains("n = 2"), "{text}");
+    }
+
+    #[test]
+    fn require_passes_and_fails() {
+        assert!(require(true, "X", "c", 0).is_ok());
+        let err = require(false, "X", "must hold", 7).unwrap_err();
+        assert!(matches!(err, ModelError::InvalidParam { .. }));
+        assert!(err.to_string().contains("must hold"));
+    }
+
+    #[test]
+    fn fault_errors_convert() {
+        let fault = inet_fault::FaultError {
+            failpoint: "generator.generate",
+            scope: 0,
+        };
+        let e: ModelError = fault.into();
+        assert!(e.to_string().contains("generator.generate"));
+    }
+}

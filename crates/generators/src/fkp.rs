@@ -9,7 +9,8 @@
 //! develops a heavy tail out of pure optimization — no randomness in the
 //! attachment rule at all.
 
-use crate::{GeneratedNetwork, Generator};
+use crate::error::require;
+use crate::{GeneratedNetwork, Generator, ModelError};
 use inet_graph::{MultiGraph, NodeId};
 use inet_spatial::pointset::uniform_points;
 use rand::rngs::StdRng;
@@ -29,20 +30,43 @@ impl Fkp {
     ///
     /// # Panics
     ///
-    /// Panics unless `n >= 1` and `alpha >= 0`.
+    /// Panics unless `n >= 1` and `alpha >= 0`; [`Fkp::try_new`] is the
+    /// panic-free form.
+    #[allow(clippy::panic)] // documented fail-fast constructor
     pub fn new(n: usize, alpha: f64) -> Self {
-        assert!(n >= 1, "need at least one node");
-        assert!(
-            alpha >= 0.0 && alpha.is_finite(),
-            "alpha must be non-negative"
-        );
-        Fkp { n, alpha }
+        match Self::try_new(n, alpha) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates an FKP generator, rejecting invalid parameters with a typed
+    /// error.
+    pub fn try_new(n: usize, alpha: f64) -> Result<Self, ModelError> {
+        let g = Fkp { n, alpha };
+        Generator::validate(&g)?;
+        Ok(g)
     }
 }
 
 impl Generator for Fkp {
     fn name(&self) -> String {
         format!("FKP alpha={:.1}", self.alpha)
+    }
+
+    fn validate(&self) -> Result<(), ModelError> {
+        require(
+            self.n >= 1,
+            "FKP",
+            "need at least one node",
+            format!("n = {}", self.n),
+        )?;
+        require(
+            self.alpha >= 0.0 && self.alpha.is_finite(),
+            "FKP",
+            "alpha must be non-negative",
+            format!("alpha = {}", self.alpha),
+        )
     }
 
     fn generate(&self, rng: &mut StdRng) -> GeneratedNetwork {

@@ -1,6 +1,7 @@
 //! Random geometric graph: connect all pairs within radius `r`.
 
-use crate::{GeneratedNetwork, Generator};
+use crate::error::require;
+use crate::{GeneratedNetwork, Generator, ModelError};
 use inet_graph::{MultiGraph, NodeId};
 use inet_spatial::pointset::uniform_points;
 use inet_spatial::GridIndex;
@@ -23,27 +24,54 @@ impl RandomGeometric {
     ///
     /// # Panics
     ///
-    /// Panics unless `radius > 0`.
+    /// Panics unless `radius > 0`; [`RandomGeometric::try_new`] is the
+    /// panic-free form.
+    #[allow(clippy::panic)] // documented fail-fast constructor
     pub fn new(n: usize, radius: f64) -> Self {
-        assert!(
-            radius > 0.0 && radius.is_finite(),
-            "radius must be positive"
-        );
-        RandomGeometric { n, radius }
+        match Self::try_new(n, radius) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a generator, rejecting invalid parameters with a typed
+    /// error.
+    pub fn try_new(n: usize, radius: f64) -> Result<Self, ModelError> {
+        let g = RandomGeometric { n, radius };
+        Generator::validate(&g)?;
+        Ok(g)
     }
 
     /// Radius chosen for a target mean degree: `⟨k⟩ ≈ n π r²` (ignoring
     /// boundary effects, so the realized mean runs slightly low).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n >= 2` and the implied radius is positive.
+    #[allow(clippy::panic)] // documented fail-fast constructor
     pub fn with_mean_degree(n: usize, mean_degree: f64) -> Self {
-        assert!(n >= 2, "need at least two nodes");
-        let r = (mean_degree / (n as f64 * std::f64::consts::PI)).sqrt();
-        Self::new(n, r)
+        match require(n >= 2, "RGG", "need at least two nodes", format!("n = {n}")) {
+            Ok(()) => {
+                let r = (mean_degree / (n as f64 * std::f64::consts::PI)).sqrt();
+                Self::new(n, r)
+            }
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 
 impl Generator for RandomGeometric {
     fn name(&self) -> String {
         format!("RGG r={:.4}", self.radius)
+    }
+
+    fn validate(&self) -> Result<(), ModelError> {
+        require(
+            self.radius > 0.0 && self.radius.is_finite(),
+            "RGG",
+            "radius must be positive",
+            format!("radius = {}", self.radius),
+        )
     }
 
     fn generate(&self, rng: &mut StdRng) -> GeneratedNetwork {

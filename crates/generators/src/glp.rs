@@ -6,7 +6,8 @@
 //! which tunes the degree exponent into the empirical `γ ≈ 2.2` band
 //! (plain BA is stuck at 3).
 
-use crate::{GeneratedNetwork, Generator};
+use crate::error::require;
+use crate::{GeneratedNetwork, Generator, ModelError};
 use inet_graph::{MultiGraph, NodeId};
 use inet_stats::DynamicWeightedSampler;
 use rand::{rngs::StdRng, Rng};
@@ -29,12 +30,22 @@ impl Glp {
     ///
     /// # Panics
     ///
-    /// Panics unless `0 <= p < 1`, `beta < 1`, `m >= 1`, `n > m + 1`.
+    /// Panics unless `0 <= p < 1`, `beta < 1`, `m >= 1`, `n > m + 1`;
+    /// [`Glp::try_new`] is the panic-free form.
+    #[allow(clippy::panic)] // documented fail-fast constructor
     pub fn new(n: usize, m: usize, p: f64, beta: f64) -> Self {
-        assert!((0.0..1.0).contains(&p), "p must lie in [0, 1)");
-        assert!(beta < 1.0, "beta must be below 1");
-        assert!(m >= 1 && n > m + 1, "need n > m + 1");
-        Glp { n, m, p, beta }
+        match Self::try_new(n, m, p, beta) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a GLP generator, rejecting invalid parameters with a typed
+    /// error.
+    pub fn try_new(n: usize, m: usize, p: f64, beta: f64) -> Result<Self, ModelError> {
+        let g = Glp { n, m, p, beta };
+        Generator::validate(&g)?;
+        Ok(g)
     }
 
     /// The parameterization Bu & Towsley report as matching the 2001 AS map
@@ -51,6 +62,27 @@ impl Glp {
 impl Generator for Glp {
     fn name(&self) -> String {
         format!("GLP m={} p={:.2} beta={:.2}", self.m, self.p, self.beta)
+    }
+
+    fn validate(&self) -> Result<(), ModelError> {
+        require(
+            (0.0..1.0).contains(&self.p),
+            "GLP",
+            "p must lie in [0, 1)",
+            format!("p = {}", self.p),
+        )?;
+        require(
+            self.beta < 1.0,
+            "GLP",
+            "beta must be below 1",
+            format!("beta = {}", self.beta),
+        )?;
+        require(
+            self.m >= 1 && self.n > self.m + 1,
+            "GLP",
+            "need m >= 1 and n > m + 1",
+            format!("n = {}, m = {}", self.n, self.m),
+        )
     }
 
     fn generate(&self, rng: &mut StdRng) -> GeneratedNetwork {

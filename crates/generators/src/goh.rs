@@ -8,7 +8,8 @@
 //! and duplicates). The resulting degree distribution is a power law with
 //! `γ = 1 + 1/ν`, so the Internet's `γ ≈ 2.2` corresponds to `ν ≈ 0.83`.
 
-use crate::{GeneratedNetwork, Generator};
+use crate::error::require;
+use crate::{GeneratedNetwork, Generator, ModelError};
 use inet_graph::{MultiGraph, NodeId};
 use inet_stats::CumulativeSampler;
 use rand::rngs::StdRng;
@@ -29,24 +30,62 @@ impl GohStatic {
     ///
     /// # Panics
     ///
-    /// Panics unless `n >= 2`, `m >= 1`, `0 <= nu < 1`.
+    /// Panics unless `n >= 2`, `m >= 1`, `0 <= nu < 1`;
+    /// [`GohStatic::try_new`] is the panic-free form.
+    #[allow(clippy::panic)] // documented fail-fast constructor
     pub fn new(n: usize, m: usize, nu: f64) -> Self {
-        assert!(n >= 2 && m >= 1, "need n >= 2 and m >= 1");
-        assert!((0.0..1.0).contains(&nu), "nu must lie in [0, 1)");
-        GohStatic { n, m, nu }
+        match Self::try_new(n, m, nu) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a generator, rejecting invalid parameters with a typed
+    /// error.
+    pub fn try_new(n: usize, m: usize, nu: f64) -> Result<Self, ModelError> {
+        let g = GohStatic { n, m, nu };
+        Generator::validate(&g)?;
+        Ok(g)
     }
 
     /// Parameterized for a target degree exponent `γ > 2`
     /// (`ν = 1/(γ − 1)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `gamma > 2` (and the `new` constraints hold).
+    #[allow(clippy::panic)] // documented fail-fast constructor
     pub fn with_gamma(n: usize, m: usize, gamma: f64) -> Self {
-        assert!(gamma > 2.0, "static model needs gamma > 2");
-        Self::new(n, m, 1.0 / (gamma - 1.0))
+        match require(
+            gamma > 2.0,
+            "Goh-static",
+            "static model needs gamma > 2",
+            format!("gamma = {gamma}"),
+        ) {
+            Ok(()) => Self::new(n, m, 1.0 / (gamma - 1.0)),
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 
 impl Generator for GohStatic {
     fn name(&self) -> String {
         format!("Goh-static m={} nu={:.2}", self.m, self.nu)
+    }
+
+    fn validate(&self) -> Result<(), ModelError> {
+        require(
+            self.n >= 2 && self.m >= 1,
+            "Goh-static",
+            "need n >= 2 and m >= 1",
+            format!("n = {}, m = {}", self.n, self.m),
+        )?;
+        require(
+            (0.0..1.0).contains(&self.nu),
+            "Goh-static",
+            "nu must lie in [0, 1)",
+            format!("nu = {}", self.nu),
+        )
     }
 
     fn generate(&self, rng: &mut StdRng) -> GeneratedNetwork {

@@ -9,8 +9,9 @@
 //! this family is the workhorse for building *reference* topologies when raw
 //! map data is unavailable.
 
+use crate::error::require;
 use crate::seq::powerlaw_degree_sequence;
-use crate::{GeneratedNetwork, Generator};
+use crate::{GeneratedNetwork, Generator, ModelError};
 use inet_graph::{MultiGraph, NodeId};
 use inet_stats::DynamicWeightedSampler;
 use rand::rngs::StdRng;
@@ -31,12 +32,22 @@ impl InetLike {
     ///
     /// # Panics
     ///
-    /// Panics unless `n >= 3`, `gamma > 1`, `kmin >= 1`.
+    /// Panics unless `n >= 3`, `gamma > 1`, `kmin >= 1`;
+    /// [`InetLike::try_new`] is the panic-free form.
+    #[allow(clippy::panic)] // documented fail-fast constructor
     pub fn new(n: usize, gamma: f64, kmin: u64) -> Self {
-        assert!(n >= 3, "need at least three nodes");
-        assert!(gamma > 1.0, "exponent must exceed 1");
-        assert!(kmin >= 1, "minimum degree must be positive");
-        InetLike { n, gamma, kmin }
+        match Self::try_new(n, gamma, kmin) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a generator, rejecting invalid parameters with a typed
+    /// error.
+    pub fn try_new(n: usize, gamma: f64, kmin: u64) -> Result<Self, ModelError> {
+        let g = InetLike { n, gamma, kmin };
+        Generator::validate(&g)?;
+        Ok(g)
     }
 
     /// The 2001 AS-map parameterization (`γ = 2.22`, `k_min = 1`).
@@ -48,6 +59,27 @@ impl InetLike {
 impl Generator for InetLike {
     fn name(&self) -> String {
         format!("Inet-like gamma={:.2}", self.gamma)
+    }
+
+    fn validate(&self) -> Result<(), ModelError> {
+        require(
+            self.n >= 3,
+            "Inet-like",
+            "need at least three nodes",
+            format!("n = {}", self.n),
+        )?;
+        require(
+            self.gamma > 1.0,
+            "Inet-like",
+            "exponent must exceed 1",
+            format!("gamma = {}", self.gamma),
+        )?;
+        require(
+            self.kmin >= 1 && self.kmin <= self.n as u64 - 1,
+            "Inet-like",
+            "minimum degree must be positive and below n",
+            format!("kmin = {}, n = {}", self.kmin, self.n),
+        )
     }
 
     fn generate(&self, rng: &mut StdRng) -> GeneratedNetwork {

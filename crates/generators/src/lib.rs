@@ -27,7 +27,13 @@
 //!   bit-identical topology),
 //! * returns a [`GeneratedNetwork`] carrying the weighted multigraph plus
 //!   whatever side information the model produces (positions, user counts),
-//! * documents its parameter ranges and panics early on invalid ones.
+//! * documents its parameter ranges; the `try_new` constructors and
+//!   [`Generator::validate`] reject invalid ones with a typed
+//!   [`ModelError`], while the legacy `new` constructors keep the
+//!   fail-fast panic for quick scripts,
+//! * can run through [`Generator::try_generate`], which validates first
+//!   and contains any growth-loop panic as a structured
+//!   [`ModelError::Internal`] instead of aborting the process.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +44,7 @@ pub mod bianconi;
 pub mod brite;
 pub mod config_model;
 pub mod erdos_renyi;
+pub mod error;
 pub mod fkp;
 pub mod geometric;
 pub mod glp;
@@ -59,6 +66,7 @@ pub use bianconi::{BianconiBarabasi, FitnessDistribution};
 pub use brite::BriteLike;
 pub use config_model::ConfigurationModel;
 pub use erdos_renyi::{Gnm, Gnp};
+pub use error::ModelError;
 pub use fkp::Fkp;
 pub use geometric::RandomGeometric;
 pub use glp::Glp;
@@ -103,7 +111,37 @@ pub trait Generator {
     fn name(&self) -> String;
 
     /// Generates one topology instance.
+    ///
+    /// May panic on invalid parameters (the legacy contract); callers that
+    /// must not die use [`Generator::try_generate`].
     fn generate(&self, rng: &mut StdRng) -> GeneratedNetwork;
+
+    /// Checks the current parameters against the model's documented domain.
+    /// The default accepts everything; every shipped model overrides it
+    /// with the same checks its `try_new` constructor performs (fields are
+    /// public, so a struct can drift invalid after construction).
+    fn validate(&self) -> Result<(), ModelError> {
+        Ok(())
+    }
+
+    /// Panic-free generation: validates, consults the
+    /// `generator.generate` failpoint, and contains any panic escaping the
+    /// growth loop as [`ModelError::Internal`].
+    fn try_generate(&self, rng: &mut StdRng) -> Result<GeneratedNetwork, ModelError> {
+        self.validate()?;
+        // The failpoint sits inside the containment boundary so an injected
+        // panic is caught exactly like a growth-loop panic would be.
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            inet_fault::check("generator.generate", 0).map(|()| self.generate(rng))
+        })) {
+            Ok(Ok(net)) => Ok(net),
+            Ok(Err(fault)) => Err(fault.into()),
+            Err(payload) => Err(ModelError::Internal {
+                model: self.name(),
+                message: error::panic_text(&*payload),
+            }),
+        }
+    }
 }
 
 #[cfg(test)]

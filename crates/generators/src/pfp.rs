@@ -11,7 +11,8 @@
 //!   `Π_i ∝ k_i^(1 + δ·log10 k_i)`, which reproduces the AS map's
 //!   rich-club core and `γ ≈ 2.22` with `δ = 0.048`.
 
-use crate::{GeneratedNetwork, Generator};
+use crate::error::require;
+use crate::{GeneratedNetwork, Generator, ModelError};
 use inet_graph::{MultiGraph, NodeId};
 use inet_stats::DynamicWeightedSampler;
 use rand::{rngs::StdRng, Rng};
@@ -35,15 +36,22 @@ impl Pfp {
     ///
     /// # Panics
     ///
-    /// Panics unless `p, q >= 0`, `p + q <= 1`, `delta >= 0`, `n >= 4`.
+    /// Panics unless `p, q >= 0`, `p + q <= 1`, `delta >= 0`, `n >= 4`;
+    /// [`Pfp::try_new`] is the panic-free form.
+    #[allow(clippy::panic)] // documented fail-fast constructor
     pub fn new(n: usize, p: f64, q: f64, delta: f64) -> Self {
-        assert!(
-            p >= 0.0 && q >= 0.0 && p + q <= 1.0,
-            "need p, q >= 0, p + q <= 1"
-        );
-        assert!(delta >= 0.0, "delta must be non-negative");
-        assert!(n >= 4, "need at least four nodes");
-        Pfp { n, p, q, delta }
+        match Self::try_new(n, p, q, delta) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a PFP generator, rejecting invalid parameters with a typed
+    /// error.
+    pub fn try_new(n: usize, p: f64, q: f64, delta: f64) -> Result<Self, ModelError> {
+        let g = Pfp { n, p, q, delta };
+        Generator::validate(&g)?;
+        Ok(g)
     }
 
     /// The published AS-map parameterization (`p = 0.3`, `q = 0.1`,
@@ -64,6 +72,27 @@ impl Pfp {
 impl Generator for Pfp {
     fn name(&self) -> String {
         format!("PFP p={:.2} q={:.2} d={:.3}", self.p, self.q, self.delta)
+    }
+
+    fn validate(&self) -> Result<(), ModelError> {
+        require(
+            self.p >= 0.0 && self.q >= 0.0 && self.p + self.q <= 1.0,
+            "PFP",
+            "need p, q >= 0, p + q <= 1",
+            format!("p = {}, q = {}", self.p, self.q),
+        )?;
+        require(
+            self.delta >= 0.0,
+            "PFP",
+            "delta must be non-negative",
+            format!("delta = {}", self.delta),
+        )?;
+        require(
+            self.n >= 4,
+            "PFP",
+            "need at least four nodes",
+            format!("n = {}", self.n),
+        )
     }
 
     fn generate(&self, rng: &mut StdRng) -> GeneratedNetwork {

@@ -30,7 +30,7 @@ pub use matching::{match_deficits, MatchStats};
 pub use params::{DistanceConstraint, SerranoParams};
 pub use users::UserPool;
 
-use crate::{GeneratedNetwork, Generator};
+use crate::{GeneratedNetwork, Generator, ModelError};
 use inet_graph::{MultiGraph, NodeId};
 use inet_spatial::{FractalSet, Point2};
 use rand::{rngs::StdRng, Rng};
@@ -70,9 +70,21 @@ pub struct SerranoModel {
 
 impl SerranoModel {
     /// Creates the model, validating parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on incoherent parameters; [`SerranoModel::try_new`] is the
+    /// panic-free form.
     pub fn new(params: SerranoParams) -> Self {
         params.validate();
         SerranoModel { params }
+    }
+
+    /// Creates the model, rejecting incoherent parameters with a typed
+    /// error.
+    pub fn try_new(params: SerranoParams) -> Result<Self, ModelError> {
+        params.try_validate()?;
+        Ok(SerranoModel { params })
     }
 
     /// Paper parameterization with the distance constraint.
@@ -236,6 +248,10 @@ impl Generator for SerranoModel {
             "nodist"
         };
         format!("Serrano r={:.1} {dist}", self.params.r)
+    }
+
+    fn validate(&self) -> Result<(), ModelError> {
+        self.params.try_validate()
     }
 
     fn generate(&self, rng: &mut StdRng) -> GeneratedNetwork {

@@ -1,5 +1,7 @@
 //! Parameters of the competition–adaptation model.
 
+use crate::error::require;
+use crate::ModelError;
 use serde::{Deserialize, Serialize};
 
 /// Distance-constraint configuration (the model's "with distance" variant).
@@ -126,34 +128,89 @@ impl SerranoParams {
     ///
     /// Panics when rates are non-positive, `α ≤ β` (demand could not keep up
     /// with supply), `δ′ ≤ α` (bandwidth would fall behind traffic),
-    /// `r ∉ [0, 1)`, or sizes are degenerate.
+    /// `r ∉ [0, 1)`, or sizes are degenerate;
+    /// [`SerranoParams::try_validate`] is the panic-free form.
+    #[allow(clippy::panic)] // documented fail-fast validator
     pub fn validate(&self) {
-        assert!(self.omega0 > 0.0, "omega0 must be positive");
-        assert!(self.n0 >= 1, "need at least one seed node");
-        assert!(self.b0 > 0.0, "b0 must be positive");
-        assert!(
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
+    }
+
+    /// Checks the same coherence constraints as
+    /// [`SerranoParams::validate`], but reports the first violation as a
+    /// typed [`ModelError`] instead of panicking.
+    pub fn try_validate(&self) -> Result<(), ModelError> {
+        const M: &str = "serrano";
+        require(
+            self.omega0 > 0.0,
+            M,
+            "omega0 must be positive",
+            format!("omega0 = {}", self.omega0),
+        )?;
+        require(
+            self.n0 >= 1,
+            M,
+            "need at least one seed node",
+            format!("n0 = {}", self.n0),
+        )?;
+        require(
+            self.b0 > 0.0,
+            M,
+            "b0 must be positive",
+            format!("b0 = {}", self.b0),
+        )?;
+        require(
             self.alpha > 0.0 && self.beta > 0.0 && self.delta_prime > 0.0,
-            "growth rates must be positive"
-        );
-        assert!(
+            M,
+            "growth rates must be positive",
+            format!(
+                "alpha = {}, beta = {}, delta' = {}",
+                self.alpha, self.beta, self.delta_prime
+            ),
+        )?;
+        require(
             self.alpha > self.beta,
-            "alpha > beta required: users must outgrow nodes (demand/supply balance)"
-        );
-        assert!(
+            M,
+            "alpha > beta required: users must outgrow nodes (demand/supply balance)",
+            format!("alpha = {}, beta = {}", self.alpha, self.beta),
+        )?;
+        require(
             self.delta_prime > self.alpha,
-            "delta' > alpha required: bandwidth adapts to growing per-user traffic"
-        );
-        assert!(self.lambda >= 0.0, "lambda must be non-negative");
-        assert!((0.0..1.0).contains(&self.r), "r must lie in [0, 1)");
-        assert!(
+            M,
+            "delta' > alpha required: bandwidth adapts to growing per-user traffic",
+            format!("delta' = {}, alpha = {}", self.delta_prime, self.alpha),
+        )?;
+        require(
+            self.lambda >= 0.0,
+            M,
+            "lambda must be non-negative",
+            format!("lambda = {}", self.lambda),
+        )?;
+        require(
+            (0.0..1.0).contains(&self.r),
+            M,
+            "r must lie in [0, 1)",
+            format!("r = {}", self.r),
+        )?;
+        require(
             self.theta >= 0.0,
-            "preference exponent must be non-negative"
-        );
-        assert!(self.target_n >= self.n0, "target size below seed size");
-        assert!(
+            M,
+            "preference exponent must be non-negative",
+            format!("theta = {}", self.theta),
+        )?;
+        require(
+            self.target_n >= self.n0,
+            M,
+            "target size below seed size",
+            format!("target_n = {}, n0 = {}", self.target_n, self.n0),
+        )?;
+        require(
             self.max_attempts_factor >= 1,
-            "need a positive attempt budget"
-        );
+            M,
+            "need a positive attempt budget",
+            format!("max_attempts_factor = {}", self.max_attempts_factor),
+        )
     }
 
     /// `τ = β/α` (AS size-distribution tail is `ω^-(1+τ)`).

@@ -8,7 +8,8 @@
 //! neighbors on each side; rewire each edge's far endpoint with
 //! probability `p` to a uniformly random node (no self-loops/duplicates).
 
-use crate::{GeneratedNetwork, Generator};
+use crate::error::require;
+use crate::{GeneratedNetwork, Generator, ModelError};
 use inet_graph::{MultiGraph, NodeId};
 use rand::{rngs::StdRng, Rng};
 
@@ -28,18 +29,49 @@ impl WattsStrogatz {
     ///
     /// # Panics
     ///
-    /// Panics unless `k` is even, `2 <= k < n`, and `0 <= p <= 1`.
+    /// Panics unless `k` is even, `2 <= k < n`, and `0 <= p <= 1`;
+    /// [`WattsStrogatz::try_new`] is the panic-free form.
+    #[allow(clippy::panic)] // documented fail-fast constructor
     pub fn new(n: usize, k: usize, p: f64) -> Self {
-        assert!(k % 2 == 0 && k >= 2, "ring degree must be even and >= 2");
-        assert!(k < n, "ring degree must be below n");
-        assert!((0.0..=1.0).contains(&p), "p must be a probability");
-        WattsStrogatz { n, k, p }
+        match Self::try_new(n, k, p) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a generator, rejecting invalid parameters with a typed
+    /// error.
+    pub fn try_new(n: usize, k: usize, p: f64) -> Result<Self, ModelError> {
+        let g = WattsStrogatz { n, k, p };
+        Generator::validate(&g)?;
+        Ok(g)
     }
 }
 
 impl Generator for WattsStrogatz {
     fn name(&self) -> String {
         format!("WS k={} p={:.2}", self.k, self.p)
+    }
+
+    fn validate(&self) -> Result<(), ModelError> {
+        require(
+            self.k % 2 == 0 && self.k >= 2,
+            "WS",
+            "ring degree must be even and >= 2",
+            format!("k = {}", self.k),
+        )?;
+        require(
+            self.k < self.n,
+            "WS",
+            "ring degree must be below n",
+            format!("n = {}, k = {}", self.n, self.k),
+        )?;
+        require(
+            (0.0..=1.0).contains(&self.p),
+            "WS",
+            "p must be a probability",
+            format!("p = {}", self.p),
+        )
     }
 
     fn generate(&self, rng: &mut StdRng) -> GeneratedNetwork {

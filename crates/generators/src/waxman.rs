@@ -8,7 +8,8 @@
 //! precisely because it *fails* to reproduce the AS map's heavy tail, which
 //! is why comparison tables include it.
 
-use crate::{GeneratedNetwork, Generator};
+use crate::error::require;
+use crate::{GeneratedNetwork, Generator, ModelError};
 use inet_graph::{MultiGraph, NodeId};
 use inet_spatial::pointset::uniform_points;
 use rand::{rngs::StdRng, Rng};
@@ -29,18 +30,41 @@ impl Waxman {
     ///
     /// # Panics
     ///
-    /// Panics unless `0 < q <= 1` and `0 < beta <= 1`.
+    /// Panics unless `0 < q <= 1` and `0 < beta <= 1`;
+    /// [`Waxman::try_new`] is the panic-free form.
+    #[allow(clippy::panic)] // documented fail-fast constructor
     pub fn new(n: usize, q: f64, beta: f64) -> Self {
-        assert!(q > 0.0 && q <= 1.0, "q must lie in (0, 1]");
-        assert!(beta > 0.0 && beta <= 1.0, "beta must lie in (0, 1]");
-        Waxman { n, q, beta }
+        match Self::try_new(n, q, beta) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a Waxman generator, rejecting invalid parameters with a
+    /// typed error.
+    pub fn try_new(n: usize, q: f64, beta: f64) -> Result<Self, ModelError> {
+        let g = Waxman { n, q, beta };
+        Generator::validate(&g)?;
+        Ok(g)
     }
 
     /// Chooses `q` to hit a target mean degree at the given `beta`, using
     /// the closed-form expectation of `exp(−d/(βL))` estimated by
     /// quasi-Monte-Carlo over a deterministic point grid (no RNG needed).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n >= 2` (and the `new` constraints hold).
+    #[allow(clippy::panic)] // documented fail-fast constructor
     pub fn with_mean_degree(n: usize, beta: f64, mean_degree: f64) -> Self {
-        assert!(n >= 2, "need at least two nodes");
+        if let Err(e) = require(
+            n >= 2,
+            "Waxman",
+            "need at least two nodes",
+            format!("n = {n}"),
+        ) {
+            panic!("{e}");
+        }
         // E[exp(-d/(beta*L))] over uniform pairs, estimated on a 32x32 grid.
         let l = 2f64.sqrt();
         let grid = 16usize;
@@ -65,6 +89,21 @@ impl Waxman {
 impl Generator for Waxman {
     fn name(&self) -> String {
         format!("Waxman q={:.3} beta={:.2}", self.q, self.beta)
+    }
+
+    fn validate(&self) -> Result<(), ModelError> {
+        require(
+            self.q > 0.0 && self.q <= 1.0,
+            "Waxman",
+            "q must lie in (0, 1]",
+            format!("q = {}", self.q),
+        )?;
+        require(
+            self.beta > 0.0 && self.beta <= 1.0,
+            "Waxman",
+            "beta must lie in (0, 1]",
+            format!("beta = {}", self.beta),
+        )
     }
 
     fn generate(&self, rng: &mut StdRng) -> GeneratedNetwork {

@@ -51,6 +51,55 @@ proptest! {
         }
     }
 
+    /// Arbitrary — including degenerate — parameters for every shipped
+    /// model either come back as a typed [`ModelError`] from `try_new` /
+    /// `try_generate`, or generate a structurally valid graph. Nothing in
+    /// the suite may panic on bad input.
+    #[test]
+    fn degenerate_parameters_never_panic(
+        seed in 0u64..1000,
+        n in 0usize..40,
+        m in 0usize..6,
+        a in -1.0f64..2.0,
+        b in -2.0f64..5.0,
+        k in 0u64..4,
+        degrees in proptest::collection::vec(0u64..6, 0..24),
+    ) {
+        let mut rng = seeded_rng(seed);
+        let attempts: Vec<Result<Box<dyn Generator>, ModelError>> = vec![
+            Gnp::try_new(n, a).map(|g| Box::new(g) as _),
+            Gnm::try_new(n, m * 7).map(|g| Box::new(g) as _),
+            BarabasiAlbert::try_new(n, m).map(|g| Box::new(g) as _),
+            AlbertBarabasiExtended::try_new(n, m, a, b).map(|g| Box::new(g) as _),
+            BianconiBarabasi::try_new(n, m, FitnessDistribution::Uniform).map(|g| Box::new(g) as _),
+            Glp::try_new(n, m, a, b).map(|g| Box::new(g) as _),
+            Pfp::try_new(n, a, b, a).map(|g| Box::new(g) as _),
+            InetLike::try_new(n, b, k).map(|g| Box::new(g) as _),
+            Waxman::try_new(n, a, b).map(|g| Box::new(g) as _),
+            Fkp::try_new(n, b).map(|g| Box::new(g) as _),
+            BriteLike::try_new(n, m, b, brite::Placement::Uniform).map(|g| Box::new(g) as _),
+            GohStatic::try_new(n, m, b).map(|g| Box::new(g) as _),
+            WattsStrogatz::try_new(n, m, a).map(|g| Box::new(g) as _),
+            RandomGeometric::try_new(n, a).map(|g| Box::new(g) as _),
+            ConfigurationModel::try_new(degrees.clone()).map(|g| Box::new(g) as _),
+            {
+                let mut params = SerranoParams::small(n.max(1));
+                params.r = a;
+                params.lambda = b * 0.01;
+                SerranoModel::try_new(params).map(|g| Box::new(g) as _)
+            },
+        ];
+        for generator in attempts.into_iter().flatten() {
+            match generator.try_generate(&mut rng) {
+                Ok(net) => prop_assert!(
+                    net.graph.validate().is_ok(),
+                    "{} produced an invalid graph", generator.name()
+                ),
+                Err(e) => prop_assert!(!e.to_string().is_empty()),
+            }
+        }
+    }
+
     /// The Serrano model respects its invariants for random small
     /// parameterizations: target size reached, users conserved and positive,
     /// bandwidth monotone.

@@ -26,6 +26,7 @@ pub const MAX_NODES: usize = 50_000_000;
 
 /// Writes `g` as a weighted edge list (one `u v w` line per distinct edge).
 pub fn write_edge_list<W: Write>(g: &MultiGraph, mut out: W) -> Result<()> {
+    inet_fault::check_contained("io.write", 0).map_err(|e| GraphError::Io(e.to_string()))?;
     writeln!(
         out,
         "# nodes {} edges {} weight {}",
@@ -49,6 +50,7 @@ pub fn write_edge_list<W: Write>(g: &MultiGraph, mut out: W) -> Result<()> {
 /// * Duplicate pairs accumulate weight.
 /// * Without a header, the resulting node count is `max id + 1`.
 pub fn read_edge_list<R: BufRead>(input: R) -> Result<MultiGraph> {
+    inet_fault::check_contained("io.read", 0).map_err(|e| GraphError::Io(e.to_string()))?;
     let mut edges: Vec<(usize, usize, u64)> = Vec::new();
     let mut max_node = 0usize;
     let mut declared_nodes: Option<usize> = None;

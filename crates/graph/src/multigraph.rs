@@ -388,6 +388,47 @@ mod tests {
     }
 
     #[test]
+    fn validate_catches_every_class_of_corruption() {
+        // The mutators cannot produce these states, so corrupt the private
+        // representation directly — this is what `--check-invariants` (and
+        // the debug-assertion path) must catch on a damaged graph.
+        let (mut g, a, b, _) = path3();
+        g.adj[a.index()].insert(b, 9); // symmetric entry left at 1
+        assert_eq!(g.validate(), Err(GraphError::MissingEdge(b, a)));
+
+        let (mut g, a, b, _) = path3();
+        g.adj[a.index()].insert(b, 0);
+        g.adj[b.index()].insert(a, 0);
+        assert_eq!(g.validate(), Err(GraphError::ZeroWeight));
+
+        let (mut g, a, _, _) = path3();
+        g.adj[a.index()].insert(a, 1);
+        assert_eq!(g.validate(), Err(GraphError::SelfLoop(a)));
+
+        let (mut g, ..) = path3();
+        g.edge_count = 5;
+        assert!(matches!(
+            g.validate(),
+            Err(GraphError::Parse { line: 0, .. })
+        ));
+
+        let (mut g, ..) = path3();
+        g.total_weight = 99;
+        assert!(matches!(
+            g.validate(),
+            Err(GraphError::Parse { line: 0, .. })
+        ));
+
+        let (mut g, _, b, c) = path3();
+        g.adj[b.index()].insert(NodeId::new(7), 1);
+        g.adj[c.index()].insert(NodeId::new(7), 1);
+        assert!(matches!(
+            g.validate(),
+            Err(GraphError::NodeOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
     fn neighbor_iteration_is_sorted() {
         let mut g = MultiGraph::new();
         let ids: Vec<NodeId> = (0..5).map(|_| g.add_node()).collect();

@@ -143,6 +143,9 @@ where
             }
         }
     }
+    // Not a new failure mode: re-raises the caught worker panic with the
+    // failing range attached, for the caller's containment layer.
+    #[allow(clippy::panic)]
     if let Some((range, payload)) = failure {
         panic!(
             "parallel worker panicked on items {}..{}: {}",
@@ -187,6 +190,8 @@ where
 {
     match catch_unwind(AssertUnwindSafe(|| work(scratch, range.clone()))) {
         Ok(t) => t,
+        // Same contract as the threaded path: re-raise with the range.
+        #[allow(clippy::panic)]
         Err(payload) => panic!(
             "parallel worker panicked on items {}..{}: {}",
             range.start,

@@ -18,6 +18,7 @@
 //! | [`randomize`] | degree-preserving double-edge-swap rewiring |
 //! | [`weighted`] | strength distribution, degree–strength scaling `k ∝ b^μ` |
 //! | [`report`] | one-call [`report::TopologyReport`] aggregating the headline scalars |
+//! | [`robust`] | panic-isolated, deadline-annotated battery ([`robust::measure_robust`]) with per-kernel [`robust::KernelStatus`] |
 //!
 //! Algorithmic notes:
 //!
@@ -54,6 +55,7 @@ pub mod paths;
 pub mod randomize;
 pub mod report;
 pub mod richclub;
+pub mod robust;
 pub mod tiers;
 pub mod weighted;
 
@@ -66,3 +68,4 @@ pub use knn::KnnStats;
 pub use loops::CycleCensus;
 pub use paths::PathStats;
 pub use report::TopologyReport;
+pub use robust::{measure_robust, KernelStatus, RobustOptions, RobustReport};

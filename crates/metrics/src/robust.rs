@@ -1,0 +1,374 @@
+//! Panic-isolated, deadline-aware wrapper around the metrics battery.
+//!
+//! [`measure_robust`] runs the same six kernels as
+//! [`TopologyReport::measure_with`], but each kernel is fenced:
+//!
+//! * a panic inside one kernel is caught and surfaced as
+//!   [`KernelStatus::Failed`] while every other kernel still reports its
+//!   numbers (the failing kernel's fields fall back to the same neutral
+//!   values an empty graph produces);
+//! * a kernel that finishes but overruns the configured soft deadline is
+//!   annotated [`KernelStatus::Degraded`] — the numbers are still exact,
+//!   the status tells the operator the budget was blown;
+//! * the `metrics.kernel` failpoint (scope = kernel index) lets the chaos
+//!   suite force any single kernel to fail deterministically.
+//!
+//! The numeric content of the report stays bit-identical to the plain
+//! battery for every thread count; only the status annotations carry
+//! timing, so determinism checks compare [`RobustReport::report`].
+
+use crate::clustering::ClusteringStats;
+use crate::degree::DegreeStats;
+use crate::engine::paths_and_betweenness;
+use crate::kcore::KCoreDecomposition;
+use crate::knn::KnnStats;
+use crate::report::{ReportOptions, TopologyReport};
+use inet_graph::traversal::giant_fraction;
+use inet_graph::Csr;
+use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+/// Kernel names, indexed by the `metrics.kernel` failpoint scope.
+pub const KERNEL_NAMES: [&str; 6] = [
+    "degree",
+    "clustering",
+    "knn",
+    "kcore",
+    "paths+betweenness",
+    "giant",
+];
+
+/// Outcome of one metric kernel inside [`measure_robust`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum KernelStatus {
+    /// Finished within budget; wall-clock spent.
+    Ok {
+        /// Elapsed milliseconds.
+        millis: u64,
+    },
+    /// Finished, but past the soft deadline — results are exact, the
+    /// budget was not.
+    Degraded {
+        /// Elapsed milliseconds.
+        millis: u64,
+        /// The soft deadline that was overrun.
+        deadline_millis: u64,
+    },
+    /// The kernel died (caught panic) or an injected fault fired; its
+    /// fields in the report hold neutral fallback values.
+    Failed {
+        /// Best-effort failure description.
+        reason: String,
+    },
+}
+
+impl KernelStatus {
+    /// True unless the kernel failed outright.
+    pub fn produced_values(&self) -> bool {
+        !matches!(self, KernelStatus::Failed { .. })
+    }
+}
+
+/// Options for [`measure_robust`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RobustOptions {
+    /// Sampling effort, forwarded to the kernels.
+    pub report: ReportOptions,
+    /// Per-kernel soft deadline in milliseconds. A kernel that overruns it
+    /// still completes (results stay deterministic) but is annotated
+    /// [`KernelStatus::Degraded`]. `None` disables the check.
+    pub soft_deadline_millis: Option<u64>,
+}
+
+/// A [`TopologyReport`] plus per-kernel status annotations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustReport {
+    /// The aggregate report. Fields owned by a failed kernel hold the same
+    /// neutral values an empty graph would produce.
+    pub report: TopologyReport,
+    /// One `(kernel name, status)` entry per kernel, in
+    /// [`KERNEL_NAMES`] order.
+    pub kernels: Vec<(&'static str, KernelStatus)>,
+}
+
+impl RobustReport {
+    /// True when every kernel produced its values (none failed).
+    pub fn fully_ok(&self) -> bool {
+        self.kernels.iter().all(|(_, s)| s.produced_values())
+    }
+
+    /// The failed kernels, `(name, reason)` pairs.
+    pub fn failures(&self) -> Vec<(&'static str, &str)> {
+        self.kernels
+            .iter()
+            .filter_map(|(name, s)| match s {
+                KernelStatus::Failed { reason } => Some((*name, reason.as_str())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Renders one `kernel: status` line per kernel.
+    pub fn render_status(&self) -> String {
+        self.kernels
+            .iter()
+            .map(|(name, s)| match s {
+                KernelStatus::Ok { millis } => format!("{name}: ok ({millis} ms)"),
+                KernelStatus::Degraded {
+                    millis,
+                    deadline_millis,
+                } => format!("{name}: degraded ({millis} ms > {deadline_millis} ms deadline)"),
+                KernelStatus::Failed { reason } => format!("{name}: FAILED ({reason})"),
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Best-effort text from a caught panic payload.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one kernel behind the failpoint + panic fence.
+fn run_kernel<T>(
+    index: usize,
+    deadline: Option<u64>,
+    f: impl FnOnce() -> T,
+) -> (Option<T>, KernelStatus) {
+    let start = Instant::now();
+    // The failpoint sits inside the fence so its Panic action is contained
+    // exactly like a real kernel panic.
+    match catch_unwind(AssertUnwindSafe(|| {
+        inet_fault::check("metrics.kernel", index as u64).map(|()| f())
+    })) {
+        Ok(Err(e)) => (
+            None,
+            KernelStatus::Failed {
+                reason: e.to_string(),
+            },
+        ),
+        Ok(Ok(value)) => {
+            let elapsed = start.elapsed();
+            let millis = elapsed.as_millis() as u64;
+            // Compare on the un-truncated duration so sub-millisecond
+            // kernels still overrun a 0 ms deadline.
+            let status = match deadline {
+                Some(d) if elapsed.as_secs_f64() * 1000.0 > d as f64 => KernelStatus::Degraded {
+                    millis,
+                    deadline_millis: d,
+                },
+                _ => KernelStatus::Ok { millis },
+            };
+            (Some(value), status)
+        }
+        Err(payload) => (
+            None,
+            KernelStatus::Failed {
+                reason: panic_text(&*payload),
+            },
+        ),
+    }
+}
+
+/// Measures the full battery with per-kernel panic isolation and deadline
+/// annotation. A kernel that fails (panic or injected fault) zeroes only
+/// its own fields; the other kernels' numbers are reported normally.
+pub fn measure_robust(g: &Csr, opt: RobustOptions) -> RobustReport {
+    let o = opt.report;
+    let deadline = opt.soft_deadline_millis;
+
+    let (degree, s_degree) = run_kernel(0, deadline, || DegreeStats::measure(g));
+    let (clustering, s_clustering) = run_kernel(1, deadline, || {
+        ClusteringStats::measure_threaded(g, o.threads)
+    });
+    let (knn, s_knn) = run_kernel(2, deadline, || KnnStats::measure_threaded(g, o.threads));
+    let (kcore, s_kcore) = run_kernel(3, deadline, || KCoreDecomposition::measure(g));
+    let (fused, s_fused) = run_kernel(4, deadline, || {
+        paths_and_betweenness(g, o.path_sources, o.betweenness_sources, o.threads)
+    });
+    let (giant, s_giant) = run_kernel(5, deadline, || giant_fraction(g));
+
+    let (mean_degree, max_degree, gamma) = match &degree {
+        Some(d) => (d.mean, d.max, d.powerlaw_fit().map(|f| f.gamma)),
+        None => (0.0, 0, None),
+    };
+    let (mean_clustering, transitivity, triangles) = match &clustering {
+        Some(c) => (c.mean_local, c.transitivity, c.triangle_count),
+        None => (0.0, 0.0, 0),
+    };
+    let assortativity = knn.as_ref().map(|k| k.assortativity).unwrap_or(0.0);
+    let coreness = kcore.as_ref().map(|k| k.coreness()).unwrap_or(0);
+    let (mean_path_length, diameter, max_betweenness) = match &fused {
+        Some(f) => (
+            f.paths.mean,
+            f.paths.diameter,
+            f.betweenness.iter().copied().fold(0.0, f64::max),
+        ),
+        None => (0.0, 0, 0.0),
+    };
+    let giant_fraction = giant.unwrap_or(0.0);
+
+    RobustReport {
+        report: TopologyReport {
+            nodes: g.node_count(),
+            edges: g.edge_count(),
+            mean_degree,
+            max_degree,
+            gamma,
+            mean_clustering,
+            transitivity,
+            assortativity,
+            mean_path_length,
+            diameter,
+            coreness,
+            giant_fraction,
+            triangles,
+            max_betweenness,
+        },
+        kernels: vec![
+            (KERNEL_NAMES[0], s_degree),
+            (KERNEL_NAMES[1], s_clustering),
+            (KERNEL_NAMES[2], s_knn),
+            (KERNEL_NAMES[3], s_kcore),
+            (KERNEL_NAMES[4], s_fused),
+            (KERNEL_NAMES[5], s_giant),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> Csr {
+        let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        Csr::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn matches_the_plain_battery_when_nothing_fails() {
+        let g = ring(60);
+        let opt = ReportOptions {
+            path_sources: 20,
+            betweenness_sources: 10,
+            threads: 2,
+        };
+        let plain = TopologyReport::measure_with(&g, opt);
+        let robust = measure_robust(
+            &g,
+            RobustOptions {
+                report: opt,
+                soft_deadline_millis: None,
+            },
+        );
+        assert_eq!(robust.report, plain);
+        assert!(robust.fully_ok());
+        assert_eq!(robust.kernels.len(), KERNEL_NAMES.len());
+    }
+
+    #[test]
+    fn report_field_is_thread_count_invariant() {
+        let g = ring(80);
+        let make = |threads| {
+            measure_robust(
+                &g,
+                RobustOptions {
+                    report: ReportOptions {
+                        path_sources: 16,
+                        betweenness_sources: 8,
+                        threads,
+                    },
+                    soft_deadline_millis: None,
+                },
+            )
+            .report
+        };
+        let base = make(1);
+        for threads in [2, 7] {
+            assert_eq!(base, make(threads), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn zero_deadline_marks_kernels_degraded_not_failed() {
+        // With a 0 ms soft deadline every kernel overruns, but all values
+        // must still be exact — degradation is an annotation, not a cut.
+        let g = ring(40);
+        let opt = ReportOptions {
+            path_sources: 10,
+            betweenness_sources: 5,
+            threads: 1,
+        };
+        let robust = measure_robust(
+            &g,
+            RobustOptions {
+                report: opt,
+                soft_deadline_millis: Some(0),
+            },
+        );
+        assert!(robust.fully_ok());
+        assert_eq!(robust.report, TopologyReport::measure_with(&g, opt));
+        assert!(robust
+            .kernels
+            .iter()
+            .any(|(_, s)| matches!(s, KernelStatus::Degraded { .. })));
+        assert!(robust.render_status().contains("degraded"));
+    }
+
+    /// Acceptance check: force one kernel to fail through the failpoint —
+    /// the report must still carry every other kernel's numbers, with the
+    /// failing kernel marked and its fields neutral.
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn injected_kernel_failure_yields_partial_report() {
+        let g = ring(50);
+        let opt = ReportOptions {
+            path_sources: 10,
+            betweenness_sources: 5,
+            threads: 2,
+        };
+        let plain = TopologyReport::measure_with(&g, opt);
+        let _guard = inet_fault::install(inet_fault::FaultPlan::single(
+            "metrics.kernel",
+            Some(1), // the clustering kernel
+            inet_fault::FaultAction::Error,
+        ));
+        let robust = measure_robust(
+            &g,
+            RobustOptions {
+                report: opt,
+                soft_deadline_millis: None,
+            },
+        );
+        assert!(!robust.fully_ok());
+        let failures = robust.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].0, "clustering");
+        // Clustering fields fall back to neutral values...
+        assert_eq!(robust.report.mean_clustering, 0.0);
+        assert_eq!(robust.report.triangles, 0);
+        // ...while every other kernel's numbers survive.
+        assert_eq!(robust.report.mean_degree, plain.mean_degree);
+        assert_eq!(robust.report.coreness, plain.coreness);
+        assert_eq!(robust.report.diameter, plain.diameter);
+        assert_eq!(robust.report.giant_fraction, plain.giant_fraction);
+        assert!(robust.render_status().contains("FAILED"));
+    }
+
+    #[test]
+    fn status_render_lists_every_kernel() {
+        let g = ring(20);
+        let text = measure_robust(&g, RobustOptions::default()).render_status();
+        for name in KERNEL_NAMES {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+    }
+}

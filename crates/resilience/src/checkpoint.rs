@@ -7,12 +7,30 @@
 //! skips every cell already present — an interrupted run finishes instead
 //! of restarting.
 //!
+//! Persistence is hardened against a flaky filesystem:
+//!
+//! * **Retries** — [`Checkpoint::save_with_retry`] and
+//!   [`Checkpoint::load_recovering`] retry transient IO failures under a
+//!   [`RetryPolicy`]: capped exponential backoff with *deterministic*
+//!   jitter (SplitMix64 of the attempt index — no wall clock, no RNG), so
+//!   chaos runs replay identically.
+//! * **Torn-write recovery** — every save rotates the previous generation
+//!   to `<path>.bak` before renaming the new file into place. A load that
+//!   finds the primary file truncated or otherwise unparseable falls back
+//!   to the backup; only when both are unusable does it fail, with a typed
+//!   [`CheckpointError`].
+//! * **Field-level incompatibility diagnosis** — the document stores the
+//!   human-readable config string alongside the fingerprint, so resuming
+//!   against the wrong sweep reports *which field* differs
+//!   (`checkpoint incompatible: seed (...)`), not just a hash mismatch.
+//!
 //! The file format is a small, versioned JSON document:
 //!
 //! ```json
 //! {
 //!   "version": 1,
 //!   "fingerprint": "9a3c…",          // FNV-1a 64 over graph + config, hex
+//!   "config": "v1 strategies=[…] …", // optional; enables field diagnosis
 //!   "cells": [
 //!     {"strategy": "degree", "replica": 0, "resampled": false,
 //!      "nodes": 500, "edges": 1234, "critical_fraction": 0.062,
@@ -30,12 +48,156 @@
 
 use crate::percolation::{AttackCurve, CurvePoint};
 use inet_graph::Csr;
+use std::fmt;
 use std::fmt::Write as _;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Format version written by this build; loads of other versions fail.
+/// (The optional `config` field is additive: version 1 documents without
+/// it still load.)
 pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// A typed checkpoint failure. `Display` is one line and stable enough for
+/// the CLI to show verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The file could not be read or written, even after retries.
+    Io {
+        /// Checkpoint path.
+        path: PathBuf,
+        /// Last OS error, annotated with the attempt count.
+        message: String,
+    },
+    /// The file (and its backup, if any) is not a valid checkpoint.
+    Parse {
+        /// Checkpoint path.
+        path: PathBuf,
+        /// Parser diagnostic for the primary file.
+        message: String,
+    },
+    /// The checkpoint belongs to a different `(graph, configuration)`.
+    Incompatible {
+        /// The first differing configuration field (`seed`, `strategies`,
+        /// …), or `graph` when the configs match and the graph itself
+        /// differs, or `fingerprint` for legacy files without a stored
+        /// config.
+        field: String,
+        /// What this run expects for that field.
+        expected: String,
+        /// What the checkpoint holds.
+        found: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { path, message } => {
+                write!(f, "cannot access checkpoint {}: {message}", path.display())
+            }
+            CheckpointError::Parse { path, message } => write!(
+                f,
+                "cannot parse checkpoint {}: {message} (no usable backup)",
+                path.display()
+            ),
+            CheckpointError::Incompatible {
+                field,
+                expected,
+                found,
+            } => write!(
+                f,
+                "checkpoint incompatible: {field} (checkpoint has {found}, this run has {expected})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Retry schedule for checkpoint IO: capped exponential backoff with
+/// deterministic jitter. The jitter derives from SplitMix64 of the attempt
+/// index — no wall clock, no RNG — so a chaos replay sleeps the exact same
+/// schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included); at least 1 is always made.
+    pub attempts: u32,
+    /// Backoff before retry `k` is `base_delay_ms << k`, capped below.
+    pub base_delay_ms: u64,
+    /// Cap on the exponential term (jitter may add up to 25% on top).
+    pub max_delay_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            base_delay_ms: 10,
+            max_delay_ms: 200,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The default attempt count with zero sleeping — for tests.
+    pub fn no_delay() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            base_delay_ms: 0,
+            max_delay_ms: 0,
+        }
+    }
+
+    /// Backoff in milliseconds after failed attempt `attempt` (0-based):
+    /// `min(base << attempt, max)` plus deterministic jitter in
+    /// `[0, capped/4]`.
+    pub fn delay_ms(&self, attempt: u32) -> u64 {
+        let exp = self
+            .base_delay_ms
+            .saturating_mul(1u64 << attempt.min(16) as u64);
+        let capped = exp.min(self.max_delay_ms);
+        capped + splitmix64(attempt as u64 + 1) % (capped / 4 + 1)
+    }
+
+    fn pause(&self, attempt: u32) {
+        let ms = self.delay_ms(attempt);
+        if ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+    }
+}
+
+/// Renders a caught attempt-panic payload as a retryable message.
+fn attempt_panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        format!("attempt panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("attempt panicked: {s}")
+    } else {
+        "attempt panicked (non-string payload)".to_string()
+    }
+}
+
+/// SplitMix64 — the deterministic jitter source (no `rand` dependency).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A successfully loaded checkpoint, flagging whether the torn-write
+/// recovery path had to fall back to the `.bak` generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadedCheckpoint {
+    /// The checkpoint contents.
+    pub checkpoint: Checkpoint,
+    /// `true` when the primary file was missing or unparseable and the
+    /// backup supplied the state (the previous generation: recent cells
+    /// may be recomputed, never corrupted).
+    pub recovered_from_backup: bool,
+}
 
 /// One finished `(strategy, replica)` cell.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,6 +231,10 @@ pub struct FailureRecord {
 pub struct Checkpoint {
     /// Graph+config fingerprint the cells belong to.
     pub fingerprint: u64,
+    /// Human-readable configuration string the fingerprint was computed
+    /// over (`None` in files written before it was recorded). Lets a
+    /// mismatch name the differing field instead of just the hash.
+    pub config: Option<String>,
     /// Completed cells, in completion order.
     pub cells: Vec<CellRecord>,
     /// Caught worker panics, in occurrence order.
@@ -106,9 +272,71 @@ impl Checkpoint {
     pub fn new(fingerprint: u64) -> Self {
         Checkpoint {
             fingerprint,
+            config: None,
             cells: Vec::new(),
             failures: Vec::new(),
         }
+    }
+
+    /// A fresh checkpoint that also records the config string the
+    /// fingerprint was computed over (enables field-level mismatch
+    /// diagnosis on resume).
+    pub fn with_config(fingerprint: u64, config: String) -> Self {
+        Checkpoint {
+            config: Some(config),
+            ..Checkpoint::new(fingerprint)
+        }
+    }
+
+    /// Explains why this checkpoint cannot serve a run whose fingerprint is
+    /// `expected_fingerprint` over `expected_config` — or `None` when it
+    /// can. Names the first differing configuration field when the stored
+    /// config string allows it.
+    pub fn diagnose_incompatibility(
+        &self,
+        expected_fingerprint: u64,
+        expected_config: &str,
+    ) -> Option<CheckpointError> {
+        if self.fingerprint == expected_fingerprint {
+            return None;
+        }
+        if let Some(stored) = &self.config {
+            if stored == expected_config {
+                // Same sweep shape, different graph bytes.
+                return Some(CheckpointError::Incompatible {
+                    field: "graph".to_string(),
+                    expected: format!("fingerprint {expected_fingerprint:016x}"),
+                    found: format!("fingerprint {:016x}", self.fingerprint),
+                });
+            }
+            let stored_toks: Vec<&str> = stored.split_whitespace().collect();
+            let expect_toks: Vec<&str> = expected_config.split_whitespace().collect();
+            for i in 0..stored_toks.len().max(expect_toks.len()) {
+                let s = stored_toks.get(i).copied().unwrap_or("<missing>");
+                let e = expect_toks.get(i).copied().unwrap_or("<missing>");
+                if s != e {
+                    let key_src = if e == "<missing>" { s } else { e };
+                    let field = key_src
+                        .split('=')
+                        .next()
+                        .filter(|k| !k.is_empty())
+                        .unwrap_or("config")
+                        .to_string();
+                    return Some(CheckpointError::Incompatible {
+                        field,
+                        expected: e.to_string(),
+                        found: s.to_string(),
+                    });
+                }
+            }
+        }
+        // Legacy file without a config string (or an undetectable diff):
+        // all we can report is the hash.
+        Some(CheckpointError::Incompatible {
+            field: "fingerprint".to_string(),
+            expected: format!("{expected_fingerprint:016x}"),
+            found: format!("{:016x}", self.fingerprint),
+        })
     }
 
     /// `true` if a cell for `(strategy, replica)` is already recorded.
@@ -124,6 +352,9 @@ impl Checkpoint {
         out.push_str("{\n");
         let _ = writeln!(out, "  \"version\": {CHECKPOINT_VERSION},");
         let _ = writeln!(out, "  \"fingerprint\": \"{:016x}\",", self.fingerprint);
+        if let Some(config) = &self.config {
+            let _ = writeln!(out, "  \"config\": {},", json_string(config));
+        }
         out.push_str("  \"cells\": [");
         for (i, cell) in self.cells.iter().enumerate() {
             out.push_str(if i == 0 { "\n" } else { ",\n" });
@@ -178,6 +409,11 @@ impl Checkpoint {
         }
         let fingerprint = u64::from_str_radix(root.field("fingerprint")?.as_str()?, 16)
             .map_err(|e| format!("bad checkpoint fingerprint: {e}"))?;
+        // Optional (absent in files written before it existed).
+        let config = match root.field("config") {
+            Ok(v) => Some(v.as_str()?.to_string()),
+            Err(_) => None,
+        };
         let mut cells = Vec::new();
         for cell in root.field("cells")?.as_array()? {
             let points = cell
@@ -220,31 +456,142 @@ impl Checkpoint {
         }
         Ok(Checkpoint {
             fingerprint,
+            config,
             cells,
             failures,
         })
     }
 
     /// Atomically writes the checkpoint to `path` (via `<path>.tmp` +
-    /// rename), so a crash mid-write never corrupts an existing file.
+    /// rename, rotating the previous generation to `<path>.bak`), so a
+    /// crash mid-write never corrupts an existing file. Convenience
+    /// wrapper over [`Checkpoint::save_with_retry`] with the default
+    /// [`RetryPolicy`].
     pub fn save(&self, path: &Path) -> io::Result<()> {
+        self.save_with_retry(path, &RetryPolicy::default())
+            .map_err(io::Error::other)
+    }
+
+    /// Writes the checkpoint atomically, retrying transient failures under
+    /// `retry`. The write sequence is: serialize to `<path>.tmp`, rotate
+    /// any existing `<path>` to `<path>.bak`, rename the tmp into place —
+    /// at every instant either the new file, the old file, or the backup
+    /// is complete on disk.
+    pub fn save_with_retry(&self, path: &Path, retry: &RetryPolicy) -> Result<(), CheckpointError> {
+        let mut last = String::from("no attempt made");
+        for attempt in 0..retry.attempts.max(1) {
+            if attempt > 0 {
+                retry.pause(attempt - 1);
+            }
+            // Each attempt is panic-fenced: an injected (or real) panic
+            // inside one write attempt is just a failed attempt to retry.
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.save_once(path, attempt as u64)
+            })) {
+                Ok(Ok(())) => return Ok(()),
+                Ok(Err(e)) => last = e,
+                Err(payload) => last = attempt_panic_text(payload),
+            }
+        }
+        Err(CheckpointError::Io {
+            path: path.to_path_buf(),
+            message: format!("{last} (after {} attempts)", retry.attempts.max(1)),
+        })
+    }
+
+    /// One write attempt. `attempt` is the retry index — the scope key of
+    /// the `checkpoint.write` failpoint, so a chaos plan can fail exactly
+    /// the first attempt and watch the retry recover.
+    fn save_once(&self, path: &Path, attempt: u64) -> Result<(), String> {
+        inet_fault::check("checkpoint.write", attempt).map_err(|e| e.to_string())?;
         let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, self.to_json())?;
-        std::fs::rename(&tmp, path)
+        std::fs::write(&tmp, self.to_json())
+            .map_err(|e| format!("write {}: {e}", tmp.display()))?;
+        if path.exists() {
+            let bak = path.with_extension("bak");
+            std::fs::rename(path, &bak)
+                .map_err(|e| format!("rotate backup {}: {e}", bak.display()))?;
+        }
+        std::fs::rename(&tmp, path).map_err(|e| format!("rename to {}: {e}", path.display()))
     }
 
     /// Loads a checkpoint from `path`. Returns `Ok(None)` when the file
     /// does not exist (a fresh run), `Err` on unreadable or malformed
-    /// content.
+    /// content. Convenience wrapper over [`Checkpoint::load_recovering`]
+    /// that drops the backup-recovery flag.
     pub fn load(path: &Path) -> Result<Option<Checkpoint>, String> {
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(format!("cannot read checkpoint {}: {e}", path.display())),
-        };
-        Checkpoint::parse(&text)
-            .map(Some)
-            .map_err(|e| format!("cannot parse checkpoint {}: {e}", path.display()))
+        Checkpoint::load_recovering(path, &RetryPolicy::default())
+            .map(|opt| opt.map(|loaded| loaded.checkpoint))
+            .map_err(|e| e.to_string())
+    }
+
+    /// Loads a checkpoint, retrying transient IO failures under `retry`
+    /// and falling back to the `<path>.bak` generation when the primary
+    /// file is torn (truncated mid-write) or missing while a backup
+    /// exists. Returns `Ok(None)` only when neither file exists.
+    pub fn load_recovering(
+        path: &Path,
+        retry: &RetryPolicy,
+    ) -> Result<Option<LoadedCheckpoint>, CheckpointError> {
+        let mut last = String::from("no attempt made");
+        for attempt in 0..retry.attempts.max(1) {
+            if attempt > 0 {
+                retry.pause(attempt - 1);
+            }
+            match std::panic::catch_unwind(|| inet_fault::check("checkpoint.read", attempt as u64))
+            {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    last = e.to_string();
+                    continue;
+                }
+                Err(payload) => {
+                    last = attempt_panic_text(payload);
+                    continue;
+                }
+            }
+            match std::fs::read_to_string(path) {
+                Ok(text) => {
+                    // Parse failures are deterministic — retrying the read
+                    // cannot help; go straight to the backup.
+                    return match Checkpoint::parse(&text) {
+                        Ok(checkpoint) => Ok(Some(LoadedCheckpoint {
+                            checkpoint,
+                            recovered_from_backup: false,
+                        })),
+                        Err(message) => match Self::parse_backup(path) {
+                            Some(checkpoint) => Ok(Some(LoadedCheckpoint {
+                                checkpoint,
+                                recovered_from_backup: true,
+                            })),
+                            None => Err(CheckpointError::Parse {
+                                path: path.to_path_buf(),
+                                message,
+                            }),
+                        },
+                    };
+                }
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                    // A crash between "rotate to .bak" and "rename tmp into
+                    // place" leaves only the backup; recover it.
+                    return Ok(Self::parse_backup(path).map(|checkpoint| LoadedCheckpoint {
+                        checkpoint,
+                        recovered_from_backup: true,
+                    }));
+                }
+                Err(e) => last = e.to_string(),
+            }
+        }
+        Err(CheckpointError::Io {
+            path: path.to_path_buf(),
+            message: format!("{last} (after {} attempts)", retry.attempts.max(1)),
+        })
+    }
+
+    /// The `<path>.bak` generation, if present and parseable.
+    fn parse_backup(path: &Path) -> Option<Checkpoint> {
+        let text = std::fs::read_to_string(path.with_extension("bak")).ok()?;
+        Checkpoint::parse(&text).ok()
     }
 }
 
@@ -587,5 +934,174 @@ mod tests {
         assert_ne!(fingerprint(&a, "cfg"), fingerprint(&b, "cfg"));
         assert_ne!(fingerprint(&a, "cfg"), fingerprint(&a, "cfg2"));
         assert_eq!(fingerprint(&a, "cfg"), fingerprint(&a, "cfg"));
+    }
+
+    #[test]
+    fn config_field_round_trips_and_stays_optional() {
+        let mut ck = sample_checkpoint();
+        ck.config = Some("v1 strategies=[random] replicas=2 seed=7".to_string());
+        let text = ck.to_json();
+        assert!(text.contains("\"config\""));
+        assert_eq!(Checkpoint::parse(&text).unwrap(), ck);
+        // Legacy documents without the field still load, with config None.
+        let legacy = sample_checkpoint();
+        assert!(!legacy.to_json().contains("\"config\""));
+        assert_eq!(Checkpoint::parse(&legacy.to_json()).unwrap().config, None);
+    }
+
+    #[test]
+    fn truncated_checkpoint_recovers_previous_generation_from_backup() {
+        let dir = std::env::temp_dir().join("inet-resilience-ckpt-torn");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.json");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(path.with_extension("bak"));
+
+        let gen1 = sample_checkpoint();
+        gen1.save(&path).unwrap();
+        let mut gen2 = gen1.clone();
+        gen2.cells.push(CellRecord {
+            strategy: "kcore".to_string(),
+            replica: 0,
+            resampled: false,
+            curve: AttackCurve {
+                nodes: 5,
+                edges: 4,
+                points: vec![],
+                critical_fraction: 0.2,
+            },
+        });
+        gen2.save(&path).unwrap();
+        assert!(path.with_extension("bak").exists(), "save must rotate .bak");
+
+        // Tear the primary file mid-write: keep only the first half.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+
+        let loaded = Checkpoint::load_recovering(&path, &RetryPolicy::no_delay())
+            .unwrap()
+            .expect("backup must recover");
+        assert!(loaded.recovered_from_backup);
+        assert_eq!(loaded.checkpoint, gen1, "backup is the previous generation");
+
+        // With the backup also gone, the torn file is a structured error.
+        std::fs::remove_file(path.with_extension("bak")).unwrap();
+        let err = Checkpoint::load_recovering(&path, &RetryPolicy::no_delay()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Parse { .. }), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_primary_with_backup_recovers() {
+        let dir = std::env::temp_dir().join("inet-resilience-ckpt-missing");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.json");
+        let _ = std::fs::remove_file(&path);
+        let ck = sample_checkpoint();
+        ck.save(&path.with_extension("bak")).unwrap();
+        // Crash window: primary already rotated away, replacement not yet
+        // renamed into place.
+        let loaded = Checkpoint::load_recovering(&path, &RetryPolicy::no_delay())
+            .unwrap()
+            .expect("backup must recover");
+        assert!(loaded.recovered_from_backup);
+        assert_eq!(loaded.checkpoint, ck);
+        std::fs::remove_file(path.with_extension("bak")).unwrap();
+        // Neither file: a fresh run.
+        assert_eq!(
+            Checkpoint::load_recovering(&path, &RetryPolicy::no_delay()).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn incompatibility_names_the_differing_field() {
+        let mk = |config: &str| Checkpoint::with_config(1, config.to_string());
+        let current = "v1 strategies=[random,degree] replicas=3 seed=42 record=1 bc_sources=8";
+
+        // Matching fingerprint: compatible regardless of anything else.
+        assert_eq!(mk("whatever").diagnose_incompatibility(1, current), None);
+
+        let stored = "v1 strategies=[random,degree] replicas=3 seed=7 record=1 bc_sources=8";
+        match mk(stored).diagnose_incompatibility(2, current) {
+            Some(CheckpointError::Incompatible {
+                field,
+                expected,
+                found,
+            }) => {
+                assert_eq!(field, "seed");
+                assert_eq!(expected, "seed=42");
+                assert_eq!(found, "seed=7");
+            }
+            other => panic!("expected Incompatible, got {other:?}"),
+        }
+        let e = mk(stored).diagnose_incompatibility(2, current).unwrap();
+        assert!(
+            e.to_string().contains("checkpoint incompatible: seed"),
+            "{e}"
+        );
+
+        // Same config string, different fingerprint → the graph differs.
+        match mk(current).diagnose_incompatibility(2, current) {
+            Some(CheckpointError::Incompatible { field, .. }) => assert_eq!(field, "graph"),
+            other => panic!("expected Incompatible, got {other:?}"),
+        }
+
+        // Legacy checkpoint without a stored config → hash-only report.
+        match Checkpoint::new(1).diagnose_incompatibility(2, current) {
+            Some(CheckpointError::Incompatible { field, .. }) => assert_eq!(field, "fingerprint"),
+            other => panic!("expected Incompatible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retry_delays_are_deterministic_and_capped() {
+        let policy = RetryPolicy::default();
+        for attempt in 0..8 {
+            let a = policy.delay_ms(attempt);
+            let b = policy.delay_ms(attempt);
+            assert_eq!(a, b, "jitter must be deterministic");
+            assert!(
+                a <= policy.max_delay_ms + policy.max_delay_ms / 4,
+                "attempt {attempt}: delay {a} above cap"
+            );
+        }
+        // Backoff grows until the cap bites.
+        assert!(policy.delay_ms(1) > policy.delay_ms(0));
+        assert_eq!(RetryPolicy::no_delay().delay_ms(3), 0);
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn injected_write_fault_is_retried_and_recovered() {
+        use inet_fault::{FaultAction, FaultPlan};
+        let dir = std::env::temp_dir().join("inet-resilience-ckpt-fault");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.json");
+        let _ = std::fs::remove_file(&path);
+        let ck = sample_checkpoint();
+        {
+            // Fail exactly the first write attempt; the retry must land.
+            let _guard = inet_fault::install(FaultPlan::single(
+                "checkpoint.write",
+                Some(0),
+                FaultAction::Error,
+            ));
+            ck.save_with_retry(&path, &RetryPolicy::no_delay()).unwrap();
+        }
+        {
+            // Same for the first read attempt.
+            let _guard = inet_fault::install(FaultPlan::single(
+                "checkpoint.read",
+                Some(0),
+                FaultAction::Error,
+            ));
+            let loaded = Checkpoint::load_recovering(&path, &RetryPolicy::no_delay())
+                .unwrap()
+                .expect("file exists");
+            assert!(!loaded.recovered_from_backup);
+            assert_eq!(loaded.checkpoint, ck);
+        }
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -37,7 +37,10 @@ pub mod percolation;
 pub mod strategy;
 pub mod sweep;
 
-pub use checkpoint::{fingerprint, CellRecord, Checkpoint, FailureRecord};
+pub use checkpoint::{
+    fingerprint, CellRecord, Checkpoint, CheckpointError, FailureRecord, LoadedCheckpoint,
+    RetryPolicy,
+};
 pub use percolation::{percolation_curve, AttackCurve, CurvePoint};
 pub use strategy::{Strategy, STRATEGY_NAMES};
-pub use sweep::{run_sweep, SweepConfig, SweepResult};
+pub use sweep::{run_sweep, SweepConfig, SweepError, SweepResult};

@@ -20,11 +20,14 @@
 //! union-find, and the output ordering is canonical (configuration order),
 //! not completion order.
 
-use crate::checkpoint::{fingerprint, CellRecord, Checkpoint, FailureRecord};
+use crate::checkpoint::{
+    fingerprint, CellRecord, Checkpoint, CheckpointError, FailureRecord, RetryPolicy,
+};
 use crate::percolation::percolation_curve;
 use crate::strategy::Strategy;
 use inet_graph::parallel::fanout_ordered;
 use inet_graph::Csr;
+use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::Mutex;
@@ -131,6 +134,56 @@ pub struct SweepResult {
     pub warnings: Vec<String>,
 }
 
+/// Why a sweep could not start. Worker-level problems never surface here —
+/// they degrade to [`FailureRecord`]s — so every variant is a checkpoint
+/// problem.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepError {
+    /// The checkpoint exists but belongs to a different
+    /// `(graph, configuration)`; `source` names the differing field.
+    IncompatibleCheckpoint {
+        /// The offending checkpoint file.
+        path: PathBuf,
+        /// The field-level diagnosis
+        /// ([`CheckpointError::Incompatible`]).
+        source: CheckpointError,
+    },
+    /// The checkpoint could not be read or parsed, even via its backup.
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::IncompatibleCheckpoint { path, source } => write!(
+                f,
+                "checkpoint {} belongs to a different graph or sweep configuration — {source} \
+                 (refusing to mix results; delete it or change --resume)",
+                path.display()
+            ),
+            SweepError::Checkpoint(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::IncompatibleCheckpoint { source, .. } => Some(source),
+            SweepError::Checkpoint(e) => Some(e),
+        }
+    }
+}
+
+impl SweepError {
+    /// `true` for the "right file, wrong run" case — the CLI gives it a
+    /// dedicated exit code because the fix (delete the file or point
+    /// `--resume` elsewhere) differs from an IO failure's.
+    pub fn is_incompatible(&self) -> bool {
+        matches!(self, SweepError::IncompatibleCheckpoint { .. })
+    }
+}
+
 /// Mutex-guarded mutable sweep state shared by workers.
 struct SweepState {
     ckpt: Checkpoint,
@@ -139,21 +192,39 @@ struct SweepState {
 
 /// Runs a full attack sweep on `g`. Errors only on configuration problems
 /// (unusable checkpoint); worker panics degrade per-cell instead.
-pub fn run_sweep(g: &Csr, cfg: &SweepConfig) -> Result<SweepResult, String> {
-    let fp = fingerprint(g, &cfg.config_string());
+pub fn run_sweep(g: &Csr, cfg: &SweepConfig) -> Result<SweepResult, SweepError> {
+    let config = cfg.config_string();
+    let fp = fingerprint(g, &config);
+    let retry = RetryPolicy::default();
+    let mut initial_warnings: Vec<String> = Vec::new();
     let ckpt = match &cfg.checkpoint {
-        Some(path) => match Checkpoint::load(path)? {
-            Some(existing) if existing.fingerprint != fp => {
-                return Err(format!(
-                    "checkpoint {} belongs to a different graph or sweep configuration \
-                     (refusing to mix results; delete it or change --resume)",
-                    path.display()
-                ));
+        Some(path) => {
+            match Checkpoint::load_recovering(path, &retry).map_err(SweepError::Checkpoint)? {
+                Some(loaded) => {
+                    if let Some(diag) = loaded.checkpoint.diagnose_incompatibility(fp, &config) {
+                        return Err(SweepError::IncompatibleCheckpoint {
+                            path: path.clone(),
+                            source: diag,
+                        });
+                    }
+                    if loaded.recovered_from_backup {
+                        initial_warnings.push(format!(
+                            "checkpoint {} was torn or missing; recovered the previous \
+                             generation from {}",
+                            path.display(),
+                            path.with_extension("bak").display()
+                        ));
+                    }
+                    let mut ck = loaded.checkpoint;
+                    // Legacy files predate the stored config string; stamp
+                    // it so future saves can diagnose field-level drift.
+                    ck.config = Some(config.clone());
+                    ck
+                }
+                None => Checkpoint::with_config(fp, config.clone()),
             }
-            Some(existing) => existing,
-            None => Checkpoint::new(fp),
-        },
-        None => Checkpoint::new(fp),
+        }
+        None => Checkpoint::with_config(fp, config.clone()),
     };
 
     let all: Vec<Cell> = cfg
@@ -176,14 +247,12 @@ pub fn run_sweep(g: &Csr, cfg: &SweepConfig) -> Result<SweepResult, String> {
 
     let state = Mutex::new(SweepState {
         ckpt,
-        warnings: Vec::new(),
+        warnings: initial_warnings,
     });
     let persist = |state: &mut SweepState| {
         if let Some(path) = &cfg.checkpoint {
-            if let Err(e) = state.ckpt.save(path) {
-                state
-                    .warnings
-                    .push(format!("checkpoint save to {} failed: {e}", path.display()));
+            if let Err(e) = state.ckpt.save_with_retry(path, &retry) {
+                state.warnings.push(format!("checkpoint save failed: {e}"));
             }
         }
     };
@@ -199,14 +268,29 @@ pub fn run_sweep(g: &Csr, cfg: &SweepConfig) -> Result<SweepResult, String> {
                 for cell in &cells[range] {
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
                         if attempt == 0 && cfg.fail_cells.contains(&cell.index) {
-                            panic!("injected worker failure (test hook)");
+                            // Test-only hook, caught by this very fence.
+                            #[allow(clippy::panic)]
+                            {
+                                panic!("injected worker failure (test hook)");
+                            }
                         }
                         compute_cell(g, cfg, cell, attempt, total)
                     }));
                     let mut st = state.lock().unwrap_or_else(|p| p.into_inner());
                     match outcome {
-                        Ok(record) => {
+                        Ok(Ok(record)) => {
                             st.ckpt.cells.push(record);
+                        }
+                        // An injected (or future, real) structured error:
+                        // same degradation path as a panic, without one.
+                        Ok(Err(message)) => {
+                            st.ckpt.failures.push(FailureRecord {
+                                strategy: cell.strategy.name().to_string(),
+                                replica: cell.replica,
+                                attempt,
+                                message,
+                            });
+                            failed.push(cell.clone());
                         }
                         Err(payload) => {
                             st.ckpt.failures.push(FailureRecord {
@@ -259,23 +343,27 @@ pub fn run_sweep(g: &Csr, cfg: &SweepConfig) -> Result<SweepResult, String> {
     })
 }
 
-/// Computes one cell (may panic; the caller catches).
+/// Computes one cell (may panic; the caller catches). The `sweep.cell`
+/// failpoint fires at entry, keyed by the cell's canonical index, so an
+/// injected failure hits the same cell at any thread count; an `Err` takes
+/// the same degrade-and-resample path as a caught panic.
 fn compute_cell(
     g: &Csr,
     cfg: &SweepConfig,
     cell: &Cell,
     attempt: usize,
     total: usize,
-) -> CellRecord {
+) -> Result<CellRecord, String> {
+    inet_fault::check("sweep.cell", cell.index as u64).map_err(|e| e.to_string())?;
     let seed = inet_stats::rng::child_seed(cfg.base_seed, (attempt * total + cell.index) as u64);
     let order = cell.strategy.removal_order(g, seed, cfg.bc_sources);
     let curve = percolation_curve(g, &order, cfg.record_every);
-    CellRecord {
+    Ok(CellRecord {
         strategy: cell.strategy.name().to_string(),
         replica: cell.replica,
         resampled: attempt > 0,
         curve,
-    }
+    })
 }
 
 /// Best-effort text from a panic payload.
@@ -326,6 +414,10 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join(name);
         let _ = std::fs::remove_file(&path);
+        // The save path rotates generations; stale siblings from a prior
+        // test run would otherwise be "recovered".
+        let _ = std::fs::remove_file(path.with_extension("bak"));
+        let _ = std::fs::remove_file(path.with_extension("tmp"));
         path
     }
 
@@ -471,14 +563,91 @@ mod tests {
             ..cfg.clone()
         };
         let err = run_sweep(&g, &other).unwrap_err();
+        assert!(err.is_incompatible());
+        let text = err.to_string();
         assert!(
-            err.contains("different graph or sweep configuration"),
-            "{err}"
+            text.contains("different graph or sweep configuration"),
+            "{text}"
         );
-        // And a different graph is refused too.
+        // The stored config string lets the error name the exact field.
+        assert!(text.contains("checkpoint incompatible: seed"), "{text}");
+        // And a different graph is refused too — configs match, so the
+        // diagnosis blames the graph.
         let g2 = Csr::from_edges(3, &[(0, 1)]);
-        assert!(run_sweep(&g2, &cfg).is_err());
+        let err2 = run_sweep(&g2, &cfg).unwrap_err();
+        assert!(err2.is_incompatible());
+        assert!(
+            err2.to_string().contains("checkpoint incompatible: graph"),
+            "{err2}"
+        );
         let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(path.with_extension("bak"));
+    }
+
+    #[test]
+    fn torn_checkpoint_resumes_from_backup_with_warning() {
+        let g = test_graph();
+        let path = tmp_ckpt("torn-resume.json");
+        let _ = std::fs::remove_file(path.with_extension("bak"));
+        let cfg = SweepConfig {
+            checkpoint: Some(path.clone()),
+            ..base_cfg()
+        };
+        let full = run_sweep(&g, &cfg).unwrap();
+        // The per-cell persistence left the penultimate generation in .bak;
+        // tear the primary file mid-write.
+        assert!(path.with_extension("bak").exists());
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+
+        let recovered = run_sweep(&g, &cfg).unwrap();
+        assert_eq!(recovered.cells, full.cells, "recovery must reconverge");
+        assert!(
+            recovered.warnings.iter().any(|w| w.contains("recovered")),
+            "{:?}",
+            recovered.warnings
+        );
+        // The backup held all but the last cell, so at most one recompute.
+        assert!(recovered.resumed >= full.cells.len() - 1);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(path.with_extension("bak"));
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn injected_cell_fault_degrades_and_resamples() {
+        use inet_fault::{FaultAction, FaultPlan};
+        let g = test_graph();
+        // 10 cells (8 random replicas + 2 deterministic); pin the fault to
+        // canonical index 7 — a scope no other test's 5-cell sweeps reach,
+        // so concurrent tests cannot consume or trip it.
+        let cfg = SweepConfig {
+            replicas: 8,
+            ..base_cfg()
+        };
+        assert_eq!(cfg.cells().len(), 10);
+        let clean = run_sweep(&g, &cfg).unwrap();
+        let result = {
+            let _guard =
+                inet_fault::install(FaultPlan::single("sweep.cell", Some(7), FaultAction::Error));
+            run_sweep(&g, &cfg).unwrap()
+        };
+        assert_eq!(result.cells.len(), 10, "resample must rescue the cell");
+        assert_eq!(result.failures.len(), 1);
+        assert_eq!(result.failures[0].attempt, 0);
+        assert!(
+            result.failures[0].message.contains("sweep.cell"),
+            "{}",
+            result.failures[0].message
+        );
+        let resampled: Vec<_> = result.cells.iter().filter(|c| c.resampled).collect();
+        assert_eq!(resampled.len(), 1);
+        // Every unaffected cell is bit-identical to the clean run.
+        for (a, b) in result.cells.iter().zip(&clean.cells) {
+            if !a.resampled {
+                assert_eq!(a, b);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,279 @@
+//! Chaos suite: runs the toolkit's pipelines with the `inet-fault`
+//! failpoints live and proves the robustness contract end to end —
+//!
+//! * every injected fault either recovers (retry, resample, backup) or
+//!   surfaces as a structured error; **no injected fault escapes as an
+//!   uncaught panic**;
+//! * recovered results are bit-identical for the same `(seed, plan)` at
+//!   any worker-thread count.
+//!
+//! Build with `--features fault-inject`; without the feature this file
+//! compiles to an empty test binary (the failpoints are inlined `Ok(())`
+//! in that configuration, so there is nothing to exercise).
+#![cfg(feature = "fault-inject")]
+
+use inet_suite::inet_model::fault::{self, FaultAction, FaultPlan, FaultSpec};
+use inet_suite::inet_model::generators::ModelError;
+use inet_suite::inet_model::graph::io::{read_edge_list, write_edge_list};
+use inet_suite::inet_model::graph::GraphError;
+use inet_suite::inet_model::metrics::robust::{measure_robust, RobustOptions};
+use inet_suite::inet_model::prelude::*;
+use std::sync::Mutex;
+
+/// The fault registry is process-global, so every test that installs a
+/// plan serializes on this lock (poisoning from an earlier test failure
+/// must not cascade).
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn small_net(seed: u64) -> GeneratedNetwork {
+    BarabasiAlbert::new(60, 2)
+        .try_generate(&mut seeded_rng(seed))
+        .expect("clean generation")
+}
+
+#[test]
+fn injected_io_faults_surface_as_structured_errors() {
+    let _l = lock();
+    let net = small_net(1);
+
+    // Error action on read: first call structured error, second clean.
+    let _g = fault::install(FaultPlan::single("io.read", Some(0), FaultAction::Error));
+    let err = read_edge_list("0 1\n".as_bytes()).unwrap_err();
+    assert!(
+        matches!(&err, GraphError::Io(m) if m.contains("io.read")),
+        "{err}"
+    );
+    assert!(read_edge_list("0 1\n".as_bytes()).is_ok());
+    drop(_g);
+
+    // Error action on write: nothing is emitted past the failpoint.
+    let _g = fault::install(FaultPlan::single("io.write", Some(0), FaultAction::Error));
+    let mut buf = Vec::new();
+    let err = write_edge_list(&net.graph, &mut buf).unwrap_err();
+    assert!(
+        matches!(&err, GraphError::Io(m) if m.contains("io.write")),
+        "{err}"
+    );
+    assert!(buf.is_empty(), "nothing may be written past the failpoint");
+    assert!(write_edge_list(&net.graph, &mut buf).is_ok());
+    drop(_g);
+
+    // Panic action: io has no enclosing recovery layer, so the failpoint
+    // itself contains the panic and hands the site a structured error.
+    let _g = fault::install(FaultPlan::single("io.read", Some(0), FaultAction::Panic));
+    let err = read_edge_list("0 1\n".as_bytes()).unwrap_err();
+    assert!(matches!(&err, GraphError::Io(_)), "{err}");
+}
+
+#[test]
+fn injected_generator_faults_become_model_errors() {
+    let _l = lock();
+    let clean = small_net(7).graph;
+
+    let ba = BarabasiAlbert::new(60, 2);
+    let _g = fault::install(FaultPlan::single(
+        "generator.generate",
+        Some(0),
+        FaultAction::Error,
+    ));
+    let err = ba.try_generate(&mut seeded_rng(7)).unwrap_err();
+    assert!(err.to_string().contains("generator.generate"), "{err}");
+    // The fault is one-shot: the next call recovers, bit-identically.
+    let net = ba.try_generate(&mut seeded_rng(7)).unwrap();
+    assert_eq!(net.graph, clean);
+    drop(_g);
+
+    let _g = fault::install(FaultPlan::single(
+        "generator.generate",
+        Some(0),
+        FaultAction::Panic,
+    ));
+    let err = ba.try_generate(&mut seeded_rng(7)).unwrap_err();
+    assert!(
+        matches!(&err, ModelError::Internal { .. }),
+        "injected panic must be contained as Internal, got {err}"
+    );
+    assert!(err.to_string().contains(fault::PANIC_PREFIX), "{err}");
+    let net = ba.try_generate(&mut seeded_rng(7)).unwrap();
+    assert_eq!(net.graph, clean);
+}
+
+#[test]
+fn injected_kernel_panic_yields_partial_report_with_clean_numbers() {
+    let _l = lock();
+    let csr = small_net(3).graph.to_csr();
+    let clean = measure_robust(&csr, RobustOptions::default());
+    assert!(clean.fully_ok());
+
+    // Kill the fused paths/betweenness kernel (index 4) with a panic; the
+    // other kernels' numbers must match the clean run exactly.
+    let _g = fault::install(FaultPlan::single(
+        "metrics.kernel",
+        Some(4),
+        FaultAction::Panic,
+    ));
+    let partial = measure_robust(&csr, RobustOptions::default());
+    drop(_g);
+    assert!(!partial.fully_ok());
+    let failures = partial.failures();
+    assert_eq!(failures.len(), 1, "{}", partial.render_status());
+    assert!(
+        failures[0].1.contains(fault::PANIC_PREFIX),
+        "{}",
+        failures[0].1
+    );
+    // Fields owned by the surviving kernels carry the clean numbers.
+    assert_eq!(partial.report.mean_degree, clean.report.mean_degree);
+    assert_eq!(partial.report.max_degree, clean.report.max_degree);
+    assert_eq!(partial.report.mean_clustering, clean.report.mean_clustering);
+    assert_eq!(partial.report.transitivity, clean.report.transitivity);
+    assert_eq!(partial.report.coreness, clean.report.coreness);
+    assert_eq!(partial.report.giant_fraction, clean.report.giant_fraction);
+}
+
+fn sweep_under(
+    plan: &FaultPlan,
+    threads: usize,
+    checkpoint: Option<std::path::PathBuf>,
+) -> SweepResult {
+    let csr = small_net(5).graph.to_csr();
+    let cfg = SweepConfig {
+        strategies: vec![Strategy::Random, Strategy::Degree { recalc: false }],
+        replicas: 2,
+        base_seed: 17,
+        threads,
+        record_every: 4,
+        bc_sources: 8,
+        checkpoint,
+        fail_cells: Vec::new(),
+    };
+    let _g = fault::install(plan.clone());
+    let result = run_sweep(&csr, &cfg).expect("sweep starts");
+    fault::clear();
+    result
+}
+
+#[test]
+fn faulted_sweep_is_bit_identical_at_any_thread_count() {
+    let _l = lock();
+    // Error one cell, panic another, delay a third: every recovery path at
+    // once, pinned by canonical cell index so scheduling cannot move them.
+    let plan = FaultPlan {
+        specs: vec![
+            FaultSpec {
+                failpoint: "sweep.cell",
+                scope: Some(0),
+                max_hits: 1,
+                action: FaultAction::Error,
+            },
+            FaultSpec {
+                failpoint: "sweep.cell",
+                scope: Some(2),
+                max_hits: 1,
+                action: FaultAction::Panic,
+            },
+            FaultSpec {
+                failpoint: "sweep.cell",
+                scope: Some(1),
+                max_hits: 1,
+                action: FaultAction::Delay(2),
+            },
+        ],
+    };
+    let baseline = sweep_under(&plan, 1, None);
+    assert_eq!(
+        baseline.failures.len(),
+        2,
+        "error + panic each resampled once"
+    );
+    for threads in [2, 7] {
+        let other = sweep_under(&plan, threads, None);
+        assert_eq!(other.cells, baseline.cells, "threads={threads}");
+        assert_eq!(other.failures, baseline.failures, "threads={threads}");
+    }
+    // Against a clean run: the resampled cells (0 and 2) reran on their
+    // attempt-1 seed, but delay-only and untouched cells carry exactly the
+    // clean numbers.
+    let clean = sweep_under(&FaultPlan::default(), 2, None);
+    assert_eq!(clean.cells.len(), baseline.cells.len());
+    for (i, (c, b)) in clean.cells.iter().zip(&baseline.cells).enumerate() {
+        if i != 0 && i != 2 {
+            assert_eq!(c, b, "cell {i} must be untouched by injection");
+        }
+    }
+    assert!(clean.failures.is_empty());
+}
+
+#[test]
+fn seeded_fault_plans_never_escape_as_panics() {
+    let _l = lock();
+    let dir = std::env::temp_dir().join("inet_chaos_storm");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    for seed in 0..24u64 {
+        let plan = FaultPlan::from_seed(seed);
+        let ckpt = dir.join(format!("storm-{seed}.json"));
+        let outcome = std::panic::catch_unwind(|| {
+            // Generation: a fault is a ModelError; fall back to a clean
+            // graph so the later stages always have input.
+            let generated = {
+                let _g = fault::install(plan.clone());
+                BarabasiAlbert::new(40, 2).try_generate(&mut seeded_rng(seed))
+            };
+            let net = generated.unwrap_or_else(|_| small_net(seed));
+            // Fresh install (hit counters reset) for the downstream stages.
+            let _guard = fault::install(plan.clone());
+            // Edge-list round trip: faults are structured GraphError::Io.
+            let mut buf = Vec::new();
+            if write_edge_list(&net.graph, &mut buf).is_ok() {
+                let _ = read_edge_list(buf.as_slice());
+            }
+            // Metrics: kernel faults degrade to KernelStatus::Failed.
+            let _ = measure_robust(&net.graph.to_csr(), RobustOptions::default());
+            // Attack sweep with checkpointing: cell faults resample,
+            // checkpoint faults retry or recover from the backup.
+            let cfg = SweepConfig {
+                strategies: vec![Strategy::Random],
+                replicas: 2,
+                base_seed: seed,
+                threads: 2,
+                record_every: 4,
+                bc_sources: 8,
+                checkpoint: Some(ckpt.clone()),
+                fail_cells: Vec::new(),
+            };
+            let _ = run_sweep(&net.graph.to_csr(), &cfg);
+        });
+        fault::clear();
+        assert!(
+            outcome.is_ok(),
+            "seed {seed} plan [{}] escaped as a panic",
+            plan.describe()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn delay_faults_change_nothing_but_time() {
+    let _l = lock();
+    let csr = small_net(9).graph.to_csr();
+    let clean = measure_robust(&csr, RobustOptions::default());
+    let _g = fault::install(FaultPlan {
+        specs: vec![FaultSpec {
+            failpoint: "metrics.kernel",
+            scope: None,
+            max_hits: 0,
+            action: FaultAction::Delay(1),
+        }],
+    });
+    let delayed = measure_robust(&csr, RobustOptions::default());
+    drop(_g);
+    assert!(delayed.fully_ok(), "{}", delayed.render_status());
+    assert_eq!(delayed.report, clean.report);
+}
