@@ -24,6 +24,7 @@
 //! | generators | `inet-generators` | [`generators`] |
 //! | growth machinery | `inet-growth` | [`growth`] |
 //! | attack/failure response | `inet-resilience` | [`resilience`] |
+//! | scenario pipeline | `inet-pipeline` | [`pipeline`] |
 //!
 //! ## Quickstart
 //!
@@ -51,6 +52,7 @@ pub use inet_generators as generators;
 pub use inet_graph as graph;
 pub use inet_growth as growth;
 pub use inet_metrics as metrics;
+pub use inet_pipeline as pipeline;
 pub use inet_resilience as resilience;
 pub use inet_spatial as spatial;
 pub use inet_stats as stats;

@@ -42,6 +42,7 @@ use std::fmt;
 /// | `sweep.cell` | canonical cell index of the attack sweep |
 /// | `checkpoint.read` | retry attempt index |
 /// | `checkpoint.write` | retry attempt index |
+/// | `pipeline.stage` | stage index of a scenario run (0 source, 1 measure, 2 attack, 3 report) |
 pub const CATALOG: &[&str] = &[
     "io.read",
     "io.write",
@@ -50,6 +51,7 @@ pub const CATALOG: &[&str] = &[
     "sweep.cell",
     "checkpoint.read",
     "checkpoint.write",
+    "pipeline.stage",
 ];
 
 /// What a triggered failpoint does.
@@ -237,6 +239,7 @@ mod active {
     /// The instrumented check: consults the installed plan; returns
     /// `Err(FaultError)` for an `Error` action, panics for `Panic`, sleeps
     /// for `Delay`. Without an installed plan this is one mutex lock.
+    #[allow(clippy::panic)] // injecting a panic is the Panic action's contract
     pub fn check(name: &'static str, scope: u64) -> Result<(), FaultError> {
         let action = {
             let mut st = state().lock().unwrap_or_else(|p| p.into_inner());

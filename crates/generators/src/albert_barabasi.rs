@@ -162,6 +162,30 @@ impl Generator for AlbertBarabasiExtended {
     }
 }
 
+/// Registry entry: the CLI's `ab-ext` model.
+pub(crate) fn registry_entry() -> crate::registry::ModelSpec {
+    use crate::registry::{p_float, p_int, p_n, ModelSpec, Params};
+    fn build(p: &Params) -> Result<Box<dyn Generator>, ModelError> {
+        Ok(Box::new(AlbertBarabasiExtended::try_new(
+            p.usize("n")?,
+            p.usize("m")?,
+            p.f64("p")?,
+            p.f64("q")?,
+        )?))
+    }
+    ModelSpec {
+        name: "ab-ext",
+        summary: "extended Albert-Barabasi: internal links + rewiring (PRL 2000)",
+        schema: vec![
+            p_n(),
+            p_int("m", "links touched per event", 1),
+            p_float("p", "internal-link event probability", 0.3),
+            p_float("q", "rewiring event probability (p + q < 1)", 0.2),
+        ],
+        build,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

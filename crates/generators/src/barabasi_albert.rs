@@ -108,6 +108,23 @@ impl Generator for BarabasiAlbert {
     }
 }
 
+/// Registry entry: the CLI's `ba` model.
+pub(crate) fn registry_entry() -> crate::registry::ModelSpec {
+    use crate::registry::{p_int, p_n, ModelSpec, Params};
+    fn build(p: &Params) -> Result<Box<dyn Generator>, ModelError> {
+        Ok(Box::new(BarabasiAlbert::try_new(
+            p.usize("n")?,
+            p.usize("m")?,
+        )?))
+    }
+    ModelSpec {
+        name: "ba",
+        summary: "Barabasi-Albert preferential attachment (Science 1999)",
+        schema: vec![p_n(), p_int("m", "edges added per new node", 2)],
+        build,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

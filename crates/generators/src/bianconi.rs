@@ -134,6 +134,42 @@ impl Generator for BianconiBarabasi {
     }
 }
 
+/// Registry entry: the CLI's `bianconi` model.
+pub(crate) fn registry_entry() -> crate::registry::ModelSpec {
+    use crate::registry::{p_int, p_n, p_str, ModelSpec, Params};
+    fn build(p: &Params) -> Result<Box<dyn Generator>, ModelError> {
+        let fitness = match p.str("fitness")? {
+            "uniform" => FitnessDistribution::Uniform,
+            "constant" => FitnessDistribution::Constant,
+            other => {
+                return Err(ModelError::Internal {
+                    model: "bianconi".to_string(),
+                    message: format!("fitness must be 'uniform' or 'constant' (got '{other}')"),
+                })
+            }
+        };
+        Ok(Box::new(BianconiBarabasi::try_new(
+            p.usize("n")?,
+            p.usize("m")?,
+            fitness,
+        )?))
+    }
+    ModelSpec {
+        name: "bianconi",
+        summary: "Bianconi-Barabasi fitness-driven preferential attachment (EPL 2001)",
+        schema: vec![
+            p_n(),
+            p_int("m", "links per new node", 2),
+            p_str(
+                "fitness",
+                "fitness distribution: uniform | constant",
+                "uniform",
+            ),
+        ],
+        build,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -166,6 +166,49 @@ impl Generator for BriteLike {
     }
 }
 
+/// Registry entry: the CLI's `brite` model.
+pub(crate) fn registry_entry() -> crate::registry::ModelSpec {
+    use crate::registry::{p_float, p_int, p_n, p_str, ModelSpec, Params};
+    fn build(p: &Params) -> Result<Box<dyn Generator>, ModelError> {
+        let placement = match p.str("placement")? {
+            "fractal" => Placement::Fractal(p.f64("fractal_dimension")?),
+            "uniform" => Placement::Uniform,
+            other => {
+                return Err(ModelError::Internal {
+                    model: "brite".to_string(),
+                    message: format!("placement must be 'fractal' or 'uniform' (got '{other}')"),
+                })
+            }
+        };
+        Ok(Box::new(BriteLike::try_new(
+            p.usize("n")?,
+            p.usize("m")?,
+            p.f64("theta")?,
+            placement,
+        )?))
+    }
+    ModelSpec {
+        name: "brite",
+        summary: "BRITE-style spatial preferential attachment (Medina-Matta-Byers 2000)",
+        schema: vec![
+            p_n(),
+            p_int("m", "links per new node", 2),
+            p_float(
+                "theta",
+                "locality scale (larger = distance matters less)",
+                0.2,
+            ),
+            p_str("placement", "node placement: fractal | uniform", "fractal"),
+            p_float(
+                "fractal_dimension",
+                "fractal dimension of the placement set",
+                1.5,
+            ),
+        ],
+        build,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

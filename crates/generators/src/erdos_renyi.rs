@@ -188,6 +188,32 @@ impl Generator for Gnm {
     }
 }
 
+/// Registry entry: the CLI's `er` model. Defaults match the historical
+/// `Gnp::with_mean_degree(n, 4.2)` CLI parameterization.
+pub(crate) fn registry_entry() -> crate::registry::ModelSpec {
+    use crate::registry::{p_float, p_n, ModelSpec, Params};
+    fn build(p: &Params) -> Result<Box<dyn Generator>, ModelError> {
+        let n = p.usize("n")?;
+        require(
+            n >= 2,
+            "ER G(n,p)",
+            "need at least two nodes",
+            format!("n = {n}"),
+        )?;
+        let prob = (p.f64("mean_degree")? / (n as f64 - 1.0)).clamp(0.0, 1.0);
+        Ok(Box::new(Gnp::try_new(n, prob)?))
+    }
+    ModelSpec {
+        name: "er",
+        summary: "Erdos-Renyi G(n,p) random-graph baseline",
+        schema: vec![
+            p_n(),
+            p_float("mean_degree", "target mean degree (tunes p)", 4.2),
+        ],
+        build,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -98,6 +98,23 @@ impl Generator for Fkp {
     }
 }
 
+/// Registry entry: the CLI's `fkp` model.
+pub(crate) fn registry_entry() -> crate::registry::ModelSpec {
+    use crate::registry::{p_float, p_n, ModelSpec, Params};
+    fn build(p: &Params) -> Result<Box<dyn Generator>, ModelError> {
+        Ok(Box::new(Fkp::try_new(p.usize("n")?, p.f64("alpha")?)?))
+    }
+    ModelSpec {
+        name: "fkp",
+        summary: "Heuristically Optimized Trade-offs tree (FKP, ICALP 2002)",
+        schema: vec![
+            p_n(),
+            p_float("alpha", "distance-vs-centrality trade-off weight", 10.0),
+        ],
+        build,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -97,6 +97,27 @@ impl Generator for RandomGeometric {
     }
 }
 
+/// Registry entry: the CLI's `rgg` model. Defaults match the historical
+/// `RandomGeometric::with_mean_degree(n, 4.2)` CLI parameterization.
+pub(crate) fn registry_entry() -> crate::registry::ModelSpec {
+    use crate::registry::{p_float, p_n, ModelSpec, Params};
+    fn build(p: &Params) -> Result<Box<dyn Generator>, ModelError> {
+        let n = p.usize("n")?;
+        require(n >= 2, "RGG", "need at least two nodes", format!("n = {n}"))?;
+        let r = (p.f64("mean_degree")? / (n as f64 * std::f64::consts::PI)).sqrt();
+        Ok(Box::new(RandomGeometric::try_new(n, r)?))
+    }
+    ModelSpec {
+        name: "rgg",
+        summary: "random geometric graph baseline (unit square)",
+        schema: vec![
+            p_n(),
+            p_float("mean_degree", "target mean degree (tunes the radius)", 4.2),
+        ],
+        build,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -148,6 +148,31 @@ impl Generator for Glp {
     }
 }
 
+/// Registry entry: the CLI's `glp` model. Defaults are the Bu & Towsley
+/// 2001 AS-map parameterization ([`Glp::internet_2001`]).
+pub(crate) fn registry_entry() -> crate::registry::ModelSpec {
+    use crate::registry::{p_float, p_int, p_n, ModelSpec, Params};
+    fn build(p: &Params) -> Result<Box<dyn Generator>, ModelError> {
+        Ok(Box::new(Glp::try_new(
+            p.usize("n")?,
+            p.usize("m")?,
+            p.f64("p")?,
+            p.f64("beta")?,
+        )?))
+    }
+    ModelSpec {
+        name: "glp",
+        summary: "Generalized Linear Preference for AS graphs (Bu-Towsley 2002)",
+        schema: vec![
+            p_n(),
+            p_int("m", "edges added per event", 1),
+            p_float("p", "internal-link event probability", 0.4695),
+            p_float("beta", "preference shift (beta < 1)", 0.6447),
+        ],
+        build,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -116,6 +116,36 @@ impl Generator for GohStatic {
     }
 }
 
+/// Registry entry: the CLI's `goh` model. Defaults match the historical
+/// `GohStatic::with_gamma(n, 2, 2.2)` CLI parameterization.
+pub(crate) fn registry_entry() -> crate::registry::ModelSpec {
+    use crate::registry::{p_float, p_int, p_n, ModelSpec, Params};
+    fn build(p: &Params) -> Result<Box<dyn Generator>, ModelError> {
+        let gamma = p.f64("gamma")?;
+        require(
+            gamma > 2.0,
+            "Goh-static",
+            "static model needs gamma > 2",
+            format!("gamma = {gamma}"),
+        )?;
+        Ok(Box::new(GohStatic::try_new(
+            p.usize("n")?,
+            p.usize("m")?,
+            1.0 / (gamma - 1.0),
+        )?))
+    }
+    ModelSpec {
+        name: "goh",
+        summary: "Goh-Kahng-Kim static scale-free fitness model (PRL 2001)",
+        schema: vec![
+            p_n(),
+            p_int("m", "mean edges per node", 2),
+            p_float("gamma", "target degree exponent (> 2)", 2.2),
+        ],
+        build,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

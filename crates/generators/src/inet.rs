@@ -75,7 +75,7 @@ impl Generator for InetLike {
             format!("gamma = {}", self.gamma),
         )?;
         require(
-            self.kmin >= 1 && self.kmin <= self.n as u64 - 1,
+            self.kmin >= 1 && self.kmin < self.n as u64,
             "Inet-like",
             "minimum degree must be positive and below n",
             format!("kmin = {}, n = {}", self.kmin, self.n),
@@ -139,6 +139,29 @@ impl Generator for InetLike {
             free -= 2.0;
         }
         GeneratedNetwork::bare(g, self.name())
+    }
+}
+
+/// Registry entry: the CLI's `inet` model. Defaults are the 2001 AS-map
+/// parameterization ([`InetLike::as_map_2001`]).
+pub(crate) fn registry_entry() -> crate::registry::ModelSpec {
+    use crate::registry::{p_float, p_int, p_n, ModelSpec, Params};
+    fn build(p: &Params) -> Result<Box<dyn Generator>, ModelError> {
+        Ok(Box::new(InetLike::try_new(
+            p.usize("n")?,
+            p.f64("gamma")?,
+            p.u64("kmin")?,
+        )?))
+    }
+    ModelSpec {
+        name: "inet",
+        summary: "power-law degree-sequence Internet generator (Inet-3.0 style)",
+        schema: vec![
+            p_n(),
+            p_float("gamma", "degree exponent of the prescribed tail", 2.22),
+            p_int("kmin", "minimum degree of the sequence", 1),
+        ],
+        build,
     }
 }
 

@@ -33,7 +33,10 @@
 //!   fail-fast panic for quick scripts,
 //! * can run through [`Generator::try_generate`], which validates first
 //!   and contains any growth-loop panic as a structured
-//!   [`ModelError::Internal`] instead of aborting the process.
+//!   [`ModelError::Internal`] instead of aborting the process,
+//! * is registered in the central [`mod@registry`] with a typed parameter
+//!   schema, so CLI and pipeline model dispatch happens in exactly one
+//!   place ([`registry::registry`] / [`registry::lookup`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -51,6 +54,7 @@ pub mod glp;
 pub mod goh;
 pub mod inet;
 pub mod pfp;
+pub mod registry;
 pub mod seq;
 pub mod serrano;
 pub mod watts_strogatz;
@@ -73,6 +77,7 @@ pub use glp::Glp;
 pub use goh::GohStatic;
 pub use inet::InetLike;
 pub use pfp::Pfp;
+pub use registry::{lookup, model_names, registry, ModelSpec, ParamValue, Params};
 pub use serrano::{SerranoModel, SerranoParams};
 pub use watts_strogatz::WattsStrogatz;
 pub use waxman::Waxman;

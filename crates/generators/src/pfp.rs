@@ -166,6 +166,31 @@ impl Generator for Pfp {
     }
 }
 
+/// Registry entry: the CLI's `pfp` model. Defaults are the published
+/// AS-map parameterization ([`Pfp::internet`]).
+pub(crate) fn registry_entry() -> crate::registry::ModelSpec {
+    use crate::registry::{p_float, p_n, ModelSpec, Params};
+    fn build(p: &Params) -> Result<Box<dyn Generator>, ModelError> {
+        Ok(Box::new(Pfp::try_new(
+            p.usize("n")?,
+            p.f64("p")?,
+            p.f64("q")?,
+            p.f64("delta")?,
+        )?))
+    }
+    ModelSpec {
+        name: "pfp",
+        summary: "Positive-Feedback Preference for AS graphs (Zhou-Mondragon 2004)",
+        schema: vec![
+            p_n(),
+            p_float("p", "new-node-plus-two-links event probability", 0.3),
+            p_float("q", "one-new-plus-one-internal event probability", 0.1),
+            p_float("delta", "feedback exponent of the PFP kernel", 0.048),
+        ],
+        build,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -259,6 +259,107 @@ impl Generator for SerranoModel {
     }
 }
 
+/// Shared schema for both Serrano registry entries; defaults come from
+/// [`SerranoParams::paper_2001`] scaled by the caller-provided `n`
+/// (i.e. the historical `SerranoParams::small(n)` CLI parameterization).
+fn serrano_schema(distance_default: bool) -> Vec<crate::registry::ParamSpec> {
+    use crate::registry::{p_bool, p_float, p_int, p_n};
+    let d = DistanceConstraint::default();
+    let p = SerranoParams::paper_2001();
+    vec![
+        p_n(),
+        p_float("omega0", "users brought by each new node", p.omega0),
+        p_int("n0", "seed node count", p.n0 as i64),
+        p_float("b0", "seed total bandwidth", p.b0),
+        p_float("alpha", "user growth rate per iteration", p.alpha),
+        p_float("beta", "node growth rate per iteration", p.beta),
+        p_float(
+            "delta_prime",
+            "bandwidth growth rate per iteration",
+            p.delta_prime,
+        ),
+        p_float("lambda", "user reallocation (diffusion) rate", p.lambda),
+        p_float("r", "parallel-unit reinforcement probability", p.r),
+        p_float("theta", "preference-kernel exponent", p.theta),
+        p_bool(
+            "distance",
+            "apply the fractal distance constraint",
+            distance_default,
+        ),
+        p_float(
+            "fractal_dimension",
+            "fractal dimension of the placement set",
+            d.fractal_dimension,
+        ),
+        p_int("depth", "fractal subdivision depth", i64::from(d.depth)),
+        p_float(
+            "kappa_scale",
+            "cost-density multiplier of the distance kernel",
+            d.kappa_scale,
+        ),
+        p_bool(
+            "stochastic_users",
+            "model user-dynamics noise",
+            p.stochastic_users,
+        ),
+        p_int(
+            "max_attempts_factor",
+            "matching-loop attempt budget factor",
+            p.max_attempts_factor as i64,
+        ),
+    ]
+}
+
+/// Builds a [`SerranoModel`] from resolved registry parameters.
+fn serrano_build(p: &crate::registry::Params) -> Result<Box<dyn Generator>, ModelError> {
+    let distance = if p.bool("distance")? {
+        Some(DistanceConstraint {
+            fractal_dimension: p.f64("fractal_dimension")?,
+            depth: p.u32("depth")?,
+            kappa_scale: p.f64("kappa_scale")?,
+        })
+    } else {
+        None
+    };
+    let params = SerranoParams {
+        omega0: p.f64("omega0")?,
+        n0: p.usize("n0")?,
+        b0: p.f64("b0")?,
+        alpha: p.f64("alpha")?,
+        beta: p.f64("beta")?,
+        delta_prime: p.f64("delta_prime")?,
+        lambda: p.f64("lambda")?,
+        r: p.f64("r")?,
+        theta: p.f64("theta")?,
+        target_n: p.usize("n")?,
+        distance,
+        stochastic_users: p.bool("stochastic_users")?,
+        max_attempts_factor: p.usize("max_attempts_factor")?,
+    };
+    Ok(Box::new(SerranoModel::try_new(params)?))
+}
+
+/// Registry entry: the CLI's `serrano` model (distance constraint on).
+pub(crate) fn registry_entry() -> crate::registry::ModelSpec {
+    crate::registry::ModelSpec {
+        name: "serrano",
+        summary: "Serrano-Boguna-Diaz-Guilera user-driven AS growth, with the fractal distance constraint",
+        schema: serrano_schema(true),
+        build: serrano_build,
+    }
+}
+
+/// Registry entry: the CLI's `serrano-nodist` model (distance constraint
+/// off — the paper's dashed-line variant).
+pub(crate) fn registry_entry_nodist() -> crate::registry::ModelSpec {
+    crate::registry::ModelSpec {
+        name: "serrano-nodist",
+        summary: "Serrano user-driven AS growth without the distance constraint",
+        schema: serrano_schema(false),
+        build: serrano_build,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -111,6 +111,28 @@ impl Generator for WattsStrogatz {
     }
 }
 
+/// Registry entry: the CLI's `ws` model.
+pub(crate) fn registry_entry() -> crate::registry::ModelSpec {
+    use crate::registry::{p_float, p_int, p_n, ModelSpec, Params};
+    fn build(p: &Params) -> Result<Box<dyn Generator>, ModelError> {
+        Ok(Box::new(WattsStrogatz::try_new(
+            p.usize("n")?,
+            p.usize("k")?,
+            p.f64("p")?,
+        )?))
+    }
+    ModelSpec {
+        name: "ws",
+        summary: "Watts-Strogatz small-world control (Nature 1998)",
+        schema: vec![
+            p_n(),
+            p_int("k", "even ring degree before rewiring", 4),
+            p_float("p", "rewiring probability", 0.1),
+        ],
+        build,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

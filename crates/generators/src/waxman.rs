@@ -57,14 +57,20 @@ impl Waxman {
     /// Panics unless `n >= 2` (and the `new` constraints hold).
     #[allow(clippy::panic)] // documented fail-fast constructor
     pub fn with_mean_degree(n: usize, beta: f64, mean_degree: f64) -> Self {
-        if let Err(e) = require(
+        match Self::try_with_mean_degree(n, beta, mean_degree) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Panic-free form of [`Waxman::with_mean_degree`].
+    pub fn try_with_mean_degree(n: usize, beta: f64, mean_degree: f64) -> Result<Self, ModelError> {
+        require(
             n >= 2,
             "Waxman",
             "need at least two nodes",
             format!("n = {n}"),
-        ) {
-            panic!("{e}");
-        }
+        )?;
         // E[exp(-d/(beta*L))] over uniform pairs, estimated on a 32x32 grid.
         let l = 2f64.sqrt();
         let grid = 16usize;
@@ -82,7 +88,30 @@ impl Waxman {
         }
         let mean_kernel = sum / count as f64;
         let q = (mean_degree / ((n as f64 - 1.0) * mean_kernel)).clamp(1e-9, 1.0);
-        Self::new(n, q, beta)
+        Self::try_new(n, q, beta)
+    }
+}
+
+/// Registry entry: the CLI's `waxman` model. Defaults match the historical
+/// `Waxman::with_mean_degree(n, 0.2, 4.2)` CLI parameterization.
+pub(crate) fn registry_entry() -> crate::registry::ModelSpec {
+    use crate::registry::{p_float, p_n, ModelSpec, Params};
+    fn build(p: &Params) -> Result<Box<dyn Generator>, ModelError> {
+        Ok(Box::new(Waxman::try_with_mean_degree(
+            p.usize("n")?,
+            p.f64("beta")?,
+            p.f64("mean_degree")?,
+        )?))
+    }
+    ModelSpec {
+        name: "waxman",
+        summary: "Waxman spatial random graph (IEEE JSAC 1988)",
+        schema: vec![
+            p_n(),
+            p_float("beta", "distance decay scale of the edge kernel", 0.2),
+            p_float("mean_degree", "target mean degree (tunes q)", 4.2),
+        ],
+        build,
     }
 }
 

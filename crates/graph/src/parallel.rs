@@ -43,7 +43,7 @@ pub fn chunk_size(len: usize) -> usize {
 }
 
 /// The fixed chunk grid for `len` items: consecutive, non-overlapping
-/// ranges covering `0..len`, at most [`MAX_CHUNKS`] of them. Empty for
+/// ranges covering `0..len`, at most `MAX_CHUNKS` of them. Empty for
 /// `len == 0`.
 pub fn chunk_grid(len: usize) -> Vec<Range<usize>> {
     let size = chunk_size(len);

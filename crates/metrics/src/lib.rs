@@ -67,5 +67,5 @@ pub use kcore::KCoreDecomposition;
 pub use knn::KnnStats;
 pub use loops::CycleCensus;
 pub use paths::PathStats;
-pub use report::TopologyReport;
-pub use robust::{measure_robust, KernelStatus, RobustOptions, RobustReport};
+pub use report::{ReportOptions, TopologyReport};
+pub use robust::{measure_robust, KernelSelection, KernelStatus, RobustOptions, RobustReport};

@@ -11,7 +11,10 @@
 //!   annotated [`KernelStatus::Degraded`] — the numbers are still exact,
 //!   the status tells the operator the budget was blown;
 //! * the `metrics.kernel` failpoint (scope = kernel index) lets the chaos
-//!   suite force any single kernel to fail deterministically.
+//!   suite force any single kernel to fail deterministically;
+//! * a [`KernelSelection`] in the options can deselect kernels entirely
+//!   (scenario pipelines measure only what they ask for); deselected
+//!   kernels are annotated [`KernelStatus::Skipped`].
 //!
 //! The numeric content of the report stays bit-identical to the plain
 //! battery for every thread count; only the status annotations carry
@@ -61,12 +64,62 @@ pub enum KernelStatus {
         /// Best-effort failure description.
         reason: String,
     },
+    /// The kernel was deselected by [`RobustOptions::selection`] and never
+    /// ran; its fields hold the same neutral fallback values a failure
+    /// would leave.
+    Skipped,
 }
 
 impl KernelStatus {
-    /// True unless the kernel failed outright.
+    /// True when the kernel ran to completion (its report fields are real
+    /// measurements, not neutral fallbacks).
     pub fn produced_values(&self) -> bool {
-        !matches!(self, KernelStatus::Failed { .. })
+        matches!(
+            self,
+            KernelStatus::Ok { .. } | KernelStatus::Degraded { .. }
+        )
+    }
+}
+
+/// Which of the six kernels [`measure_robust`] should run, indexed like
+/// [`KERNEL_NAMES`]. The default selects all of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelSelection(pub [bool; 6]);
+
+impl Default for KernelSelection {
+    fn default() -> Self {
+        KernelSelection([true; 6])
+    }
+}
+
+impl KernelSelection {
+    /// Selects every kernel (the default).
+    pub fn all() -> Self {
+        Self::default()
+    }
+
+    /// Selects exactly the named kernels (names from [`KERNEL_NAMES`]).
+    /// Rejects unknown names so scenario typos fail loudly.
+    pub fn from_names<S: AsRef<str>>(names: &[S]) -> Result<Self, String> {
+        let mut mask = [false; 6];
+        for name in names {
+            let name = name.as_ref();
+            match KERNEL_NAMES.iter().position(|&k| k == name) {
+                Some(i) => mask[i] = true,
+                None => {
+                    return Err(format!(
+                        "unknown metric kernel '{name}' (kernels: {})",
+                        KERNEL_NAMES.join(" ")
+                    ))
+                }
+            }
+        }
+        Ok(KernelSelection(mask))
+    }
+
+    /// Whether the kernel at `index` is selected.
+    pub fn is_selected(&self, index: usize) -> bool {
+        self.0.get(index).copied().unwrap_or(false)
     }
 }
 
@@ -79,6 +132,9 @@ pub struct RobustOptions {
     /// still completes (results stay deterministic) but is annotated
     /// [`KernelStatus::Degraded`]. `None` disables the check.
     pub soft_deadline_millis: Option<u64>,
+    /// Which kernels to run; deselected kernels are annotated
+    /// [`KernelStatus::Skipped`] and leave neutral values in the report.
+    pub selection: KernelSelection,
 }
 
 /// A [`TopologyReport`] plus per-kernel status annotations.
@@ -93,9 +149,13 @@ pub struct RobustReport {
 }
 
 impl RobustReport {
-    /// True when every kernel produced its values (none failed).
+    /// True when no kernel failed (skipped kernels are fine: they were
+    /// deselected on purpose, not lost).
     pub fn fully_ok(&self) -> bool {
-        self.kernels.iter().all(|(_, s)| s.produced_values())
+        !self
+            .kernels
+            .iter()
+            .any(|(_, s)| matches!(s, KernelStatus::Failed { .. }))
     }
 
     /// The failed kernels, `(name, reason)` pairs.
@@ -120,6 +180,7 @@ impl RobustReport {
                     deadline_millis,
                 } => format!("{name}: degraded ({millis} ms > {deadline_millis} ms deadline)"),
                 KernelStatus::Failed { reason } => format!("{name}: FAILED ({reason})"),
+                KernelStatus::Skipped => format!("{name}: skipped"),
             })
             .collect::<Vec<_>>()
             .join("\n")
@@ -137,12 +198,17 @@ fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Runs one kernel behind the failpoint + panic fence.
+/// Runs one kernel behind the failpoint + panic fence. A deselected
+/// kernel never runs (no failpoint consultation either — it cannot fail).
 fn run_kernel<T>(
     index: usize,
-    deadline: Option<u64>,
+    opt: &RobustOptions,
     f: impl FnOnce() -> T,
 ) -> (Option<T>, KernelStatus) {
+    if !opt.selection.is_selected(index) {
+        return (None, KernelStatus::Skipped);
+    }
+    let deadline = opt.soft_deadline_millis;
     let start = Instant::now();
     // The failpoint sits inside the fence so its Panic action is contained
     // exactly like a real kernel panic.
@@ -183,18 +249,16 @@ fn run_kernel<T>(
 /// its own fields; the other kernels' numbers are reported normally.
 pub fn measure_robust(g: &Csr, opt: RobustOptions) -> RobustReport {
     let o = opt.report;
-    let deadline = opt.soft_deadline_millis;
 
-    let (degree, s_degree) = run_kernel(0, deadline, || DegreeStats::measure(g));
-    let (clustering, s_clustering) = run_kernel(1, deadline, || {
-        ClusteringStats::measure_threaded(g, o.threads)
-    });
-    let (knn, s_knn) = run_kernel(2, deadline, || KnnStats::measure_threaded(g, o.threads));
-    let (kcore, s_kcore) = run_kernel(3, deadline, || KCoreDecomposition::measure(g));
-    let (fused, s_fused) = run_kernel(4, deadline, || {
+    let (degree, s_degree) = run_kernel(0, &opt, || DegreeStats::measure(g));
+    let (clustering, s_clustering) =
+        run_kernel(1, &opt, || ClusteringStats::measure_threaded(g, o.threads));
+    let (knn, s_knn) = run_kernel(2, &opt, || KnnStats::measure_threaded(g, o.threads));
+    let (kcore, s_kcore) = run_kernel(3, &opt, || KCoreDecomposition::measure(g));
+    let (fused, s_fused) = run_kernel(4, &opt, || {
         paths_and_betweenness(g, o.path_sources, o.betweenness_sources, o.threads)
     });
-    let (giant, s_giant) = run_kernel(5, deadline, || giant_fraction(g));
+    let (giant, s_giant) = run_kernel(5, &opt, || giant_fraction(g));
 
     let (mean_degree, max_degree, gamma) = match &degree {
         Some(d) => (d.mean, d.max, d.powerlaw_fit().map(|f| f.gamma)),
@@ -267,6 +331,7 @@ mod tests {
             RobustOptions {
                 report: opt,
                 soft_deadline_millis: None,
+                selection: KernelSelection::all(),
             },
         );
         assert_eq!(robust.report, plain);
@@ -287,6 +352,7 @@ mod tests {
                         threads,
                     },
                     soft_deadline_millis: None,
+                    selection: KernelSelection::all(),
                 },
             )
             .report
@@ -312,6 +378,7 @@ mod tests {
             RobustOptions {
                 report: opt,
                 soft_deadline_millis: Some(0),
+                selection: KernelSelection::all(),
             },
         );
         assert!(robust.fully_ok());
@@ -346,6 +413,7 @@ mod tests {
             RobustOptions {
                 report: opt,
                 soft_deadline_millis: None,
+                selection: KernelSelection::all(),
             },
         );
         assert!(!robust.fully_ok());
@@ -370,5 +438,52 @@ mod tests {
         for name in KERNEL_NAMES {
             assert!(text.contains(name), "missing {name} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn selection_skips_kernels_without_losing_the_rest() {
+        let g = ring(60);
+        let opt = ReportOptions {
+            path_sources: 20,
+            betweenness_sources: 10,
+            threads: 2,
+        };
+        let plain = TopologyReport::measure_with(&g, opt);
+        let selection = KernelSelection::from_names(&["degree", "giant"]).expect("known kernels");
+        let robust = measure_robust(
+            &g,
+            RobustOptions {
+                report: opt,
+                soft_deadline_millis: None,
+                selection,
+            },
+        );
+        // Skipping is not failing.
+        assert!(robust.fully_ok());
+        assert!(robust.failures().is_empty());
+        // Selected kernels keep their exact numbers.
+        assert_eq!(robust.report.mean_degree, plain.mean_degree);
+        assert_eq!(robust.report.giant_fraction, plain.giant_fraction);
+        // Deselected kernels report Skipped and neutral values.
+        assert_eq!(robust.report.mean_clustering, 0.0);
+        assert_eq!(robust.report.diameter, 0);
+        let skipped: Vec<&str> = robust
+            .kernels
+            .iter()
+            .filter(|(_, s)| matches!(s, KernelStatus::Skipped))
+            .map(|(name, _)| *name)
+            .collect();
+        assert_eq!(
+            skipped,
+            vec!["clustering", "knn", "kcore", "paths+betweenness"]
+        );
+        assert!(robust.render_status().contains("skipped"));
+    }
+
+    #[test]
+    fn selection_rejects_unknown_kernel_names() {
+        let err = KernelSelection::from_names(&["degree", "bogus"]).unwrap_err();
+        assert!(err.contains("bogus"), "{err}");
+        assert!(err.contains("kernels:"), "{err}");
     }
 }

@@ -1,0 +1,227 @@
+//! Report rendering and sinks: the summary text, the attack response
+//! table, and per-cell curve CSVs.
+//!
+//! The table and CSV formats are byte-for-byte the legacy `inet attack`
+//! output, so scripts that scraped the old CLI keep working and the CLI's
+//! thin builders can share this code with `inet run`.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use inet_resilience::{AttackCurve, SweepResult};
+
+use crate::run::RunOutcome;
+use crate::scenario::Scenario;
+use crate::PipelineError;
+
+/// The per-cell response table, exactly as the legacy CLI printed it:
+/// header plus one line per cell, each `\n`-terminated.
+pub fn attack_table(result: &SweepResult) -> String {
+    let mut out = String::from("strategy             rep    f_c   S(.05)  S(.20)  S(.50)\n");
+    for cell in &result.cells {
+        let _ = writeln!(
+            out,
+            "{:<20} {:>3}  {:>5.3}   {:>5.3}   {:>5.3}   {:>5.3}{}",
+            cell.strategy,
+            cell.replica,
+            cell.curve.critical_fraction,
+            cell.curve.giant_fraction_at(0.05),
+            cell.curve.giant_fraction_at(0.20),
+            cell.curve.giant_fraction_at(0.50),
+            if cell.resampled { "  (resampled)" } else { "" }
+        );
+    }
+    out
+}
+
+/// The "resumed N finished cell(s) from X" line, when the sweep resumed.
+pub fn resumed_line(result: &SweepResult, checkpoint: Option<&Path>) -> Option<String> {
+    (result.resumed > 0).then(|| {
+        format!(
+            "resumed {} finished cell(s) from {}",
+            result.resumed,
+            checkpoint
+                .map(|p| p.display().to_string())
+                .unwrap_or_else(|| "checkpoint".to_string())
+        )
+    })
+}
+
+/// One attack curve as CSV, with the legacy header.
+pub fn curve_csv(curve: &AttackCurve) -> String {
+    let mut csv = String::from("removed,giant,edges,mean_component\n");
+    for p in &curve.points {
+        let _ = writeln!(
+            csv,
+            "{},{},{},{}",
+            p.removed, p.giant, p.edges, p.mean_component
+        );
+    }
+    csv
+}
+
+/// Writes one `{strategy}-r{replica}.csv` per cell into `dir`.
+pub fn write_curves(dir: &Path, result: &SweepResult) -> Result<(), PipelineError> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| PipelineError::Data(format!("curves: {}: {e}", dir.display())))?;
+    for cell in &result.cells {
+        let path = dir.join(format!("{}-r{}.csv", cell.strategy, cell.replica));
+        std::fs::write(&path, curve_csv(&cell.curve))
+            .map_err(|e| PipelineError::Data(format!("curves: {}: {e}", path.display())))?;
+    }
+    Ok(())
+}
+
+/// Creates the parent directory of a file sink, so scenarios can point
+/// sinks into not-yet-existing figure directories.
+fn ensure_parent(path: &Path) -> Result<(), PipelineError> {
+    match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => std::fs::create_dir_all(parent)
+            .map_err(|e| PipelineError::Data(format!("{}: {e}", parent.display()))),
+        _ => Ok(()),
+    }
+}
+
+/// Appends `text` ensuring exactly one trailing newline.
+fn push_block(out: &mut String, text: &str) {
+    out.push_str(text.trim_end_matches('\n'));
+    out.push('\n');
+}
+
+/// Renders the run summary: source line, measurement report, attack table.
+pub fn render_summary(scenario: &Scenario, outcome: &RunOutcome) -> String {
+    let mut s = String::new();
+    push_block(&mut s, &format!("scenario: {}", outcome.name));
+    if !scenario.description.is_empty() {
+        push_block(&mut s, &scenario.description);
+    }
+    push_block(&mut s, &format!("# {}", outcome.source));
+    if let Some(r) = &outcome.robust {
+        s.push('\n');
+        push_block(&mut s, &r.report.render());
+        let deadline = scenario.measure.and_then(|m| m.deadline_ms);
+        if !r.fully_ok() || deadline.is_some() {
+            push_block(&mut s, "# kernel status");
+            push_block(&mut s, &r.render_status());
+        }
+    }
+    if let Some(sweep) = &outcome.sweep {
+        s.push('\n');
+        let checkpoint = scenario
+            .attack
+            .as_ref()
+            .and_then(|a| a.checkpoint.as_deref());
+        if let Some(line) = resumed_line(sweep, checkpoint) {
+            push_block(&mut s, &line);
+        }
+        push_block(&mut s, &attack_table(sweep));
+    }
+    s
+}
+
+/// Stage 3: fills `outcome.summary` and writes the configured sinks.
+pub(crate) fn emit(
+    scenario: &Scenario,
+    graph: &inet_graph::MultiGraph,
+    outcome: &mut RunOutcome,
+) -> Result<(), PipelineError> {
+    outcome.summary = render_summary(scenario, outcome);
+    if let Some(path) = &scenario.report.edge_list {
+        let mut buf = Vec::new();
+        inet_graph::io::write_edge_list(graph, &mut buf)
+            .map_err(|e| PipelineError::Data(format!("edge_list: {e}")))?;
+        if path == "-" {
+            print!("{}", String::from_utf8_lossy(&buf));
+            outcome.written.push("edge list -> stdout".to_string());
+        } else {
+            ensure_parent(Path::new(path))?;
+            std::fs::write(path, &buf)
+                .map_err(|e| PipelineError::Data(format!("edge_list: {path}: {e}")))?;
+            outcome.written.push(format!("edge list -> {path}"));
+        }
+    }
+    if let (Some(dir), Some(sweep)) = (&scenario.report.curves, &outcome.sweep) {
+        write_curves(dir, sweep)?;
+        outcome.written.push(format!("curves -> {}", dir.display()));
+    }
+    if let Some(path) = &scenario.report.summary {
+        ensure_parent(path)?;
+        std::fs::write(path, &outcome.summary)
+            .map_err(|e| PipelineError::Data(format!("summary: {}: {e}", path.display())))?;
+        outcome
+            .written
+            .push(format!("summary -> {}", path.display()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inet_resilience::{CellRecord, CurvePoint};
+
+    fn sweep_with_one_cell() -> SweepResult {
+        SweepResult {
+            cells: vec![CellRecord {
+                strategy: "random".to_string(),
+                replica: 0,
+                resampled: true,
+                curve: AttackCurve {
+                    nodes: 10,
+                    edges: 20,
+                    points: vec![CurvePoint {
+                        removed: 1,
+                        giant: 9,
+                        edges: 15,
+                        mean_component: 4.5,
+                    }],
+                    critical_fraction: 0.5,
+                },
+            }],
+            failures: Vec::new(),
+            resumed: 1,
+            warnings: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn attack_table_matches_the_legacy_format() {
+        let table = attack_table(&sweep_with_one_cell());
+        let mut lines = table.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "strategy             rep    f_c   S(.05)  S(.20)  S(.50)"
+        );
+        // nodes=10 with a single recorded point at giant=9 → S = 0.900
+        // everywhere; f_c comes straight from the struct.
+        assert_eq!(
+            lines.next().unwrap(),
+            "random                 0  0.500   0.900   0.900   0.900  (resampled)"
+        );
+        assert!(lines.next().is_none());
+    }
+
+    #[test]
+    fn curve_csv_has_header_and_rows() {
+        let csv = curve_csv(&sweep_with_one_cell().cells[0].curve);
+        assert_eq!(csv, "removed,giant,edges,mean_component\n1,9,15,4.5\n");
+    }
+
+    #[test]
+    fn resumed_line_names_the_checkpoint() {
+        let sweep = sweep_with_one_cell();
+        assert_eq!(
+            resumed_line(&sweep, Some(Path::new("ck.json"))).unwrap(),
+            "resumed 1 finished cell(s) from ck.json"
+        );
+        assert_eq!(
+            resumed_line(&sweep, None).unwrap(),
+            "resumed 1 finished cell(s) from checkpoint"
+        );
+        let fresh = SweepResult {
+            resumed: 0,
+            ..sweep
+        };
+        assert!(resumed_line(&fresh, None).is_none());
+    }
+}

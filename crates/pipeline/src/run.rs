@@ -1,0 +1,419 @@
+//! The staged executor: source → measure → attack → report.
+//!
+//! Each stage runs behind the `pipeline.stage` failpoint (scope = stage
+//! index) *and* a panic fence, so an injected fault or a kernel bug aborts
+//! the run with a typed [`PipelineError`] — never a crash — and earlier
+//! stages' results are still described in the error path (checkpoints on
+//! disk, sinks already written).
+//!
+//! The stages reuse the existing engines verbatim: generation goes through
+//! the registry builder and [`Generator::try_generate`]'s containment,
+//! measurement through [`inet_metrics::measure_robust`] on the giant
+//! component, attacks through [`inet_resilience::run_sweep`] on the full
+//! graph — so scenario runs are bit-identical to the legacy subcommands
+//! for any thread count.
+//!
+//! [`Generator::try_generate`]: inet_generators::Generator::try_generate
+
+use std::io::Read;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use inet_graph::MultiGraph;
+use inet_metrics::{measure_robust, ReportOptions, RobustOptions, RobustReport};
+use inet_resilience::{run_sweep, SweepConfig, SweepResult};
+use inet_stats::rng::seeded_rng;
+
+use crate::report;
+use crate::scenario::{Scenario, Source};
+use crate::PipelineError;
+
+/// Stage names, indexed by their `pipeline.stage` failpoint scope.
+pub const STAGE_NAMES: [&str; 4] = ["source", "measure", "attack", "report"];
+
+/// Everything a finished run produced, for the caller to print or persist.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Scenario display name.
+    pub name: String,
+    /// One-line description of the topology source (model + sizes, or the
+    /// loaded path).
+    pub source: String,
+    /// Node count of the topology under study.
+    pub nodes: usize,
+    /// Edge count of the topology under study.
+    pub edges: usize,
+    /// The measurement stage's report, when the stage ran.
+    pub robust: Option<RobustReport>,
+    /// The attack stage's sweep result, when the stage ran.
+    pub sweep: Option<SweepResult>,
+    /// The rendered summary text (also written to the summary sink).
+    pub summary: String,
+    /// Non-fatal warnings collected across stages (kernel failures,
+    /// resampled replicas, sweep warnings) for the caller's stderr.
+    pub warnings: Vec<String>,
+    /// One line per report sink actually written.
+    pub written: Vec<String>,
+}
+
+/// Runs one stage behind the failpoint and a panic fence. The failpoint
+/// sits *inside* the fence so an injected `Panic` action is contained
+/// exactly like an organic stage panic.
+fn stage<T>(index: u64, f: impl FnOnce() -> Result<T, PipelineError>) -> Result<T, PipelineError> {
+    let name = STAGE_NAMES[index as usize];
+    match catch_unwind(AssertUnwindSafe(|| {
+        inet_fault::check("pipeline.stage", index)
+            .map_err(|e| PipelineError::Stage(format!("{name} stage aborted: {e}")))
+            .and_then(|()| f())
+    })) {
+        Ok(result) => result,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(PipelineError::Stage(format!(
+                "{name} stage panicked: {msg}"
+            )))
+        }
+    }
+}
+
+/// Executes a scenario start to finish and returns what it produced.
+pub fn run_scenario(scenario: &Scenario) -> Result<RunOutcome, PipelineError> {
+    let threads = scenario
+        .threads
+        .unwrap_or_else(inet_graph::parallel::default_threads);
+
+    let (graph, source_desc) = stage(0, || build_source(scenario))?;
+
+    let robust = match scenario.measure {
+        Some(m) => Some(stage(1, || {
+            let giant = inet_graph::traversal::giant_component(&graph.to_csr()).0;
+            let opt = RobustOptions {
+                report: ReportOptions {
+                    path_sources: m.path_sources,
+                    betweenness_sources: m.betweenness_sources,
+                    threads,
+                },
+                soft_deadline_millis: m.deadline_ms,
+                selection: m.selection,
+            };
+            Ok(measure_robust(&giant, opt))
+        })?),
+        None => None,
+    };
+
+    let sweep = match &scenario.attack {
+        Some(a) => Some(stage(2, || {
+            let csr = graph.to_csr();
+            let record_every = if a.record_every == 0 {
+                (csr.node_count() / 200).max(1)
+            } else {
+                a.record_every
+            };
+            let cfg = SweepConfig {
+                strategies: a.strategies.clone(),
+                replicas: a.replicas,
+                base_seed: a.seed,
+                threads,
+                record_every,
+                bc_sources: a.bc_sources,
+                checkpoint: a.checkpoint.clone(),
+                ..SweepConfig::default()
+            };
+            run_sweep(&csr, &cfg).map_err(|e| {
+                if e.is_incompatible() {
+                    PipelineError::CheckpointIncompatible(format!("attack: {e}"))
+                } else {
+                    PipelineError::Data(format!("attack: {e}"))
+                }
+            })
+        })?),
+        None => None,
+    };
+
+    let mut warnings = Vec::new();
+    if let Some(r) = &robust {
+        for (kernel, reason) in r.failures() {
+            warnings.push(format!("kernel '{kernel}' failed: {reason}"));
+        }
+    }
+    if let Some(s) = &sweep {
+        for f in &s.failures {
+            warnings.push(format!(
+                "{} replica {} failed on attempt {}: {}",
+                f.strategy, f.replica, f.attempt, f.message
+            ));
+        }
+        warnings.extend(s.warnings.iter().cloned());
+    }
+
+    let mut outcome = RunOutcome {
+        name: scenario.name.clone(),
+        source: source_desc,
+        nodes: graph.node_count(),
+        edges: graph.edge_count(),
+        robust,
+        sweep,
+        summary: String::new(),
+        warnings,
+        written: Vec::new(),
+    };
+    stage(3, || report::emit(scenario, &graph, &mut outcome))?;
+    Ok(outcome)
+}
+
+/// Stage 0: grow or load the topology, with the invariant check the legacy
+/// CLI ran (always in debug builds, opt-in in release).
+fn build_source(scenario: &Scenario) -> Result<(MultiGraph, String), PipelineError> {
+    match &scenario.source {
+        Source::Generator(g) => {
+            let generator =
+                (g.spec.build)(&g.params).map_err(|e| PipelineError::Model(e.to_string()))?;
+            let mut rng = seeded_rng(g.seed);
+            let net = generator
+                .try_generate(&mut rng)
+                .map_err(|e| PipelineError::Model(e.to_string()))?;
+            check_graph(&net.graph, scenario.check_invariants, "generate")?;
+            let desc = format!(
+                "generated {} ({} nodes, {} edges, weight {})",
+                net.name,
+                net.graph.node_count(),
+                net.graph.edge_count(),
+                net.graph.total_weight()
+            );
+            Ok((net.graph, desc))
+        }
+        Source::Input { path } => {
+            let graph = load_graph(path)?;
+            check_graph(&graph, scenario.check_invariants, "input")?;
+            let desc = format!(
+                "loaded {} ({} nodes, {} edges)",
+                path,
+                graph.node_count(),
+                graph.edge_count()
+            );
+            Ok((graph, desc))
+        }
+    }
+}
+
+/// Reads an edge list from a file, or stdin when `path` is `-`.
+pub fn load_graph(path: &str) -> Result<MultiGraph, PipelineError> {
+    let text = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| PipelineError::Data(format!("stdin: {e}")))?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| PipelineError::Data(format!("{path}: {e}")))?
+    };
+    inet_graph::io::read_edge_list(text.as_bytes())
+        .map_err(|e| PipelineError::Data(format!("{path}: {e}")))
+}
+
+fn check_graph(g: &MultiGraph, enabled: bool, what: &str) -> Result<(), PipelineError> {
+    if enabled || cfg!(debug_assertions) {
+        g.validate().map_err(|e| {
+            PipelineError::Data(format!("{what}: graph invariant check failed: {e}"))
+        })?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use inet_resilience::Strategy;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("inet_pipeline_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn generator_scenario_measures_and_attacks() {
+        let scenario = Scenario::parse(
+            r#"
+            [generator]
+            model = "ba"
+            n = 80
+            seed = 11
+            [measure]
+            metrics = ["degree", "giant"]
+            [attack]
+            strategies = ["random"]
+            replicas = 1
+            record = 1
+            "#,
+        )
+        .unwrap();
+        let outcome = run_scenario(&scenario).unwrap();
+        assert_eq!(outcome.nodes, 80);
+        assert!(outcome.edges > 0);
+        let robust = outcome.robust.as_ref().unwrap();
+        assert!(robust.fully_ok());
+        let sweep = outcome.sweep.as_ref().unwrap();
+        assert_eq!(sweep.cells.len(), 1);
+        assert!(outcome.summary.contains("generated"), "{}", outcome.summary);
+        assert!(outcome.summary.contains("strategy"), "{}", outcome.summary);
+    }
+
+    #[test]
+    fn scenario_attack_is_bit_identical_to_a_direct_sweep() {
+        // The pipeline must add nothing to the numbers: same generator call,
+        // same sweep config => identical cells, for any thread count.
+        let direct = {
+            let spec = inet_generators::lookup("ba").unwrap();
+            let params = spec.resolve_n(80).unwrap();
+            let generator = (spec.build)(&params).unwrap();
+            let mut rng = seeded_rng(11);
+            let csr = generator.try_generate(&mut rng).unwrap().graph.to_csr();
+            let cfg = SweepConfig {
+                strategies: vec![Strategy::Random, Strategy::Degree { recalc: false }],
+                replicas: 2,
+                base_seed: 11,
+                threads: 1,
+                record_every: 1,
+                bc_sources: 64,
+                ..SweepConfig::default()
+            };
+            run_sweep(&csr, &cfg).unwrap()
+        };
+        for threads in [1usize, 2, 7] {
+            let scenario = Scenario::parse(&format!(
+                "threads = {threads}\n[generator]\nmodel = \"ba\"\nn = 80\nseed = 11\n\
+                 [attack]\nreplicas = 2\nrecord = 1"
+            ))
+            .unwrap();
+            let outcome = run_scenario(&scenario).unwrap();
+            assert_eq!(
+                outcome.sweep.unwrap().cells,
+                direct.cells,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn input_scenario_round_trips_through_sinks() {
+        let dir = temp_dir("sinks");
+        let edge_list = dir.join("graph.txt");
+        let generated = Scenario::parse(&format!(
+            "[generator]\nmodel = \"glp\"\nn = 120\nseed = 3\n[report]\nedge_list = \"{}\"",
+            edge_list.display()
+        ))
+        .unwrap();
+        let first = run_scenario(&generated).unwrap();
+        assert!(edge_list.exists());
+        assert_eq!(first.written.len(), 1);
+
+        let summary = dir.join("summary.txt");
+        let curves = dir.join("curves");
+        let measured = Scenario::parse(&format!(
+            "[input]\npath = \"{}\"\n[measure]\nmetrics = [\"degree\"]\n\
+             [attack]\nstrategies = [\"degree\"]\nreplicas = 1\n\
+             [report]\nsummary = \"{}\"\ncurves = \"{}\"",
+            edge_list.display(),
+            summary.display(),
+            curves.display()
+        ))
+        .unwrap();
+        let outcome = run_scenario(&measured).unwrap();
+        assert_eq!(outcome.nodes, first.nodes);
+        assert_eq!(outcome.edges, first.edges);
+        let summary_text = std::fs::read_to_string(&summary).unwrap();
+        assert_eq!(summary_text, outcome.summary);
+        assert!(curves.join("degree-r0.csv").exists());
+        let csv = std::fs::read_to_string(curves.join("degree-r0.csv")).unwrap();
+        assert!(
+            csv.starts_with("removed,giant,edges,mean_component\n"),
+            "{csv}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn source_errors_keep_their_exit_codes() {
+        // Unreadable input is a data error (4).
+        let scenario = Scenario::parse("[input]\npath = \"/nonexistent/g.txt\"").unwrap();
+        assert_eq!(run_scenario(&scenario).unwrap_err().exit_code(), 4);
+        // A generator rejecting its parameters is a model error (3): the
+        // schema accepts any positive m, the builder enforces m <= n.
+        let scenario = Scenario::parse("[generator]\nmodel = \"ba\"\nn = 10\nm = 50").unwrap();
+        let e = run_scenario(&scenario).unwrap_err();
+        assert_eq!(e.exit_code(), 3, "{e}");
+    }
+
+    #[test]
+    fn incompatible_checkpoint_exits_5() {
+        let dir = temp_dir("ckpt");
+        let ckpt = dir.join("state.json");
+        let mk = |seed: u64| {
+            Scenario::parse(&format!(
+                "[generator]\nmodel = \"ba\"\nn = 60\nseed = {seed}\n\
+                 [attack]\nstrategies = [\"random\"]\nreplicas = 1\ncheckpoint = \"{}\"",
+                ckpt.display()
+            ))
+            .unwrap()
+        };
+        run_scenario(&mk(11)).unwrap();
+        let resumed = run_scenario(&mk(11)).unwrap();
+        assert_eq!(resumed.sweep.as_ref().unwrap().resumed, 1);
+        assert!(resumed.summary.contains("resumed 1 finished cell(s)"));
+        let e = run_scenario(&mk(12)).unwrap_err();
+        assert_eq!(e.exit_code(), 5, "{e}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(feature = "fault-inject")]
+    mod faults {
+        use super::*;
+        use inet_fault::{install, FaultAction, FaultPlan};
+
+        fn scenario() -> Scenario {
+            Scenario::parse(
+                "[generator]\nmodel = \"ba\"\nn = 60\n\
+                 [measure]\nmetrics = [\"degree\"]\n\
+                 [attack]\nstrategies = [\"random\"]\nreplicas = 1",
+            )
+            .unwrap()
+        }
+
+        #[test]
+        fn injected_stage_faults_abort_with_exit_1() {
+            for (scope, name) in STAGE_NAMES.iter().enumerate() {
+                let _guard = install(FaultPlan::single(
+                    "pipeline.stage",
+                    Some(scope as u64),
+                    FaultAction::Error,
+                ));
+                let e = run_scenario(&scenario()).unwrap_err();
+                assert_eq!(e.exit_code(), 1, "{name}: {e}");
+                assert!(
+                    e.message().contains(&format!("{name} stage aborted")),
+                    "{name}: {e}"
+                );
+            }
+        }
+
+        #[test]
+        fn panics_inside_a_stage_are_contained() {
+            // The failpoint sits inside the fence, so an injected panic
+            // becomes a Stage error instead of unwinding through the run.
+            let _guard = install(FaultPlan::single(
+                "pipeline.stage",
+                Some(3),
+                FaultAction::Panic,
+            ));
+            let e = run_scenario(&scenario()).unwrap_err();
+            assert_eq!(e.exit_code(), 1, "{e}");
+            assert!(e.message().contains("report stage panicked"), "{e}");
+        }
+    }
+}

@@ -1,13 +1,22 @@
 //! `inet` — command-line front end of the toolkit.
 //!
 //! ```text
+//! inet run      <scenario.toml>         # execute a declarative scenario file
 //! inet generate <model> <n> [seed]      # grow a topology, write edge list to stdout
 //! inet measure  <edge-list-file|->      # headline report of a topology
 //! inet validate <edge-list-file|->      # compare against the 2001 AS-map targets
 //! inet tiers    <edge-list-file|->      # backbone/transit/fringe stratification
 //! inet trace    [months]                # synthetic growth trace + fitted rates
 //! inet attack   <model|file|->          # percolation / targeted-attack sweep
+//! inet list-models                      # the model registry: params + defaults
 //! ```
+//!
+//! The CLI is a thin shell over `inet-pipeline`: `run` executes a TOML
+//! scenario directly (`--set key=value` overrides any setting), and
+//! `generate`/`measure`/`attack` build tiny scenarios in memory, so every
+//! command goes through the same staged source → measure → attack → report
+//! engine. Model dispatch happens exactly once, in the generator registry —
+//! `list-models` prints its names, parameters, and defaults.
 //!
 //! `attack` removes nodes under one or more strategies (`--strategy
 //! random,degree-recalc,...`), reports the critical fraction `f_c` and the
@@ -15,23 +24,34 @@
 //! checkpoints completed cells so an interrupted sweep picks up where it
 //! stopped.
 //!
-//! `measure`, `validate` and `attack` accept `--threads N` (anywhere on the
-//! command line) to set the worker-thread count of the parallel kernels; the
-//! default is the machine's available parallelism. Results are bit-identical
-//! for any thread count.
+//! `run`, `measure`, `validate` and `attack` accept `--threads N` (anywhere
+//! on the command line) to set the worker-thread count of the parallel
+//! kernels; the default is the machine's available parallelism. Results are
+//! bit-identical for any thread count.
 //!
-//! Models: `serrano`, `serrano-nodist`, `ba`, `ab-ext`, `bianconi`, `glp`,
-//! `pfp`, `inet`, `waxman`, `er`, `fkp`, `brite`, `goh`, `ws`, `rgg`. Edge lists use the workspace's
-//! `# nodes N` + `u v w` format; `-` reads stdin.
+//! Edge lists use the workspace's `# nodes N` + `u v w` format; `-` reads
+//! stdin.
 
+use inet_suite::inet_model::generators::{model_names, registry, ParamValue};
 use inet_suite::inet_model::growth::fit::FittedRates;
 use inet_suite::inet_model::metrics::tiers::TierDecomposition;
+use inet_suite::inet_model::pipeline::run::load_graph;
+use inet_suite::inet_model::pipeline::{
+    report, run_scenario, AttackSpec, MeasureSpec, PipelineError, Scenario, Source,
+};
 use inet_suite::inet_model::prelude::*;
-use std::io::Read;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
 /// Parsed command line.
 #[derive(Debug, PartialEq)]
 enum Command {
+    Run {
+        path: String,
+        sets: Vec<String>,
+        threads: Option<usize>,
+        check_invariants: bool,
+    },
     Generate {
         model: String,
         n: usize,
@@ -57,54 +77,8 @@ enum Command {
         months: usize,
     },
     Attack(AttackArgs),
+    ListModels,
     Help,
-}
-
-/// A CLI failure with its exit code. The codes are part of the interface
-/// (scripts branch on them):
-///
-/// | code | class | variant |
-/// |---|---|---|
-/// | 2 | bad usage (flags, arguments) | [`CliError::Usage`] |
-/// | 3 | invalid model parameters | [`CliError::Model`] |
-/// | 4 | data / IO (unreadable or malformed files) | [`CliError::Data`] |
-/// | 5 | checkpoint belongs to a different run | [`CliError::CheckpointIncompatible`] |
-/// | 1 | anything else | [`CliError::Other`] |
-#[derive(Debug, PartialEq)]
-enum CliError {
-    /// Malformed command line.
-    Usage(String),
-    /// A generator rejected its parameters (a [`ModelError`] one-liner).
-    Model(String),
-    /// Unreadable or malformed input/output data.
-    Data(String),
-    /// `--resume` pointed at a checkpoint from a different graph or sweep;
-    /// the message names the differing field.
-    CheckpointIncompatible(String),
-    /// Any other failure.
-    Other(String),
-}
-
-impl CliError {
-    fn exit_code(&self) -> i32 {
-        match self {
-            CliError::Other(_) => 1,
-            CliError::Usage(_) => 2,
-            CliError::Model(_) => 3,
-            CliError::Data(_) => 4,
-            CliError::CheckpointIncompatible(_) => 5,
-        }
-    }
-
-    fn message(&self) -> &str {
-        match self {
-            CliError::Usage(m)
-            | CliError::Model(m)
-            | CliError::Data(m)
-            | CliError::CheckpointIncompatible(m)
-            | CliError::Other(m) => m,
-        }
-    }
 }
 
 /// Arguments of the `attack` subcommand.
@@ -132,82 +106,159 @@ struct AttackArgs {
     check_invariants: bool,
 }
 
-/// Extracts a `--threads N` option (any position), returning the remaining
-/// arguments and the thread count (defaulting to the machine's available
-/// parallelism).
-fn extract_threads(args: &[String]) -> Result<(Vec<String>, usize), String> {
-    let mut rest = Vec::with_capacity(args.len());
-    let mut threads = inet_suite::inet_model::graph::parallel::default_threads();
+/// One recognized option: flag name, value metavar (`None` = bare flag),
+/// and whether it may be given more than once.
+#[derive(Debug, Clone, Copy)]
+struct OptSpec {
+    name: &'static str,
+    metavar: Option<&'static str>,
+    repeatable: bool,
+}
+
+const fn flag(name: &'static str) -> OptSpec {
+    OptSpec {
+        name,
+        metavar: None,
+        repeatable: false,
+    }
+}
+
+const fn opt(name: &'static str, metavar: &'static str) -> OptSpec {
+    OptSpec {
+        name,
+        metavar: Some(metavar),
+        repeatable: false,
+    }
+}
+
+const fn opt_many(name: &'static str, metavar: &'static str) -> OptSpec {
+    OptSpec {
+        name,
+        metavar: Some(metavar),
+        repeatable: true,
+    }
+}
+
+/// Options recognized in any position of any command line.
+const GLOBAL_OPTS: &[OptSpec] = &[
+    opt("--threads", "<N>"),
+    flag("--check-invariants"),
+    opt("--deadline-ms", "<ms>"),
+    opt_many("--set", "<key=value>"),
+];
+
+/// Options of the `attack` subcommand.
+const ATTACK_OPTS: &[OptSpec] = &[
+    opt("--n", "<N>"),
+    opt("--seed", "<S>"),
+    opt("--strategy", "<a,b,...>"),
+    opt("--replicas", "<R>"),
+    opt("--record", "<K>"),
+    opt("--resume", "<file>"),
+    opt("--curves", "<dir>"),
+];
+
+/// The scan result: extracted option values plus the remaining arguments
+/// in their original order. Bare flags record an empty string per hit.
+#[derive(Debug, Default)]
+struct Scanned {
+    rest: Vec<String>,
+    seen: BTreeMap<&'static str, Vec<String>>,
+}
+
+impl Scanned {
+    fn flag(&self, name: &str) -> bool {
+        self.seen.contains_key(name)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.seen
+            .get(name)
+            .and_then(|v| v.first())
+            .map(String::as_str)
+    }
+
+    fn values(&self, name: &str) -> Vec<String> {
+        self.seen.get(name).cloned().unwrap_or_default()
+    }
+
+    fn integer<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        metavar: &str,
+    ) -> Result<Option<T>, String> {
+        match self.value(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<T>()
+                .map(Some)
+                .map_err(|_| format!("{name}: {metavar} must be an integer")),
+        }
+    }
+}
+
+/// The table-driven option scanner every subcommand shares: pulls the
+/// listed options out of `args` (any position), rejects repeats of
+/// non-repeatable flags and missing values, and leaves everything it does
+/// not recognize in `rest` for positional parsing.
+fn scan_options(args: &[String], specs: &[OptSpec]) -> Result<Scanned, String> {
+    let mut out = Scanned::default();
     let mut i = 0;
     while i < args.len() {
-        if args[i] == "--threads" {
-            let value = args
-                .get(i + 1)
-                .ok_or("--threads: missing <N>")?
-                .parse::<usize>()
-                .map_err(|_| "--threads: <N> must be an integer".to_string())?;
-            if value == 0 {
-                return Err("--threads: <N> must be at least 1".into());
+        let Some(spec) = specs.iter().find(|s| s.name == args[i]) else {
+            out.rest.push(args[i].clone());
+            i += 1;
+            continue;
+        };
+        let entry = out.seen.entry(spec.name).or_default();
+        if !spec.repeatable && !entry.is_empty() {
+            return Err(format!("{}: given more than once", spec.name));
+        }
+        match spec.metavar {
+            Some(metavar) => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("{}: missing {metavar}", spec.name))?;
+                entry.push(v.clone());
+                i += 2;
             }
-            threads = value;
-            i += 2;
-        } else {
-            rest.push(args[i].clone());
-            i += 1;
+            None => {
+                entry.push(String::new());
+                i += 1;
+            }
         }
     }
-    Ok((rest, threads))
-}
-
-/// Extracts a bare boolean flag (any position), returning the remaining
-/// arguments and whether the flag was present.
-fn extract_flag(args: &[String], name: &str) -> (Vec<String>, bool) {
-    let mut found = false;
-    let rest = args
-        .iter()
-        .filter(|a| {
-            let hit = a.as_str() == name;
-            found |= hit;
-            !hit
-        })
-        .cloned()
-        .collect();
-    (rest, found)
-}
-
-/// Extracts a `--deadline-ms N` option (any position): the soft per-kernel
-/// deadline of `measure` — kernels that overrun it are annotated, never
-/// killed.
-fn extract_deadline(args: &[String]) -> Result<(Vec<String>, Option<u64>), String> {
-    let mut rest = Vec::with_capacity(args.len());
-    let mut deadline = None;
-    let mut i = 0;
-    while i < args.len() {
-        if args[i] == "--deadline-ms" {
-            let value = args
-                .get(i + 1)
-                .ok_or("--deadline-ms: missing <ms>")?
-                .parse::<u64>()
-                .map_err(|_| "--deadline-ms: <ms> must be an integer".to_string())?;
-            deadline = Some(value);
-            i += 2;
-        } else {
-            rest.push(args[i].clone());
-            i += 1;
-        }
-    }
-    Ok((rest, deadline))
+    Ok(out)
 }
 
 fn parse_args(args: &[String]) -> Result<Command, String> {
-    let (args, threads) = extract_threads(args)?;
-    let (args, check_invariants) = extract_flag(&args, "--check-invariants");
-    let (args, deadline_ms) = extract_deadline(&args)?;
-    if deadline_ms.is_some() && args.first().map(String::as_str) != Some("measure") {
+    let scanned = scan_options(args, GLOBAL_OPTS)?;
+    let threads_flag: Option<usize> = scanned.integer("--threads", "<N>")?;
+    if threads_flag == Some(0) {
+        return Err("--threads: <N> must be at least 1".into());
+    }
+    let threads =
+        threads_flag.unwrap_or_else(inet_suite::inet_model::graph::parallel::default_threads);
+    let check_invariants = scanned.flag("--check-invariants");
+    let deadline_ms: Option<u64> = scanned.integer("--deadline-ms", "<ms>")?;
+    let sets = scanned.values("--set");
+    let args = scanned.rest;
+    let first = args.first().map(String::as_str);
+    if deadline_ms.is_some() && first != Some("measure") {
         return Err("--deadline-ms only applies to 'measure'".into());
     }
-    match args.first().map(String::as_str) {
+    if !sets.is_empty() && first != Some("run") {
+        return Err("--set only applies to 'run'".into());
+    }
+    match first {
         None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
+        Some("run") => Ok(Command::Run {
+            path: args.get(1).ok_or("run: missing <scenario.toml>")?.clone(),
+            sets,
+            threads: threads_flag,
+            check_invariants,
+        }),
+        Some("list-models") => Ok(Command::ListModels),
         Some("generate") => {
             let model = args.get(1).ok_or("generate: missing <model>")?.clone();
             let n = args
@@ -264,84 +315,60 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
 }
 
 /// Parses the `attack` arguments (everything after the subcommand word;
-/// `--threads` and `--check-invariants` were already extracted).
+/// the global options were already extracted).
 fn parse_attack(
     args: &[String],
     threads: usize,
     check_invariants: bool,
 ) -> Result<AttackArgs, String> {
-    fn value<'a>(args: &'a [String], i: &mut usize, name: &str) -> Result<&'a str, String> {
-        let v = args
-            .get(*i + 1)
-            .ok_or_else(|| format!("attack: {name}: missing value"))?;
-        *i += 2;
-        Ok(v)
-    }
+    let scanned = scan_options(args, ATTACK_OPTS).map_err(|e| format!("attack: {e}"))?;
     let mut source: Option<String> = None;
-    let mut n = 1000usize;
-    let mut seed = 42u64;
-    let mut strategies = vec![Strategy::Random, Strategy::Degree { recalc: false }];
-    let mut replicas = 4usize;
-    let mut record = 0usize;
-    let mut resume = None;
-    let mut curves = None;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--n" => {
-                n = value(args, &mut i, "--n")?
-                    .parse()
-                    .map_err(|_| "attack: --n must be an integer".to_string())?;
-                if !(8..=500_000).contains(&n) {
-                    return Err("attack: --n must lie in 8..=500000".into());
-                }
-            }
-            "--seed" => {
-                seed = value(args, &mut i, "--seed")?
-                    .parse()
-                    .map_err(|_| "attack: --seed must be an integer".to_string())?;
-            }
-            "--strategy" => {
-                strategies = value(args, &mut i, "--strategy")?
-                    .split(',')
-                    .filter(|s| !s.trim().is_empty())
-                    .map(|s| Strategy::parse(s.trim()))
-                    .collect::<Result<Vec<_>, _>>()
-                    .map_err(|e| format!("attack: {e}"))?;
-                if strategies.is_empty() {
-                    return Err("attack: --strategy needs at least one strategy".into());
-                }
-            }
-            "--replicas" => {
-                replicas = value(args, &mut i, "--replicas")?
-                    .parse()
-                    .map_err(|_| "attack: --replicas must be an integer".to_string())?;
-                if !(1..=10_000).contains(&replicas) {
-                    return Err("attack: --replicas must lie in 1..=10000".into());
-                }
-            }
-            "--record" => {
-                record = value(args, &mut i, "--record")?
-                    .parse()
-                    .map_err(|_| "attack: --record must be an integer".to_string())?;
-            }
-            "--resume" => {
-                resume = Some(value(args, &mut i, "--resume")?.to_string());
-            }
-            "--curves" => {
-                curves = Some(value(args, &mut i, "--curves")?.to_string());
-            }
-            flag if flag.starts_with("--") => {
-                return Err(format!("attack: unknown option '{flag}'"));
-            }
-            positional => {
-                if source.replace(positional.to_string()).is_some() {
-                    return Err("attack: more than one <model|file> given".into());
-                }
-                i += 1;
-            }
+    for arg in &scanned.rest {
+        if arg.starts_with("--") {
+            return Err(format!("attack: unknown option '{arg}'"));
+        }
+        if source.replace(arg.clone()).is_some() {
+            return Err("attack: more than one <model|file> given".into());
         }
     }
+    let attack_err = |e: String| format!("attack: {e}");
+    let n = scanned
+        .integer::<usize>("--n", "<N>")
+        .map_err(attack_err)?
+        .unwrap_or(1000);
+    if !(8..=500_000).contains(&n) {
+        return Err("attack: --n must lie in 8..=500000".into());
+    }
+    let seed = scanned
+        .integer::<u64>("--seed", "<S>")
+        .map_err(attack_err)?
+        .unwrap_or(42);
+    let strategies = match scanned.value("--strategy") {
+        None => vec![Strategy::Random, Strategy::Degree { recalc: false }],
+        Some(list) => {
+            let parsed = list
+                .split(',')
+                .filter(|s| !s.trim().is_empty())
+                .map(|s| Strategy::parse(s.trim()))
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(attack_err)?;
+            if parsed.is_empty() {
+                return Err("attack: --strategy needs at least one strategy".into());
+            }
+            parsed
+        }
+    };
+    let replicas = scanned
+        .integer::<usize>("--replicas", "<R>")
+        .map_err(attack_err)?
+        .unwrap_or(4);
+    if !(1..=10_000).contains(&replicas) {
+        return Err("attack: --replicas must lie in 1..=10000".into());
+    }
+    let record = scanned
+        .integer::<usize>("--record", "<K>")
+        .map_err(attack_err)?
+        .unwrap_or(0);
     Ok(AttackArgs {
         source: source.ok_or("attack: missing <model|file|->")?,
         n,
@@ -349,72 +376,22 @@ fn parse_attack(
         strategies,
         replicas,
         record,
-        resume,
-        curves,
+        resume: scanned.value("--resume").map(str::to_string),
+        curves: scanned.value("--curves").map(str::to_string),
         threads,
         check_invariants,
     })
-}
-
-fn build_generator(model: &str, n: usize) -> Result<Box<dyn Generator>, CliError> {
-    // Constructors with a fallible `try_new` go through it so that bad
-    // model parameters surface as CliError::Model (exit 3), not a panic;
-    // the convenience constructors only derive internally-valid params.
-    let bad_params =
-        |e: inet_suite::inet_model::generators::ModelError| CliError::Model(e.to_string());
-    Ok(match model {
-        "serrano" => Box::new(SerranoModel::try_new(SerranoParams::small(n)).map_err(bad_params)?),
-        "serrano-nodist" => {
-            let mut p = SerranoParams::small(n);
-            p.distance = None;
-            Box::new(SerranoModel::try_new(p).map_err(bad_params)?)
-        }
-        "ba" => Box::new(BarabasiAlbert::try_new(n, 2).map_err(bad_params)?),
-        "glp" => Box::new(Glp::internet_2001(n)),
-        "pfp" => Box::new(Pfp::internet(n)),
-        "inet" => Box::new(InetLike::as_map_2001(n)),
-        "waxman" => Box::new(Waxman::with_mean_degree(n, 0.2, 4.2)),
-        "er" => Box::new(Gnp::with_mean_degree(n, 4.2)),
-        "fkp" => Box::new(Fkp::try_new(n, 10.0).map_err(bad_params)?),
-        "brite" => Box::new(BriteLike::new(
-            n,
-            2,
-            0.2,
-            inet_suite::inet_model::generators::brite::Placement::Fractal(1.5),
-        )),
-        "goh" => Box::new(GohStatic::with_gamma(n, 2, 2.2)),
-        "ab-ext" => Box::new(AlbertBarabasiExtended::try_new(n, 1, 0.3, 0.2).map_err(bad_params)?),
-        "bianconi" => Box::new(
-            BianconiBarabasi::try_new(n, 2, FitnessDistribution::Uniform).map_err(bad_params)?,
-        ),
-        "ws" => Box::new(WattsStrogatz::try_new(n, 4, 0.1).map_err(bad_params)?),
-        "rgg" => Box::new(RandomGeometric::with_mean_degree(n, 4.2)),
-        other => return Err(CliError::Usage(format!("unknown model '{other}'"))),
-    })
-}
-
-fn load_graph(path: &str) -> Result<MultiGraph, CliError> {
-    let text = if path == "-" {
-        let mut buf = String::new();
-        std::io::stdin()
-            .read_to_string(&mut buf)
-            .map_err(|e| CliError::Data(format!("stdin: {e}")))?;
-        buf
-    } else {
-        std::fs::read_to_string(path).map_err(|e| CliError::Data(format!("{path}: {e}")))?
-    };
-    inet_suite::inet_model::graph::io::read_edge_list(text.as_bytes())
-        .map_err(|e| CliError::Data(format!("{path}: {e}")))
 }
 
 /// Runs the full `O(E log d)` [`MultiGraph::validate`] invariant check:
 /// always in debug builds (the debug-assert path), in release builds only
 /// under `--check-invariants`. A violation is a one-line data error, not a
 /// panic.
-fn check_graph(g: &MultiGraph, enabled: bool, what: &str) -> Result<(), CliError> {
+fn check_graph(g: &MultiGraph, enabled: bool, what: &str) -> Result<(), PipelineError> {
     if enabled || cfg!(debug_assertions) {
-        g.validate()
-            .map_err(|e| CliError::Data(format!("{what}: graph invariant check failed: {e}")))?;
+        g.validate().map_err(|e| {
+            PipelineError::Data(format!("{what}: graph invariant check failed: {e}"))
+        })?;
     }
     Ok(())
 }
@@ -423,36 +400,94 @@ fn giant(g: &MultiGraph) -> Csr {
     inet_suite::inet_model::graph::traversal::giant_component(&g.to_csr()).0
 }
 
-fn run(cmd: Command) -> Result<(), CliError> {
+/// The `--help` text. Model names come from the registry so the listing
+/// can never drift from what `generate`/`attack` accept.
+fn help_text() -> String {
+    format!(
+        "inet — Internet topology modeling toolkit\n\n\
+         usage:\n  \
+         inet run      <scenario.toml>      execute a declarative scenario file\n  \
+         inet generate <model> <n> [seed]   grow a topology (edge list on stdout)\n  \
+         inet measure  <file|->             headline report\n  \
+         inet validate <file|->             compare vs the 2001 AS-map targets\n  \
+         inet tiers    <file|->             backbone/transit/fringe split\n  \
+         inet trace    [months]             synthetic growth trace + rate fits\n  \
+         inet attack   <model|file|->       percolation / targeted-attack sweep\n  \
+         inet list-models                   model registry: parameters + defaults\n\n\
+         run options:\n  \
+         --set <key=value>                  override a scenario setting (repeatable);\n  \
+         \u{20}                                  bare keys tune [generator] parameters\n\n\
+         attack options:\n  \
+         --strategy <a,b,...>               random degree degree-recalc kcore\n  \
+         \u{20}                                  kcore-recalc betweenness betweenness-recalc\n  \
+         --n <N> --seed <S>                 model size / base seed\n  \
+         --replicas <R>                     replicas per stochastic strategy\n  \
+         --record <K>                       curve point every K removals (0 = auto)\n  \
+         --resume <file>                    checkpoint: resume interrupted sweeps\n  \
+         --curves <dir>                     write per-cell curve CSVs\n\n\
+         options:\n  \
+         --threads <N>                      worker threads (run/measure/validate/attack)\n  \
+         \u{20}                                  (default: available parallelism;\n  \
+         \u{20}                                  results are identical for any N)\n  \
+         --check-invariants                 full graph-invariant check on the input\n  \
+         --deadline-ms <ms>                 measure: flag kernels that overrun <ms>\n\n\
+         exit codes: 0 ok, 1 other, 2 usage, 3 model parameters, 4 data/io,\n\
+         \u{20}           5 incompatible checkpoint\n\n\
+         models: {}",
+        model_names().join(" ")
+    )
+}
+
+/// The `list-models` listing: every registered model with its parameter
+/// schema, defaults, and one-line docs.
+fn list_models_text() -> String {
+    let mut out = String::new();
+    for spec in registry() {
+        let _ = writeln!(out, "{} — {}", spec.name, spec.summary);
+        for p in &spec.schema {
+            let _ = writeln!(
+                out,
+                "    {:<22} = {:<12} {}",
+                p.key,
+                p.default.to_string(),
+                p.doc
+            );
+        }
+    }
+    out
+}
+
+fn run(cmd: Command) -> Result<(), PipelineError> {
     match cmd {
         Command::Help => {
-            println!(
-                "inet — Internet topology modeling toolkit\n\n\
-                 usage:\n  \
-                 inet generate <model> <n> [seed]   grow a topology (edge list on stdout)\n  \
-                 inet measure  <file|->             headline report\n  \
-                 inet validate <file|->             compare vs the 2001 AS-map targets\n  \
-                 inet tiers    <file|->             backbone/transit/fringe split\n  \
-                 inet trace    [months]             synthetic growth trace + rate fits\n  \
-                 inet attack   <model|file|->       percolation / targeted-attack sweep\n\n\
-                 attack options:\n  \
-                 --strategy <a,b,...>               random degree degree-recalc kcore\n  \
-                 \u{20}                                  kcore-recalc betweenness betweenness-recalc\n  \
-                 --n <N> --seed <S>                 model size / base seed\n  \
-                 --replicas <R>                     replicas per stochastic strategy\n  \
-                 --record <K>                       curve point every K removals (0 = auto)\n  \
-                 --resume <file>                    checkpoint: resume interrupted sweeps\n  \
-                 --curves <dir>                     write per-cell curve CSVs\n\n\
-                 options:\n  \
-                 --threads <N>                      worker threads (measure/validate/attack)\n  \
-                 \u{20}                                  (default: available parallelism;\n  \
-                 \u{20}                                  results are identical for any N)\n  \
-                 --check-invariants                 full graph-invariant check on the input\n  \
-                 --deadline-ms <ms>                 measure: flag kernels that overrun <ms>\n\n\
-                 exit codes: 0 ok, 1 other, 2 usage, 3 model parameters, 4 data/io,\n\
-                 \u{20}           5 incompatible checkpoint\n\n\
-                 models: serrano serrano-nodist ba ab-ext bianconi glp pfp inet waxman er fkp brite goh ws rgg"
-            );
+            println!("{}", help_text());
+            Ok(())
+        }
+        Command::ListModels => {
+            print!("{}", list_models_text());
+            Ok(())
+        }
+        Command::Run {
+            path,
+            sets,
+            threads,
+            check_invariants,
+        } => {
+            let mut scenario = Scenario::load(std::path::Path::new(&path), &sets)?;
+            if let Some(t) = threads {
+                scenario.threads = Some(t);
+            }
+            if check_invariants {
+                scenario.check_invariants = true;
+            }
+            let outcome = run_scenario(&scenario)?;
+            print!("{}", outcome.summary);
+            for w in &outcome.warnings {
+                eprintln!("warning: {w}");
+            }
+            for sink in &outcome.written {
+                eprintln!("# {sink}");
+            }
             Ok(())
         }
         Command::Generate {
@@ -461,23 +496,13 @@ fn run(cmd: Command) -> Result<(), CliError> {
             seed,
             check_invariants,
         } => {
-            let generator = build_generator(&model, n)?;
-            let mut rng = seeded_rng(seed);
-            let net = generator
-                .try_generate(&mut rng)
-                .map_err(|e| CliError::Model(e.to_string()))?;
-            check_graph(&net.graph, check_invariants, "generate")?;
-            let mut out = Vec::new();
-            inet_suite::inet_model::graph::io::write_edge_list(&net.graph, &mut out)
-                .map_err(|e| CliError::Data(e.to_string()))?;
-            print!("{}", String::from_utf8_lossy(&out));
-            eprintln!(
-                "# generated {} ({} nodes, {} edges, weight {})",
-                net.name,
-                net.graph.node_count(),
-                net.graph.edge_count(),
-                net.graph.total_weight()
-            );
+            let mut overrides = BTreeMap::new();
+            overrides.insert("n".to_string(), ParamValue::Int(n as i64));
+            let mut scenario = Scenario::from_generator(&model, &overrides, seed)?;
+            scenario.check_invariants = check_invariants;
+            scenario.report.edge_list = Some("-".to_string());
+            let outcome = run_scenario(&scenario)?;
+            eprintln!("# {}", outcome.source);
             Ok(())
         }
         Command::Measure {
@@ -486,24 +511,23 @@ fn run(cmd: Command) -> Result<(), CliError> {
             check_invariants,
             deadline_ms,
         } => {
-            let g = load_graph(&path)?;
-            check_graph(&g, check_invariants, "measure")?;
-            let opt = inet_suite::inet_model::metrics::robust::RobustOptions {
-                report: inet_suite::inet_model::metrics::report::ReportOptions {
-                    threads,
-                    ..Default::default()
-                },
-                soft_deadline_millis: deadline_ms,
+            let mut scenario = Scenario::new(path.clone(), Source::Input { path });
+            scenario.threads = Some(threads);
+            scenario.check_invariants = check_invariants;
+            scenario.measure = Some(MeasureSpec {
+                deadline_ms,
+                ..MeasureSpec::default()
+            });
+            let outcome = run_scenario(&scenario)?;
+            let Some(robust) = outcome.robust else {
+                return Err(PipelineError::Stage("measure produced no report".into()));
             };
-            // The robust runner isolates kernel panics and annotates slow
-            // kernels, so one bad kernel degrades a column, not the run.
-            let robust = inet_suite::inet_model::metrics::robust::measure_robust(&giant(&g), opt);
             println!("{}", robust.report.render());
             if !robust.fully_ok() || deadline_ms.is_some() {
                 eprintln!("# kernel status\n{}", robust.render_status());
             }
-            for (kernel, reason) in robust.failures() {
-                eprintln!("warning: kernel '{kernel}' failed: {reason}");
+            for w in &outcome.warnings {
+                eprintln!("warning: {w}");
             }
             Ok(())
         }
@@ -514,7 +538,7 @@ fn run(cmd: Command) -> Result<(), CliError> {
         } => {
             let g = load_graph(&path)?;
             check_graph(&g, check_invariants, "validate")?;
-            let opt = inet_suite::inet_model::metrics::report::ReportOptions {
+            let opt = inet_suite::inet_model::metrics::ReportOptions {
                 threads,
                 ..Default::default()
             };
@@ -527,7 +551,9 @@ fn run(cmd: Command) -> Result<(), CliError> {
             if v.pass_count() * 2 >= v.outcomes.len() {
                 Ok(())
             } else {
-                Err(CliError::Other("validation failed on most checks".into()))
+                Err(PipelineError::Stage(
+                    "validation failed on most checks".into(),
+                ))
             }
         }
         Command::Tiers {
@@ -556,122 +582,78 @@ fn run(cmd: Command) -> Result<(), CliError> {
             };
             let trace = InternetTrace::generate(config, &mut rng);
             let fits =
-                FittedRates::fit(&trace).ok_or(CliError::Other("trace unfittable".into()))?;
+                FittedRates::fit(&trace).ok_or(PipelineError::Stage("trace unfittable".into()))?;
             println!("{}", fits.render());
             Ok(())
         }
     }
 }
 
-/// Executes an attack sweep and prints the per-cell response summary.
-fn run_attack(args: AttackArgs) -> Result<(), CliError> {
+/// Executes an attack sweep (as a one-stage scenario) and prints the
+/// per-cell response summary in the legacy format.
+fn run_attack(args: AttackArgs) -> Result<(), PipelineError> {
     // `-`, an existing file, or anything path-like loads from disk;
     // otherwise the source names a generator model.
     let is_file = args.source == "-"
         || args.source.contains('/')
         || std::path::Path::new(&args.source).exists();
-    let csr = if is_file {
-        let g = load_graph(&args.source)?;
-        check_graph(&g, args.check_invariants, "attack")?;
-        g.to_csr()
+    let mut scenario = if is_file {
+        Scenario::new(
+            args.source.clone(),
+            Source::Input {
+                path: args.source.clone(),
+            },
+        )
     } else {
-        let generator = build_generator(&args.source, args.n).map_err(|e| match e {
-            CliError::Usage(m) => CliError::Usage(format!(
+        let mut overrides = BTreeMap::new();
+        overrides.insert("n".to_string(), ParamValue::Int(args.n as i64));
+        Scenario::from_generator(&args.source, &overrides, args.seed).map_err(|e| match e {
+            PipelineError::Scenario(m) => PipelineError::Scenario(format!(
                 "attack: {m} (models double as sources; or pass a file path)"
             )),
             other => other,
-        })?;
-        let mut rng = seeded_rng(args.seed);
-        let net = generator
-            .try_generate(&mut rng)
-            .map_err(|e| CliError::Model(e.to_string()))?;
-        check_graph(&net.graph, args.check_invariants, "attack")?;
-        eprintln!(
-            "# attacking generated {} ({} nodes, {} edges)",
-            net.name,
-            net.graph.node_count(),
-            net.graph.edge_count()
-        );
-        net.graph.to_csr()
+        })?
     };
-    let record_every = if args.record == 0 {
-        (csr.node_count() / 200).max(1)
-    } else {
-        args.record
-    };
-    let cfg = SweepConfig {
-        strategies: args.strategies,
+    scenario.threads = Some(args.threads);
+    scenario.check_invariants = args.check_invariants;
+    scenario.attack = Some(AttackSpec {
+        strategies: args.strategies.clone(),
         replicas: args.replicas,
-        base_seed: args.seed,
-        threads: args.threads,
-        record_every,
-        bc_sources: 64,
+        record_every: args.record,
+        seed: args.seed,
         checkpoint: args.resume.clone().map(std::path::PathBuf::from),
-        ..SweepConfig::default()
+        bc_sources: 64,
+    });
+    if let Some(dir) = &args.curves {
+        scenario.report.curves = Some(std::path::PathBuf::from(dir));
+    }
+    let outcome = run_scenario(&scenario)?;
+    if !is_file {
+        eprintln!("# attacking {}", outcome.source);
+    }
+    let Some(sweep) = outcome.sweep else {
+        return Err(PipelineError::Stage("attack produced no sweep".into()));
     };
-    // "Wrong checkpoint" gets its own exit code — the fix (delete the file
-    // or repoint --resume) differs from an IO failure's.
-    let result = run_sweep(&csr, &cfg).map_err(|e| {
-        if e.is_incompatible() {
-            CliError::CheckpointIncompatible(format!("attack: {e}"))
-        } else {
-            CliError::Data(format!("attack: {e}"))
-        }
-    })?;
-
-    if result.resumed > 0 {
-        println!(
-            "resumed {} finished cell(s) from {}",
-            result.resumed,
-            args.resume.as_deref().unwrap_or("checkpoint")
-        );
+    let checkpoint = args.resume.as_deref().map(std::path::Path::new);
+    if let Some(line) = report::resumed_line(&sweep, checkpoint) {
+        println!("{line}");
     }
-    println!("strategy             rep    f_c   S(.05)  S(.20)  S(.50)");
-    for cell in &result.cells {
-        println!(
-            "{:<20} {:>3}  {:>5.3}   {:>5.3}   {:>5.3}   {:>5.3}{}",
-            cell.strategy,
-            cell.replica,
-            cell.curve.critical_fraction,
-            cell.curve.giant_fraction_at(0.05),
-            cell.curve.giant_fraction_at(0.20),
-            cell.curve.giant_fraction_at(0.50),
-            if cell.resampled { "  (resampled)" } else { "" }
-        );
-    }
-    for f in &result.failures {
-        eprintln!(
-            "warning: {} replica {} failed on attempt {}: {}",
-            f.strategy, f.replica, f.attempt, f.message
-        );
-    }
-    for w in &result.warnings {
+    print!("{}", report::attack_table(&sweep));
+    for w in &outcome.warnings {
         eprintln!("warning: {w}");
     }
     if let Some(dir) = &args.curves {
-        let dir = std::path::Path::new(dir);
-        std::fs::create_dir_all(dir)
-            .map_err(|e| CliError::Data(format!("attack: --curves: {e}")))?;
-        for cell in &result.cells {
-            let mut csv = String::from("removed,giant,edges,mean_component\n");
-            for p in &cell.curve.points {
-                csv.push_str(&format!(
-                    "{},{},{},{}\n",
-                    p.removed, p.giant, p.edges, p.mean_component
-                ));
-            }
-            let path = dir.join(format!("{}-r{}.csv", cell.strategy, cell.replica));
-            std::fs::write(&path, csv)
-                .map_err(|e| CliError::Data(format!("attack: {}: {e}", path.display())))?;
-        }
-        println!("curves written to {}", dir.display());
+        println!("curves written to {}", std::path::Path::new(dir).display());
     }
     Ok(())
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match parse_args(&args).map_err(CliError::Usage).and_then(run) {
+    match parse_args(&args)
+        .map_err(PipelineError::Scenario)
+        .and_then(run)
+    {
         Ok(()) => {}
         Err(e) => {
             eprintln!("error: {}", e.message());
@@ -683,6 +665,8 @@ fn main() {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use inet_suite::inet_model::generators::lookup;
+    use inet_suite::inet_model::pipeline::run::RunOutcome;
 
     fn strs(items: &[&str]) -> Vec<String> {
         items.iter().map(|s| s.to_string()).collect()
@@ -693,6 +677,10 @@ mod tests {
         assert_eq!(parse_args(&[]).unwrap(), Command::Help);
         assert_eq!(parse_args(&strs(&["help"])).unwrap(), Command::Help);
         assert_eq!(parse_args(&strs(&["--help"])).unwrap(), Command::Help);
+        assert_eq!(
+            parse_args(&strs(&["list-models"])).unwrap(),
+            Command::ListModels
+        );
     }
 
     #[test]
@@ -769,9 +757,101 @@ mod tests {
     }
 
     #[test]
-    fn help_mentions_threads_option() {
-        // The flag must be discoverable from `inet help`.
+    fn option_scanner_rejects_missing_values_non_integers_and_repeats() {
+        for (args, needle) in [
+            (vec!["measure", "g.txt", "--threads"], "missing <N>"),
+            (
+                vec!["measure", "g.txt", "--threads", "x"],
+                "must be an integer",
+            ),
+            (
+                vec!["measure", "g.txt", "--threads", "2", "--threads", "3"],
+                "given more than once",
+            ),
+            (
+                vec![
+                    "measure",
+                    "g.txt",
+                    "--check-invariants",
+                    "--check-invariants",
+                ],
+                "given more than once",
+            ),
+            (vec!["measure", "g.txt", "--deadline-ms"], "missing <ms>"),
+            (
+                vec!["attack", "ba", "--replicas", "two"],
+                "must be an integer",
+            ),
+            (
+                vec!["attack", "ba", "--resume", "a", "--resume", "b"],
+                "given more than once",
+            ),
+        ] {
+            let e = parse_args(&strs(&args)).unwrap_err();
+            assert!(e.contains(needle), "{args:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn parses_run_with_repeatable_set_overrides() {
+        match parse_args(&strs(&[
+            "run",
+            "s.toml",
+            "--set",
+            "n=100",
+            "--set",
+            "seed=1",
+            "--threads",
+            "2",
+        ]))
+        .unwrap()
+        {
+            Command::Run {
+                path,
+                sets,
+                threads,
+                check_invariants,
+            } => {
+                assert_eq!(path, "s.toml");
+                assert_eq!(sets, strs(&["n=100", "seed=1"]));
+                assert_eq!(threads, Some(2));
+                assert!(!check_invariants);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&strs(&["run"])).is_err());
+        // --set is a run-only option.
+        let e = parse_args(&strs(&["measure", "g.txt", "--set", "n=1"])).unwrap_err();
+        assert!(e.contains("run"), "{e}");
+    }
+
+    #[test]
+    fn help_and_list_models_name_every_registered_model() {
+        let names = model_names();
+        assert_eq!(names.len(), 15, "{names:?}");
+        let help = help_text();
+        assert!(help.contains(&names.join(" ")), "help models line drifted");
+        assert!(help.contains("inet run"), "run missing from help");
+        assert!(help.contains("--set"), "--set missing from help");
+        let listing = list_models_text();
+        for spec in registry() {
+            assert!(listing.contains(spec.name), "{} not listed", spec.name);
+            assert!(
+                listing.contains(spec.summary),
+                "{} summary not listed",
+                spec.name
+            );
+            for p in &spec.schema {
+                assert!(
+                    listing.contains(p.key),
+                    "{}.{} not listed",
+                    spec.name,
+                    p.key
+                );
+            }
+        }
         run(Command::Help).unwrap();
+        run(Command::ListModels).unwrap();
         assert!(parse_args(&strs(&["--threads", "2", "help"])).is_ok());
     }
 
@@ -920,11 +1000,11 @@ mod tests {
     #[test]
     fn exit_codes_are_distinct_and_documented() {
         let cases = [
-            (CliError::Other("x".into()), 1),
-            (CliError::Usage("x".into()), 2),
-            (CliError::Model("x".into()), 3),
-            (CliError::Data("x".into()), 4),
-            (CliError::CheckpointIncompatible("x".into()), 5),
+            (PipelineError::Stage("x".into()), 1),
+            (PipelineError::Scenario("x".into()), 2),
+            (PipelineError::Model("x".into()), 3),
+            (PipelineError::Data("x".into()), 4),
+            (PipelineError::CheckpointIncompatible("x".into()), 5),
         ];
         let mut seen = std::collections::BTreeSet::new();
         for (err, want) in cases {
@@ -935,9 +1015,8 @@ mod tests {
 
     #[test]
     fn bad_model_parameters_map_to_model_error() {
-        // n below the model minimum parses fine structurally but fails
-        // generator validation with a Usage error at build time; a model
-        // that rejects its own parameters surfaces as CliError::Model.
+        // An unknown model is a usage-class error (exit 2, with a
+        // did-you-mean suggestion from the registry)...
         let err = run(Command::Generate {
             model: "zzz".into(),
             n: 100,
@@ -946,8 +1025,9 @@ mod tests {
         })
         .unwrap_err();
         assert_eq!(err.exit_code(), 2, "{}", err.message());
-        // parse_args forbids tiny n, but run() is the safety net: a model
-        // rejecting its own parameters is a Model error, not a panic.
+        // ...while a model rejecting its own parameters is a Model error
+        // (exit 3), not a panic: parse_args forbids tiny n, but run() is
+        // the safety net.
         let err = run(Command::Generate {
             model: "ba".into(),
             n: 2,
@@ -997,32 +1077,22 @@ mod tests {
     }
 
     #[test]
-    fn every_advertised_model_builds() {
-        for model in [
-            "serrano",
-            "serrano-nodist",
-            "ba",
-            "ab-ext",
-            "bianconi",
-            "glp",
-            "pfp",
-            "inet",
-            "waxman",
-            "er",
-            "fkp",
-            "brite",
-            "goh",
-            "ws",
-            "rgg",
-        ] {
-            assert!(build_generator(model, 100).is_ok(), "{model}");
+    fn every_registered_model_builds() {
+        // The registry is the single dispatch point; every entry's builder
+        // must accept its own defaults at a small size.
+        assert_eq!(registry().len(), 15);
+        for spec in registry() {
+            let params = spec.resolve_n(100).unwrap();
+            assert!((spec.build)(&params).is_ok(), "{}", spec.name);
         }
-        assert!(build_generator("zzz", 100).is_err());
+        let err = lookup("zzz").unwrap_err();
+        assert!(err.to_string().contains("unknown model"), "{err}");
     }
 
     #[test]
     fn generate_and_measure_round_trip_through_files() {
-        let generator = build_generator("glp", 200).unwrap();
+        let spec = lookup("glp").unwrap();
+        let generator = (spec.build)(&spec.resolve_n(200).unwrap()).unwrap();
         let mut rng = seeded_rng(1);
         let net = generator.generate(&mut rng);
         let dir = std::env::temp_dir().join("inet_cli_test");
@@ -1047,5 +1117,85 @@ mod tests {
         })
         .unwrap();
         run(Command::Trace { months: 20 }).unwrap();
+    }
+
+    #[test]
+    fn run_subcommand_executes_scenario_files_with_overrides() {
+        let dir = std::env::temp_dir().join("inet_cli_run_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let scenario = dir.join("demo.toml");
+        let summary = dir.join("summary.txt");
+        std::fs::write(
+            &scenario,
+            format!(
+                "[generator]\nmodel = \"ba\"\nn = 500\nseed = 1\n\
+                 [measure]\nmetrics = [\"degree\", \"giant\"]\n\
+                 [report]\nsummary = \"{}\"\n",
+                summary.display()
+            ),
+        )
+        .unwrap();
+        run(Command::Run {
+            path: scenario.to_str().unwrap().into(),
+            sets: vec!["n=60".into()],
+            threads: Some(2),
+            check_invariants: false,
+        })
+        .unwrap();
+        let text = std::fs::read_to_string(&summary).unwrap();
+        assert!(text.contains("scenario: ba"), "{text}");
+        assert!(text.contains("generated BA"), "{text}");
+        // A missing scenario file is a data error (exit 4).
+        let err = run(Command::Run {
+            path: dir.join("absent.toml").to_str().unwrap().into(),
+            sets: Vec::new(),
+            threads: None,
+            check_invariants: false,
+        })
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{}", err.message());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The acceptance check of the scenario pipeline: running the shipped
+    /// `scenarios/serrano_attack.toml` must reproduce the legacy
+    /// `inet attack serrano` sweep bit-identically, for any thread count.
+    /// (`--set` shrinks the run so the test stays fast; the override path
+    /// is itself part of what is being proven.)
+    #[test]
+    fn serrano_attack_scenario_is_bit_identical_to_the_legacy_attack_path() {
+        let sets = ["n=150", "attack.replicas=2"];
+        let expected = {
+            // The legacy path, spelled out: SerranoParams::small(n), the
+            // base seed for generation and sweep, auto record granularity.
+            let model = SerranoModel::try_new(SerranoParams::small(150)).unwrap();
+            let mut rng = seeded_rng(42);
+            let csr = model.try_generate(&mut rng).unwrap().graph.to_csr();
+            let cfg = SweepConfig {
+                strategies: vec![Strategy::Random, Strategy::Degree { recalc: true }],
+                replicas: 2,
+                base_seed: 42,
+                threads: 1,
+                record_every: (csr.node_count() / 200).max(1),
+                bc_sources: 64,
+                ..SweepConfig::default()
+            };
+            run_sweep(&csr, &cfg).unwrap()
+        };
+        for threads in [1usize, 2, 7] {
+            let mut scenario =
+                Scenario::load(std::path::Path::new("scenarios/serrano_attack.toml"), &sets)
+                    .unwrap();
+            scenario.threads = Some(threads);
+            // Skip the figure sinks; only the numbers are under test.
+            scenario.report = Default::default();
+            let outcome: RunOutcome = run_scenario(&scenario).unwrap();
+            assert_eq!(
+                outcome.sweep.unwrap().cells,
+                expected.cells,
+                "threads={threads}"
+            );
+        }
     }
 }
