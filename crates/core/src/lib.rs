@@ -64,7 +64,7 @@ pub mod prelude {
         FitnessDistribution, Fkp, GeneratedNetwork, Generator, Glp, Gnm, Gnp, GohStatic, InetLike,
         Pfp, RandomGeometric, SerranoModel, SerranoParams, WattsStrogatz, Waxman,
     };
-    pub use crate::graph::{Csr, MultiGraph, NodeId};
+    pub use crate::graph::{CancelToken, Csr, MultiGraph, NodeId};
     pub use crate::growth::{GrowthRates, InternetTrace, TraceConfig};
     pub use crate::metrics::{
         ClusteringStats, CycleCensus, DegreeStats, KCoreDecomposition, KnnStats, PathStats,

@@ -43,6 +43,8 @@ use std::fmt;
 /// | `checkpoint.read` | retry attempt index |
 /// | `checkpoint.write` | retry attempt index |
 /// | `pipeline.stage` | stage index of a scenario run (0 source, 1 measure, 2 attack, 3 report) |
+/// | `journal.write` | stage index whose begin/commit record is being appended |
+/// | `artifact.rename` | stage index whose artifact is being atomically renamed into place |
 pub const CATALOG: &[&str] = &[
     "io.read",
     "io.write",
@@ -52,6 +54,8 @@ pub const CATALOG: &[&str] = &[
     "checkpoint.read",
     "checkpoint.write",
     "pipeline.stage",
+    "journal.write",
+    "artifact.rename",
 ];
 
 /// What a triggered failpoint does.

@@ -17,6 +17,8 @@
 //! * [`parallel`] — dependency-free deterministic work-stealing fan-out used
 //!   by every threaded metrics kernel; results are bit-identical for any
 //!   thread count.
+//! * [`cancel`] — cooperative cancellation tokens polled at batch
+//!   boundaries by the pool, sweep cells, and metric kernels.
 //! * [`io`] — plain-text weighted edge-list reading/writing, so topologies can
 //!   be exchanged with external tools.
 //!
@@ -60,10 +62,12 @@ mod error;
 mod ids;
 mod multigraph;
 
+pub mod cancel;
 pub mod io;
 pub mod parallel;
 pub mod traversal;
 
+pub use cancel::{CancelToken, Cancelled};
 pub use csr::Csr;
 pub use error::GraphError;
 pub use ids::NodeId;

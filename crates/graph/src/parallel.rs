@@ -19,6 +19,7 @@
 //! with the failing item range in the message, instead of an anonymous
 //! "worker panicked".
 
+use crate::cancel::{CancelToken, Cancelled};
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -79,14 +80,61 @@ where
     FS: Fn() -> S + Sync,
     FW: Fn(&mut S, Range<usize>) -> T + Sync,
 {
+    // Without a token no worker ever stops early, so the Err arm (empty
+    // default) is unreachable.
+    fanout_impl(len, threads, None, make_scratch, work).unwrap_or_default()
+}
+
+/// [`fanout_ordered`] with cooperative cancellation: workers poll `token`
+/// **before claiming each chunk** and stop claiming once it is cancelled,
+/// so cancel latency is bounded by one chunk of work.
+///
+/// Returns `Err(Cancelled)` if any chunk was left unprocessed because of
+/// the cancellation. If the token fires after every chunk has already been
+/// claimed, the complete, bit-identical result is returned as `Ok` — a
+/// finished computation is never discarded.
+pub fn try_fanout_ordered<S, T, FS, FW>(
+    len: usize,
+    threads: usize,
+    token: &CancelToken,
+    make_scratch: FS,
+    work: FW,
+) -> Result<Vec<T>, Cancelled>
+where
+    T: Send,
+    FS: Fn() -> S + Sync,
+    FW: Fn(&mut S, Range<usize>) -> T + Sync,
+{
+    fanout_impl(len, threads, Some(token), make_scratch, work)
+}
+
+/// Shared work-stealing core. With `token: None` the claim loop never
+/// stops early and the result is always `Ok`.
+fn fanout_impl<S, T, FS, FW>(
+    len: usize,
+    threads: usize,
+    token: Option<&CancelToken>,
+    make_scratch: FS,
+    work: FW,
+) -> Result<Vec<T>, Cancelled>
+where
+    T: Send,
+    FS: Fn() -> S + Sync,
+    FW: Fn(&mut S, Range<usize>) -> T + Sync,
+{
     let grid = chunk_grid(len);
     let threads = threads.max(1).min(grid.len().max(1));
+    let cancelled = || token.map(CancelToken::is_cancelled).unwrap_or(false);
     if threads <= 1 || grid.len() <= 1 {
         let mut scratch = make_scratch();
-        return grid
-            .into_iter()
-            .map(|range| run_chunk(&work, &mut scratch, range))
-            .collect();
+        let mut parts = Vec::with_capacity(grid.len());
+        for range in grid {
+            if cancelled() {
+                return Err(Cancelled);
+            }
+            parts.push(run_chunk(&work, &mut scratch, range));
+        }
+        return Ok(parts);
     }
 
     type Payload = Box<dyn std::any::Any + Send + 'static>;
@@ -104,6 +152,9 @@ where
                     let mut scratch = make_scratch();
                     let mut done: Vec<(usize, T)> = Vec::new();
                     loop {
+                        if cancelled() {
+                            return Ok(done);
+                        }
                         let c = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(range) = grid.get(c).cloned() else {
                             return Ok(done);
@@ -154,10 +205,16 @@ where
             payload_message(&*payload)
         );
     }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every chunk was claimed by exactly one worker"))
-        .collect()
+    let mut parts = Vec::with_capacity(slots.len());
+    for slot in slots {
+        match slot {
+            Some(t) => parts.push(t),
+            // Only reachable under cancellation: every chunk is otherwise
+            // claimed by exactly one worker.
+            None => return Err(Cancelled),
+        }
+    }
+    Ok(parts)
 }
 
 /// [`fanout_ordered`] followed by an in-order fold of the chunk partials.

@@ -68,4 +68,7 @@ pub use knn::KnnStats;
 pub use loops::CycleCensus;
 pub use paths::PathStats;
 pub use report::{ReportOptions, TopologyReport};
-pub use robust::{measure_robust, KernelSelection, KernelStatus, RobustOptions, RobustReport};
+pub use robust::{
+    measure_robust, measure_robust_cancellable, KernelSelection, KernelStatus, RobustOptions,
+    RobustReport,
+};

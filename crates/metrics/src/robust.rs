@@ -27,6 +27,7 @@ use crate::kcore::KCoreDecomposition;
 use crate::knn::KnnStats;
 use crate::report::{ReportOptions, TopologyReport};
 use inet_graph::traversal::giant_fraction;
+use inet_graph::CancelToken;
 use inet_graph::Csr;
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -68,6 +69,10 @@ pub enum KernelStatus {
     /// ran; its fields hold the same neutral fallback values a failure
     /// would leave.
     Skipped,
+    /// A cancel token fired before this kernel started
+    /// ([`measure_robust_cancellable`]); its fields hold neutral values and
+    /// a resumed run recomputes them.
+    Cancelled,
 }
 
 impl KernelStatus {
@@ -169,6 +174,30 @@ impl RobustReport {
             .collect()
     }
 
+    /// The kernels that overran their soft deadline:
+    /// `(name, elapsed ms, deadline ms)` triples. Their numbers are exact;
+    /// only the budget was blown — report sinks surface these instead of
+    /// silently omitting the overrun.
+    pub fn deadline_exceeded(&self) -> Vec<(&'static str, u64, u64)> {
+        self.kernels
+            .iter()
+            .filter_map(|(name, s)| match s {
+                KernelStatus::Degraded {
+                    millis,
+                    deadline_millis,
+                } => Some((*name, *millis, *deadline_millis)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// True when a cancel token stopped at least one kernel from running.
+    pub fn interrupted(&self) -> bool {
+        self.kernels
+            .iter()
+            .any(|(_, s)| matches!(s, KernelStatus::Cancelled))
+    }
+
     /// Renders one `kernel: status` line per kernel.
     pub fn render_status(&self) -> String {
         self.kernels
@@ -181,6 +210,7 @@ impl RobustReport {
                 } => format!("{name}: degraded ({millis} ms > {deadline_millis} ms deadline)"),
                 KernelStatus::Failed { reason } => format!("{name}: FAILED ({reason})"),
                 KernelStatus::Skipped => format!("{name}: skipped"),
+                KernelStatus::Cancelled => format!("{name}: cancelled"),
             })
             .collect::<Vec<_>>()
             .join("\n")
@@ -203,10 +233,16 @@ fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
 fn run_kernel<T>(
     index: usize,
     opt: &RobustOptions,
+    cancel: &CancelToken,
     f: impl FnOnce() -> T,
 ) -> (Option<T>, KernelStatus) {
     if !opt.selection.is_selected(index) {
         return (None, KernelStatus::Skipped);
+    }
+    // Cancellation is polled per kernel: an in-flight kernel finishes (its
+    // numbers stay exact), the remaining ones are marked Cancelled.
+    if cancel.is_cancelled() {
+        return (None, KernelStatus::Cancelled);
     }
     let deadline = opt.soft_deadline_millis;
     let start = Instant::now();
@@ -248,17 +284,30 @@ fn run_kernel<T>(
 /// annotation. A kernel that fails (panic or injected fault) zeroes only
 /// its own fields; the other kernels' numbers are reported normally.
 pub fn measure_robust(g: &Csr, opt: RobustOptions) -> RobustReport {
+    measure_robust_cancellable(g, opt, &CancelToken::new())
+}
+
+/// [`measure_robust`] with cooperative cancellation: `cancel` is polled
+/// before each kernel starts, so cancel latency is bounded by one kernel.
+/// Kernels that never ran are annotated [`KernelStatus::Cancelled`]; the
+/// ones that finished keep their exact (bit-identical) numbers.
+pub fn measure_robust_cancellable(
+    g: &Csr,
+    opt: RobustOptions,
+    cancel: &CancelToken,
+) -> RobustReport {
     let o = opt.report;
 
-    let (degree, s_degree) = run_kernel(0, &opt, || DegreeStats::measure(g));
-    let (clustering, s_clustering) =
-        run_kernel(1, &opt, || ClusteringStats::measure_threaded(g, o.threads));
-    let (knn, s_knn) = run_kernel(2, &opt, || KnnStats::measure_threaded(g, o.threads));
-    let (kcore, s_kcore) = run_kernel(3, &opt, || KCoreDecomposition::measure(g));
-    let (fused, s_fused) = run_kernel(4, &opt, || {
+    let (degree, s_degree) = run_kernel(0, &opt, cancel, || DegreeStats::measure(g));
+    let (clustering, s_clustering) = run_kernel(1, &opt, cancel, || {
+        ClusteringStats::measure_threaded(g, o.threads)
+    });
+    let (knn, s_knn) = run_kernel(2, &opt, cancel, || KnnStats::measure_threaded(g, o.threads));
+    let (kcore, s_kcore) = run_kernel(3, &opt, cancel, || KCoreDecomposition::measure(g));
+    let (fused, s_fused) = run_kernel(4, &opt, cancel, || {
         paths_and_betweenness(g, o.path_sources, o.betweenness_sources, o.threads)
     });
-    let (giant, s_giant) = run_kernel(5, &opt, || giant_fraction(g));
+    let (giant, s_giant) = run_kernel(5, &opt, cancel, || giant_fraction(g));
 
     let (mean_degree, max_degree, gamma) = match &degree {
         Some(d) => (d.mean, d.max, d.powerlaw_fit().map(|f| f.gamma)),
@@ -478,6 +527,60 @@ mod tests {
             vec!["clustering", "knn", "kcore", "paths+betweenness"]
         );
         assert!(robust.render_status().contains("skipped"));
+    }
+
+    #[test]
+    fn pre_cancelled_measurement_marks_every_kernel_cancelled() {
+        let g = ring(30);
+        let token = CancelToken::new();
+        token.cancel();
+        let robust = measure_robust_cancellable(&g, RobustOptions::default(), &token);
+        assert!(robust.interrupted());
+        assert!(robust.fully_ok(), "cancelled is not failed");
+        for (name, s) in &robust.kernels {
+            assert_eq!(s, &KernelStatus::Cancelled, "{name}");
+        }
+        assert!(robust.render_status().contains("cancelled"));
+        // Neutral values throughout, like an all-skipped run.
+        assert_eq!(robust.report.mean_degree, 0.0);
+        assert_eq!(robust.report.diameter, 0);
+    }
+
+    #[test]
+    fn fresh_token_changes_nothing() {
+        let g = ring(40);
+        let opt = RobustOptions::default();
+        let plain = measure_robust(&g, opt);
+        let tokened = measure_robust_cancellable(&g, opt, &CancelToken::new());
+        assert!(!tokened.interrupted());
+        assert_eq!(tokened.report, plain.report);
+    }
+
+    #[test]
+    fn deadline_exceeded_lists_degraded_kernels() {
+        let g = ring(40);
+        let robust = measure_robust(
+            &g,
+            RobustOptions {
+                report: ReportOptions {
+                    path_sources: 10,
+                    betweenness_sources: 5,
+                    threads: 1,
+                },
+                soft_deadline_millis: Some(0),
+                selection: KernelSelection::all(),
+            },
+        );
+        let over = robust.deadline_exceeded();
+        assert!(!over.is_empty(), "a 0 ms deadline must be overrun");
+        for (name, _millis, deadline) in &over {
+            assert!(KERNEL_NAMES.contains(name));
+            assert_eq!(*deadline, 0);
+        }
+        // Without a deadline nothing is reported.
+        assert!(measure_robust(&g, RobustOptions::default())
+            .deadline_exceeded()
+            .is_empty());
     }
 
     #[test]

@@ -40,10 +40,12 @@
 
 pub mod report;
 pub mod run;
+pub mod runstore;
 pub mod scenario;
 pub mod toml;
 
-pub use run::{run_scenario, RunOutcome};
+pub use run::{run_scenario, run_scenario_with, ExecOptions, RunOutcome};
+pub use runstore::{list_runs, CommitRecord, RunInfo, RunStore};
 pub use scenario::{AttackSpec, GeneratorSpec, MeasureSpec, ReportSpec, Scenario, Source};
 pub use toml::{TomlError, TomlValue};
 
@@ -58,6 +60,7 @@ use std::fmt;
 /// | 3 | invalid model parameters | [`PipelineError::Model`] |
 /// | 4 | data / IO (unreadable or malformed files) | [`PipelineError::Data`] |
 /// | 5 | checkpoint belongs to a different run | [`PipelineError::CheckpointIncompatible`] |
+/// | 6 | interrupted, resumable (`inet run --resume <run-id>`) | [`PipelineError::Interrupted`] |
 /// | 1 | stage aborted (injected fault, caught panic), anything else | [`PipelineError::Stage`] |
 #[derive(Debug, Clone, PartialEq)]
 pub enum PipelineError {
@@ -74,6 +77,10 @@ pub enum PipelineError {
     /// A stage died mid-flight: an injected `pipeline.stage` fault or a
     /// caught panic.
     Stage(String),
+    /// The run was cancelled cooperatively (SIGINT or a fired
+    /// [`inet_graph::CancelToken`]); completed work is journaled and the
+    /// message carries the exact resume command.
+    Interrupted(String),
 }
 
 impl PipelineError {
@@ -85,6 +92,7 @@ impl PipelineError {
             PipelineError::Model(_) => 3,
             PipelineError::Data(_) => 4,
             PipelineError::CheckpointIncompatible(_) => 5,
+            PipelineError::Interrupted(_) => 6,
         }
     }
 
@@ -95,7 +103,8 @@ impl PipelineError {
             | PipelineError::Model(m)
             | PipelineError::Data(m)
             | PipelineError::CheckpointIncompatible(m)
-            | PipelineError::Stage(m) => m,
+            | PipelineError::Stage(m)
+            | PipelineError::Interrupted(m) => m,
         }
     }
 }
@@ -120,6 +129,7 @@ mod tests {
             (PipelineError::Model("x".into()), 3),
             (PipelineError::Data("x".into()), 4),
             (PipelineError::CheckpointIncompatible("x".into()), 5),
+            (PipelineError::Interrupted("x".into()), 6),
         ];
         let mut seen = std::collections::BTreeSet::new();
         for (e, want) in cases {

@@ -8,6 +8,7 @@
 use std::fmt::Write as _;
 use std::path::Path;
 
+use inet_metrics::RobustReport;
 use inet_resilience::{AttackCurve, SweepResult};
 
 use crate::run::RunOutcome;
@@ -88,6 +89,29 @@ fn push_block(out: &mut String, text: &str) {
     out.push('\n');
 }
 
+/// Renders the measurement section of the summary: the metrics report
+/// plus (when interesting) the kernel-status block and any soft-deadline
+/// overruns — the overruns go into the report sink itself, not only onto
+/// stderr. This exact string is also the stage-1 artifact, replayed
+/// verbatim on resume.
+pub fn render_measure_block(scenario: &Scenario, r: &RobustReport) -> String {
+    let mut s = String::new();
+    s.push('\n');
+    push_block(&mut s, &r.report.render());
+    let deadline = scenario.measure.and_then(|m| m.deadline_ms);
+    if !r.fully_ok() || deadline.is_some() {
+        push_block(&mut s, "# kernel status");
+        push_block(&mut s, &r.render_status());
+    }
+    for (kernel, elapsed, limit) in r.deadline_exceeded() {
+        push_block(
+            &mut s,
+            &format!("# deadline exceeded: {kernel} ran {elapsed} ms against a {limit} ms budget"),
+        );
+    }
+    s
+}
+
 /// Renders the run summary: source line, measurement report, attack table.
 pub fn render_summary(scenario: &Scenario, outcome: &RunOutcome) -> String {
     let mut s = String::new();
@@ -96,14 +120,10 @@ pub fn render_summary(scenario: &Scenario, outcome: &RunOutcome) -> String {
         push_block(&mut s, &scenario.description);
     }
     push_block(&mut s, &format!("# {}", outcome.source));
-    if let Some(r) = &outcome.robust {
-        s.push('\n');
-        push_block(&mut s, &r.report.render());
-        let deadline = scenario.measure.and_then(|m| m.deadline_ms);
-        if !r.fully_ok() || deadline.is_some() {
-            push_block(&mut s, "# kernel status");
-            push_block(&mut s, &r.render_status());
-        }
+    if let Some(block) = &outcome.measure_replay {
+        s.push_str(block);
+    } else if let Some(r) = &outcome.robust {
+        s.push_str(&render_measure_block(scenario, r));
     }
     if let Some(sweep) = &outcome.sweep {
         s.push('\n');
@@ -117,6 +137,47 @@ pub fn render_summary(scenario: &Scenario, outcome: &RunOutcome) -> String {
         push_block(&mut s, &attack_table(sweep));
     }
     s
+}
+
+/// Validates every configured sink *before* any compute runs: parent
+/// directories are created and probed for writability, so a typo'd or
+/// read-only output path fails in milliseconds with a usage error (exit
+/// 2) instead of after a long sweep.
+pub fn preflight(scenario: &Scenario) -> Result<(), PipelineError> {
+    let unwritable = |label: &str, path: &Path, e: std::io::Error| {
+        PipelineError::Scenario(format!(
+            "[report] {label}: '{}' is not writable: {e}",
+            path.display()
+        ))
+    };
+    let probe_file = |label: &str, path: &Path| -> Result<(), PipelineError> {
+        let existed = path.exists();
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent).map_err(|e| unwritable(label, path, e))?;
+        }
+        // Append mode never truncates a pre-existing sink; a probe that
+        // had to create the file is removed again.
+        std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(path)
+            .map_err(|e| unwritable(label, path, e))?;
+        if !existed {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(())
+    };
+    if let Some(path) = scenario.report.edge_list.as_deref().filter(|p| *p != "-") {
+        probe_file("edge_list", Path::new(path))?;
+    }
+    if let Some(dir) = &scenario.report.curves {
+        std::fs::create_dir_all(dir).map_err(|e| unwritable("curves", dir, e))?;
+        probe_file("curves", &dir.join(".inet-preflight"))?;
+    }
+    if let Some(path) = &scenario.report.summary {
+        probe_file("summary", path)?;
+    }
+    Ok(())
 }
 
 /// Stage 3: fills `outcome.summary` and writes the configured sinks.
@@ -181,6 +242,7 @@ mod tests {
             failures: Vec::new(),
             resumed: 1,
             warnings: Vec::new(),
+            interrupted: false,
         }
     }
 

@@ -18,12 +18,13 @@
 use std::io::Read;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use inet_graph::MultiGraph;
-use inet_metrics::{measure_robust, ReportOptions, RobustOptions, RobustReport};
+use inet_graph::{CancelToken, MultiGraph};
+use inet_metrics::{measure_robust_cancellable, ReportOptions, RobustOptions, RobustReport};
 use inet_resilience::{run_sweep, SweepConfig, SweepResult};
 use inet_stats::rng::seeded_rng;
 
 use crate::report;
+use crate::runstore::RunStore;
 use crate::scenario::{Scenario, Source};
 use crate::PipelineError;
 
@@ -53,6 +54,12 @@ pub struct RunOutcome {
     pub warnings: Vec<String>,
     /// One line per report sink actually written.
     pub written: Vec<String>,
+    /// The run-store id, when the run was journaled.
+    pub run_id: Option<String>,
+    /// The measurement block replayed verbatim from a committed stage-1
+    /// artifact; set instead of `robust` on resume, so the summary is
+    /// byte-identical to the interrupted run's.
+    pub measure_replay: Option<String>,
 }
 
 /// Runs one stage behind the failpoint and a panic fence. The failpoint
@@ -79,33 +86,192 @@ fn stage<T>(index: u64, f: impl FnOnce() -> Result<T, PipelineError>) -> Result<
     }
 }
 
-/// Executes a scenario start to finish and returns what it produced.
+/// Execution options for [`run_scenario_with`]: cooperative cancellation
+/// plus the optional crash-safe run store.
+#[derive(Debug, Default)]
+pub struct ExecOptions {
+    /// Polled between pool chunks, sweep cells, and metric kernels. Once
+    /// fired, the run stops after the in-flight batch with
+    /// [`PipelineError::Interrupted`]; completed work is already
+    /// journaled/checkpointed.
+    pub cancel: CancelToken,
+    /// When present, every stage journals begin/commit records and writes
+    /// checksummed artifacts; on resume, committed stages replay from
+    /// their artifacts instead of re-executing.
+    pub store: Option<RunStore>,
+}
+
+/// Executes a scenario start to finish and returns what it produced —
+/// the legacy single-shot path (no journal, no cancellation), which stays
+/// byte-identical to earlier releases.
 pub fn run_scenario(scenario: &Scenario) -> Result<RunOutcome, PipelineError> {
+    run_scenario_with(scenario, &ExecOptions::default())
+}
+
+/// The [`PipelineError::Interrupted`] for this run, carrying the exact
+/// resume command when a run store exists.
+fn interrupted_error(store: Option<&RunStore>) -> PipelineError {
+    PipelineError::Interrupted(match store {
+        Some(st) => format!(
+            "interrupted; committed stages are journaled — resume with: inet run --resume {}",
+            st.id()
+        ),
+        None => "interrupted (no run store; re-run the same command — an attack checkpoint, \
+                 if configured, resumes finished cells)"
+            .to_string(),
+    })
+}
+
+/// Per-kernel warning lines, shared between the caller's stderr and the
+/// stage-1 journal detail: failures plus soft-deadline overruns (which
+/// used to be visible only in the kernel-status block).
+fn measure_warnings(r: &RobustReport) -> Vec<String> {
+    let mut out: Vec<String> = r
+        .failures()
+        .iter()
+        .map(|(kernel, reason)| format!("kernel '{kernel}' failed: {reason}"))
+        .collect();
+    for (kernel, elapsed, limit) in r.deadline_exceeded() {
+        out.push(format!(
+            "kernel '{kernel}' overran the {limit} ms soft deadline ({elapsed} ms); \
+             its numbers are exact but the budget was blown"
+        ));
+    }
+    out
+}
+
+/// Executes a scenario with cancellation and (optionally) the journaled
+/// run store: stage-level resume replays committed stages from their
+/// artifacts and re-executes from the first uncommitted one.
+pub fn run_scenario_with(
+    scenario: &Scenario,
+    opts: &ExecOptions,
+) -> Result<RunOutcome, PipelineError> {
     let threads = scenario
         .threads
         .unwrap_or_else(inet_graph::parallel::default_threads);
+    let store = opts.store.as_ref();
+    let cancel = &opts.cancel;
 
-    let (graph, source_desc) = stage(0, || build_source(scenario))?;
+    // Fail fast on unwritable sinks — before any compute, not after.
+    report::preflight(scenario)?;
 
-    let robust = match scenario.measure {
-        Some(m) => Some(stage(1, || {
-            let giant = inet_graph::traversal::giant_component(&graph.to_csr()).0;
-            let opt = RobustOptions {
-                report: ReportOptions {
-                    path_sources: m.path_sources,
-                    betweenness_sources: m.betweenness_sources,
-                    threads,
-                },
-                soft_deadline_millis: m.deadline_ms,
-                selection: m.selection,
-            };
-            Ok(measure_robust(&giant, opt))
-        })?),
-        None => None,
+    let committed = match store {
+        Some(st) => st.committed(),
+        None => vec![None; STAGE_NAMES.len()],
     };
+    let mut warnings = Vec::new();
+    if cancel.is_cancelled() {
+        return Err(interrupted_error(store));
+    }
 
-    let sweep = match &scenario.attack {
-        Some(a) => Some(stage(2, || {
+    // Stage 0: source — replay the committed edge list when possible (the
+    // adjacency is canonical, so the round trip rebuilds the identical
+    // graph), otherwise execute and commit.
+    let mut replayed_source = None;
+    if let (Some(st), Some(rec)) = (store, committed[0].as_ref()) {
+        match st.load_artifact(rec).and_then(|bytes| {
+            inet_graph::io::read_edge_list(&bytes[..])
+                .map_err(|e| PipelineError::Data(format!("source artifact: {e}")))
+        }) {
+            Ok(g) => replayed_source = Some((g, rec.detail.clone())),
+            Err(e) => warnings.push(format!("{e}; re-executing the source stage")),
+        }
+    }
+    let (graph, source_desc) = match replayed_source {
+        Some(pair) => pair,
+        None => stage(0, || {
+            if let Some(st) = store {
+                st.begin(0)?;
+            }
+            let (graph, desc) = build_source(scenario)?;
+            if let Some(st) = store {
+                let mut buf = Vec::new();
+                inet_graph::io::write_edge_list(&graph, &mut buf)
+                    .map_err(|e| PipelineError::Data(format!("source artifact: {e}")))?;
+                st.commit_bytes(0, "source.edges", &buf, &desc)?;
+            }
+            Ok((graph, desc))
+        })?,
+    };
+    if cancel.is_cancelled() {
+        return Err(interrupted_error(store));
+    }
+
+    // Stage 1: measure — replay the committed rendered block verbatim, or
+    // run the (cancellable) kernel battery and commit it.
+    let mut robust = None;
+    let mut measure_replay = None;
+    if let Some(m) = scenario.measure {
+        let mut replayed = false;
+        if let (Some(st), Some(rec)) = (store, committed[1].as_ref()) {
+            match st.load_artifact(rec) {
+                Ok(bytes) => {
+                    measure_replay = Some(String::from_utf8_lossy(&bytes).into_owned());
+                    warnings.extend(rec.detail.lines().map(str::to_string));
+                    replayed = true;
+                }
+                Err(e) => warnings.push(format!("{e}; re-executing the measure stage")),
+            }
+        }
+        if !replayed {
+            let r = stage(1, || {
+                if let Some(st) = store {
+                    st.begin(1)?;
+                }
+                let giant = inet_graph::traversal::giant_component(&graph.to_csr()).0;
+                let opt = RobustOptions {
+                    report: ReportOptions {
+                        path_sources: m.path_sources,
+                        betweenness_sources: m.betweenness_sources,
+                        threads,
+                    },
+                    soft_deadline_millis: m.deadline_ms,
+                    selection: m.selection,
+                };
+                let r = measure_robust_cancellable(&giant, opt, cancel);
+                if !r.interrupted() {
+                    if let Some(st) = store {
+                        st.commit_bytes(
+                            1,
+                            "measure.txt",
+                            report::render_measure_block(scenario, &r).as_bytes(),
+                            &measure_warnings(&r).join("\n"),
+                        )?;
+                    }
+                }
+                Ok(r)
+            })?;
+            if r.interrupted() {
+                return Err(interrupted_error(store));
+            }
+            robust = Some(r);
+        }
+    } else if let (Some(st), None) = (store, committed[1].as_ref()) {
+        // The scenario has no measure section: journal the skip so the
+        // run's progress reads "complete" once the later stages land.
+        st.begin(1)?;
+        st.commit_bytes(1, "measure.skip", b"", "skipped")?;
+    }
+    if cancel.is_cancelled() {
+        return Err(interrupted_error(store));
+    }
+
+    // Stage 2: attack — the checkpoint *is* the artifact, at cell
+    // granularity: journaled runs auto-wire one into the run directory,
+    // and resume (committed or mid-sweep) picks finished cells back up
+    // from it bit-identically.
+    let mut sweep = None;
+    if let Some(a) = &scenario.attack {
+        let checkpoint = match (&a.checkpoint, store) {
+            (Some(path), _) => Some(path.clone()),
+            (None, Some(st)) => Some(st.path("attack.ckpt.json")),
+            (None, None) => None,
+        };
+        let s = stage(2, || {
+            if let Some(st) = store {
+                st.begin(2)?;
+            }
             let csr = graph.to_csr();
             let record_every = if a.record_every == 0 {
                 (csr.node_count() / 200).max(1)
@@ -119,25 +285,38 @@ pub fn run_scenario(scenario: &Scenario) -> Result<RunOutcome, PipelineError> {
                 threads,
                 record_every,
                 bc_sources: a.bc_sources,
-                checkpoint: a.checkpoint.clone(),
+                checkpoint: checkpoint.clone(),
+                cancel: cancel.clone(),
                 ..SweepConfig::default()
             };
-            run_sweep(&csr, &cfg).map_err(|e| {
+            let result = run_sweep(&csr, &cfg).map_err(|e| {
                 if e.is_incompatible() {
                     PipelineError::CheckpointIncompatible(format!("attack: {e}"))
                 } else {
                     PipelineError::Data(format!("attack: {e}"))
                 }
-            })
-        })?),
-        None => None,
-    };
-
-    let mut warnings = Vec::new();
-    if let Some(r) = &robust {
-        for (kernel, reason) in r.failures() {
-            warnings.push(format!("kernel '{kernel}' failed: {reason}"));
+            })?;
+            if !result.interrupted {
+                if let (Some(st), Some(ckpt)) = (store, checkpoint.as_deref()) {
+                    st.commit_external(2, ckpt, "")?;
+                }
+            }
+            Ok(result)
+        })?;
+        if s.interrupted {
+            return Err(interrupted_error(store));
         }
+        sweep = Some(s);
+    } else if let (Some(st), None) = (store, committed[2].as_ref()) {
+        st.begin(2)?;
+        st.commit_bytes(2, "attack.skip", b"", "skipped")?;
+    }
+    if cancel.is_cancelled() {
+        return Err(interrupted_error(store));
+    }
+
+    if let Some(r) = &robust {
+        warnings.extend(measure_warnings(r));
     }
     if let Some(s) = &sweep {
         for f in &s.failures {
@@ -159,8 +338,24 @@ pub fn run_scenario(scenario: &Scenario) -> Result<RunOutcome, PipelineError> {
         summary: String::new(),
         warnings,
         written: Vec::new(),
+        run_id: store.map(|st| st.id().to_string()),
+        measure_replay,
     };
-    stage(3, || report::emit(scenario, &graph, &mut outcome))?;
+    stage(3, || {
+        if let Some(st) = store {
+            st.begin(3)?;
+        }
+        report::emit(scenario, &graph, &mut outcome)?;
+        if let Some(st) = store {
+            st.commit_bytes(
+                3,
+                "summary.txt",
+                outcome.summary.as_bytes(),
+                &outcome.written.join("\n"),
+            )?;
+        }
+        Ok(())
+    })?;
     Ok(outcome)
 }
 
@@ -368,6 +563,178 @@ mod tests {
         assert!(resumed.summary.contains("resumed 1 finished cell(s)"));
         let e = run_scenario(&mk(12)).unwrap_err();
         assert_eq!(e.exit_code(), 5, "{e}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journaled_run_commits_every_stage_and_resumes_from_artifacts() {
+        let dir = temp_dir("journal");
+        let runs = dir.join("runs");
+        let curves = dir.join("curves");
+        let text = format!(
+            "[generator]\nmodel = \"ba\"\nn = 80\nseed = 11\n\
+             [measure]\nmetrics = [\"degree\", \"giant\"]\n\
+             [attack]\nstrategies = [\"random\"]\nreplicas = 2\nrecord = 1\n\
+             [report]\ncurves = \"{}\"",
+            curves.display()
+        );
+        let scenario = Scenario::parse(&text).unwrap();
+        let store = RunStore::create(&runs, &scenario.name, &text, "s.toml", &[]).unwrap();
+        let id = store.id().to_string();
+        let clean = run_scenario_with(
+            &scenario,
+            &ExecOptions {
+                store: Some(store),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(clean.run_id.as_deref(), Some(id.as_str()));
+        let clean_cells = clean.sweep.as_ref().unwrap().cells.clone();
+        let csv_before = std::fs::read_to_string(curves.join("random-r0.csv")).unwrap();
+
+        // Every stage committed, every artifact passes its checksum.
+        let store = RunStore::open(&runs, &id).unwrap();
+        let committed = store.committed();
+        assert!(committed.iter().all(Option::is_some), "{committed:?}");
+        for rec in committed.iter().flatten() {
+            store.load_artifact(rec).unwrap();
+        }
+        assert!(store.path("attack.ckpt.json").exists());
+
+        // Resume replays source + measure from artifacts, the attack from
+        // its checkpoint — cells and curve CSVs bit-identical.
+        let resumed = run_scenario_with(
+            &scenario,
+            &ExecOptions {
+                store: Some(RunStore::open(&runs, &id).unwrap()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(resumed.robust.is_none(), "measure must replay, not re-run");
+        assert!(resumed.measure_replay.is_some());
+        assert_eq!(resumed.source, clean.source);
+        let resumed_sweep = resumed.sweep.as_ref().unwrap();
+        assert_eq!(resumed_sweep.cells, clean_cells);
+        assert_eq!(
+            resumed_sweep.resumed, 2,
+            "both cells come from the checkpoint"
+        );
+        assert_eq!(
+            std::fs::read_to_string(curves.join("random-r0.csv")).unwrap(),
+            csv_before
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_artifact_degrades_to_re_execution_with_a_warning() {
+        let dir = temp_dir("degrade");
+        let runs = dir.join("runs");
+        let text = "[generator]\nmodel = \"ba\"\nn = 60\nseed = 7\n\
+                    [measure]\nmetrics = [\"degree\"]";
+        let scenario = Scenario::parse(text).unwrap();
+        let store = RunStore::create(&runs, &scenario.name, text, "s.toml", &[]).unwrap();
+        let id = store.id().to_string();
+        let clean = run_scenario_with(
+            &scenario,
+            &ExecOptions {
+                store: Some(store),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let store = RunStore::open(&runs, &id).unwrap();
+        std::fs::write(store.path("measure.txt"), "tampered").unwrap();
+        let resumed = run_scenario_with(
+            &scenario,
+            &ExecOptions {
+                store: Some(store),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            resumed
+                .warnings
+                .iter()
+                .any(|w| w.contains("failed its checksum") && w.contains("re-executing")),
+            "{:?}",
+            resumed.warnings
+        );
+        assert!(resumed.robust.is_some(), "stage must re-execute");
+        assert_eq!(
+            resumed.summary, clean.summary,
+            "re-execution is deterministic"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancelled_run_exits_6_and_names_the_resume_command() {
+        let dir = temp_dir("cancel");
+        let text = "[generator]\nmodel = \"ba\"\nn = 60";
+        let scenario = Scenario::parse(text).unwrap();
+        let store =
+            RunStore::create(&dir.join("runs"), &scenario.name, text, "s.toml", &[]).unwrap();
+        let id = store.id().to_string();
+        let cancel = inet_graph::CancelToken::new();
+        cancel.cancel();
+        let e = run_scenario_with(
+            &scenario,
+            &ExecOptions {
+                cancel,
+                store: Some(store),
+            },
+        )
+        .unwrap_err();
+        assert_eq!(e.exit_code(), 6, "{e}");
+        assert!(
+            e.message().contains(&format!("inet run --resume {id}")),
+            "{e}"
+        );
+        // Without a store the class is the same, just without the command.
+        let cancel = inet_graph::CancelToken::new();
+        cancel.cancel();
+        let e = run_scenario_with(
+            &scenario,
+            &ExecOptions {
+                cancel,
+                store: None,
+            },
+        )
+        .unwrap_err();
+        assert_eq!(e.exit_code(), 6, "{e}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_sinks_fail_fast_with_exit_2_before_any_compute() {
+        let dir = temp_dir("preflight");
+        let blocker = dir.join("blocker");
+        std::fs::write(&blocker, "x").unwrap();
+        // The parent of each sink is a *file*, so no directory can be made.
+        for section in [
+            format!("summary = \"{}\"", blocker.join("sub/out.txt").display()),
+            format!("edge_list = \"{}\"", blocker.join("sub/g.txt").display()),
+        ] {
+            let scenario = Scenario::parse(&format!(
+                "[generator]\nmodel = \"ba\"\nn = 60\n[report]\n{section}"
+            ))
+            .unwrap();
+            let e = run_scenario(&scenario).unwrap_err();
+            assert_eq!(e.exit_code(), 2, "{section}: {e}");
+            assert!(e.message().contains("not writable"), "{e}");
+        }
+        let scenario = Scenario::parse(&format!(
+            "[generator]\nmodel = \"ba\"\nn = 60\n[attack]\nreplicas = 1\n\
+             [report]\ncurves = \"{}\"",
+            blocker.join("curves").display()
+        ))
+        .unwrap();
+        let e = run_scenario(&scenario).unwrap_err();
+        assert_eq!(e.exit_code(), 2, "{e}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

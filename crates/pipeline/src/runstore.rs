@@ -1,0 +1,857 @@
+//! The crash-safe run store: `runs/<run-id>/` with a content-hashed
+//! manifest, an append-only journal, and atomically written, checksummed
+//! per-stage artifacts.
+//!
+//! ## Layout
+//!
+//! ```text
+//! runs/<run-id>/
+//!   manifest.json      identity: scenario + overrides + version, FNV-hashed
+//!   scenario.toml      verbatim copy of the scenario document
+//!   journal.jsonl      append-only begin/commit records, one JSON per line
+//!   source.edges       stage-0 artifact (edge list of the topology)
+//!   measure.txt        stage-1 artifact (rendered measurement block)
+//!   attack.ckpt.json   stage-2 artifact (the sweep checkpoint, cell-level)
+//!   summary.txt        stage-3 artifact (the rendered run summary)
+//! ```
+//!
+//! ## Commit protocol
+//!
+//! A stage is *committed* when its commit record is in the journal. The
+//! order is: write the artifact to `<name>.tmp`, fsync, rename into place
+//! (the `artifact.rename` failpoint sits on the rename), then append the
+//! commit record carrying the artifact's FNV-64 checksum (the
+//! `journal.write` failpoint sits on every append). A crash between any
+//! two steps leaves the stage uncommitted, and resume simply re-executes
+//! it — artifacts are only trusted when a commit record with a matching
+//! checksum exists. Torn trailing journal lines (a crash mid-append) are
+//! ignored by the reader for the same reason.
+//!
+//! ## Crash matrix
+//!
+//! | crash point                         | on resume                       |
+//! |-------------------------------------|---------------------------------|
+//! | before the artifact `.tmp` write    | stage re-executes               |
+//! | after `.tmp`, before rename         | stage re-executes, tmp ignored  |
+//! | after rename, before journal append | stage re-executes, overwrites   |
+//! | after the commit record             | stage replays from its artifact |
+//!
+//! The manifest hash covers the scenario text, every `--set` override, and
+//! the crate version; [`RunStore::open`] refuses to resume when it no
+//! longer matches, so a resumed run can never silently mix state from two
+//! different experiments.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use inet_resilience::checkpoint::fnv64;
+
+use crate::run::STAGE_NAMES;
+use crate::PipelineError;
+
+/// Default directory the CLI keeps run stores under.
+pub const DEFAULT_RUNS_DIR: &str = "runs";
+/// Manifest file name inside a run directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+/// Journal file name inside a run directory.
+pub const JOURNAL_FILE: &str = "journal.jsonl";
+/// Stored scenario copy inside a run directory.
+pub const SCENARIO_FILE: &str = "scenario.toml";
+/// Version stamped into (and hashed into) every manifest.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// One committed stage, as recorded in the journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommitRecord {
+    /// Stage index (`pipeline.stage` scope).
+    pub stage: usize,
+    /// Artifact file name (relative to the run directory) or path.
+    pub artifact: String,
+    /// FNV-64 checksum of the artifact bytes at commit time.
+    pub checksum: u64,
+    /// Free-form stage detail replayed on resume (source description,
+    /// warning lines, sink list).
+    pub detail: String,
+}
+
+/// The parsed identity block of a run.
+#[derive(Debug, Clone)]
+struct Manifest {
+    version: String,
+    name: String,
+    scenario_file: String,
+    overrides: Vec<String>,
+    content_hash: u64,
+}
+
+/// A handle on one `runs/<run-id>/` directory.
+#[derive(Debug)]
+pub struct RunStore {
+    dir: PathBuf,
+    id: String,
+    manifest: Manifest,
+}
+
+fn data(msg: impl Into<String>) -> PipelineError {
+    PipelineError::Data(msg.into())
+}
+
+/// The manifest content hash: scenario text, every override, and the
+/// crate version, NUL-separated so field boundaries cannot collide.
+fn content_hash(scenario_text: &str, overrides: &[String]) -> u64 {
+    let mut bytes = Vec::with_capacity(scenario_text.len() + 64);
+    bytes.extend_from_slice(scenario_text.as_bytes());
+    bytes.push(0);
+    for o in overrides {
+        bytes.extend_from_slice(o.as_bytes());
+        bytes.push(0);
+    }
+    bytes.extend_from_slice(VERSION.as_bytes());
+    fnv64(&bytes)
+}
+
+/// Lowercases a scenario name into a directory-safe id stem.
+fn sanitize(name: &str) -> String {
+    let mut out = String::new();
+    for c in name.chars().take(32) {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('-') && !out.is_empty() {
+            out.push('-');
+        }
+    }
+    let trimmed = out.trim_matches('-');
+    if trimmed.is_empty() {
+        "run".to_string()
+    } else {
+        trimmed.to_string()
+    }
+}
+
+impl RunStore {
+    /// Creates a fresh run directory under `root`, stamping the manifest
+    /// and the scenario copy. The id is `<name>-<hash8>`, with a numeric
+    /// suffix on collision, so re-running the same scenario never clobbers
+    /// an earlier run.
+    pub fn create(
+        root: &Path,
+        name: &str,
+        scenario_text: &str,
+        scenario_file: &str,
+        overrides: &[String],
+    ) -> Result<RunStore, PipelineError> {
+        fs::create_dir_all(root)
+            .map_err(|e| data(format!("run store: {}: {e}", root.display())))?;
+        let hash = content_hash(scenario_text, overrides);
+        let base = format!("{}-{:08x}", sanitize(name), (hash >> 32) as u32);
+        let mut id = base.clone();
+        let mut k = 1usize;
+        let dir = loop {
+            let dir = root.join(&id);
+            match fs::create_dir(&dir) {
+                Ok(()) => break dir,
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    k += 1;
+                    if k > 10_000 {
+                        return Err(data(format!("run store: cannot allocate an id for {base}")));
+                    }
+                    id = format!("{base}-{k}");
+                }
+                Err(e) => return Err(data(format!("run store: {}: {e}", dir.display()))),
+            }
+        };
+        let manifest = Manifest {
+            version: VERSION.to_string(),
+            name: name.to_string(),
+            scenario_file: scenario_file.to_string(),
+            overrides: overrides.to_vec(),
+            content_hash: hash,
+        };
+        let store = RunStore { dir, id, manifest };
+        fs::write(store.dir.join(SCENARIO_FILE), scenario_text)
+            .map_err(|e| data(format!("run store: scenario copy: {e}")))?;
+        fs::write(store.dir.join(MANIFEST_FILE), store.render_manifest())
+            .map_err(|e| data(format!("run store: manifest: {e}")))?;
+        Ok(store)
+    }
+
+    /// Opens an existing run for resumption, verifying the manifest's
+    /// content hash against the stored scenario, overrides, and this
+    /// binary's version. A mismatch refuses with a diagnostic rather than
+    /// resuming into a different experiment.
+    pub fn open(root: &Path, id: &str) -> Result<RunStore, PipelineError> {
+        let dir = root.join(id);
+        if !dir.join(MANIFEST_FILE).is_file() {
+            return Err(data(format!(
+                "no run '{id}' under {} (try 'inet runs list')",
+                root.display()
+            )));
+        }
+        let manifest_text = fs::read_to_string(dir.join(MANIFEST_FILE))
+            .map_err(|e| data(format!("run '{id}': manifest: {e}")))?;
+        let manifest = parse_manifest(&manifest_text)
+            .ok_or_else(|| data(format!("run '{id}': manifest.json is malformed")))?;
+        let scenario_text = fs::read_to_string(dir.join(SCENARIO_FILE))
+            .map_err(|e| data(format!("run '{id}': stored scenario: {e}")))?;
+        let actual = content_hash(&scenario_text, &manifest.overrides);
+        if actual != manifest.content_hash {
+            let mut msg = format!(
+                "run '{id}' refuses to resume: manifest hash {:016x} no longer matches the \
+                 stored scenario + overrides (which hash to {actual:016x})",
+                manifest.content_hash
+            );
+            if manifest.version != VERSION {
+                let _ = write!(
+                    msg,
+                    "; the run was created by inet {} but this binary is {VERSION}",
+                    manifest.version
+                );
+            }
+            msg.push_str("; start a fresh run instead");
+            return Err(PipelineError::CheckpointIncompatible(msg));
+        }
+        Ok(RunStore {
+            dir,
+            id: id.to_string(),
+            manifest,
+        })
+    }
+
+    /// The run id (`runs list` / `--resume` handle).
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The run directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// A path inside the run directory.
+    pub fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+
+    /// The stored scenario document, verbatim.
+    pub fn scenario_text(&self) -> Result<String, PipelineError> {
+        fs::read_to_string(self.dir.join(SCENARIO_FILE))
+            .map_err(|e| data(format!("run '{}': stored scenario: {e}", self.id)))
+    }
+
+    /// The `--set` overrides recorded at creation, replayed on resume.
+    pub fn overrides(&self) -> &[String] {
+        &self.manifest.overrides
+    }
+
+    /// The scenario file path the run was started from (informational).
+    pub fn scenario_file(&self) -> &str {
+        &self.manifest.scenario_file
+    }
+
+    fn render_manifest(&self) -> String {
+        let overrides = self
+            .manifest
+            .overrides
+            .iter()
+            .map(|o| format!("\"{}\"", escape_json(o)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\n  \"version\": \"{}\",\n  \"run\": \"{}\",\n  \"name\": \"{}\",\n  \
+             \"scenario_file\": \"{}\",\n  \"overrides\": [{overrides}],\n  \
+             \"content_hash\": \"{:016x}\"\n}}\n",
+            escape_json(&self.manifest.version),
+            escape_json(&self.id),
+            escape_json(&self.manifest.name),
+            escape_json(&self.manifest.scenario_file),
+            self.manifest.content_hash,
+        )
+    }
+
+    /// Appends one line to the journal, fsynced, behind the
+    /// `journal.write` failpoint (scope = stage index).
+    fn append(&self, stage: usize, line: &str) -> Result<(), PipelineError> {
+        inet_fault::check("journal.write", stage as u64)
+            .map_err(|e| data(format!("run '{}': journal: {e}", self.id)))?;
+        let path = self.dir.join(JOURNAL_FILE);
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| data(format!("run '{}': journal: {e}", self.id)))?;
+        f.write_all(line.as_bytes())
+            .and_then(|()| f.write_all(b"\n"))
+            .and_then(|()| f.sync_all())
+            .map_err(|e| data(format!("run '{}': journal: {e}", self.id)))
+    }
+
+    /// Journals the start of a stage.
+    pub fn begin(&self, stage: usize) -> Result<(), PipelineError> {
+        self.append(
+            stage,
+            &format!(
+                r#"{{"event":"begin","stage":{stage},"name":"{}"}}"#,
+                STAGE_NAMES[stage]
+            ),
+        )
+    }
+
+    fn append_commit(
+        &self,
+        stage: usize,
+        artifact: &str,
+        checksum: u64,
+        detail: &str,
+    ) -> Result<(), PipelineError> {
+        self.append(
+            stage,
+            &format!(
+                r#"{{"event":"commit","stage":{stage},"name":"{}","artifact":"{}","checksum":"{checksum:016x}","detail":"{}"}}"#,
+                STAGE_NAMES[stage],
+                escape_json(artifact),
+                escape_json(detail)
+            ),
+        )
+    }
+
+    /// Commits a stage whose artifact is `bytes`: atomic tmp-write +
+    /// rename (the `artifact.rename` failpoint sits on the rename), then
+    /// the journal record with the content checksum.
+    pub fn commit_bytes(
+        &self,
+        stage: usize,
+        artifact: &str,
+        bytes: &[u8],
+        detail: &str,
+    ) -> Result<(), PipelineError> {
+        let tmp = self.dir.join(format!("{artifact}.tmp"));
+        let write = || -> std::io::Result<()> {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()
+        };
+        write().map_err(|e| data(format!("run '{}': artifact '{artifact}': {e}", self.id)))?;
+        inet_fault::check("artifact.rename", stage as u64)
+            .map_err(|e| data(format!("run '{}': artifact '{artifact}': {e}", self.id)))?;
+        fs::rename(&tmp, self.dir.join(artifact))
+            .map_err(|e| data(format!("run '{}': artifact '{artifact}': {e}", self.id)))?;
+        self.append_commit(stage, artifact, fnv64(bytes), detail)
+    }
+
+    /// Commits a stage whose artifact already exists on disk (the attack
+    /// checkpoint, written atomically by the checkpoint layer itself):
+    /// records its checksum without rewriting it.
+    pub fn commit_external(
+        &self,
+        stage: usize,
+        artifact_path: &Path,
+        detail: &str,
+    ) -> Result<(), PipelineError> {
+        let bytes = fs::read(artifact_path).map_err(|e| {
+            data(format!(
+                "run '{}': artifact '{}': {e}",
+                self.id,
+                artifact_path.display()
+            ))
+        })?;
+        let artifact = match artifact_path.strip_prefix(&self.dir) {
+            Ok(rel) => rel.display().to_string(),
+            Err(_) => artifact_path.display().to_string(),
+        };
+        self.append_commit(stage, &artifact, fnv64(&bytes), detail)
+    }
+
+    /// The latest commit record per stage (last record wins, torn or
+    /// malformed lines ignored — see the crash matrix).
+    pub fn committed(&self) -> Vec<Option<CommitRecord>> {
+        committed_in(&self.dir)
+    }
+
+    /// Loads a committed artifact and verifies its checksum. A mismatch
+    /// (silent corruption, or a crash that journaled before the rename
+    /// landed) is an error the caller degrades to re-execution.
+    pub fn load_artifact(&self, rec: &CommitRecord) -> Result<Vec<u8>, PipelineError> {
+        let path = self.dir.join(&rec.artifact);
+        let bytes = fs::read(&path).map_err(|e| {
+            data(format!(
+                "run '{}': artifact '{}': {e}",
+                self.id, rec.artifact
+            ))
+        })?;
+        let actual = fnv64(&bytes);
+        if actual != rec.checksum {
+            return Err(data(format!(
+                "run '{}': artifact '{}' failed its checksum (journal {:016x}, file {actual:016x})",
+                self.id, rec.artifact, rec.checksum
+            )));
+        }
+        Ok(bytes)
+    }
+}
+
+fn committed_in(dir: &Path) -> Vec<Option<CommitRecord>> {
+    let mut out: Vec<Option<CommitRecord>> = vec![None; STAGE_NAMES.len()];
+    let Ok(text) = fs::read_to_string(dir.join(JOURNAL_FILE)) else {
+        return out;
+    };
+    for line in text.lines() {
+        let Some(obj) = parse_flat(line) else {
+            continue; // torn trailing line from a crash mid-append
+        };
+        if obj.get("event").and_then(JsonVal::as_str) != Some("commit") {
+            continue;
+        }
+        let Some(stage) = obj
+            .get("stage")
+            .and_then(JsonVal::as_int)
+            .and_then(|v| usize::try_from(v).ok())
+            .filter(|s| *s < out.len())
+        else {
+            continue;
+        };
+        let Some(checksum) = obj
+            .get("checksum")
+            .and_then(JsonVal::as_str)
+            .and_then(|s| u64::from_str_radix(s, 16).ok())
+        else {
+            continue;
+        };
+        out[stage] = Some(CommitRecord {
+            stage,
+            artifact: obj
+                .get("artifact")
+                .and_then(JsonVal::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            checksum,
+            detail: obj
+                .get("detail")
+                .and_then(JsonVal::as_str)
+                .unwrap_or_default()
+                .to_string(),
+        });
+    }
+    out
+}
+
+/// One run's identity + progress, for `inet runs list`.
+#[derive(Debug)]
+pub struct RunInfo {
+    /// The run id (the directory name).
+    pub id: String,
+    /// The scenario display name from the manifest.
+    pub name: String,
+    /// Which stages have commit records.
+    pub committed: Vec<bool>,
+}
+
+impl RunInfo {
+    /// `complete`, or `at <stage>` naming the first uncommitted stage.
+    pub fn status(&self) -> String {
+        match self.committed.iter().position(|c| !c) {
+            None => "complete".to_string(),
+            Some(i) => format!("at {}", STAGE_NAMES[i]),
+        }
+    }
+}
+
+/// Lists every readable run under `root`, sorted by id. Directories
+/// without a parseable manifest are skipped.
+pub fn list_runs(root: &Path) -> Vec<RunInfo> {
+    let Ok(entries) = fs::read_dir(root) else {
+        return Vec::new();
+    };
+    let mut out: Vec<RunInfo> = entries
+        .flatten()
+        .filter_map(|entry| {
+            let dir = entry.path();
+            let manifest = parse_manifest(&fs::read_to_string(dir.join(MANIFEST_FILE)).ok()?)?;
+            Some(RunInfo {
+                id: entry.file_name().to_string_lossy().into_owned(),
+                name: manifest.name,
+                committed: committed_in(&dir).iter().map(Option::is_some).collect(),
+            })
+        })
+        .collect();
+    out.sort_by(|a, b| a.id.cmp(&b.id));
+    out
+}
+
+fn parse_manifest(text: &str) -> Option<Manifest> {
+    let obj = parse_flat(text)?;
+    Some(Manifest {
+        version: obj.get("version").and_then(JsonVal::as_str)?.to_string(),
+        name: obj.get("name").and_then(JsonVal::as_str)?.to_string(),
+        scenario_file: obj
+            .get("scenario_file")
+            .and_then(JsonVal::as_str)
+            .unwrap_or_default()
+            .to_string(),
+        overrides: match obj.get("overrides")? {
+            JsonVal::Arr(items) => items.clone(),
+            _ => return None,
+        },
+        content_hash: obj
+            .get("content_hash")
+            .and_then(JsonVal::as_str)
+            .and_then(|s| u64::from_str_radix(s, 16).ok())?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Minimal flat-JSON reader for the store's own documents: one object of
+// string / integer / string-array values. Anything else is `None`.
+
+#[derive(Debug, Clone, PartialEq)]
+enum JsonVal {
+    Str(String),
+    Int(i64),
+    Arr(Vec<String>),
+}
+
+impl JsonVal {
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonVal::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_int(&self) -> Option<i64> {
+        match self {
+            JsonVal::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct Reader<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Reader<'_> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn next_byte(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.i += 1;
+        Some(c)
+    }
+
+    fn eat(&mut self, want: u8) -> Option<()> {
+        (self.next_byte()? == want).then_some(())
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next_byte()? {
+                b'"' => return Some(out),
+                b'\\' => match self.next_byte()? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = (self.next_byte()? as char).to_digit(16)?;
+                            code = code * 16 + d;
+                        }
+                        out.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                },
+                c if c < 0x80 => out.push(c as char),
+                c => {
+                    // Re-decode a multi-byte UTF-8 sequence from the source.
+                    let start = self.i - 1;
+                    let len = match c {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = self.b.get(start..start + len)?;
+                    out.push_str(std::str::from_utf8(chunk).ok()?);
+                    self.i = start + len;
+                }
+            }
+        }
+    }
+
+    fn int(&mut self) -> Option<i64> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()?
+            .parse()
+            .ok()
+    }
+}
+
+/// Parses one flat JSON object (string, integer, or string-array values).
+fn parse_flat(text: &str) -> Option<BTreeMap<String, JsonVal>> {
+    let mut r = Reader {
+        b: text.as_bytes(),
+        i: 0,
+    };
+    r.ws();
+    r.eat(b'{')?;
+    let mut map = BTreeMap::new();
+    r.ws();
+    if r.peek() == Some(b'}') {
+        return Some(map);
+    }
+    loop {
+        r.ws();
+        let key = r.string()?;
+        r.ws();
+        r.eat(b':')?;
+        r.ws();
+        let val = match r.peek()? {
+            b'"' => JsonVal::Str(r.string()?),
+            b'[' => {
+                r.i += 1;
+                let mut items = Vec::new();
+                r.ws();
+                if r.peek() == Some(b']') {
+                    r.i += 1;
+                } else {
+                    loop {
+                        r.ws();
+                        items.push(r.string()?);
+                        r.ws();
+                        match r.next_byte()? {
+                            b',' => continue,
+                            b']' => break,
+                            _ => return None,
+                        }
+                    }
+                }
+                JsonVal::Arr(items)
+            }
+            _ => JsonVal::Int(r.int()?),
+        };
+        map.insert(key, val);
+        r.ws();
+        match r.next_byte()? {
+            b',' => continue,
+            b'}' => return Some(map),
+            _ => return None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("inet_runstore_{tag}"));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    const DOC: &str = "[generator]\nmodel = \"ba\"\nn = 60\n";
+
+    #[test]
+    fn create_open_round_trips_the_manifest() {
+        let root = temp_root("roundtrip");
+        let sets = vec!["n=200".to_string(), "attack.replicas=2".to_string()];
+        let store = RunStore::create(&root, "serrano attack", DOC, "s.toml", &sets).unwrap();
+        assert!(store.id().starts_with("serrano-attack-"), "{}", store.id());
+        let reopened = RunStore::open(&root, store.id()).unwrap();
+        assert_eq!(reopened.overrides(), &sets[..]);
+        assert_eq!(reopened.scenario_file(), "s.toml");
+        assert_eq!(reopened.scenario_text().unwrap(), DOC);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn same_scenario_twice_gets_distinct_ids() {
+        let root = temp_root("collision");
+        let a = RunStore::create(&root, "ba", DOC, "s.toml", &[]).unwrap();
+        let b = RunStore::create(&root, "ba", DOC, "s.toml", &[]).unwrap();
+        assert_ne!(a.id(), b.id());
+        assert!(b.id().starts_with(a.id()), "{} vs {}", a.id(), b.id());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn tampered_scenario_refuses_to_resume_with_exit_5() {
+        let root = temp_root("tamper");
+        let store = RunStore::create(&root, "ba", DOC, "s.toml", &[]).unwrap();
+        fs::write(store.path(SCENARIO_FILE), DOC.replace("60", "61")).unwrap();
+        let e = RunStore::open(&root, store.id()).unwrap_err();
+        assert_eq!(e.exit_code(), 5, "{e}");
+        assert!(e.message().contains("refuses to resume"), "{e}");
+        assert!(e.message().contains("hash"), "{e}");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn missing_run_is_a_data_error_naming_runs_list() {
+        let root = temp_root("missing");
+        let e = RunStore::open(&root, "nope-12345678").unwrap_err();
+        assert_eq!(e.exit_code(), 4, "{e}");
+        assert!(e.message().contains("inet runs list"), "{e}");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn commit_journal_and_artifact_round_trip() {
+        let root = temp_root("commit");
+        let store = RunStore::create(&root, "ba", DOC, "s.toml", &[]).unwrap();
+        assert_eq!(store.committed(), vec![None, None, None, None]);
+        store.begin(0).unwrap();
+        let detail = "generated \"BA\"\nwith newline\tand tab";
+        store
+            .commit_bytes(0, "source.edges", b"0 1 1\n", detail)
+            .unwrap();
+        let committed = store.committed();
+        let rec = committed[0].as_ref().unwrap();
+        assert_eq!(rec.stage, 0);
+        assert_eq!(rec.artifact, "source.edges");
+        assert_eq!(rec.detail, detail, "detail must survive JSON escaping");
+        assert_eq!(store.load_artifact(rec).unwrap(), b"0 1 1\n");
+        assert!(committed[1].is_none());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupted_artifact_fails_its_checksum() {
+        let root = temp_root("corrupt");
+        let store = RunStore::create(&root, "ba", DOC, "s.toml", &[]).unwrap();
+        store
+            .commit_bytes(0, "source.edges", b"0 1 1\n", "d")
+            .unwrap();
+        fs::write(store.path("source.edges"), b"9 9 9\n").unwrap();
+        let committed = store.committed();
+        let e = store
+            .load_artifact(committed[0].as_ref().unwrap())
+            .unwrap_err();
+        assert_eq!(e.exit_code(), 4);
+        assert!(e.message().contains("failed its checksum"), "{e}");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn torn_journal_tail_leaves_the_stage_uncommitted() {
+        let root = temp_root("torn");
+        let store = RunStore::create(&root, "ba", DOC, "s.toml", &[]).unwrap();
+        store
+            .commit_bytes(0, "source.edges", b"0 1 1\n", "")
+            .unwrap();
+        // Simulate a crash mid-append of the stage-1 commit record.
+        let mut f = fs::OpenOptions::new()
+            .append(true)
+            .open(store.path(JOURNAL_FILE))
+            .unwrap();
+        f.write_all(br#"{"event":"commit","stage":1,"name":"meas"#)
+            .unwrap();
+        drop(f);
+        let committed = store.committed();
+        assert!(committed[0].is_some());
+        assert!(committed[1].is_none(), "torn record must not count");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn commit_external_records_a_run_relative_name() {
+        let root = temp_root("external");
+        let store = RunStore::create(&root, "ba", DOC, "s.toml", &[]).unwrap();
+        fs::write(store.path("attack.ckpt.json"), b"{}\n").unwrap();
+        store
+            .commit_external(2, &store.path("attack.ckpt.json"), "")
+            .unwrap();
+        let committed = store.committed();
+        let rec = committed[2].as_ref().unwrap();
+        assert_eq!(rec.artifact, "attack.ckpt.json");
+        assert_eq!(store.load_artifact(rec).unwrap(), b"{}\n");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn list_runs_reports_progress() {
+        let root = temp_root("list");
+        assert!(list_runs(&root.join("void")).is_empty());
+        let a = RunStore::create(&root, "Alpha Run", DOC, "s.toml", &[]).unwrap();
+        let b = RunStore::create(&root, "beta", DOC, "s.toml", &[]).unwrap();
+        a.commit_bytes(0, "source.edges", b"x", "").unwrap();
+        for stage in 0..STAGE_NAMES.len() {
+            b.commit_bytes(stage, "a.bin", b"x", "").unwrap();
+        }
+        let infos = list_runs(&root);
+        assert_eq!(infos.len(), 2);
+        let alpha = infos.iter().find(|i| i.id == a.id()).unwrap();
+        assert_eq!(alpha.name, "Alpha Run");
+        assert_eq!(alpha.status(), "at measure");
+        let beta = infos.iter().find(|i| i.id == b.id()).unwrap();
+        assert_eq!(beta.status(), "complete");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn flat_json_reader_handles_escapes_and_rejects_junk() {
+        let obj =
+            parse_flat(r#"{"a": "x\n\"y\"", "b": 42, "c": ["p", "q"], "d": "\u0007"}"#).unwrap();
+        assert_eq!(obj.get("a").unwrap().as_str(), Some("x\n\"y\""));
+        assert_eq!(obj.get("b").unwrap().as_int(), Some(42));
+        assert_eq!(
+            obj.get("c"),
+            Some(&JsonVal::Arr(vec!["p".to_string(), "q".to_string()]))
+        );
+        assert_eq!(obj.get("d").unwrap().as_str(), Some("\u{7}"));
+        assert!(parse_flat("{\"a\": ").is_none());
+        assert!(parse_flat("not json").is_none());
+        assert_eq!(
+            parse_flat(&format!("{{\"s\": \"{}\"}}", escape_json("ü—\u{1}")))
+                .unwrap()
+                .get("s")
+                .unwrap()
+                .as_str(),
+            Some("ü—\u{1}")
+        );
+    }
+}

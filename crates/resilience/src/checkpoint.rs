@@ -23,11 +23,18 @@
 //!   human-readable config string alongside the fingerprint, so resuming
 //!   against the wrong sweep reports *which field* differs
 //!   (`checkpoint incompatible: seed (...)`), not just a hash mismatch.
+//! * **Content checksums** — every saved document embeds an FNV-1a 64
+//!   checksum of its canonical serialization, verified on load, so *silent*
+//!   corruption (a flipped digit that still parses) is detected and routed
+//!   to the backup instead of poisoning a resumed sweep. Legacy files
+//!   without the field still load; [`LoadedCheckpoint::checksum_missing`]
+//!   lets callers warn.
 //!
 //! The file format is a small, versioned JSON document:
 //!
 //! ```json
 //! {
+//!   "checksum": "f00d…",             // FNV-1a 64 of the canonical document, hex
 //!   "version": 1,
 //!   "fingerprint": "9a3c…",          // FNV-1a 64 over graph + config, hex
 //!   "config": "v1 strategies=[…] …", // optional; enables field diagnosis
@@ -197,6 +204,10 @@ pub struct LoadedCheckpoint {
     /// backup supplied the state (the previous generation: recent cells
     /// may be recomputed, never corrupted).
     pub recovered_from_backup: bool,
+    /// `true` when the loaded document predates content checksums (no
+    /// `checksum` field): it still loads, but silent corruption cannot be
+    /// detected — callers should warn.
+    pub checksum_missing: bool,
 }
 
 /// One finished `(strategy, replica)` cell.
@@ -262,6 +273,18 @@ pub fn fingerprint(g: &Csr, config: &str) -> u64 {
         eat(w);
     }
     for byte in config.as_bytes() {
+        h = (h ^ *byte as u64).wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// FNV-1a 64 over raw bytes — the content checksum of persisted documents
+/// (checkpoints, run-store artifacts).
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for byte in bytes {
         h = (h ^ *byte as u64).wrapping_mul(PRIME);
     }
     h
@@ -397,9 +420,33 @@ impl Checkpoint {
         out
     }
 
-    /// Parses a document produced by [`Checkpoint::to_json`]. Rejects other
-    /// versions and malformed input with a one-line error.
+    /// The content checksum of this checkpoint: FNV-1a 64 over the
+    /// canonical (checksum-less) serialization. Because the JSON round trip
+    /// is lossless and idempotent, any bit flip that survives parsing
+    /// changes the re-serialization and therefore the checksum.
+    pub fn content_checksum(&self) -> u64 {
+        fnv64(self.to_json().as_bytes())
+    }
+
+    /// [`Checkpoint::to_json`] plus an embedded `checksum` field covering
+    /// the canonical document — what [`Checkpoint::save`] writes to disk.
+    pub fn to_json_checksummed(&self) -> String {
+        let body = self.to_json();
+        let sum = fnv64(body.as_bytes());
+        body.replacen("{\n", &format!("{{\n  \"checksum\": \"{sum:016x}\",\n"), 1)
+    }
+
+    /// Parses a document produced by [`Checkpoint::to_json`] or
+    /// [`Checkpoint::to_json_checksummed`]. Rejects other versions,
+    /// malformed input, and checksum mismatches with a one-line error.
     pub fn parse(text: &str) -> Result<Checkpoint, String> {
+        Checkpoint::parse_flagged(text).map(|(ck, _)| ck)
+    }
+
+    /// [`Checkpoint::parse`] that also reports whether the document carried
+    /// a content checksum (`false` = legacy checksum-less file; it loads,
+    /// but silent corruption cannot be detected).
+    pub fn parse_flagged(text: &str) -> Result<(Checkpoint, bool), String> {
         let root = JsonValue::parse(text)?;
         let version = root.field("version")?.as_u64()?;
         if version != CHECKPOINT_VERSION {
@@ -454,12 +501,28 @@ impl Checkpoint {
                 message: f.field("message")?.as_str()?.to_string(),
             });
         }
-        Ok(Checkpoint {
+        let checkpoint = Checkpoint {
             fingerprint,
             config,
             cells,
             failures,
-        })
+        };
+        // Optional (absent in files written before checksums existed).
+        match root.field("checksum") {
+            Ok(v) => {
+                let stored = u64::from_str_radix(v.as_str()?, 16)
+                    .map_err(|e| format!("bad checkpoint checksum: {e}"))?;
+                let actual = checkpoint.content_checksum();
+                if stored != actual {
+                    return Err(format!(
+                        "checkpoint checksum mismatch: stored {stored:016x}, \
+                         content hashes to {actual:016x} (silent corruption)"
+                    ));
+                }
+                Ok((checkpoint, true))
+            }
+            Err(_) => Ok((checkpoint, false)),
+        }
     }
 
     /// Atomically writes the checkpoint to `path` (via `<path>.tmp` +
@@ -505,7 +568,7 @@ impl Checkpoint {
     fn save_once(&self, path: &Path, attempt: u64) -> Result<(), String> {
         inet_fault::check("checkpoint.write", attempt).map_err(|e| e.to_string())?;
         let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, self.to_json())
+        std::fs::write(&tmp, self.to_json_checksummed())
             .map_err(|e| format!("write {}: {e}", tmp.display()))?;
         if path.exists() {
             let bak = path.with_extension("bak");
@@ -552,17 +615,20 @@ impl Checkpoint {
             }
             match std::fs::read_to_string(path) {
                 Ok(text) => {
-                    // Parse failures are deterministic — retrying the read
-                    // cannot help; go straight to the backup.
-                    return match Checkpoint::parse(&text) {
-                        Ok(checkpoint) => Ok(Some(LoadedCheckpoint {
+                    // Parse failures — including checksum mismatches from
+                    // silent corruption — are deterministic; retrying the
+                    // read cannot help, go straight to the backup.
+                    return match Checkpoint::parse_flagged(&text) {
+                        Ok((checkpoint, has_checksum)) => Ok(Some(LoadedCheckpoint {
                             checkpoint,
                             recovered_from_backup: false,
+                            checksum_missing: !has_checksum,
                         })),
                         Err(message) => match Self::parse_backup(path) {
-                            Some(checkpoint) => Ok(Some(LoadedCheckpoint {
+                            Some((checkpoint, has_checksum)) => Ok(Some(LoadedCheckpoint {
                                 checkpoint,
                                 recovered_from_backup: true,
+                                checksum_missing: !has_checksum,
                             })),
                             None => Err(CheckpointError::Parse {
                                 path: path.to_path_buf(),
@@ -574,9 +640,12 @@ impl Checkpoint {
                 Err(e) if e.kind() == io::ErrorKind::NotFound => {
                     // A crash between "rotate to .bak" and "rename tmp into
                     // place" leaves only the backup; recover it.
-                    return Ok(Self::parse_backup(path).map(|checkpoint| LoadedCheckpoint {
-                        checkpoint,
-                        recovered_from_backup: true,
+                    return Ok(Self::parse_backup(path).map(|(checkpoint, has_checksum)| {
+                        LoadedCheckpoint {
+                            checkpoint,
+                            recovered_from_backup: true,
+                            checksum_missing: !has_checksum,
+                        }
                     }));
                 }
                 Err(e) => last = e.to_string(),
@@ -588,10 +657,11 @@ impl Checkpoint {
         })
     }
 
-    /// The `<path>.bak` generation, if present and parseable.
-    fn parse_backup(path: &Path) -> Option<Checkpoint> {
+    /// The `<path>.bak` generation, if present and parseable, with its
+    /// has-checksum flag.
+    fn parse_backup(path: &Path) -> Option<(Checkpoint, bool)> {
         let text = std::fs::read_to_string(path.with_extension("bak")).ok()?;
-        Checkpoint::parse(&text).ok()
+        Checkpoint::parse_flagged(&text).ok()
     }
 }
 
@@ -947,6 +1017,85 @@ mod tests {
         let legacy = sample_checkpoint();
         assert!(!legacy.to_json().contains("\"config\""));
         assert_eq!(Checkpoint::parse(&legacy.to_json()).unwrap().config, None);
+    }
+
+    #[test]
+    fn checksummed_document_round_trips_and_flags_legacy() {
+        let ck = sample_checkpoint();
+        let text = ck.to_json_checksummed();
+        assert!(text.contains("\"checksum\""));
+        let (parsed, had) = Checkpoint::parse_flagged(&text).unwrap();
+        assert!(had, "checksummed document must be flagged as such");
+        assert_eq!(parsed, ck);
+        // Legacy checksum-less text still parses, flagged legacy.
+        let (parsed, had) = Checkpoint::parse_flagged(&ck.to_json()).unwrap();
+        assert!(!had);
+        assert_eq!(parsed, ck);
+    }
+
+    #[test]
+    fn silent_corruption_fails_the_checksum() {
+        let ck = sample_checkpoint();
+        // Flip one digit of critical_fraction 0.4 → 0.9: still valid JSON,
+        // still a parseable checkpoint — only the checksum can catch it.
+        let corrupt = ck
+            .to_json_checksummed()
+            .replace("\"critical_fraction\": 0.4", "\"critical_fraction\": 0.9");
+        let err = Checkpoint::parse(&corrupt).unwrap_err();
+        assert!(err.contains("checksum mismatch"), "{err}");
+        // The same corruption in a legacy file goes undetected (the
+        // documented limitation the checksum exists to close).
+        let legacy = ck
+            .to_json()
+            .replace("\"critical_fraction\": 0.4", "\"critical_fraction\": 0.9");
+        assert!(Checkpoint::parse(&legacy).is_ok());
+    }
+
+    #[test]
+    fn corrupted_primary_recovers_from_backup_via_checksum() {
+        let dir = std::env::temp_dir().join("inet-resilience-ckpt-corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.json");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(path.with_extension("bak"));
+
+        let gen1 = sample_checkpoint();
+        gen1.save(&path).unwrap();
+        let mut gen2 = gen1.clone();
+        gen2.failures.clear();
+        gen2.save(&path).unwrap();
+
+        // Silently corrupt the primary: valid JSON, wrong numbers.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(
+            &path,
+            text.replace("\"critical_fraction\": 0.4", "\"critical_fraction\": 0.9"),
+        )
+        .unwrap();
+
+        let loaded = Checkpoint::load_recovering(&path, &RetryPolicy::no_delay())
+            .unwrap()
+            .expect("backup must recover");
+        assert!(loaded.recovered_from_backup);
+        assert!(!loaded.checksum_missing);
+        assert_eq!(loaded.checkpoint, gen1);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(path.with_extension("bak"));
+    }
+
+    #[test]
+    fn legacy_checksum_less_file_loads_with_flag() {
+        let dir = std::env::temp_dir().join("inet-resilience-ckpt-legacy");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.json");
+        let ck = sample_checkpoint();
+        std::fs::write(&path, ck.to_json()).unwrap();
+        let loaded = Checkpoint::load_recovering(&path, &RetryPolicy::no_delay())
+            .unwrap()
+            .expect("legacy file must load");
+        assert!(loaded.checksum_missing, "legacy file must be flagged");
+        assert_eq!(loaded.checkpoint, ck);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -25,7 +25,8 @@ use crate::checkpoint::{
 };
 use crate::percolation::percolation_curve;
 use crate::strategy::Strategy;
-use inet_graph::parallel::fanout_ordered;
+use inet_graph::parallel::try_fanout_ordered;
+use inet_graph::CancelToken;
 use inet_graph::Csr;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -52,6 +53,11 @@ pub struct SweepConfig {
     /// Checkpoint file: load/skip completed cells on entry, persist each
     /// cell on completion.
     pub checkpoint: Option<PathBuf>,
+    /// Cooperative cancellation: workers poll this token **between cells**
+    /// and stop claiming work once it fires, so cancel latency is bounded
+    /// by one cell and every completed cell is already checkpointed. The
+    /// default token never fires.
+    pub cancel: CancelToken,
     /// Test-only failure injection: cells whose index is listed here panic
     /// on their first attempt (the resample attempt runs clean). Leave
     /// empty outside tests.
@@ -69,6 +75,7 @@ impl Default for SweepConfig {
             record_every: 1,
             bc_sources: 64,
             checkpoint: None,
+            cancel: CancelToken::new(),
             fail_cells: Vec::new(),
         }
     }
@@ -132,6 +139,10 @@ pub struct SweepResult {
     pub resumed: usize,
     /// Non-fatal problems (e.g. a checkpoint write that failed).
     pub warnings: Vec<String>,
+    /// `true` when the cancel token fired before every cell completed:
+    /// `cells` holds only the finished (and checkpointed) cells, and a
+    /// re-run against the same checkpoint finishes the rest.
+    pub interrupted: bool,
 }
 
 /// Why a sweep could not start. Worker-level problems never surface here —
@@ -215,6 +226,13 @@ pub fn run_sweep(g: &Csr, cfg: &SweepConfig) -> Result<SweepResult, SweepError> 
                             path.with_extension("bak").display()
                         ));
                     }
+                    if loaded.checksum_missing {
+                        initial_warnings.push(format!(
+                            "checkpoint {} predates content checksums: silent corruption \
+                             cannot be detected (the next save upgrades it)",
+                            path.display()
+                        ));
+                    }
                     let mut ck = loaded.checkpoint;
                     // Legacy files predate the stored config string; stamp
                     // it so future saves can diagnose field-level drift.
@@ -258,14 +276,21 @@ pub fn run_sweep(g: &Csr, cfg: &SweepConfig) -> Result<SweepResult, SweepError> 
     };
 
     // One pass over `cells`; returns the cells whose attempt panicked.
+    // Workers poll the cancel token between cells: once it fires they stop
+    // picking up cells (and the pool stops handing out chunks), so the
+    // in-flight cells finish, get checkpointed, and the sweep winds down.
     let run_pass = |cells: &[Cell], attempt: usize| -> Vec<Cell> {
-        let failed_chunks = fanout_ordered(
+        let failed_chunks = try_fanout_ordered(
             cells.len(),
             cfg.threads,
+            &cfg.cancel,
             || (),
             |_scratch, range| {
                 let mut failed = Vec::new();
                 for cell in &cells[range] {
+                    if cfg.cancel.is_cancelled() {
+                        break;
+                    }
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
                         if attempt == 0 && cfg.fail_cells.contains(&cell.index) {
                             // Test-only hook, caught by this very fence.
@@ -307,11 +332,20 @@ pub fn run_sweep(g: &Csr, cfg: &SweepConfig) -> Result<SweepResult, SweepError> 
                 failed
             },
         );
-        failed_chunks.into_iter().flatten().collect()
+        match failed_chunks {
+            Ok(chunks) => chunks.into_iter().flatten().collect(),
+            // Cancelled before every chunk was claimed: the resample list
+            // is moot — the pass after a cancellation never runs.
+            Err(_) => Vec::new(),
+        }
     };
 
     let failed_once = run_pass(&pending, 0);
-    let _failed_twice = run_pass(&failed_once, 1);
+    // The resample pass is skipped once cancellation fired: its cells are
+    // not checkpointed as done, so a resume retries them cleanly.
+    if !cfg.cancel.is_cancelled() {
+        let _failed_twice = run_pass(&failed_once, 1);
+    }
 
     let SweepState { ckpt, warnings } = state.into_inner().unwrap_or_else(|p| p.into_inner());
 
@@ -335,11 +369,16 @@ pub fn run_sweep(g: &Csr, cfg: &SweepConfig) -> Result<SweepResult, SweepError> 
     let mut failures = ckpt.failures;
     failures.sort_by_key(|f| (strategy_pos(&f.strategy), f.replica, f.attempt));
 
+    // Interrupted = the token fired AND work is actually missing; a token
+    // that fires after the last cell finished changes nothing.
+    let interrupted = cfg.cancel.is_cancelled() && cells.len() < total;
+
     Ok(SweepResult {
         cells,
         failures,
         resumed,
         warnings,
+        interrupted,
     })
 }
 
@@ -405,6 +444,7 @@ mod tests {
             record_every: 1,
             bc_sources: 8,
             checkpoint: None,
+            cancel: CancelToken::new(),
             fail_cells: Vec::new(),
         }
     }
@@ -647,6 +687,60 @@ mod tests {
             if !a.resampled {
                 assert_eq!(a, b);
             }
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_sweep_completes_nothing_and_flags_interrupted() {
+        let g = test_graph();
+        let token = CancelToken::new();
+        token.cancel();
+        let cfg = SweepConfig {
+            cancel: token,
+            ..base_cfg()
+        };
+        let result = run_sweep(&g, &cfg).unwrap();
+        assert!(result.interrupted);
+        assert!(result.cells.is_empty());
+        assert!(result.failures.is_empty(), "cancel is not a failure");
+    }
+
+    #[test]
+    fn cancelled_sweep_resumes_to_identical_results() {
+        let g = test_graph();
+        for threads in [1, 2, 7] {
+            let path = tmp_ckpt(&format!("cancel-resume-{threads}.json"));
+            let cfg = SweepConfig {
+                threads,
+                checkpoint: Some(path.clone()),
+                ..base_cfg()
+            };
+            let full = run_sweep(&g, &cfg).unwrap();
+            assert!(!full.interrupted);
+            let _ = std::fs::remove_file(&path);
+            let _ = std::fs::remove_file(path.with_extension("bak"));
+
+            // Interrupt a fresh run immediately; whatever cells completed
+            // before the poll landed are checkpointed.
+            let token = CancelToken::new();
+            token.cancel();
+            let cut = run_sweep(
+                &g,
+                &SweepConfig {
+                    cancel: token,
+                    ..cfg.clone()
+                },
+            )
+            .unwrap();
+            assert!(cut.interrupted, "threads {threads}");
+
+            // Resume with a fresh token: the union must be bit-identical to
+            // the uninterrupted run.
+            let resumed = run_sweep(&g, &cfg).unwrap();
+            assert!(!resumed.interrupted);
+            assert_eq!(resumed.cells, full.cells, "threads {threads}");
+            let _ = std::fs::remove_file(&path);
+            let _ = std::fs::remove_file(path.with_extension("bak"));
         }
     }
 

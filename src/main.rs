@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! inet run      <scenario.toml>         # execute a declarative scenario file
+//! inet run      --resume <run-id>       # resume an interrupted journaled run
+//! inet runs     list                    # list journaled runs and their progress
 //! inet generate <model> <n> [seed]      # grow a topology, write edge list to stdout
 //! inet measure  <edge-list-file|->      # headline report of a topology
 //! inet validate <edge-list-file|->      # compare against the 2001 AS-map targets
@@ -10,6 +12,14 @@
 //! inet attack   <model|file|->          # percolation / targeted-attack sweep
 //! inet list-models                      # the model registry: params + defaults
 //! ```
+//!
+//! `run` journals by default: each invocation gets a `runs/<run-id>/`
+//! directory (override with `--runs-dir`, disable with `--no-journal`)
+//! holding the scenario copy, a content-hashed manifest, an append-only
+//! stage journal, and checksummed per-stage artifacts. SIGINT cancels
+//! cooperatively — in-flight sweep cells checkpoint, the journal stays
+//! consistent, the exact resume command is printed, and the process exits
+//! with code 6. A second SIGINT aborts immediately.
 //!
 //! The CLI is a thin shell over `inet-pipeline`: `run` executes a TOML
 //! scenario directly (`--set key=value` overrides any setting), and
@@ -36,21 +46,89 @@ use inet_suite::inet_model::generators::{model_names, registry, ParamValue};
 use inet_suite::inet_model::growth::fit::FittedRates;
 use inet_suite::inet_model::metrics::tiers::TierDecomposition;
 use inet_suite::inet_model::pipeline::run::load_graph;
+use inet_suite::inet_model::pipeline::runstore::DEFAULT_RUNS_DIR;
 use inet_suite::inet_model::pipeline::{
-    report, run_scenario, AttackSpec, MeasureSpec, PipelineError, Scenario, Source,
+    list_runs, report, run_scenario_with, AttackSpec, ExecOptions, MeasureSpec, PipelineError,
+    RunStore, Scenario, Source,
 };
 use inet_suite::inet_model::prelude::*;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::sync::atomic::AtomicBool;
+
+/// Set by the SIGINT handler; every [`CancelToken`] handed to the pipeline
+/// is linked to it, so one Ctrl-C cancels the whole run cooperatively.
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::Ordering;
+
+    // Minimal libc surface, declared by hand so the binary stays
+    // dependency-free: installing a SIGINT handler needs nothing more.
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        fn _exit(code: i32) -> !;
+    }
+
+    const SIGINT: i32 = 2;
+
+    extern "C" fn on_sigint(_: i32) {
+        if super::INTERRUPTED.swap(true, Ordering::SeqCst) {
+            // Second Ctrl-C: the user means it — skip the cooperative
+            // unwind and die the way the default handler would.
+            unsafe { _exit(130) }
+        }
+    }
+
+    /// Installs the cooperative SIGINT handler.
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_sigint);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+}
+
+/// Executes a scenario with the SIGINT-linked cancel token (and, for
+/// journaled `inet run`, the run store).
+fn exec(
+    scenario: &Scenario,
+    store: Option<RunStore>,
+) -> Result<inet_suite::inet_model::pipeline::RunOutcome, PipelineError> {
+    run_scenario_with(
+        scenario,
+        &ExecOptions {
+            cancel: CancelToken::linked(&INTERRUPTED),
+            store,
+        },
+    )
+}
 
 /// Parsed command line.
 #[derive(Debug, PartialEq)]
 enum Command {
     Run {
-        path: String,
+        /// Scenario file; `None` when resuming.
+        path: Option<String>,
+        /// Run id to resume (`--resume`); scenario + overrides replay from
+        /// the run's manifest.
+        resume: Option<String>,
         sets: Vec<String>,
         threads: Option<usize>,
         check_invariants: bool,
+        /// Journal into the run store (`false` under `--no-journal`).
+        journal: bool,
+        /// Run-store root (`--runs-dir`), default `runs/`.
+        runs_dir: Option<String>,
+    },
+    /// `inet runs list` — the journaled runs and their progress.
+    Runs {
+        runs_dir: Option<String>,
     },
     Generate {
         model: String,
@@ -145,6 +223,13 @@ const GLOBAL_OPTS: &[OptSpec] = &[
     flag("--check-invariants"),
     opt("--deadline-ms", "<ms>"),
     opt_many("--set", "<key=value>"),
+];
+
+/// Options of the `run` subcommand (`runs list` shares `--runs-dir`).
+const RUN_OPTS: &[OptSpec] = &[
+    opt("--resume", "<run-id>"),
+    flag("--no-journal"),
+    opt("--runs-dir", "<dir>"),
 ];
 
 /// Options of the `attack` subcommand.
@@ -252,12 +337,57 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
     }
     match first {
         None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
-        Some("run") => Ok(Command::Run {
-            path: args.get(1).ok_or("run: missing <scenario.toml>")?.clone(),
-            sets,
-            threads: threads_flag,
-            check_invariants,
-        }),
+        Some("run") => {
+            let scanned = scan_options(&args[1..], RUN_OPTS).map_err(|e| format!("run: {e}"))?;
+            let resume = scanned.value("--resume").map(str::to_string);
+            let runs_dir = scanned.value("--runs-dir").map(str::to_string);
+            let mut path: Option<String> = None;
+            for arg in &scanned.rest {
+                if arg.starts_with("--") {
+                    return Err(format!("run: unknown option '{arg}'"));
+                }
+                if path.replace(arg.clone()).is_some() {
+                    return Err("run: more than one <scenario.toml> given".into());
+                }
+            }
+            if resume.is_some() {
+                if path.is_some() {
+                    return Err(
+                        "run: give either <scenario.toml> or --resume <run-id>, not both".into(),
+                    );
+                }
+                if !sets.is_empty() {
+                    return Err(
+                        "run: --set cannot combine with --resume (overrides replay from the \
+                         run's manifest)"
+                            .into(),
+                    );
+                }
+                if scanned.flag("--no-journal") {
+                    return Err("run: --no-journal cannot combine with --resume".into());
+                }
+            } else if path.is_none() {
+                return Err("run: missing <scenario.toml>".into());
+            }
+            Ok(Command::Run {
+                path,
+                resume,
+                sets,
+                threads: threads_flag,
+                check_invariants,
+                journal: !scanned.flag("--no-journal"),
+                runs_dir,
+            })
+        }
+        Some("runs") => {
+            let scanned = scan_options(&args[1..], RUN_OPTS).map_err(|e| format!("runs: {e}"))?;
+            if scanned.rest.len() != 1 || scanned.rest[0] != "list" {
+                return Err("runs: usage: inet runs list [--runs-dir <dir>]".into());
+            }
+            Ok(Command::Runs {
+                runs_dir: scanned.value("--runs-dir").map(str::to_string),
+            })
+        }
         Some("list-models") => Ok(Command::ListModels),
         Some("generate") => {
             let model = args.get(1).ok_or("generate: missing <model>")?.clone();
@@ -407,6 +537,8 @@ fn help_text() -> String {
         "inet — Internet topology modeling toolkit\n\n\
          usage:\n  \
          inet run      <scenario.toml>      execute a declarative scenario file\n  \
+         inet run      --resume <run-id>    resume an interrupted journaled run\n  \
+         inet runs     list                 journaled runs and their progress\n  \
          inet generate <model> <n> [seed]   grow a topology (edge list on stdout)\n  \
          inet measure  <file|->             headline report\n  \
          inet validate <file|->             compare vs the 2001 AS-map targets\n  \
@@ -416,7 +548,10 @@ fn help_text() -> String {
          inet list-models                   model registry: parameters + defaults\n\n\
          run options:\n  \
          --set <key=value>                  override a scenario setting (repeatable);\n  \
-         \u{20}                                  bare keys tune [generator] parameters\n\n\
+         \u{20}                                  bare keys tune [generator] parameters\n  \
+         --resume <run-id>                  resume from the first uncommitted stage\n  \
+         --no-journal                       skip the run store (no resume possible)\n  \
+         --runs-dir <dir>                   run-store root (default: runs/)\n\n\
          attack options:\n  \
          --strategy <a,b,...>               random degree degree-recalc kcore\n  \
          \u{20}                                  kcore-recalc betweenness betweenness-recalc\n  \
@@ -432,7 +567,7 @@ fn help_text() -> String {
          --check-invariants                 full graph-invariant check on the input\n  \
          --deadline-ms <ms>                 measure: flag kernels that overrun <ms>\n\n\
          exit codes: 0 ok, 1 other, 2 usage, 3 model parameters, 4 data/io,\n\
-         \u{20}           5 incompatible checkpoint\n\n\
+         \u{20}           5 incompatible checkpoint, 6 interrupted (resumable)\n\n\
          models: {}",
         model_names().join(" ")
     )
@@ -469,24 +604,76 @@ fn run(cmd: Command) -> Result<(), PipelineError> {
         }
         Command::Run {
             path,
+            resume,
             sets,
             threads,
             check_invariants,
+            journal,
+            runs_dir,
         } => {
-            let mut scenario = Scenario::load(std::path::Path::new(&path), &sets)?;
+            let root = std::path::PathBuf::from(runs_dir.as_deref().unwrap_or(DEFAULT_RUNS_DIR));
+            let (mut scenario, store) = if let Some(id) = &resume {
+                let store = RunStore::open(&root, id)?;
+                let text = store.scenario_text()?;
+                let scenario = Scenario::parse_with_overrides(&text, store.overrides()).map_err(
+                    |e| match e {
+                        PipelineError::Scenario(m) => {
+                            PipelineError::Scenario(format!("run '{id}': stored scenario: {m}"))
+                        }
+                        other => other,
+                    },
+                )?;
+                eprintln!("# resuming run {id}");
+                (scenario, Some(store))
+            } else {
+                let path = path.as_deref().unwrap_or_default();
+                // One read serves both parsing and the journaled copy, so
+                // the stored scenario can never diverge from what ran.
+                let text = std::fs::read_to_string(path).map_err(|e| {
+                    PipelineError::Data(format!("cannot read scenario '{path}': {e}"))
+                })?;
+                let scenario =
+                    Scenario::parse_with_overrides(&text, &sets).map_err(|e| match e {
+                        PipelineError::Scenario(m) => {
+                            PipelineError::Scenario(format!("{path}: {m}"))
+                        }
+                        other => other,
+                    })?;
+                let store = if journal {
+                    Some(RunStore::create(&root, &scenario.name, &text, path, &sets)?)
+                } else {
+                    None
+                };
+                (scenario, store)
+            };
             if let Some(t) = threads {
                 scenario.threads = Some(t);
             }
             if check_invariants {
                 scenario.check_invariants = true;
             }
-            let outcome = run_scenario(&scenario)?;
+            let outcome = exec(&scenario, store)?;
             print!("{}", outcome.summary);
             for w in &outcome.warnings {
                 eprintln!("warning: {w}");
             }
             for sink in &outcome.written {
                 eprintln!("# {sink}");
+            }
+            if let Some(id) = &outcome.run_id {
+                eprintln!("# run {id} complete");
+            }
+            Ok(())
+        }
+        Command::Runs { runs_dir } => {
+            let root = std::path::PathBuf::from(runs_dir.as_deref().unwrap_or(DEFAULT_RUNS_DIR));
+            let infos = list_runs(&root);
+            if infos.is_empty() {
+                println!("no runs under {}", root.display());
+            } else {
+                for info in infos {
+                    println!("{:<44} {:<24} {}", info.id, info.name, info.status());
+                }
             }
             Ok(())
         }
@@ -501,7 +688,7 @@ fn run(cmd: Command) -> Result<(), PipelineError> {
             let mut scenario = Scenario::from_generator(&model, &overrides, seed)?;
             scenario.check_invariants = check_invariants;
             scenario.report.edge_list = Some("-".to_string());
-            let outcome = run_scenario(&scenario)?;
+            let outcome = exec(&scenario, None)?;
             eprintln!("# {}", outcome.source);
             Ok(())
         }
@@ -518,7 +705,7 @@ fn run(cmd: Command) -> Result<(), PipelineError> {
                 deadline_ms,
                 ..MeasureSpec::default()
             });
-            let outcome = run_scenario(&scenario)?;
+            let outcome = exec(&scenario, None)?;
             let Some(robust) = outcome.robust else {
                 return Err(PipelineError::Stage("measure produced no report".into()));
             };
@@ -627,7 +814,7 @@ fn run_attack(args: AttackArgs) -> Result<(), PipelineError> {
     if let Some(dir) = &args.curves {
         scenario.report.curves = Some(std::path::PathBuf::from(dir));
     }
-    let outcome = run_scenario(&scenario)?;
+    let outcome = exec(&scenario, None)?;
     if !is_file {
         eprintln!("# attacking {}", outcome.source);
     }
@@ -649,6 +836,7 @@ fn run_attack(args: AttackArgs) -> Result<(), PipelineError> {
 }
 
 fn main() {
+    sig::install();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match parse_args(&args)
         .map_err(PipelineError::Scenario)
@@ -808,14 +996,20 @@ mod tests {
         {
             Command::Run {
                 path,
+                resume,
                 sets,
                 threads,
                 check_invariants,
+                journal,
+                runs_dir,
             } => {
-                assert_eq!(path, "s.toml");
+                assert_eq!(path.as_deref(), Some("s.toml"));
+                assert_eq!(resume, None);
                 assert_eq!(sets, strs(&["n=100", "seed=1"]));
                 assert_eq!(threads, Some(2));
                 assert!(!check_invariants);
+                assert!(journal, "journaling is the default");
+                assert_eq!(runs_dir, None);
             }
             other => panic!("{other:?}"),
         }
@@ -823,6 +1017,54 @@ mod tests {
         // --set is a run-only option.
         let e = parse_args(&strs(&["measure", "g.txt", "--set", "n=1"])).unwrap_err();
         assert!(e.contains("run"), "{e}");
+    }
+
+    #[test]
+    fn parses_resume_no_journal_and_runs_list() {
+        match parse_args(&strs(&["run", "--resume", "demo-1a2b3c4d"])).unwrap() {
+            Command::Run { path, resume, .. } => {
+                assert_eq!(path, None);
+                assert_eq!(resume.as_deref(), Some("demo-1a2b3c4d"));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&strs(&[
+            "run",
+            "s.toml",
+            "--no-journal",
+            "--runs-dir",
+            "rr",
+        ]))
+        .unwrap()
+        {
+            Command::Run {
+                journal, runs_dir, ..
+            } => {
+                assert!(!journal);
+                assert_eq!(runs_dir.as_deref(), Some("rr"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            parse_args(&strs(&["runs", "list"])).unwrap(),
+            Command::Runs { runs_dir: None }
+        );
+        // The rejections, each with a one-line reason.
+        for (bad, needle) in [
+            (vec!["run", "s.toml", "--resume", "id"], "not both"),
+            (vec!["run", "--resume", "id", "--set", "n=1"], "--set"),
+            (
+                vec!["run", "--resume", "id", "--no-journal"],
+                "--no-journal",
+            ),
+            (vec!["run", "a.toml", "b.toml"], "more than one"),
+            (vec!["run", "--bogus", "s.toml"], "unknown option"),
+            (vec!["runs"], "usage"),
+            (vec!["runs", "prune"], "usage"),
+        ] {
+            let e = parse_args(&strs(&bad)).unwrap_err();
+            assert!(e.contains(needle), "{bad:?}: {e}");
+        }
     }
 
     #[test]
@@ -1005,6 +1247,7 @@ mod tests {
             (PipelineError::Model("x".into()), 3),
             (PipelineError::Data("x".into()), 4),
             (PipelineError::CheckpointIncompatible("x".into()), 5),
+            (PipelineError::Interrupted("x".into()), 6),
         ];
         let mut seen = std::collections::BTreeSet::new();
         for (err, want) in cases {
@@ -1137,10 +1380,13 @@ mod tests {
         )
         .unwrap();
         run(Command::Run {
-            path: scenario.to_str().unwrap().into(),
+            path: Some(scenario.to_str().unwrap().into()),
+            resume: None,
             sets: vec!["n=60".into()],
             threads: Some(2),
             check_invariants: false,
+            journal: false,
+            runs_dir: None,
         })
         .unwrap();
         let text = std::fs::read_to_string(&summary).unwrap();
@@ -1148,13 +1394,63 @@ mod tests {
         assert!(text.contains("generated BA"), "{text}");
         // A missing scenario file is a data error (exit 4).
         let err = run(Command::Run {
-            path: dir.join("absent.toml").to_str().unwrap().into(),
+            path: Some(dir.join("absent.toml").to_str().unwrap().into()),
+            resume: None,
             sets: Vec::new(),
             threads: None,
             check_invariants: false,
+            journal: false,
+            runs_dir: None,
         })
         .unwrap_err();
         assert_eq!(err.exit_code(), 4, "{}", err.message());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journaled_run_resumes_through_the_cli_to_an_identical_summary() {
+        let dir = std::env::temp_dir().join("inet_cli_journal_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let scenario = dir.join("demo.toml");
+        let summary = dir.join("summary.txt");
+        let runs = dir.join("runs");
+        std::fs::write(
+            &scenario,
+            format!(
+                "[generator]\nmodel = \"ba\"\nn = 80\nseed = 3\n\
+                 [measure]\nmetrics = [\"degree\", \"giant\"]\n\
+                 [report]\nsummary = \"{}\"\n",
+                summary.display()
+            ),
+        )
+        .unwrap();
+        let mk = |resume: Option<String>| Command::Run {
+            path: resume.is_none().then(|| scenario.to_str().unwrap().into()),
+            resume,
+            sets: Vec::new(),
+            threads: Some(1),
+            check_invariants: false,
+            journal: true,
+            runs_dir: Some(runs.to_str().unwrap().into()),
+        };
+        run(mk(None)).unwrap();
+        let first = std::fs::read_to_string(&summary).unwrap();
+        let infos = list_runs(&runs);
+        assert_eq!(infos.len(), 1, "{infos:?}");
+        assert_eq!(infos[0].status(), "complete");
+        // `inet runs list` renders without error on the same store.
+        run(Command::Runs {
+            runs_dir: Some(runs.to_str().unwrap().into()),
+        })
+        .unwrap();
+        // Resume of a complete run replays every stage byte-identically.
+        run(mk(Some(infos[0].id.clone()))).unwrap();
+        assert_eq!(std::fs::read_to_string(&summary).unwrap(), first);
+        // Resuming an unknown id is a data error naming `runs list`.
+        let err = run(mk(Some("nope-00000000".into()))).unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{}", err.message());
+        assert!(err.message().contains("runs list"), "{}", err.message());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -1190,7 +1486,7 @@ mod tests {
             scenario.threads = Some(threads);
             // Skip the figure sinks; only the numbers are under test.
             scenario.report = Default::default();
-            let outcome: RunOutcome = run_scenario(&scenario).unwrap();
+            let outcome: RunOutcome = exec(&scenario, None).unwrap();
             assert_eq!(
                 outcome.sweep.unwrap().cells,
                 expected.cells,

@@ -150,6 +150,7 @@ fn sweep_under(
         bc_sources: 8,
         checkpoint,
         fail_cells: Vec::new(),
+        cancel: CancelToken::new(),
     };
     let _g = fault::install(plan.clone());
     let result = run_sweep(&csr, &cfg).expect("sweep starts");
@@ -246,6 +247,7 @@ fn seeded_fault_plans_never_escape_as_panics() {
                 bc_sources: 8,
                 checkpoint: Some(ckpt.clone()),
                 fail_cells: Vec::new(),
+                cancel: CancelToken::new(),
             };
             let _ = run_sweep(&net.graph.to_csr(), &cfg);
         });
@@ -276,4 +278,156 @@ fn delay_faults_change_nothing_but_time() {
     drop(_g);
     assert!(delayed.fully_ok(), "{}", delayed.render_status());
     assert_eq!(delayed.report, clean.report);
+}
+
+/// Tentpole chaos: the crash-safe run store under injected journal and
+/// artifact faults. Each fault aborts the run with a structured data error
+/// (exit 4), and resuming the same run store completes to results
+/// bit-identical to an uninterrupted run — at any thread count.
+#[test]
+fn journal_faults_abort_cleanly_and_resume_bit_identically() {
+    use inet_suite::inet_model::pipeline::{run_scenario_with, ExecOptions, RunStore, Scenario};
+
+    let _l = lock();
+    let dir = std::env::temp_dir().join("inet_chaos_journal_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let text = "[generator]\nmodel = \"ba\"\nn = 90\nseed = 5\n\
+                [measure]\nmetrics = [\"degree\", \"giant\"]\n\
+                [attack]\nstrategies = [\"random\", \"degree-recalc\"]\nreplicas = 2\nrecord = 2";
+    let scenario = Scenario::parse(text).unwrap();
+    let expected = run_scenario_with(&scenario, &ExecOptions::default()).unwrap();
+    let expected_cells = expected.sweep.as_ref().unwrap().cells.clone();
+
+    for threads in [1usize, 2, 7] {
+        let mut scenario = Scenario::parse(text).unwrap();
+        scenario.threads = Some(threads);
+        // Scope = stage index: hit the journal on stage 0 (begin record),
+        // the artifact rename on stage 0, the journal again on stage 2 so
+        // the resume also exercises artifact replay of stages 0 and 1, and
+        // an injected *panic* in the attack stage (contained by the stage
+        // fence as exit 1, then resumed).
+        for (fail, scope, action, want_code) in [
+            ("journal.write", 0u64, FaultAction::Error, 4),
+            ("artifact.rename", 0, FaultAction::Error, 4),
+            ("journal.write", 2, FaultAction::Error, 4),
+            ("pipeline.stage", 2, FaultAction::Panic, 1),
+        ] {
+            let runs = dir.join(format!("runs-{threads}-{fail}-{scope}"));
+            let store = RunStore::create(&runs, &scenario.name, text, "s.toml", &[]).unwrap();
+            let id = store.id().to_string();
+            let guard = fault::install(FaultPlan::single(fail, Some(scope), action));
+            let err = run_scenario_with(
+                &scenario,
+                &ExecOptions {
+                    store: Some(store),
+                    ..Default::default()
+                },
+            )
+            .unwrap_err();
+            drop(guard);
+            assert_eq!(err.exit_code(), want_code, "{fail}@{scope}: {err}");
+            if want_code == 4 {
+                assert!(err.message().contains(fail), "{err}");
+            }
+            let resumed = run_scenario_with(
+                &scenario,
+                &ExecOptions {
+                    store: Some(RunStore::open(&runs, &id).unwrap()),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                resumed.sweep.unwrap().cells,
+                expected_cells,
+                "{fail}@{scope} threads={threads}"
+            );
+            assert_eq!(
+                resumed.summary, expected.summary,
+                "{fail}@{scope} threads={threads}"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Cancelling a journaled run mid-sweep (the token fires once the first
+/// checkpoint write lands) exits with the resumable class, and the resumed
+/// run finishes to bit-identical cells — at thread counts 1, 2, and 7.
+/// If the sweep wins the race and completes first, the results must be
+/// identical anyway; both outcomes are asserted.
+#[test]
+fn mid_sweep_cancellation_exits_resumable_and_resumes_bit_identically() {
+    use inet_suite::inet_model::pipeline::{run_scenario_with, ExecOptions, RunStore, Scenario};
+
+    let _l = lock();
+    let dir = std::env::temp_dir().join("inet_chaos_cancel_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let text = "[generator]\nmodel = \"ba\"\nn = 120\nseed = 9\n\
+                [attack]\nstrategies = [\"random\", \"degree-recalc\"]\nreplicas = 2\nrecord = 1";
+    let scenario = Scenario::parse(text).unwrap();
+    let expected_cells = run_scenario_with(&scenario, &ExecOptions::default())
+        .unwrap()
+        .sweep
+        .unwrap()
+        .cells;
+
+    for threads in [1usize, 2, 7] {
+        let mut scenario = Scenario::parse(text).unwrap();
+        scenario.threads = Some(threads);
+        let runs = dir.join(format!("runs-{threads}"));
+        let store = RunStore::create(&runs, &scenario.name, text, "s.toml", &[]).unwrap();
+        let id = store.id().to_string();
+        let ckpt = store.path("attack.ckpt.json");
+        let cancel = CancelToken::new();
+        let watcher = {
+            let cancel = cancel.clone();
+            std::thread::spawn(move || {
+                for _ in 0..5000 {
+                    if ckpt.exists() {
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                cancel.cancel();
+            })
+        };
+        let outcome = run_scenario_with(
+            &scenario,
+            &ExecOptions {
+                cancel,
+                store: Some(store),
+            },
+        );
+        watcher.join().unwrap();
+        match outcome {
+            Err(e) => {
+                assert_eq!(e.exit_code(), 6, "threads={threads}: {e}");
+                assert!(e.message().contains(&format!("--resume {id}")), "{e}");
+                let resumed = run_scenario_with(
+                    &scenario,
+                    &ExecOptions {
+                        store: Some(RunStore::open(&runs, &id).unwrap()),
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(
+                    resumed.sweep.unwrap().cells,
+                    expected_cells,
+                    "threads={threads}"
+                );
+            }
+            Ok(done) => {
+                assert_eq!(
+                    done.sweep.unwrap().cells,
+                    expected_cells,
+                    "threads={threads}"
+                );
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
