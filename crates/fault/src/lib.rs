@@ -45,6 +45,9 @@ use std::fmt;
 /// | `pipeline.stage` | stage index of a scenario run (0 source, 1 measure, 2 attack, 3 report) |
 /// | `journal.write` | stage index whose begin/commit record is being appended |
 /// | `artifact.rename` | stage index whose artifact is being atomically renamed into place |
+/// | `service.accept` | connection sequence index of the serve daemon's accept loop |
+/// | `service.queue` | admission sequence index of a job submission |
+/// | `service.worker` | attempt index of the job a worker is about to start |
 pub const CATALOG: &[&str] = &[
     "io.read",
     "io.write",
@@ -56,6 +59,9 @@ pub const CATALOG: &[&str] = &[
     "pipeline.stage",
     "journal.write",
     "artifact.rename",
+    "service.accept",
+    "service.queue",
+    "service.worker",
 ];
 
 /// What a triggered failpoint does.

@@ -458,26 +458,59 @@ impl RunInfo {
     }
 }
 
-/// Lists every readable run under `root`, sorted by id. Directories
-/// without a parseable manifest are skipped.
-pub fn list_runs(root: &Path) -> Vec<RunInfo> {
+/// The result of scanning a runs directory: the readable runs plus one
+/// warning line per directory that had to be skipped (missing, torn, or
+/// malformed manifest) — a single corrupted run must degrade to a
+/// warning, never abort the whole listing.
+#[derive(Debug, Default)]
+pub struct RunScan {
+    /// Every run with a readable, well-formed manifest, sorted by id.
+    pub runs: Vec<RunInfo>,
+    /// One human-readable line per skipped directory.
+    pub skipped: Vec<String>,
+}
+
+/// Scans every entry under `root`: directories with a parseable manifest
+/// become [`RunInfo`]s; directories without one are reported in
+/// [`RunScan::skipped`] with a one-line reason. Plain files (editor
+/// droppings, lock files) are ignored silently.
+pub fn scan_runs(root: &Path) -> RunScan {
     let Ok(entries) = fs::read_dir(root) else {
-        return Vec::new();
+        return RunScan::default();
     };
-    let mut out: Vec<RunInfo> = entries
-        .flatten()
-        .filter_map(|entry| {
-            let dir = entry.path();
-            let manifest = parse_manifest(&fs::read_to_string(dir.join(MANIFEST_FILE)).ok()?)?;
-            Some(RunInfo {
-                id: entry.file_name().to_string_lossy().into_owned(),
-                name: manifest.name,
-                committed: committed_in(&dir).iter().map(Option::is_some).collect(),
-            })
-        })
-        .collect();
-    out.sort_by(|a, b| a.id.cmp(&b.id));
-    out
+    let mut scan = RunScan::default();
+    for entry in entries.flatten() {
+        let dir = entry.path();
+        if !dir.is_dir() {
+            continue;
+        }
+        let id = entry.file_name().to_string_lossy().into_owned();
+        match fs::read_to_string(dir.join(MANIFEST_FILE)) {
+            Err(e) => scan
+                .skipped
+                .push(format!("{id}: unreadable {MANIFEST_FILE}: {e}")),
+            Ok(text) => match parse_manifest(&text) {
+                None => scan
+                    .skipped
+                    .push(format!("{id}: {MANIFEST_FILE} is torn or malformed")),
+                Some(manifest) => scan.runs.push(RunInfo {
+                    id,
+                    name: manifest.name,
+                    committed: committed_in(&dir).iter().map(Option::is_some).collect(),
+                }),
+            },
+        }
+    }
+    scan.runs.sort_by(|a, b| a.id.cmp(&b.id));
+    scan.skipped.sort();
+    scan
+}
+
+/// Lists every readable run under `root`, sorted by id. Directories
+/// without a parseable manifest are skipped (see [`scan_runs`] for the
+/// variant that reports them).
+pub fn list_runs(root: &Path) -> Vec<RunInfo> {
+    scan_runs(root).runs
 }
 
 fn parse_manifest(text: &str) -> Option<Manifest> {
@@ -502,25 +535,26 @@ fn parse_manifest(text: &str) -> Option<Manifest> {
 }
 
 // ---------------------------------------------------------------------
-// Minimal flat-JSON reader for the store's own documents: one object of
-// string / integer / string-array values. Anything else is `None`.
+// Minimal flat-JSON reader for the store's own documents and the serve
+// protocol: one object of string / integer / string-array values.
+// Anything else is `None`.
 
 #[derive(Debug, Clone, PartialEq)]
-enum JsonVal {
+pub(crate) enum JsonVal {
     Str(String),
     Int(i64),
     Arr(Vec<String>),
 }
 
 impl JsonVal {
-    fn as_str(&self) -> Option<&str> {
+    pub(crate) fn as_str(&self) -> Option<&str> {
         match self {
             JsonVal::Str(s) => Some(s),
             _ => None,
         }
     }
 
-    fn as_int(&self) -> Option<i64> {
+    pub(crate) fn as_int(&self) -> Option<i64> {
         match self {
             JsonVal::Int(v) => Some(*v),
             _ => None,
@@ -528,7 +562,7 @@ impl JsonVal {
     }
 }
 
-fn escape_json(s: &str) -> String {
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -630,7 +664,7 @@ impl Reader<'_> {
 }
 
 /// Parses one flat JSON object (string, integer, or string-array values).
-fn parse_flat(text: &str) -> Option<BTreeMap<String, JsonVal>> {
+pub(crate) fn parse_flat(text: &str) -> Option<BTreeMap<String, JsonVal>> {
     let mut r = Reader {
         b: text.as_bytes(),
         i: 0,
@@ -829,6 +863,37 @@ mod tests {
         assert_eq!(alpha.status(), "at measure");
         let beta = infos.iter().find(|i| i.id == b.id()).unwrap();
         assert_eq!(beta.status(), "complete");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn scan_runs_warns_about_corrupted_directories_instead_of_aborting() {
+        let root = temp_root("scan");
+        let good = RunStore::create(&root, "good", DOC, "s.toml", &[]).unwrap();
+        // A torn manifest (crash mid-write), a directory with no manifest
+        // at all, and a stray plain file must all leave the listing alive.
+        let torn = RunStore::create(&root, "torn", DOC, "s.toml", &[]).unwrap();
+        fs::write(torn.path(MANIFEST_FILE), "{\"version\": \"0.").unwrap();
+        fs::create_dir(root.join("empty-dir")).unwrap();
+        fs::write(root.join("stray.txt"), "not a run").unwrap();
+        let scan = scan_runs(&root);
+        assert_eq!(scan.runs.len(), 1, "{:?}", scan.runs);
+        assert_eq!(scan.runs[0].id, good.id());
+        assert_eq!(scan.skipped.len(), 2, "{:?}", scan.skipped);
+        assert!(
+            scan.skipped.iter().any(|w| w.contains("empty-dir")),
+            "{:?}",
+            scan.skipped
+        );
+        assert!(
+            scan.skipped
+                .iter()
+                .any(|w| w.contains(torn.id()) && w.contains("torn or malformed")),
+            "{:?}",
+            scan.skipped
+        );
+        // The plain listing stays corruption-tolerant too.
+        assert_eq!(list_runs(&root).len(), 1);
         let _ = fs::remove_dir_all(&root);
     }
 

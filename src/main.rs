@@ -11,6 +11,9 @@
 //! inet trace    [months]                # synthetic growth trace + fitted rates
 //! inet attack   <model|file|->          # percolation / targeted-attack sweep
 //! inet list-models                      # the model registry: params + defaults
+//! inet serve    [addr]                  # bounded-queue scenario-job daemon
+//! inet submit   <scenario.toml>         # submit a job to a running daemon
+//! inet job      <status|result|...>     # query / control daemon jobs
 //! ```
 //!
 //! `run` journals by default: each invocation gets a `runs/<run-id>/`
@@ -47,8 +50,9 @@ use inet_suite::inet_model::growth::fit::FittedRates;
 use inet_suite::inet_model::metrics::tiers::TierDecomposition;
 use inet_suite::inet_model::pipeline::run::load_graph;
 use inet_suite::inet_model::pipeline::runstore::DEFAULT_RUNS_DIR;
+use inet_suite::inet_model::pipeline::service::{self, ServeExit, Service, ServiceConfig};
 use inet_suite::inet_model::pipeline::{
-    list_runs, report, run_scenario_with, AttackSpec, ExecOptions, MeasureSpec, PipelineError,
+    report, run_scenario_with, scan_runs, AttackSpec, ExecOptions, MeasureSpec, PipelineError,
     RunStore, Scenario, Source,
 };
 use inet_suite::inet_model::prelude::*;
@@ -72,6 +76,7 @@ mod sig {
     }
 
     const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
 
     extern "C" fn on_sigint(_: i32) {
         if super::INTERRUPTED.swap(true, Ordering::SeqCst) {
@@ -81,10 +86,24 @@ mod sig {
         }
     }
 
+    extern "C" fn on_sigterm(_: i32) {
+        // SIGTERM never escalates: service managers may deliver it more
+        // than once while the drain runs its course.
+        super::INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+
     /// Installs the cooperative SIGINT handler.
     pub fn install() {
         unsafe {
             signal(SIGINT, on_sigint);
+        }
+    }
+
+    /// Installs the SIGTERM → graceful-drain handler (serve mode only:
+    /// batch commands keep the default die-on-TERM behavior).
+    pub fn install_term() {
+        unsafe {
+            signal(SIGTERM, on_sigterm);
         }
     }
 }
@@ -92,6 +111,7 @@ mod sig {
 #[cfg(not(unix))]
 mod sig {
     pub fn install() {}
+    pub fn install_term() {}
 }
 
 /// Executes a scenario with the SIGINT-linked cancel token (and, for
@@ -156,7 +176,45 @@ enum Command {
     },
     Attack(AttackArgs),
     ListModels,
+    /// `inet serve [addr]` — the bounded-queue scenario-job daemon.
+    Serve(ServeArgs),
+    /// `inet submit <scenario.toml>` — submit a job to a running daemon.
+    Submit {
+        path: String,
+        addr: String,
+        sets: Vec<String>,
+        deadline_ms: Option<u64>,
+    },
+    /// `inet job <action> [id]` — query / control daemon jobs.
+    Job {
+        action: String,
+        id: Option<String>,
+        addr: String,
+    },
     Help,
+}
+
+/// Arguments of the `serve` subcommand.
+#[derive(Debug, PartialEq)]
+struct ServeArgs {
+    /// Listen address (`host:port`; port 0 picks an ephemeral port).
+    addr: String,
+    /// Worker-pool size.
+    workers: usize,
+    /// Bounded-queue capacity; submissions beyond it are load-shed.
+    queue: usize,
+    /// Run-store root shared by daemon incarnations.
+    runs_dir: Option<String>,
+    /// Default per-job deadline (`--deadline-ms`).
+    deadline_ms: Option<u64>,
+    /// Graceful-drain budget before in-flight jobs are cancelled.
+    drain_timeout_ms: u64,
+    /// Per-connection socket read timeout.
+    read_timeout_ms: u64,
+    /// Oversized-request rejection threshold.
+    max_request_bytes: usize,
+    /// `--threads` forwarded to jobs that do not pin their own.
+    job_threads: Option<usize>,
 }
 
 /// Arguments of the `attack` subcommand.
@@ -231,6 +289,25 @@ const RUN_OPTS: &[OptSpec] = &[
     flag("--no-journal"),
     opt("--runs-dir", "<dir>"),
 ];
+
+/// Options of the `serve` subcommand.
+const SERVE_OPTS: &[OptSpec] = &[
+    opt("--workers", "<N>"),
+    opt("--queue", "<N>"),
+    opt("--runs-dir", "<dir>"),
+    opt("--drain-timeout-ms", "<ms>"),
+    opt("--read-timeout-ms", "<ms>"),
+    opt("--max-request-bytes", "<B>"),
+];
+
+/// Options of the `submit` and `job` subcommands.
+const CLIENT_OPTS: &[OptSpec] = &[opt("--addr", "<host:port>")];
+
+/// Default daemon address shared by `serve`, `submit`, and `job`.
+const DEFAULT_ADDR: &str = "127.0.0.1:4590";
+
+/// Client-side socket timeout for `submit`/`job` requests.
+const CLIENT_TIMEOUT_MS: u64 = 10_000;
 
 /// Options of the `attack` subcommand.
 const ATTACK_OPTS: &[OptSpec] = &[
@@ -329,11 +406,11 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
     let sets = scanned.values("--set");
     let args = scanned.rest;
     let first = args.first().map(String::as_str);
-    if deadline_ms.is_some() && first != Some("measure") {
-        return Err("--deadline-ms only applies to 'measure'".into());
+    if deadline_ms.is_some() && !matches!(first, Some("measure" | "serve" | "submit")) {
+        return Err("--deadline-ms only applies to 'measure', 'serve', and 'submit'".into());
     }
-    if !sets.is_empty() && first != Some("run") {
-        return Err("--set only applies to 'run'".into());
+    if !sets.is_empty() && !matches!(first, Some("run" | "submit")) {
+        return Err("--set only applies to 'run' and 'submit'".into());
     }
     match first {
         None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
@@ -428,6 +505,121 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             check_invariants,
         }),
         Some("attack") => parse_attack(&args[1..], threads, check_invariants).map(Command::Attack),
+        Some("serve") => {
+            let scanned =
+                scan_options(&args[1..], SERVE_OPTS).map_err(|e| format!("serve: {e}"))?;
+            let mut addr: Option<String> = None;
+            for arg in &scanned.rest {
+                if arg.starts_with("--") {
+                    return Err(format!("serve: unknown option '{arg}'"));
+                }
+                if addr.replace(arg.clone()).is_some() {
+                    return Err("serve: more than one [addr] given".into());
+                }
+            }
+            let serve_err = |e: String| format!("serve: {e}");
+            let workers = scanned
+                .integer::<usize>("--workers", "<N>")
+                .map_err(serve_err)?
+                .unwrap_or(2);
+            if !(1..=256).contains(&workers) {
+                return Err("serve: --workers must lie in 1..=256".into());
+            }
+            let queue = scanned
+                .integer::<usize>("--queue", "<N>")
+                .map_err(serve_err)?
+                .unwrap_or(32);
+            if !(1..=100_000).contains(&queue) {
+                return Err("serve: --queue must lie in 1..=100000".into());
+            }
+            let drain_timeout_ms = scanned
+                .integer::<u64>("--drain-timeout-ms", "<ms>")
+                .map_err(serve_err)?
+                .unwrap_or(20_000);
+            let read_timeout_ms = scanned
+                .integer::<u64>("--read-timeout-ms", "<ms>")
+                .map_err(serve_err)?
+                .unwrap_or(5_000);
+            if read_timeout_ms == 0 {
+                return Err("serve: --read-timeout-ms must be at least 1".into());
+            }
+            let max_request_bytes = scanned
+                .integer::<usize>("--max-request-bytes", "<B>")
+                .map_err(serve_err)?
+                .unwrap_or(1 << 20);
+            if max_request_bytes < 64 {
+                return Err("serve: --max-request-bytes must be at least 64".into());
+            }
+            Ok(Command::Serve(ServeArgs {
+                addr: addr.unwrap_or_else(|| DEFAULT_ADDR.to_string()),
+                workers,
+                queue,
+                runs_dir: scanned.value("--runs-dir").map(str::to_string),
+                deadline_ms,
+                drain_timeout_ms,
+                read_timeout_ms,
+                max_request_bytes,
+                job_threads: threads_flag,
+            }))
+        }
+        Some("submit") => {
+            let scanned =
+                scan_options(&args[1..], CLIENT_OPTS).map_err(|e| format!("submit: {e}"))?;
+            let mut path: Option<String> = None;
+            for arg in &scanned.rest {
+                if arg.starts_with("--") {
+                    return Err(format!("submit: unknown option '{arg}'"));
+                }
+                if path.replace(arg.clone()).is_some() {
+                    return Err("submit: more than one <scenario.toml> given".into());
+                }
+            }
+            Ok(Command::Submit {
+                path: path.ok_or("submit: missing <scenario.toml>")?,
+                addr: scanned.value("--addr").unwrap_or(DEFAULT_ADDR).to_string(),
+                sets,
+                deadline_ms,
+            })
+        }
+        Some("job") => {
+            let scanned = scan_options(&args[1..], CLIENT_OPTS).map_err(|e| format!("job: {e}"))?;
+            for arg in &scanned.rest {
+                if arg.starts_with("--") {
+                    return Err(format!("job: unknown option '{arg}'"));
+                }
+            }
+            let action = scanned
+                .rest
+                .first()
+                .ok_or("job: usage: inet job <status|result|cancel> <id> | inet job <stats|drain>")?
+                .clone();
+            let id = scanned.rest.get(1).cloned();
+            if scanned.rest.len() > 2 {
+                return Err("job: too many arguments".into());
+            }
+            match action.as_str() {
+                "status" | "result" | "cancel" => {
+                    if id.is_none() {
+                        return Err(format!("job: {action} needs a <job-id>"));
+                    }
+                }
+                "stats" | "drain" => {
+                    if id.is_some() {
+                        return Err(format!("job: {action} takes no <job-id>"));
+                    }
+                }
+                other => {
+                    return Err(format!(
+                        "job: unknown action '{other}' (expected status/result/cancel/stats/drain)"
+                    ))
+                }
+            }
+            Ok(Command::Job {
+                action,
+                id,
+                addr: scanned.value("--addr").unwrap_or(DEFAULT_ADDR).to_string(),
+            })
+        }
         Some("trace") => {
             let months = match args.get(1) {
                 Some(s) => s
@@ -545,7 +737,10 @@ fn help_text() -> String {
          inet tiers    <file|->             backbone/transit/fringe split\n  \
          inet trace    [months]             synthetic growth trace + rate fits\n  \
          inet attack   <model|file|->       percolation / targeted-attack sweep\n  \
-         inet list-models                   model registry: parameters + defaults\n\n\
+         inet list-models                   model registry: parameters + defaults\n  \
+         inet serve    [addr]               scenario-job daemon (default {DEFAULT_ADDR})\n  \
+         inet submit   <scenario.toml>      submit a job; prints the job id\n  \
+         inet job      <action> [id]        status/result/cancel <id>; stats/drain\n\n\
          run options:\n  \
          --set <key=value>                  override a scenario setting (repeatable);\n  \
          \u{20}                                  bare keys tune [generator] parameters\n  \
@@ -560,6 +755,14 @@ fn help_text() -> String {
          --record <K>                       curve point every K removals (0 = auto)\n  \
          --resume <file>                    checkpoint: resume interrupted sweeps\n  \
          --curves <dir>                     write per-cell curve CSVs\n\n\
+         serve options:\n  \
+         --workers <N> --queue <N>          worker pool size / bounded-queue capacity\n  \
+         --runs-dir <dir>                   job journal root (shared across restarts)\n  \
+         --deadline-ms <ms>                 default per-job deadline\n  \
+         --drain-timeout-ms <ms>            drain budget before in-flight jobs cancel\n  \
+         --read-timeout-ms <ms>             per-connection socket read timeout\n  \
+         --max-request-bytes <B>            oversized-request rejection threshold\n  \
+         --addr <host:port>                 submit/job: daemon address\n\n\
          options:\n  \
          --threads <N>                      worker threads (run/measure/validate/attack)\n  \
          \u{20}                                  (default: available parallelism;\n  \
@@ -567,7 +770,9 @@ fn help_text() -> String {
          --check-invariants                 full graph-invariant check on the input\n  \
          --deadline-ms <ms>                 measure: flag kernels that overrun <ms>\n\n\
          exit codes: 0 ok, 1 other, 2 usage, 3 model parameters, 4 data/io,\n\
-         \u{20}           5 incompatible checkpoint, 6 interrupted (resumable)\n\n\
+         \u{20}           5 incompatible checkpoint, 6 interrupted (resumable)\n\
+         serve:      0 clean drain (SIGTERM/first ^C/'job drain'), 6 drain timeout\n\
+         \u{20}           (in-flight jobs checkpointed, resume on restart), 130 second ^C\n\n\
          models: {}",
         model_names().join(" ")
     )
@@ -667,11 +872,16 @@ fn run(cmd: Command) -> Result<(), PipelineError> {
         }
         Command::Runs { runs_dir } => {
             let root = std::path::PathBuf::from(runs_dir.as_deref().unwrap_or(DEFAULT_RUNS_DIR));
-            let infos = list_runs(&root);
-            if infos.is_empty() {
+            // Corrupted or partial run directories must not abort the
+            // listing — each gets a one-line warning, the rest still print.
+            let scan = scan_runs(&root);
+            for skipped in &scan.skipped {
+                eprintln!("warning: skipping run {skipped}");
+            }
+            if scan.runs.is_empty() {
                 println!("no runs under {}", root.display());
             } else {
-                for info in infos {
+                for info in scan.runs {
                     println!("{:<44} {:<24} {}", info.id, info.name, info.status());
                 }
             }
@@ -761,6 +971,80 @@ fn run(cmd: Command) -> Result<(), PipelineError> {
             Ok(())
         }
         Command::Attack(args) => run_attack(args),
+        Command::Serve(args) => run_serve(args),
+        Command::Submit {
+            path,
+            addr,
+            sets,
+            deadline_ms,
+        } => {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| PipelineError::Data(format!("cannot read scenario '{path}': {e}")))?;
+            // Validate locally first so obvious mistakes fail with the
+            // usual exit classes before a daemon round-trip.
+            Scenario::parse_with_overrides(&text, &sets).map_err(|e| match e {
+                PipelineError::Scenario(m) => PipelineError::Scenario(format!("{path}: {m}")),
+                other => other,
+            })?;
+            let line = service::encode_submit(&text, &path, &sets, deadline_ms);
+            let resp = service::request(&addr, &line, CLIENT_TIMEOUT_MS)?;
+            let status = service::response_field(&resp, "status").unwrap_or_default();
+            match status.as_str() {
+                "accepted" => {
+                    let id = service::response_field(&resp, "job").ok_or_else(|| {
+                        PipelineError::Data(format!("daemon response missing job id: {resp}"))
+                    })?;
+                    let position = service::response_field(&resp, "position").unwrap_or_default();
+                    eprintln!("# accepted at queue position {position}");
+                    println!("{id}");
+                    Ok(())
+                }
+                "rejected" => {
+                    let why = service::response_field(&resp, "error").unwrap_or_default();
+                    let hint = service::response_field(&resp, "retry_after_ms").unwrap_or_default();
+                    Err(PipelineError::Data(format!(
+                        "submission rejected: {why} (retry after {hint} ms)"
+                    )))
+                }
+                _ => Err(PipelineError::Data(format!(
+                    "submit failed: {}",
+                    service::response_field(&resp, "error").unwrap_or(resp)
+                ))),
+            }
+        }
+        Command::Job { action, id, addr } => {
+            let line = service::encode_cmd(&action, id.as_deref());
+            let resp = service::request(&addr, &line, CLIENT_TIMEOUT_MS)?;
+            let status = service::response_field(&resp, "status").unwrap_or_default();
+            if status == "error" {
+                return Err(PipelineError::Data(format!(
+                    "daemon: {}",
+                    service::response_field(&resp, "error").unwrap_or(resp)
+                )));
+            }
+            if action == "result" {
+                // Print the stage-3 summary verbatim so the output diffs
+                // cleanly against a one-shot `inet run` of the same file.
+                return match status.as_str() {
+                    "done" => {
+                        let summary =
+                            service::response_field(&resp, "summary").ok_or_else(|| {
+                                PipelineError::Data(format!(
+                                    "daemon response missing summary: {resp}"
+                                ))
+                            })?;
+                        print!("{summary}");
+                        Ok(())
+                    }
+                    other => Err(PipelineError::Stage(format!(
+                        "job is {other}: {}",
+                        service::response_field(&resp, "error").unwrap_or_default()
+                    ))),
+                };
+            }
+            println!("{resp}");
+            Ok(())
+        }
         Command::Trace { months } => {
             let mut rng = seeded_rng(2001);
             let config = TraceConfig {
@@ -773,6 +1057,39 @@ fn run(cmd: Command) -> Result<(), PipelineError> {
             println!("{}", fits.render());
             Ok(())
         }
+    }
+}
+
+/// Runs the scenario-job daemon until a drain trigger (SIGTERM, first
+/// SIGINT, or the protocol `drain` command) completes. Exit codes follow
+/// the documented table: clean drain 0, drain timeout 6 (in-flight jobs
+/// are checkpointed and resume on restart), second SIGINT 130.
+fn run_serve(args: ServeArgs) -> Result<(), PipelineError> {
+    sig::install_term();
+    let cfg = ServiceConfig {
+        addr: args.addr,
+        workers: args.workers,
+        queue_capacity: args.queue,
+        runs_dir: std::path::PathBuf::from(args.runs_dir.as_deref().unwrap_or(DEFAULT_RUNS_DIR)),
+        default_deadline_ms: args.deadline_ms,
+        drain_timeout_ms: args.drain_timeout_ms,
+        read_timeout_ms: args.read_timeout_ms,
+        write_timeout_ms: args.read_timeout_ms,
+        max_request_bytes: args.max_request_bytes,
+        job_threads: args.job_threads,
+        drain_flag: Some(&INTERRUPTED),
+        quiet: false,
+    };
+    let service = Service::bind(cfg)?;
+    // Scripts parse this line for the resolved (possibly ephemeral) port.
+    println!("# serving on {}", service.local_addr()?);
+    match service.run()? {
+        ServeExit::Clean => Ok(()),
+        ServeExit::DrainTimeout => Err(PipelineError::Interrupted(
+            "drain timed out; in-flight jobs are checkpointed and resume on the next \
+             'inet serve'"
+                .into(),
+        )),
     }
 }
 
@@ -1436,7 +1753,7 @@ mod tests {
         };
         run(mk(None)).unwrap();
         let first = std::fs::read_to_string(&summary).unwrap();
-        let infos = list_runs(&runs);
+        let infos = scan_runs(&runs).runs;
         assert_eq!(infos.len(), 1, "{infos:?}");
         assert_eq!(infos[0].status(), "complete");
         // `inet runs list` renders without error on the same store.
