@@ -1,0 +1,85 @@
+//! Panic containment with readable messages.
+//!
+//! Every layer of the toolkit that runs untrusted-cost work (metric
+//! kernels, sweep cells, pipeline stages, service workers, connection
+//! handlers) must survive a panic in that work: one poisoned task may not
+//! take down its siblings, the daemon, or a checkpointed sweep. Before
+//! `inet-exec` each layer carried its own `catch_unwind` + payload
+//! formatting; [`PanicFence`] is the single shared implementation.
+//!
+//! A fence converts the opaque `Box<dyn Any>` panic payload into a plain
+//! `String` at the catch site, so callers only ever deal in `Result` values
+//! and never re-raise by accident.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Unit struct namespacing the fence entry points.
+///
+/// Stateless by design: a fence has no configuration, and keeping it a
+/// type (rather than free functions) gives call sites a greppable name —
+/// `PanicFence::run(...)` — wherever containment happens.
+pub struct PanicFence;
+
+impl PanicFence {
+    /// Runs `f`, catching any panic and returning its message as `Err`.
+    ///
+    /// The `AssertUnwindSafe` is sound for the toolkit's call sites: every
+    /// caller treats an `Err` as a terminal failure of the fenced unit and
+    /// either discards the captured state or replaces it wholesale (a
+    /// failed kernel reports `Failed`, a failed cell is recorded and
+    /// resampled, a failed job is retried from its journal).
+    pub fn run<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+        catch_unwind(AssertUnwindSafe(f)).map_err(|payload| Self::message(&*payload))
+    }
+
+    /// Best-effort extraction of a human-readable panic message from a
+    /// caught payload. `&str` and `String` payloads (everything `panic!`
+    /// produces) come through verbatim; anything else becomes
+    /// `"non-string panic payload"`.
+    pub fn message(payload: &(dyn Any + Send)) -> String {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ok_value_passes_through() {
+        assert_eq!(PanicFence::run(|| 42), Ok(42));
+    }
+
+    #[test]
+    fn str_panic_is_contained_with_its_message() {
+        let got = PanicFence::run(|| -> u8 { panic!("boom") });
+        assert_eq!(got, Err("boom".to_string()));
+    }
+
+    #[test]
+    fn formatted_panic_is_contained_with_its_message() {
+        let n = 7;
+        let got = PanicFence::run(|| -> u8 { panic!("boom {n}") });
+        assert_eq!(got, Err("boom 7".to_string()));
+    }
+
+    #[test]
+    fn non_string_payload_gets_placeholder() {
+        let got = PanicFence::run(|| -> u8 { std::panic::panic_any(13u32) });
+        assert_eq!(got, Err("non-string panic payload".to_string()));
+    }
+
+    #[test]
+    fn fence_does_not_leak_into_siblings() {
+        // A contained panic leaves the thread healthy for the next task.
+        let _ = PanicFence::run(|| -> u8 { panic!("first") });
+        assert_eq!(PanicFence::run(|| 1u8), Ok(1));
+    }
+}

@@ -20,6 +20,7 @@
 //! "worker panicked".
 
 use crate::cancel::{CancelToken, Cancelled};
+use crate::fence::PanicFence;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -202,7 +203,7 @@ where
             "parallel worker panicked on items {}..{}: {}",
             range.start,
             range.end,
-            payload_message(&*payload)
+            PanicFence::message(&*payload)
         );
     }
     let mut parts = Vec::with_capacity(slots.len());
@@ -253,19 +254,8 @@ where
             "parallel worker panicked on items {}..{}: {}",
             range.start,
             range.end,
-            payload_message(&*payload)
+            PanicFence::message(&*payload)
         ),
-    }
-}
-
-/// Best-effort extraction of a human-readable panic message.
-fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
     }
 }
 
@@ -377,7 +367,7 @@ mod tests {
                 )
             }));
             let payload = result.expect_err("must propagate the panic");
-            let msg = payload_message(&*payload);
+            let msg = PanicFence::message(&*payload);
             assert!(
                 msg.contains("parallel worker panicked on items") && msg.contains("boom"),
                 "threads {threads}: message was {msg:?}"

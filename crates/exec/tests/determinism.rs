@@ -1,0 +1,120 @@
+//! Bit-identity of [`inet_exec::Executor`] fan-outs across thread counts.
+//!
+//! The work-stealing pool under the executor uses a fixed chunk grid that
+//! depends only on the item count and merges partials in chunk order, so any
+//! float-producing workload must come out **bit-identical** — every mantissa
+//! bit — for any `threads ≥ 1`. These properties pin that contract directly
+//! on the executor API, independent of the metrics layer's own suite.
+
+use inet_exec::{CancelToken, Executor};
+use proptest::prelude::*;
+
+const THREADS: [usize; 3] = [1, 2, 7];
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Non-associative float workload: per-item cost varies with the index so
+/// chunks carry uneven work and steal order differs between runs.
+fn knead(i: usize, salt: f64) -> f64 {
+    let mut acc = salt + i as f64;
+    for k in 1..=(i % 23 + 3) {
+        acc = (acc * 1.000_000_119 + (k as f64).sqrt()).sin() + 1e-9 * k as f64;
+    }
+    acc
+}
+
+/// Flattened per-item results of one fan-out at `threads`.
+fn fanout(len: usize, salt: f64, threads: usize) -> Vec<f64> {
+    Executor::new(threads)
+        .map_ordered(len, Vec::new, |scratch: &mut Vec<f64>, range| {
+            scratch.clear();
+            scratch.extend(range.map(|i| knead(i, salt)));
+            scratch.clone()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `map_ordered` output is bit-identical for any thread count.
+    #[test]
+    fn map_ordered_bit_identical_across_threads(
+        len in 0usize..400,
+        salt in -4.0f64..4.0,
+    ) {
+        let reference = fanout(len, salt, 1);
+        prop_assert_eq!(reference.len(), len);
+        for threads in THREADS {
+            prop_assert_eq!(
+                bits(&fanout(len, salt, threads)),
+                bits(&reference),
+                "threads {}", threads
+            );
+        }
+    }
+
+    /// The in-order fold of `fanout_reduce` keeps float accumulation
+    /// bit-identical too — the sum is folded in chunk order on the caller.
+    #[test]
+    fn fanout_reduce_bit_identical_across_threads(
+        len in 1usize..400,
+        salt in -4.0f64..4.0,
+    ) {
+        let reference = inet_exec::parallel::fanout_reduce(
+            len, 1, || (), |_s, r| r.map(|i| knead(i, salt)).sum::<f64>(), |a, b| a + b,
+        );
+        for threads in THREADS {
+            let got = inet_exec::parallel::fanout_reduce(
+                len, threads, || (), |_s, r| r.map(|i| knead(i, salt)).sum::<f64>(), |a, b| a + b,
+            );
+            prop_assert_eq!(
+                got.map(f64::to_bits),
+                reference.map(f64::to_bits),
+                "threads {}", threads
+            );
+        }
+    }
+
+    /// `try_map_ordered` with a never-cancelled token matches `map_ordered`
+    /// exactly for any thread count.
+    #[test]
+    fn try_map_matches_map_across_threads(
+        len in 0usize..300,
+        salt in -4.0f64..4.0,
+    ) {
+        let reference = fanout(len, salt, 1);
+        for threads in THREADS {
+            let exec = Executor::with_cancel(threads, CancelToken::new());
+            let got: Vec<f64> = exec
+                .try_map_ordered(len, Vec::new, |scratch: &mut Vec<f64>, range| {
+                    scratch.clear();
+                    scratch.extend(range.map(|i| knead(i, salt)));
+                    scratch.clone()
+                })
+                .expect("fresh token never cancels")
+                .into_iter()
+                .flatten()
+                .collect();
+            prop_assert_eq!(bits(&got), bits(&reference), "threads {}", threads);
+        }
+    }
+}
+
+#[test]
+fn empty_fanout_is_empty_for_every_thread_count() {
+    for threads in THREADS {
+        assert!(fanout(0, 1.0, threads).is_empty(), "threads {threads}");
+    }
+}
+
+#[test]
+fn more_threads_than_chunks_is_fine() {
+    let a = fanout(3, 0.5, 1);
+    let b = fanout(3, 0.5, 64);
+    assert_eq!(bits(&a), bits(&b));
+}

@@ -48,6 +48,7 @@ use std::fmt;
 /// | `service.accept` | connection sequence index of the serve daemon's accept loop |
 /// | `service.queue` | admission sequence index of a job submission |
 /// | `service.worker` | attempt index of the job a worker is about to start |
+/// | `exec.task` | deterministic scope key of the fenced task (kernel index, cell index, stage index, attempt) |
 pub const CATALOG: &[&str] = &[
     "io.read",
     "io.write",
@@ -62,6 +63,7 @@ pub const CATALOG: &[&str] = &[
     "service.accept",
     "service.queue",
     "service.worker",
+    "exec.task",
 ];
 
 /// What a triggered failpoint does.

@@ -16,9 +16,11 @@
 //!   extraction.
 //! * [`parallel`] — dependency-free deterministic work-stealing fan-out used
 //!   by every threaded metrics kernel; results are bit-identical for any
-//!   thread count.
+//!   thread count. Owned by `inet-exec` since the execution-substrate
+//!   extraction; re-exported here so graph-level callers keep their paths.
 //! * [`cancel`] — cooperative cancellation tokens polled at batch
-//!   boundaries by the pool, sweep cells, and metric kernels.
+//!   boundaries by the pool, sweep cells, and metric kernels (also owned by
+//!   `inet-exec`, re-exported).
 //! * [`io`] — plain-text weighted edge-list reading/writing, so topologies can
 //!   be exchanged with external tools.
 //!
@@ -62,9 +64,10 @@ mod error;
 mod ids;
 mod multigraph;
 
-pub mod cancel;
+pub use inet_exec::cancel;
+pub use inet_exec::parallel;
+
 pub mod io;
-pub mod parallel;
 pub mod traversal;
 
 pub use cancel::{CancelToken, Cancelled};

@@ -5,7 +5,7 @@
 //! AS map shows high clustering with a decaying, roughly power-law `c(k)`,
 //! the signature of degree hierarchy.
 
-use inet_graph::parallel::fanout_ordered;
+use inet_exec::Executor;
 use inet_graph::Csr;
 use inet_stats::binned::{binned_mean_by_int, BinnedSpectrum};
 use serde::{Deserialize, Serialize};
@@ -83,9 +83,8 @@ impl ClusteringStats {
 
         // Every corner of a found triangle can be any rank, so each chunk
         // accumulates into a full-length partial, merged after the fan-out.
-        let partials = fanout_ordered(
+        let partials = Executor::new(threads).map_ordered(
             n,
-            threads,
             || (),
             |(), range| {
                 let mut tri = vec![0u64; n];

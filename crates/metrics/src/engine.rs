@@ -31,13 +31,13 @@
 //! * Between sources only the entries actually touched (those in `order`)
 //!   are reset.
 //!
-//! Batches and sources fan out over
-//! [`inet_graph::parallel::fanout_ordered`]; per-chunk partials are merged
-//! in chunk order, so every result is **bit-identical for any thread
+//! Batches and sources fan out over the deterministic pool behind
+//! [`inet_exec::Executor::map_ordered`]; per-chunk partials are merged in
+//! chunk order, so every result is **bit-identical for any thread
 //! count**.
 
 use crate::paths::PathStats;
-use inet_graph::parallel::fanout_ordered;
+use inet_exec::Executor;
 use inet_graph::traversal::UNREACHABLE;
 use inet_graph::Csr;
 
@@ -389,9 +389,9 @@ fn sweep_relabeled(g: &Csr, specs: &[SourceSpec], threads: usize) -> SweepTotals
         closeness: vec![0.0; n],
     };
 
-    let heavy_partials = fanout_ordered(
+    let pool = Executor::new(threads);
+    let heavy_partials = pool.map_ordered(
         heavy.len(),
-        threads,
         || Workspace::new(n, needs_bc),
         |ws, range| {
             let mut part = Partial::empty();
@@ -402,9 +402,8 @@ fn sweep_relabeled(g: &Csr, specs: &[SourceSpec], threads: usize) -> SweepTotals
         },
     );
     let batches = light.len().div_ceil(BATCH);
-    let light_partials = fanout_ordered(
+    let light_partials = pool.map_ordered(
         batches,
-        threads,
         || BatchWorkspace::new(n),
         |ws, range| {
             let mut part = Partial::empty();

@@ -7,7 +7,7 @@
 //! map). Papers usually plot the *normalized* spectrum
 //! `k̄_nn(k) ⟨k⟩ / ⟨k²⟩`, which is flat at 1 for uncorrelated networks.
 
-use inet_graph::parallel::fanout_ordered;
+use inet_exec::Executor;
 use inet_graph::Csr;
 use inet_stats::binned::{binned_mean_by_int, BinnedSpectrum};
 use serde::{Deserialize, Serialize};
@@ -39,9 +39,8 @@ impl KnnStats {
         // Each chunk produces its own slice of knn (per-node, independent)
         // plus Newman edge sums over the edges (u, v) with u in the chunk
         // and v > u (each edge owned by its smaller endpoint exactly once).
-        let partials = fanout_ordered(
+        let partials = Executor::new(threads).map_ordered(
             n,
-            threads,
             || (),
             |(), range| {
                 let mut knn_seg = Vec::with_capacity(range.len());

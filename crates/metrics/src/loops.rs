@@ -18,7 +18,7 @@
 //! formula against brute-force cycle enumeration.
 
 use crate::clustering::ClusteringStats;
-use inet_graph::parallel::fanout_ordered;
+use inet_exec::Executor;
 use inet_graph::Csr;
 use serde::{Deserialize, Serialize};
 
@@ -65,9 +65,8 @@ impl CycleCensus {
 
         // Per-worker scratch: counts[w] = (A²)_{vw} for the current v;
         // touched tracks the nonzero support for O(support) reset.
-        let partials = fanout_ordered(
+        let partials = Executor::new(threads).map_ordered(
             n,
-            threads,
             || (vec![0u32; n], Vec::<u32>::new()),
             |(counts, touched), range| {
                 let mut c4_ordered: u128 = 0;

@@ -8,7 +8,7 @@
 //! `ρ(k) > 1` at high degrees.
 
 use crate::randomize::rewire_degree_preserving;
-use inet_graph::parallel::fanout_ordered;
+use inet_exec::Executor;
 use inet_graph::Csr;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -41,9 +41,8 @@ impl RichClub {
         sorted.sort_unstable();
         // Edge "min endpoint degree" list for E_{>k}; each edge gathered by
         // its smaller endpoint.
-        let segments = fanout_ordered(
+        let segments = Executor::new(threads).map_ordered(
             n,
-            threads,
             || (),
             |(), range| {
                 let mut seg: Vec<u64> = Vec::new();

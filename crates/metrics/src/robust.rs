@@ -26,12 +26,11 @@ use crate::engine::paths_and_betweenness;
 use crate::kcore::KCoreDecomposition;
 use crate::knn::KnnStats;
 use crate::report::{ReportOptions, TopologyReport};
+use inet_exec::{run_fenced, StopWatch, Task, TaskError};
 use inet_graph::traversal::giant_fraction;
 use inet_graph::CancelToken;
 use inet_graph::Csr;
 use serde::{Deserialize, Serialize};
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::Instant;
 
 /// Kernel names, indexed by the `metrics.kernel` failpoint scope.
 pub const KERNEL_NAMES: [&str; 6] = [
@@ -217,18 +216,7 @@ impl RobustReport {
     }
 }
 
-/// Best-effort text from a caught panic payload.
-fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
-}
-
-/// Runs one kernel behind the failpoint + panic fence. A deselected
+/// Runs one kernel behind the shared `inet-exec` fence. A deselected
 /// kernel never runs (no failpoint consultation either — it cannot fail).
 fn run_kernel<T>(
     index: usize,
@@ -244,39 +232,41 @@ fn run_kernel<T>(
     if cancel.is_cancelled() {
         return (None, KernelStatus::Cancelled);
     }
-    let deadline = opt.soft_deadline_millis;
-    let start = Instant::now();
-    // The failpoint sits inside the fence so its Panic action is contained
-    // exactly like a real kernel panic.
-    match catch_unwind(AssertUnwindSafe(|| {
+    let watch = StopWatch::start(opt.soft_deadline_millis);
+    // Both failpoints sit inside the fence so a Panic action is contained
+    // exactly like a real kernel panic: the layer-specific `metrics.kernel`
+    // (kept for existing chaos plans) and the shared `exec.task` consulted
+    // by `run_fenced` itself, both keyed by the kernel index.
+    let task = Task::new("metrics.kernel", index as u64);
+    match run_fenced(&task, || {
         inet_fault::check("metrics.kernel", index as u64).map(|()| f())
-    })) {
+    }) {
+        Ok(Ok(value)) => {
+            let reading = watch.read();
+            let status = match reading.overrun {
+                Some(deadline_millis) => KernelStatus::Degraded {
+                    millis: reading.millis,
+                    deadline_millis,
+                },
+                None => KernelStatus::Ok {
+                    millis: reading.millis,
+                },
+            };
+            (Some(value), status)
+        }
         Ok(Err(e)) => (
             None,
             KernelStatus::Failed {
                 reason: e.to_string(),
             },
         ),
-        Ok(Ok(value)) => {
-            let elapsed = start.elapsed();
-            let millis = elapsed.as_millis() as u64;
-            // Compare on the un-truncated duration so sub-millisecond
-            // kernels still overrun a 0 ms deadline.
-            let status = match deadline {
-                Some(d) if elapsed.as_secs_f64() * 1000.0 > d as f64 => KernelStatus::Degraded {
-                    millis,
-                    deadline_millis: d,
-                },
-                _ => KernelStatus::Ok { millis },
-            };
-            (Some(value), status)
-        }
-        Err(payload) => (
+        Err(TaskError::Fault(e)) => (
             None,
             KernelStatus::Failed {
-                reason: panic_text(&*payload),
+                reason: e.to_string(),
             },
         ),
+        Err(TaskError::Panicked(reason)) => (None, KernelStatus::Failed { reason }),
     }
 }
 

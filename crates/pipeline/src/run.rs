@@ -16,8 +16,8 @@
 //! [`Generator::try_generate`]: inet_generators::Generator::try_generate
 
 use std::io::Read;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 
+use inet_exec::{run_fenced, Task, TaskError};
 use inet_graph::{CancelToken, MultiGraph};
 use inet_metrics::{measure_robust_cancellable, ReportOptions, RobustOptions, RobustReport};
 use inet_resilience::{run_sweep, SweepConfig, SweepResult};
@@ -67,22 +67,17 @@ pub struct RunOutcome {
 /// exactly like an organic stage panic.
 fn stage<T>(index: u64, f: impl FnOnce() -> Result<T, PipelineError>) -> Result<T, PipelineError> {
     let name = STAGE_NAMES[index as usize];
-    match catch_unwind(AssertUnwindSafe(|| {
+    let task = Task::new("pipeline.stage", index);
+    match run_fenced(&task, || {
         inet_fault::check("pipeline.stage", index)
             .map_err(|e| PipelineError::Stage(format!("{name} stage aborted: {e}")))
             .and_then(|()| f())
-    })) {
+    }) {
         Ok(result) => result,
-        Err(payload) => {
-            let msg = payload
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".to_string());
-            Err(PipelineError::Stage(format!(
-                "{name} stage panicked: {msg}"
-            )))
-        }
+        Err(TaskError::Fault(e)) => Err(PipelineError::Stage(format!("{name} stage aborted: {e}"))),
+        Err(TaskError::Panicked(msg)) => Err(PipelineError::Stage(format!(
+            "{name} stage panicked: {msg}"
+        ))),
     }
 }
 

@@ -49,7 +49,7 @@
 //! | request | response |
 //! |---|---|
 //! | `{"cmd":"submit","scenario":"<toml text>","sets":[..],"deadline_ms":N}` | `{"status":"accepted","job":"<id>","position":k}` or `{"status":"rejected","error":..,"retry_after_ms":N}` |
-//! | `{"cmd":"status","job":"<id>"}` | `{"status":"queued"\|"running"\|"done"\|"failed"\|"deadline"\|"cancelled", ...}` |
+//! | `{"cmd":"status","job":"<id>","wait_ms":N}` | `{"status":"queued"\|"running"\|"done"\|"failed"\|"deadline"\|"cancelled", ...}`; with the optional `wait_ms` the daemon long-polls — it parks the connection (condvar, no busy wait) until the job reaches a terminal state or the wait (capped at 30 s) elapses |
 //! | `{"cmd":"result","job":"<id>"}` | `{"status":"done","summary":"<text>"}` (the stage-3 artifact) |
 //! | `{"cmd":"cancel","job":"<id>"}` | `{"status":"ok"}` — queued jobs unqueue, running jobs get their token fired |
 //! | `{"cmd":"stats"}` | queue depth, capacity, workers, counters, draining flag |
@@ -75,12 +75,12 @@ use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
+use inet_exec::{run_fenced, Deadline, PanicFence, RetryPolicy, Task, TaskError};
 use inet_graph::CancelToken;
 
 use crate::report;
@@ -93,9 +93,10 @@ use crate::PipelineError;
 /// carries the job's lifecycle state for the crash-recovery scan.
 pub const JOB_FILE: &str = "service-job.json";
 
-/// How often a job is retried after an infrastructure fault (a worker
-/// panic or an injected `service.worker` fault) before it is marked
-/// failed. Pipeline errors from the scenario itself never retry.
+/// Default total attempts for a job hit by an infrastructure fault (a
+/// worker panic or an injected `service.worker` fault) before it is marked
+/// failed — the `attempts` of [`ServiceConfig::retry`]'s default. Pipeline
+/// errors from the scenario itself never retry.
 pub const MAX_ATTEMPTS: u64 = 3;
 
 /// Everything the daemon needs to know; every field has a conservative
@@ -129,6 +130,11 @@ pub struct ServiceConfig {
     /// Worker-thread count handed to scenarios that do not pin their own
     /// `threads`; `None` leaves the pipeline default (all cores).
     pub job_threads: Option<usize>,
+    /// Retry schedule for jobs hit by infrastructure faults (worker panics,
+    /// injected `service.worker` faults): `attempts` bounds the total tries
+    /// per job, and the capped-backoff delay is slept before each requeue.
+    /// Deterministic scenario errors never retry regardless.
+    pub retry: RetryPolicy,
     /// External drain trigger — the bridge from SIGTERM/SIGINT handlers,
     /// which may only touch static atomics. Polled by the accept loop.
     pub drain_flag: Option<&'static AtomicBool>,
@@ -149,6 +155,11 @@ impl Default for ServiceConfig {
             write_timeout_ms: 5_000,
             max_request_bytes: 1 << 20,
             job_threads: None,
+            retry: RetryPolicy {
+                attempts: MAX_ATTEMPTS as u32,
+                base_delay_ms: 10,
+                max_delay_ms: 200,
+            },
             drain_flag: None,
             quiet: false,
         }
@@ -214,7 +225,7 @@ struct Job {
     attempts: u64,
     deadline_ms: Option<u64>,
     /// Wall-clock deadline, armed when the job starts running.
-    deadline_at: Option<Instant>,
+    deadline_at: Option<Deadline>,
     /// Token of the running execution; the reaper, `cancel` command, and
     /// drain timeout fire it.
     cancel: Option<CancelToken>,
@@ -234,10 +245,25 @@ struct State {
     queue: Mutex<VecDeque<String>>,
     wake: Condvar,
     jobs: Mutex<BTreeMap<String, Job>>,
+    /// Control-plane event generation, bumped by [`State::notify_control`]
+    /// on every observable change (job phase transition, deadline armed,
+    /// drain trigger, stop). Paired with `control_wake`; a separate mutex
+    /// from `queue` because a `std::sync::Condvar` may only ever be used
+    /// with one mutex.
+    control: Mutex<u64>,
+    /// Parks the accept loop, drain wait, reaper, and status long-polls;
+    /// woken by [`State::notify_control`] instead of sleep-polling.
+    control_wake: Condvar,
     draining: AtomicBool,
     /// Set once the drain has finished; parks the reaper and any workers
     /// still waiting on the queue.
     stopped: AtomicBool,
+    /// Connection-handler threads still running. The drain path lingers
+    /// (bounded) until this reaches zero so the response to the very
+    /// request that triggered the drain is not severed by process exit —
+    /// the condvar wakeups make shutdown fast enough to lose that race
+    /// otherwise.
+    conns: AtomicU64,
     conn_seq: AtomicU64,
     submit_seq: AtomicU64,
     accepted: AtomicU64,
@@ -301,15 +327,58 @@ impl State {
     }
 
     fn set_phase(&self, id: &str, phase: Phase, error: &str) {
-        let mut jobs = lock(&self.jobs);
-        let job = jobs.entry(id.to_string()).or_default();
-        job.phase = Some(phase);
-        job.error = error.to_string();
-        if phase != Phase::Running {
-            job.cancel = None;
-            job.deadline_at = None;
+        {
+            let mut jobs = lock(&self.jobs);
+            let job = jobs.entry(id.to_string()).or_default();
+            job.phase = Some(phase);
+            job.error = error.to_string();
+            if phase != Phase::Running {
+                job.cancel = None;
+                job.deadline_at = None;
+            }
+            self.persist(id, job);
         }
-        self.persist(id, job);
+        self.notify_control();
+    }
+
+    /// Publishes a control-plane event: bumps the generation and wakes
+    /// every parked observer (accept loop, drain wait, reaper, status
+    /// long-polls). Cheap enough to call on every job transition.
+    fn notify_control(&self) {
+        *lock(&self.control) += 1;
+        self.control_wake.notify_all();
+    }
+
+    /// The current control-plane generation; pass it to
+    /// [`State::wait_control_change`] to park until the *next* event.
+    fn control_gen(&self) -> u64 {
+        *lock(&self.control)
+    }
+
+    /// Parks until a control event newer than `seen` is published or
+    /// `timeout` elapses — the lost-wakeup-free replacement for the old
+    /// `thread::sleep` polls: an event published between reading `seen`
+    /// and parking returns immediately.
+    fn wait_control_change(&self, seen: u64, timeout: Duration) {
+        let deadline = Deadline::after_millis(timeout.as_millis() as u64);
+        let mut gen = lock(&self.control);
+        while *gen == seen {
+            let remaining = deadline.remaining();
+            if remaining.is_zero() {
+                return;
+            }
+            let (guard, _) = self
+                .control_wake
+                .wait_timeout(gen, remaining)
+                .unwrap_or_else(|p| p.into_inner());
+            gen = guard;
+        }
+    }
+
+    /// Bounded park on the control plane with no particular generation to
+    /// watch — wakes on any event or after `timeout`, whichever is first.
+    fn wait_control(&self, timeout: Duration) {
+        self.wait_control_change(self.control_gen(), timeout);
     }
 }
 
@@ -338,8 +407,11 @@ impl Service {
             queue: Mutex::new(VecDeque::new()),
             wake: Condvar::new(),
             jobs: Mutex::new(BTreeMap::new()),
+            control: Mutex::new(0),
+            control_wake: Condvar::new(),
             draining: AtomicBool::new(false),
             stopped: AtomicBool::new(false),
+            conns: AtomicU64::new(0),
             conn_seq: AtomicU64::new(0),
             submit_seq: AtomicU64::new(0),
             accepted: AtomicU64::new(0),
@@ -394,28 +466,38 @@ impl Service {
                 Ok((stream, _peer)) => {
                     let seq = state.conn_seq.fetch_add(1, Ordering::SeqCst);
                     let st = Arc::clone(&state);
+                    // Counted on the accept thread, before the handler can
+                    // possibly run, so the drain linger below never misses
+                    // a connection that was accepted but not yet scheduled.
+                    state.conns.fetch_add(1, Ordering::SeqCst);
                     let spawned = std::thread::Builder::new()
                         .name(format!("inet-serve-conn-{seq}"))
                         .spawn(move || {
                             // Per-connection panic fence: a bug (or an
                             // injected panic) in one handler must never
                             // take the daemon down.
-                            let _ = catch_unwind(AssertUnwindSafe(|| {
+                            let _ = PanicFence::run(|| {
                                 handle_connection(&st, stream, seq);
-                            }));
+                            });
+                            st.conns.fetch_sub(1, Ordering::SeqCst);
+                            st.notify_control();
                         });
                     if let Err(e) = spawned {
+                        state.conns.fetch_sub(1, Ordering::SeqCst);
                         state.log(&format!("cannot spawn connection thread: {e}"));
                     }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(15));
+                    // Park on the control plane rather than sleeping blind:
+                    // a drain trigger wakes the loop immediately, while the
+                    // bound keeps the non-blocking listener polled.
+                    state.wait_control(Duration::from_millis(15));
                 }
                 Err(e) => {
                     // Transient accept failure (EMFILE, ECONNABORTED...):
                     // log and keep serving.
                     state.log(&format!("accept error: {e}"));
-                    std::thread::sleep(Duration::from_millis(15));
+                    state.wait_control(Duration::from_millis(15));
                 }
             }
         }
@@ -424,10 +506,14 @@ impl Service {
         state.log("draining: admission stopped, waiting for in-flight jobs");
         // Workers park as soon as their current job (if any) completes.
         state.wake.notify_all();
+        state.notify_control();
 
-        let drain_deadline = Instant::now() + Duration::from_millis(state.cfg.drain_timeout_ms);
+        let drain_deadline = Deadline::after_millis(state.cfg.drain_timeout_ms);
         let mut timed_out = false;
         loop {
+            // Capture the generation before counting so a job finishing
+            // between the count and the park still wakes us.
+            let seen = state.control_gen();
             let running = lock(&state.jobs)
                 .values()
                 .filter(|j| j.phase() == Phase::Running)
@@ -435,7 +521,7 @@ impl Service {
             if running == 0 {
                 break;
             }
-            if Instant::now() >= drain_deadline {
+            if drain_deadline.is_expired() {
                 timed_out = true;
                 state.log(&format!(
                     "drain timeout after {} ms: cancelling {running} in-flight job(s) \
@@ -449,7 +535,8 @@ impl Service {
                 }
                 break;
             }
-            std::thread::sleep(Duration::from_millis(20));
+            let bound = drain_deadline.remaining().min(Duration::from_millis(100));
+            state.wait_control_change(seen, bound);
         }
         // After a forced cancel the workers still need a moment to unwind
         // cooperatively; join covers both paths.
@@ -457,7 +544,27 @@ impl Service {
             let _ = handle.join();
         }
         state.stopped.store(true, Ordering::SeqCst);
+        state.notify_control();
         let _ = reaper.join();
+        // Linger (bounded) for in-flight connection handlers — above all
+        // the one whose `drain` request triggered this shutdown: exiting
+        // before its response line is flushed would sever the very reply
+        // that reports the drain succeeded. Stalled clients cannot hold
+        // the exit hostage past their socket timeouts.
+        let linger = Deadline::after_millis(
+            state
+                .cfg
+                .read_timeout_ms
+                .saturating_add(state.cfg.write_timeout_ms)
+                .max(250),
+        );
+        loop {
+            let seen = state.control_gen();
+            if state.conns.load(Ordering::SeqCst) == 0 || linger.is_expired() {
+                break;
+            }
+            state.wait_control_change(seen, linger.remaining().min(Duration::from_millis(50)));
+        }
         let left = lock(&state.queue).len();
         if left > 0 {
             state.log(&format!(
@@ -578,7 +685,8 @@ fn worker_loop(state: &Arc<State>) {
 
 /// Executes one job with the worker failpoint and a panic fence around
 /// the whole attempt. Infrastructure faults (failpoint, panic) retry up
-/// to [`MAX_ATTEMPTS`]; scenario errors fail the job with its message;
+/// to [`ServiceConfig::retry`]'s attempt budget with its deterministic
+/// capped backoff; scenario errors fail the job with its message;
 /// interruptions are classified by their cause (deadline, cancel, drain).
 fn run_job(state: &Arc<State>, id: &str) {
     let attempt = {
@@ -591,17 +699,18 @@ fn run_job(state: &Arc<State>, id: &str) {
         job.deadline_fired = false;
         let token = CancelToken::new();
         job.cancel = Some(token.clone());
-        job.deadline_at = job
-            .deadline_ms
-            .map(|ms| Instant::now() + Duration::from_millis(ms));
+        job.deadline_at = job.deadline_ms.map(Deadline::after_millis);
         job.attempts += 1;
         job.attempts - 1
     };
-    let outcome = catch_unwind(AssertUnwindSafe(|| {
+    // Wake the reaper so a freshly armed deadline is observed immediately
+    // instead of on its next fallback poll.
+    state.notify_control();
+    let outcome = run_fenced(&Task::new("service.worker", attempt), || {
         inet_fault::check("service.worker", attempt)
             .map_err(|e| PipelineError::Stage(format!("worker: {e}")))?;
         execute(state, id)
-    }));
+    });
     let retryable_error = match outcome {
         Ok(Ok(())) => {
             state.set_phase(id, Phase::Done, "");
@@ -642,21 +751,18 @@ fn run_job(state: &Arc<State>, id: &str) {
             state.log(&format!("job {id}: failed: {}", e.message()));
             return;
         }
-        Err(payload) => {
-            let msg = payload
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".to_string());
-            Some(format!("worker panicked: {msg}"))
-        }
+        // An `exec.task` fault injected at the fence boundary: same
+        // infrastructure-failure class as the worker failpoint.
+        Err(TaskError::Fault(e)) => Some(format!("worker: {e}")),
+        Err(TaskError::Panicked(msg)) => Some(format!("worker panicked: {msg}")),
     };
     if let Some(msg) = retryable_error {
+        let max_attempts = u64::from(state.cfg.retry.attempts.max(1));
         let attempts = lock(&state.jobs)
             .get(id)
             .map(|j| j.attempts)
-            .unwrap_or(MAX_ATTEMPTS);
-        if attempts >= MAX_ATTEMPTS {
+            .unwrap_or(max_attempts);
+        if attempts >= max_attempts {
             state.set_phase(
                 id,
                 Phase::Failed,
@@ -667,6 +773,9 @@ fn run_job(state: &Arc<State>, id: &str) {
                 "job {id}: failed after {attempts} attempts: {msg}"
             ));
         } else {
+            // Deterministic capped backoff before the requeue, so a flapping
+            // dependency is not hammered by back-to-back retries.
+            state.cfg.retry.pause((attempts - 1) as u32);
             state.set_phase(id, Phase::Queued, "");
             lock(&state.queue).push_back(id.to_string());
             state.wake.notify_one();
@@ -702,26 +811,31 @@ fn execute(state: &Arc<State>, id: &str) -> Result<(), PipelineError> {
     .map(|_| ())
 }
 
-/// Fires the cancel token of any running job past its deadline. Polling
-/// granularity (25 ms) is far below the cooperative-cancellation latency
-/// (one sweep cell / kernel / pool chunk), so it adds no real slack.
+/// Fires the cancel token of any running job past its deadline. The reaper
+/// parks on the control condvar until the earliest armed deadline (capped
+/// at 500 ms when none is armed) and is woken eagerly whenever a worker
+/// arms one, so firing latency is bounded by the deadline itself rather
+/// than a poll interval.
 fn reaper_loop(state: &Arc<State>) {
     while !state.stopped.load(Ordering::SeqCst) {
+        let seen = state.control_gen();
+        let mut next = Duration::from_millis(500);
         {
             let mut jobs = lock(&state.jobs);
-            let now = Instant::now();
             for job in jobs.values_mut() {
                 if job.phase() == Phase::Running && !job.deadline_fired {
                     if let (Some(at), Some(token)) = (job.deadline_at, job.cancel.as_ref()) {
-                        if now >= at {
+                        if at.is_expired() {
                             job.deadline_fired = true;
                             token.cancel();
+                        } else {
+                            next = next.min(at.remaining());
                         }
                     }
                 }
             }
         }
-        std::thread::sleep(Duration::from_millis(25));
+        state.wait_control_change(seen, next.max(Duration::from_millis(1)));
     }
 }
 
@@ -856,6 +970,8 @@ fn dispatch(state: &Arc<State>, req: &BTreeMap<String, JsonVal>) -> String {
         Some("drain") => {
             state.draining.store(true, Ordering::SeqCst);
             state.wake.notify_all();
+            // Wake the accept loop out of its park so admission stops now.
+            state.notify_control();
             r#"{"status":"ok","draining":1}"#.to_string()
         }
         Some(other) => error_response(&format!(
@@ -963,27 +1079,46 @@ fn job_or_error<'j>(
 }
 
 fn status(state: &Arc<State>, req: &BTreeMap<String, JsonVal>) -> String {
-    let jobs = lock(&state.jobs);
-    let (id, job) = match job_or_error(&jobs, req) {
-        Ok(pair) => pair,
-        Err(resp) => return resp,
-    };
-    let mut out = format!(
-        r#"{{"status":"{}","job":"{}","attempts":{}"#,
-        job.phase().as_str(),
-        escape_json(id),
-        job.attempts
+    // Optional long-poll: with `wait_ms` the connection parks on the
+    // control condvar until the job goes terminal or the wait (capped at
+    // 30 s) elapses — no busy polling on either side of the socket.
+    let wait = Deadline::after_millis(
+        req.get("wait_ms")
+            .and_then(JsonVal::as_int)
+            .and_then(|x| u64::try_from(x).ok())
+            .unwrap_or(0)
+            .min(30_000),
     );
-    if job.phase() == Phase::Queued {
-        if let Some(pos) = lock(&state.queue).iter().position(|q| q == id) {
-            let _ = write!(out, r#","position":{}"#, pos + 1);
+    loop {
+        let seen = state.control_gen();
+        {
+            let jobs = lock(&state.jobs);
+            let (id, job) = match job_or_error(&jobs, req) {
+                Ok(pair) => pair,
+                Err(resp) => return resp,
+            };
+            let settled = !matches!(job.phase(), Phase::Queued | Phase::Running);
+            if settled || wait.is_expired() {
+                let mut out = format!(
+                    r#"{{"status":"{}","job":"{}","attempts":{}"#,
+                    job.phase().as_str(),
+                    escape_json(id),
+                    job.attempts
+                );
+                if job.phase() == Phase::Queued {
+                    if let Some(pos) = lock(&state.queue).iter().position(|q| q == id) {
+                        let _ = write!(out, r#","position":{}"#, pos + 1);
+                    }
+                }
+                if !job.error.is_empty() {
+                    let _ = write!(out, r#","error":"{}""#, escape_json(&job.error));
+                }
+                out.push('}');
+                return out;
+            }
         }
+        state.wait_control_change(seen, wait.remaining().min(Duration::from_millis(250)));
     }
-    if !job.error.is_empty() {
-        let _ = write!(out, r#","error":"{}""#, escape_json(&job.error));
-    }
-    out.push('}');
-    out
 }
 
 fn result(state: &Arc<State>, req: &BTreeMap<String, JsonVal>) -> String {
@@ -1051,6 +1186,8 @@ fn cancel(state: &Arc<State>, req: &BTreeMap<String, JsonVal>) -> String {
             job.error = "cancelled by request".to_string();
             state.persist(&id, job);
             lock(&state.queue).retain(|q| *q != id);
+            // Terminal transition outside set_phase: wake long-pollers.
+            state.notify_control();
             format!(
                 r#"{{"status":"ok","job":"{}","note":"unqueued"}}"#,
                 escape_json(&id)
@@ -1215,12 +1352,16 @@ mod tests {
     const TINY: &str = "[generator]\nmodel = \"ba\"\nn = 60\nseed = 7\n\
                         [measure]\nmetrics = [\"degree\"]\n";
 
+    /// Waits for a job via the status long-poll: the daemon parks each
+    /// request on its control condvar (up to 1 s per round), so this
+    /// helper makes a handful of requests instead of sleep-polling.
     fn poll_done(addr: &str, id: &str) -> String {
-        for _ in 0..600 {
-            let resp = request(addr, &encode_cmd("status", Some(id)), 2_000).unwrap();
+        for _ in 0..12 {
+            let line = format!(r#"{{"cmd":"status","job":"{id}","wait_ms":1000}}"#);
+            let resp = request(addr, &line, 5_000).unwrap();
             match response_field(&resp, "status").unwrap().as_str() {
                 "done" => return resp,
-                "queued" | "running" => std::thread::sleep(Duration::from_millis(20)),
+                "queued" | "running" => {}
                 other => panic!("job {id} ended as {other}: {resp}"),
             }
         }

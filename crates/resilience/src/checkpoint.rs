@@ -54,6 +54,7 @@
 //! shortest round-trip form, so a load-save cycle is lossless.
 
 use crate::percolation::{AttackCurve, CurvePoint};
+pub use inet_exec::{RetryExhausted, RetryPolicy};
 use inet_graph::Csr;
 use std::fmt;
 use std::fmt::Write as _;
@@ -121,78 +122,6 @@ impl fmt::Display for CheckpointError {
 }
 
 impl std::error::Error for CheckpointError {}
-
-/// Retry schedule for checkpoint IO: capped exponential backoff with
-/// deterministic jitter. The jitter derives from SplitMix64 of the attempt
-/// index — no wall clock, no RNG — so a chaos replay sleeps the exact same
-/// schedule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RetryPolicy {
-    /// Total attempts (first try included); at least 1 is always made.
-    pub attempts: u32,
-    /// Backoff before retry `k` is `base_delay_ms << k`, capped below.
-    pub base_delay_ms: u64,
-    /// Cap on the exponential term (jitter may add up to 25% on top).
-    pub max_delay_ms: u64,
-}
-
-impl Default for RetryPolicy {
-    fn default() -> Self {
-        RetryPolicy {
-            attempts: 4,
-            base_delay_ms: 10,
-            max_delay_ms: 200,
-        }
-    }
-}
-
-impl RetryPolicy {
-    /// The default attempt count with zero sleeping — for tests.
-    pub fn no_delay() -> Self {
-        RetryPolicy {
-            attempts: 4,
-            base_delay_ms: 0,
-            max_delay_ms: 0,
-        }
-    }
-
-    /// Backoff in milliseconds after failed attempt `attempt` (0-based):
-    /// `min(base << attempt, max)` plus deterministic jitter in
-    /// `[0, capped/4]`.
-    pub fn delay_ms(&self, attempt: u32) -> u64 {
-        let exp = self
-            .base_delay_ms
-            .saturating_mul(1u64 << attempt.min(16) as u64);
-        let capped = exp.min(self.max_delay_ms);
-        capped + splitmix64(attempt as u64 + 1) % (capped / 4 + 1)
-    }
-
-    fn pause(&self, attempt: u32) {
-        let ms = self.delay_ms(attempt);
-        if ms > 0 {
-            std::thread::sleep(std::time::Duration::from_millis(ms));
-        }
-    }
-}
-
-/// Renders a caught attempt-panic payload as a retryable message.
-fn attempt_panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<String>() {
-        format!("attempt panicked: {s}")
-    } else if let Some(s) = payload.downcast_ref::<&str>() {
-        format!("attempt panicked: {s}")
-    } else {
-        "attempt panicked (non-string payload)".to_string()
-    }
-}
-
-/// SplitMix64 — the deterministic jitter source (no `rand` dependency).
-fn splitmix64(x: u64) -> u64 {
-    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
 
 /// A successfully loaded checkpoint, flagging whether the torn-write
 /// recovery path had to fall back to the `.bak` generation.
@@ -541,25 +470,15 @@ impl Checkpoint {
     /// at every instant either the new file, the old file, or the backup
     /// is complete on disk.
     pub fn save_with_retry(&self, path: &Path, retry: &RetryPolicy) -> Result<(), CheckpointError> {
-        let mut last = String::from("no attempt made");
-        for attempt in 0..retry.attempts.max(1) {
-            if attempt > 0 {
-                retry.pause(attempt - 1);
-            }
-            // Each attempt is panic-fenced: an injected (or real) panic
-            // inside one write attempt is just a failed attempt to retry.
-            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                self.save_once(path, attempt as u64)
-            })) {
-                Ok(Ok(())) => return Ok(()),
-                Ok(Err(e)) => last = e,
-                Err(payload) => last = attempt_panic_text(payload),
-            }
-        }
-        Err(CheckpointError::Io {
-            path: path.to_path_buf(),
-            message: format!("{last} (after {} attempts)", retry.attempts.max(1)),
-        })
+        // Each attempt is panic-fenced by the shared retry loop: an
+        // injected (or real) panic inside one write attempt is just a
+        // failed attempt to retry.
+        retry
+            .run(|attempt| self.save_once(path, attempt))
+            .map_err(|exhausted| CheckpointError::Io {
+                path: path.to_path_buf(),
+                message: exhausted.to_string(),
+            })
     }
 
     /// One write attempt. `attempt` is the retry index — the scope key of
@@ -596,29 +515,19 @@ impl Checkpoint {
         path: &Path,
         retry: &RetryPolicy,
     ) -> Result<Option<LoadedCheckpoint>, CheckpointError> {
-        let mut last = String::from("no attempt made");
-        for attempt in 0..retry.attempts.max(1) {
-            if attempt > 0 {
-                retry.pause(attempt - 1);
-            }
-            match std::panic::catch_unwind(|| inet_fault::check("checkpoint.read", attempt as u64))
-            {
-                Ok(Ok(())) => {}
-                Ok(Err(e)) => {
-                    last = e.to_string();
-                    continue;
-                }
-                Err(payload) => {
-                    last = attempt_panic_text(payload);
-                    continue;
-                }
-            }
+        // The retry loop retries *transient* outcomes (an `Err` from the
+        // closure: injected faults, fenced panics, IO errors other than
+        // NotFound); everything else is terminal and returned as the
+        // closure's success value, ending the loop immediately.
+        type Terminal = Result<Option<LoadedCheckpoint>, CheckpointError>;
+        let outcome: Result<Terminal, RetryExhausted> = retry.run(|attempt| {
+            inet_fault::check("checkpoint.read", attempt).map_err(|e| e.to_string())?;
             match std::fs::read_to_string(path) {
                 Ok(text) => {
                     // Parse failures — including checksum mismatches from
                     // silent corruption — are deterministic; retrying the
                     // read cannot help, go straight to the backup.
-                    return match Checkpoint::parse_flagged(&text) {
+                    Ok(match Checkpoint::parse_flagged(&text) {
                         Ok((checkpoint, has_checksum)) => Ok(Some(LoadedCheckpoint {
                             checkpoint,
                             recovered_from_backup: false,
@@ -635,26 +544,26 @@ impl Checkpoint {
                                 message,
                             }),
                         },
-                    };
+                    })
                 }
                 Err(e) if e.kind() == io::ErrorKind::NotFound => {
                     // A crash between "rotate to .bak" and "rename tmp into
                     // place" leaves only the backup; recover it.
-                    return Ok(Self::parse_backup(path).map(|(checkpoint, has_checksum)| {
-                        LoadedCheckpoint {
+                    Ok(Ok(Self::parse_backup(path).map(
+                        |(checkpoint, has_checksum)| LoadedCheckpoint {
                             checkpoint,
                             recovered_from_backup: true,
                             checksum_missing: !has_checksum,
-                        }
-                    }));
+                        },
+                    )))
                 }
-                Err(e) => last = e.to_string(),
+                Err(e) => Err(e.to_string()),
             }
-        }
-        Err(CheckpointError::Io {
+        });
+        outcome.map_err(|exhausted| CheckpointError::Io {
             path: path.to_path_buf(),
-            message: format!("{last} (after {} attempts)", retry.attempts.max(1)),
-        })
+            message: exhausted.to_string(),
+        })?
     }
 
     /// The `<path>.bak` generation, if present and parseable, with its

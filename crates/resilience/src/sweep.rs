@@ -2,13 +2,14 @@
 //!
 //! A sweep's unit of work is a **cell**: one `(strategy, replica)` pair,
 //! computed as `removal_order → percolation_curve`. Cells fan out over the
-//! deterministic work-stealing pool in [`inet_graph::parallel`], and the
+//! deterministic work-stealing pool behind [`inet_exec::Executor`], and the
 //! sweep is hardened in two ways the plain pool is not:
 //!
-//! * **Panic isolation** — each cell runs under `catch_unwind`. A worker
-//!   panic becomes a [`FailureRecord`], the cell is resampled once with a
-//!   fresh derived seed, and the sweep carries on; only a second failure
-//!   leaves a hole (still recorded, never a process abort).
+//! * **Panic isolation** — each cell runs behind the shared
+//!   [`inet_exec::PanicFence`] (via `run_fenced`). A worker panic becomes a
+//!   [`FailureRecord`], the cell is resampled once with a fresh derived
+//!   seed, and the sweep carries on; only a second failure leaves a hole
+//!   (still recorded, never a process abort).
 //! * **Checkpointing** — with [`SweepConfig::checkpoint`] set, every
 //!   finished cell is appended to an atomically-rewritten JSON state file.
 //!   Re-running the same configuration with the same file resumes: done
@@ -25,11 +26,10 @@ use crate::checkpoint::{
 };
 use crate::percolation::percolation_curve;
 use crate::strategy::Strategy;
-use inet_graph::parallel::try_fanout_ordered;
+use inet_exec::{run_fenced, Executor, Task, TaskError};
 use inet_graph::CancelToken;
 use inet_graph::Csr;
 use std::fmt;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::Mutex;
 
@@ -279,11 +279,10 @@ pub fn run_sweep(g: &Csr, cfg: &SweepConfig) -> Result<SweepResult, SweepError> 
     // Workers poll the cancel token between cells: once it fires they stop
     // picking up cells (and the pool stops handing out chunks), so the
     // in-flight cells finish, get checkpointed, and the sweep winds down.
+    let pool = Executor::with_cancel(cfg.threads, cfg.cancel.clone());
     let run_pass = |cells: &[Cell], attempt: usize| -> Vec<Cell> {
-        let failed_chunks = try_fanout_ordered(
+        let failed_chunks = pool.try_map_ordered(
             cells.len(),
-            cfg.threads,
-            &cfg.cancel,
             || (),
             |_scratch, range| {
                 let mut failed = Vec::new();
@@ -291,7 +290,12 @@ pub fn run_sweep(g: &Csr, cfg: &SweepConfig) -> Result<SweepResult, SweepError> 
                     if cfg.cancel.is_cancelled() {
                         break;
                     }
-                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    // The shared fence contains both the test hook's panic
+                    // and anything compute_cell raises; the `exec.task`
+                    // failpoint it consults is keyed by the canonical cell
+                    // index, like the in-cell `sweep.cell` failpoint.
+                    let task = Task::new("sweep.cell", cell.index as u64);
+                    let outcome = run_fenced(&task, || {
                         if attempt == 0 && cfg.fail_cells.contains(&cell.index) {
                             // Test-only hook, caught by this very fence.
                             #[allow(clippy::panic)]
@@ -300,7 +304,7 @@ pub fn run_sweep(g: &Csr, cfg: &SweepConfig) -> Result<SweepResult, SweepError> 
                             }
                         }
                         compute_cell(g, cfg, cell, attempt, total)
-                    }));
+                    });
                     let mut st = state.lock().unwrap_or_else(|p| p.into_inner());
                     match outcome {
                         Ok(Ok(record)) => {
@@ -317,12 +321,16 @@ pub fn run_sweep(g: &Csr, cfg: &SweepConfig) -> Result<SweepResult, SweepError> 
                             });
                             failed.push(cell.clone());
                         }
-                        Err(payload) => {
+                        Err(e) => {
+                            let message = match e {
+                                TaskError::Fault(e) => e.to_string(),
+                                TaskError::Panicked(msg) => msg,
+                            };
                             st.ckpt.failures.push(FailureRecord {
                                 strategy: cell.strategy.name().to_string(),
                                 replica: cell.replica,
                                 attempt,
-                                message: panic_message(&*payload),
+                                message,
                             });
                             failed.push(cell.clone());
                         }
@@ -403,17 +411,6 @@ fn compute_cell(
         resampled: attempt > 0,
         curve,
     })
-}
-
-/// Best-effort text from a panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
 }
 
 #[cfg(test)]

@@ -1079,6 +1079,7 @@ fn run_serve(args: ServeArgs) -> Result<(), PipelineError> {
         job_threads: args.job_threads,
         drain_flag: Some(&INTERRUPTED),
         quiet: false,
+        ..ServiceConfig::default()
     };
     let service = Service::bind(cfg)?;
     // Scripts parse this line for the resolved (possibly ephemeral) port.
