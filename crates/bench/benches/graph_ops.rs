@@ -22,7 +22,7 @@ fn bench_graph_ops(c: &mut Criterion) {
             (0..10_000)
                 .map(|_| {
                     let u = rng.gen_range(0..2000);
-                    let v = (u + rng.gen_range(1..1999)) % 2000;
+                    let v = (u + rng.gen_range(1..1999usize)) % 2000;
                     (u, v)
                 })
                 .collect()

@@ -110,16 +110,57 @@ fn main() {
         );
     }
 
-    // JSON artifact for the driver: the headline row is the fused run at
-    // full parallelism.
+    // Every timed section flows through the obs histograms first, and the
+    // JSON row reads the microsecond totals back from there — the artifact
+    // and a live `metrics` scrape can never disagree about what was timed.
+    let registry = inet_model::obs::default_registry();
+    let record = |path: &str, ms: f64| {
+        registry
+            .histogram("inet_bench_wall_us", &[("path", path)])
+            .observe((ms * 1e3) as u64);
+    };
+    record("seed", seed_ms);
+    // Label by run position, not thread count: on a single-core host both
+    // fused runs execute at 1 thread, and the second one is still the
+    // "machine parallelism" measurement the headline row reports.
+    for (i, (_, ms, _)) in fused_runs.iter().enumerate() {
+        record(
+            if i == 0 {
+                "fused-1thread"
+            } else {
+                "fused-parallel"
+            },
+            *ms,
+        );
+    }
+    let wall_us = |path: &str| {
+        registry
+            .histogram("inet_bench_wall_us", &[("path", path)])
+            .sum()
+    };
+
+    // JSON artifact for the driver: the headline values are the fused run
+    // at full parallelism. Rows append (one JSON object per line, newest
+    // last) so successive benchmark runs build a history instead of
+    // clobbering each other.
     let (best_t, best_ms, _) = fused_runs.last().expect("at least one fused run");
     let json = format!(
         "{{\"nodes\": {nodes}, \"edges\": {edges}, \"threads\": {best_t}, \
          \"wall_ms\": {best_ms:.1}, \"speedup\": {:.3}, \
-         \"seed_wall_ms\": {seed_ms:.1}, \"fused_1thread_wall_ms\": {:.1}}}",
+         \"seed_wall_ms\": {seed_ms:.1}, \"fused_1thread_wall_ms\": {:.1}, \
+         \"seed_wall_us\": {}, \"fused_1thread_wall_us\": {}, \"fused_parallel_wall_us\": {}}}",
         seed_ms / best_ms,
         fused_runs[0].1,
+        wall_us("seed"),
+        wall_us("fused-1thread"),
+        wall_us("fused-parallel"),
     );
-    std::fs::write("BENCH_report.json", format!("{json}\n")).expect("write BENCH_report.json");
-    println!("\nwrote BENCH_report.json: {json}");
+    let mut rows = std::fs::read_to_string("BENCH_report.json").unwrap_or_default();
+    if !rows.is_empty() && !rows.ends_with('\n') {
+        rows.push('\n');
+    }
+    rows.push_str(&json);
+    rows.push('\n');
+    std::fs::write("BENCH_report.json", rows).expect("write BENCH_report.json");
+    println!("\nappended to BENCH_report.json: {json}");
 }

@@ -25,6 +25,7 @@
 //! | growth machinery | `inet-growth` | [`growth`] |
 //! | attack/failure response | `inet-resilience` | [`resilience`] |
 //! | scenario pipeline | `inet-pipeline` | [`pipeline`] |
+//! | telemetry | `inet-obs` | [`obs`] |
 //!
 //! ## Quickstart
 //!
@@ -52,6 +53,7 @@ pub use inet_generators as generators;
 pub use inet_graph as graph;
 pub use inet_growth as growth;
 pub use inet_metrics as metrics;
+pub use inet_obs as obs;
 pub use inet_pipeline as pipeline;
 pub use inet_resilience as resilience;
 pub use inet_spatial as spatial;

@@ -49,7 +49,9 @@ impl RetryPolicy {
             .base_delay_ms
             .saturating_mul(1u64 << attempt.min(16) as u64);
         let capped = exp.min(self.max_delay_ms);
-        capped + splitmix64(attempt as u64 + 1) % (capped / 4 + 1)
+        // Saturating: only reachable with caps near u64::MAX, where the
+        // schedule pins to the cap instead of wrapping.
+        capped.saturating_add(splitmix64(attempt as u64 + 1) % (capped / 4 + 1))
     }
 
     /// Sleeps the backoff owed after failed attempt `attempt` (0-based).
@@ -75,9 +77,13 @@ impl RetryPolicy {
         &self,
         mut op: impl FnMut(u64) -> Result<T, String>,
     ) -> Result<T, RetryExhausted> {
+        let registry = inet_obs::default_registry();
         let mut last = String::from("no attempt made");
         for attempt in 0..self.attempts.max(1) {
             if attempt > 0 {
+                // Telemetry: retries beyond the first try are counted; the
+                // first attempt is normal operation, not a retry.
+                registry.counter("inet_retry_attempts_total", &[]).inc();
                 self.pause(attempt - 1);
             }
             match PanicFence::run(|| op(attempt as u64)) {
@@ -86,6 +92,7 @@ impl RetryPolicy {
                 Err(msg) => last = format!("attempt panicked: {msg}"),
             }
         }
+        registry.counter("inet_retry_exhausted_total", &[]).inc();
         Err(RetryExhausted {
             attempts: self.attempts.max(1),
             last_error: last,
@@ -220,6 +227,64 @@ mod tests {
             err.to_string(),
             "attempt panicked: always (after 4 attempts)"
         );
+    }
+
+    #[test]
+    fn jitter_sleep_sequence_is_exactly_reproducible() {
+        // The SplitMix64 jitter contract pinned to exact values: the
+        // schedule is a pure function of (policy, attempt), so a chaos
+        // replay sleeps these exact milliseconds, forever. If this test
+        // breaks, checkpoint-retry replay timing has silently changed.
+        let p = RetryPolicy::default(); // base 10, max 200
+        let schedule: Vec<u64> = (0..6).map(|a| p.delay_ms(a)).collect();
+        assert_eq!(schedule, vec![12, 24, 44, 93, 200, 232]);
+        let q = RetryPolicy {
+            attempts: 8,
+            base_delay_ms: 5,
+            max_delay_ms: 40,
+        };
+        let schedule: Vec<u64> = (0..6).map(|a| q.delay_ms(a)).collect();
+        assert_eq!(schedule, vec![6, 11, 23, 50, 41, 41]);
+        // The exponent clamp at 16 keeps huge attempt indices finite.
+        assert_eq!(p.delay_ms(16), 233);
+        assert_eq!(p.delay_ms(17), 204);
+        assert_eq!(p.delay_ms(63), 240);
+    }
+
+    #[test]
+    fn backoff_stays_within_the_documented_bounds() {
+        // delay(attempt) ∈ [capped, capped + capped/4] where
+        // capped = min(base << min(attempt,16), max) — for every attempt,
+        // including the shift-overflow and saturation edges.
+        let policies = [
+            RetryPolicy::default(),
+            RetryPolicy {
+                attempts: 4,
+                base_delay_ms: 1,
+                max_delay_ms: 3,
+            },
+            RetryPolicy {
+                attempts: 4,
+                base_delay_ms: u64::MAX / 2,
+                max_delay_ms: u64::MAX,
+            },
+        ];
+        for p in policies {
+            for attempt in [0u32, 1, 2, 3, 15, 16, 17, 31, 63, u32::MAX] {
+                let exp = p
+                    .base_delay_ms
+                    .saturating_mul(1u64 << attempt.min(16) as u64);
+                let capped = exp.min(p.max_delay_ms);
+                let got = p.delay_ms(attempt);
+                assert!(
+                    got >= capped && got <= capped.saturating_add(capped / 4),
+                    "base={} max={} attempt={attempt}: {got} outside [{capped}, {}]",
+                    p.base_delay_ms,
+                    p.max_delay_ms,
+                    capped.saturating_add(capped / 4)
+                );
+            }
+        }
     }
 
     #[test]

@@ -68,14 +68,32 @@ impl std::error::Error for TaskError {}
 /// Runs `f` as `task`: behind the shared [`PanicFence`], with the
 /// `exec.task` failpoint consulted (scope = [`Task::scope`]) inside the
 /// fence. This is the single choke point every ported layer funnels
-/// through — per-task timing or tracing added here covers the whole
-/// workspace.
+/// through, so the telemetry recorded here covers the whole workspace:
+/// an `inet-obs` span named after the layer, the
+/// `inet_task_latency_us{layer=...}` histogram, and the
+/// `inet_task_panics_total{layer=...}` counter for fence-caught panics.
+/// Telemetry observes wall time only — results are untouched, and the
+/// `obs.record` failpoint inside the recorders proves a faulted (even
+/// panicking) recorder costs at most its own record.
 pub fn run_fenced<T>(task: &Task, f: impl FnOnce() -> T) -> Result<T, TaskError> {
-    match PanicFence::run(|| inet_fault::check("exec.task", task.scope).map(|()| f())) {
+    let span = inet_obs::span::enter(task.layer, task.scope);
+    let started = std::time::Instant::now();
+    let out = match PanicFence::run(|| inet_fault::check("exec.task", task.scope).map(|()| f())) {
         Ok(Ok(value)) => Ok(value),
         Ok(Err(e)) => Err(TaskError::Fault(e)),
         Err(msg) => Err(TaskError::Panicked(msg)),
+    };
+    drop(span);
+    let registry = inet_obs::default_registry();
+    registry
+        .histogram("inet_task_latency_us", &[("layer", task.layer)])
+        .observe(started.elapsed().as_micros() as u64);
+    if matches!(out, Err(TaskError::Panicked(_))) {
+        registry
+            .counter("inet_task_panics_total", &[("layer", task.layer)])
+            .inc();
     }
+    out
 }
 
 /// A thread count and a [`CancelToken`] bundled over the deterministic
@@ -122,17 +140,27 @@ impl Executor {
     }
 
     /// [`parallel::fanout_ordered`] with this executor's thread count.
+    /// Each fan-out records an `exec.fanout` span (scope = item count) and
+    /// the `inet_exec_fanout_us` batch-wall-time histogram — one record
+    /// per batch, never per item.
     pub fn map_ordered<S, T, FS, FW>(&self, len: usize, make_scratch: FS, work: FW) -> Vec<T>
     where
         T: Send,
         FS: Fn() -> S + Sync,
         FW: Fn(&mut S, Range<usize>) -> T + Sync,
     {
-        parallel::fanout_ordered(len, self.threads, make_scratch, work)
+        let _span = inet_obs::span::enter("exec.fanout", len as u64);
+        let started = std::time::Instant::now();
+        let out = parallel::fanout_ordered(len, self.threads, make_scratch, work);
+        inet_obs::default_registry()
+            .histogram("inet_exec_fanout_us", &[])
+            .observe(started.elapsed().as_micros() as u64);
+        out
     }
 
     /// [`parallel::try_fanout_ordered`] with this executor's thread count
-    /// and cancel token.
+    /// and cancel token. Records the same per-batch telemetry as
+    /// [`Executor::map_ordered`].
     pub fn try_map_ordered<S, T, FS, FW>(
         &self,
         len: usize,
@@ -144,7 +172,13 @@ impl Executor {
         FS: Fn() -> S + Sync,
         FW: Fn(&mut S, Range<usize>) -> T + Sync,
     {
-        parallel::try_fanout_ordered(len, self.threads, &self.cancel, make_scratch, work)
+        let _span = inet_obs::span::enter("exec.fanout", len as u64);
+        let started = std::time::Instant::now();
+        let out = parallel::try_fanout_ordered(len, self.threads, &self.cancel, make_scratch, work);
+        inet_obs::default_registry()
+            .histogram("inet_exec_fanout_us", &[])
+            .observe(started.elapsed().as_micros() as u64);
+        out
     }
 }
 

@@ -49,6 +49,7 @@ use std::fmt;
 /// | `service.queue` | admission sequence index of a job submission |
 /// | `service.worker` | attempt index of the job a worker is about to start |
 /// | `exec.task` | deterministic scope key of the fenced task (kernel index, cell index, stage index, attempt) |
+/// | `obs.record` | scope key of the telemetry record being written (span scope, or 0 for counter/histogram updates) |
 pub const CATALOG: &[&str] = &[
     "io.read",
     "io.write",
@@ -64,6 +65,7 @@ pub const CATALOG: &[&str] = &[
     "service.queue",
     "service.worker",
     "exec.task",
+    "obs.record",
 ];
 
 /// What a triggered failpoint does.

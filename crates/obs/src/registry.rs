@@ -1,0 +1,369 @@
+//! The metrics registry: named counters, gauges, and log2-bucket
+//! histograms behind atomics.
+//!
+//! A metric is identified by its base name plus an ordered label set; the
+//! canonical id renders as `name{k="v",...}`. Looking a metric up takes one
+//! mutex on a `BTreeMap` (deterministic exposition order for free);
+//! updating one is a single relaxed atomic op on a shared `Arc`, so call
+//! sites that care can hold the returned handle and never touch the map
+//! again.
+
+use crate::record_allowed;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Finite histogram buckets: upper bounds `2^0 .. 2^63`, plus `+Inf`.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (saturating; a counter never wraps back past zero).
+    pub fn add(&self, n: u64) {
+        if !record_allowed(0) {
+            return;
+        }
+        // fetch_update is wait-free enough here and lets us saturate.
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_add(n))
+            });
+    }
+
+    /// The current value.
+    pub fn value(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed value that can move both ways.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: i64) {
+        if !record_allowed(0) {
+            return;
+        }
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `d` (may be negative).
+    pub fn add(&self, d: i64) {
+        if !record_allowed(0) {
+            return;
+        }
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn value(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared histogram storage: log2 buckets + sum + count.
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    /// `counts[i]` holds observations `v` with `bucket_index(v) == i`;
+    /// index [`HISTOGRAM_BUCKETS`] is the `+Inf` bucket.
+    pub(crate) counts: [AtomicU64; HISTOGRAM_BUCKETS + 1],
+    pub(crate) sum: AtomicU64,
+    pub(crate) count: AtomicU64,
+}
+
+/// A fixed-bucket latency histogram with log2 bucket boundaries.
+///
+/// Bucket `i` (for `i < 64`) has the inclusive upper bound `2^i`; values
+/// above `2^63` land in the `+Inf` bucket. Zero lands in bucket 0 (bound
+/// `1`). The unit is whatever the call site observes — the toolkit's
+/// conventions are microseconds (`_us`) and milliseconds (`_ms`), spelled
+/// out in the metric name.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+/// The finite bucket index for `v`: the smallest `i` with `v <= 2^i`, or
+/// [`HISTOGRAM_BUCKETS`] (the `+Inf` bucket) when `v > 2^63`.
+pub(crate) fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        return 0;
+    }
+    let bits = 64 - (v - 1).leading_zeros() as usize; // ceil(log2 v)
+    bits.min(HISTOGRAM_BUCKETS)
+}
+
+impl Histogram {
+    /// Records one observation (sum saturates at `u64::MAX`).
+    pub fn observe(&self, v: u64) {
+        if !record_allowed(0) {
+            return;
+        }
+        self.0.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        let _ = self
+            .0
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(v))
+            });
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// The count in finite bucket `i` (not cumulative), or in `+Inf` when
+    /// `i == HISTOGRAM_BUCKETS`. Out-of-range indices read 0.
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.0
+            .counts
+            .get(i)
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// One registered metric.
+#[derive(Debug, Clone)]
+pub(crate) enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// The canonical metric id: base name plus sorted-as-given labels.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct MetricKey {
+    pub(crate) name: String,
+    pub(crate) labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    pub(crate) fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        MetricKey {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+
+    /// Renders `name{k="v",...}` (or just `name` without labels), escaping
+    /// label values for Prometheus exposition.
+    pub(crate) fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let pairs: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+            .collect();
+        format!("{}{{{}}}", self.name, pairs.join(","))
+    }
+}
+
+/// Prometheus label-value escaping: backslash, quote, newline.
+pub(crate) fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A set of named metrics. The process-wide instance is
+/// [`default_registry`]; subsystems that need isolated counts (one serve
+/// daemon per test, say) hold their own.
+#[derive(Debug, Default)]
+pub struct Registry {
+    pub(crate) metrics: Mutex<BTreeMap<MetricKey, Metric>>,
+}
+
+fn lock(
+    m: &Mutex<BTreeMap<MetricKey, Metric>>,
+) -> std::sync::MutexGuard<'_, BTreeMap<MetricKey, Metric>> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter `name{labels}`, created on first use. Asking for an
+    /// existing name with a different metric kind returns a fresh detached
+    /// handle (recorded nowhere) rather than panicking — recorders must
+    /// never take a job down.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = MetricKey::new(name, labels);
+        let mut map = lock(&self.metrics);
+        let entry = map
+            .entry(key)
+            .or_insert_with(|| Metric::Counter(Counter(Arc::new(AtomicU64::new(0)))));
+        match entry {
+            Metric::Counter(c) => c.clone(),
+            _ => Counter(Arc::new(AtomicU64::new(0))),
+        }
+    }
+
+    /// The gauge `name{labels}`, created on first use (kind mismatch: see
+    /// [`Registry::counter`]).
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = MetricKey::new(name, labels);
+        let mut map = lock(&self.metrics);
+        let entry = map
+            .entry(key)
+            .or_insert_with(|| Metric::Gauge(Gauge(Arc::new(AtomicI64::new(0)))));
+        match entry {
+            Metric::Gauge(g) => g.clone(),
+            _ => Gauge(Arc::new(AtomicI64::new(0))),
+        }
+    }
+
+    /// The histogram `name{labels}`, created on first use (kind mismatch:
+    /// see [`Registry::counter`]).
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let key = MetricKey::new(name, labels);
+        let mut map = lock(&self.metrics);
+        let entry = map.entry(key).or_insert_with(|| {
+            Metric::Histogram(Histogram(Arc::new(HistogramCore {
+                counts: std::array::from_fn(|_| AtomicU64::new(0)),
+                sum: AtomicU64::new(0),
+                count: AtomicU64::new(0),
+            })))
+        });
+        match entry {
+            Metric::Histogram(h) => h.clone(),
+            _ => Histogram(Arc::new(HistogramCore {
+                counts: std::array::from_fn(|_| AtomicU64::new(0)),
+                sum: AtomicU64::new(0),
+                count: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// A snapshot of every registered metric, in canonical (sorted) order.
+    pub(crate) fn snapshot(&self) -> Vec<(MetricKey, Metric)> {
+        lock(&self.metrics)
+            .iter()
+            .map(|(k, m)| (k.clone(), m.clone()))
+            .collect()
+    }
+}
+
+/// The process-wide default registry — where the exec substrate records
+/// task latency and retry counts. Subsystem-scoped registries (the serve
+/// daemon's job counters) live alongside it.
+pub fn default_registry() -> &'static Registry {
+    static DEFAULT: OnceLock<Registry> = OnceLock::new();
+    DEFAULT.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_count_and_saturate() {
+        let r = Registry::new();
+        let c = r.counter("hits_total", &[]);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.value(), 5);
+        assert_eq!(r.counter("hits_total", &[]).value(), 5, "same handle");
+        c.add(u64::MAX);
+        assert_eq!(c.value(), u64::MAX, "saturates, never wraps");
+    }
+
+    #[test]
+    fn gauges_move_both_ways() {
+        let r = Registry::new();
+        let g = r.gauge("depth", &[("pool", "a")]);
+        g.set(7);
+        g.add(-9);
+        assert_eq!(g.value(), -2);
+        assert_eq!(r.gauge("depth", &[("pool", "a")]).value(), -2);
+        assert_eq!(
+            r.gauge("depth", &[("pool", "b")]).value(),
+            0,
+            "distinct labels"
+        );
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_at_u64_edges() {
+        // The log2 bucket contract, pinned exactly at the edges.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1 << 10), 10);
+        assert_eq!(bucket_index((1 << 10) + 1), 11);
+        assert_eq!(bucket_index(1 << 62), 62);
+        assert_eq!(bucket_index((1 << 62) + 1), 63);
+        assert_eq!(bucket_index(1 << 63), 63, "largest finite bound");
+        assert_eq!(bucket_index((1 << 63) + 1), HISTOGRAM_BUCKETS, "+Inf");
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS, "+Inf");
+    }
+
+    #[test]
+    fn histogram_records_sum_count_and_buckets() {
+        let r = Registry::new();
+        let h = r.histogram("lat_us", &[]);
+        for v in [0u64, 1, 2, 1000, u64::MAX] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates");
+        assert_eq!(h.bucket_count(0), 2, "0 and 1");
+        assert_eq!(h.bucket_count(1), 1, "2");
+        assert_eq!(h.bucket_count(10), 1, "1000 <= 1024");
+        assert_eq!(h.bucket_count(HISTOGRAM_BUCKETS), 1, "u64::MAX is +Inf");
+    }
+
+    #[test]
+    fn kind_mismatch_degrades_to_a_detached_handle() {
+        let r = Registry::new();
+        let c = r.counter("x", &[]);
+        c.inc();
+        // Asking for "x" as a histogram must not panic or clobber.
+        let h = r.histogram("x", &[]);
+        h.observe(3);
+        assert_eq!(c.value(), 1, "the counter is untouched");
+    }
+
+    #[test]
+    fn metric_key_renders_prometheus_ids() {
+        assert_eq!(MetricKey::new("a_total", &[]).render(), "a_total");
+        assert_eq!(
+            MetricKey::new("a_total", &[("layer", "sweep.cell")]).render(),
+            "a_total{layer=\"sweep.cell\"}"
+        );
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -26,6 +26,7 @@ use inet_stats::rng::seeded_rng;
 use crate::report;
 use crate::runstore::RunStore;
 use crate::scenario::{Scenario, Source};
+use crate::telemetry::Telemetry;
 use crate::PipelineError;
 
 /// Stage names, indexed by their `pipeline.stage` failpoint scope.
@@ -138,7 +139,25 @@ fn measure_warnings(r: &RobustReport) -> Vec<String> {
 /// Executes a scenario with cancellation and (optionally) the journaled
 /// run store: stage-level resume replays committed stages from their
 /// artifacts and re-executes from the first uncommitted one.
+///
+/// The whole run executes under a captured `run` span; for journaled runs
+/// the captured subtree is appended to the run's `telemetry.json`
+/// (accumulating across resume sessions). Telemetry is inert: a persist
+/// failure is swallowed, and the spans never influence the outcome.
 pub fn run_scenario_with(
+    scenario: &Scenario,
+    opts: &ExecOptions,
+) -> Result<RunOutcome, PipelineError> {
+    let (result, spans) = inet_obs::span::capture("run", 0, || run_scenario_inner(scenario, opts));
+    if let Some(st) = opts.store.as_ref() {
+        let mut telemetry = Telemetry::load(st);
+        telemetry.append(spans);
+        let _ = telemetry.save(st);
+    }
+    result
+}
+
+fn run_scenario_inner(
     scenario: &Scenario,
     opts: &ExecOptions,
 ) -> Result<RunOutcome, PipelineError> {
@@ -165,6 +184,7 @@ pub fn run_scenario_with(
     // graph), otherwise execute and commit.
     let mut replayed_source = None;
     if let (Some(st), Some(rec)) = (store, committed[0].as_ref()) {
+        let _replay = inet_obs::span::enter("pipeline.replay", 0);
         match st.load_artifact(rec).and_then(|bytes| {
             inet_graph::io::read_edge_list(&bytes[..])
                 .map_err(|e| PipelineError::Data(format!("source artifact: {e}")))
@@ -200,6 +220,7 @@ pub fn run_scenario_with(
     if let Some(m) = scenario.measure {
         let mut replayed = false;
         if let (Some(st), Some(rec)) = (store, committed[1].as_ref()) {
+            let _replay = inet_obs::span::enter("pipeline.replay", 1);
             match st.load_artifact(rec) {
                 Ok(bytes) => {
                     measure_replay = Some(String::from_utf8_lossy(&bytes).into_owned());

@@ -392,6 +392,17 @@ impl RunStore {
     }
 }
 
+/// Writes `bytes` to `dir/name` atomically (tmp write + fsync + rename),
+/// with no journal record and no failpoint — for side artifacts like
+/// `telemetry.json` that sit outside the stage-commit protocol.
+pub(crate) fn atomic_write(dir: &Path, name: &str, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = dir.join(format!("{name}.tmp"));
+    let mut f = fs::File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    fs::rename(&tmp, dir.join(name))
+}
+
 fn committed_in(dir: &Path) -> Vec<Option<CommitRecord>> {
     let mut out: Vec<Option<CommitRecord>> = vec![None; STAGE_NAMES.len()];
     let Ok(text) = fs::read_to_string(dir.join(JOURNAL_FILE)) else {

@@ -53,6 +53,7 @@
 //! | `{"cmd":"result","job":"<id>"}` | `{"status":"done","summary":"<text>"}` (the stage-3 artifact) |
 //! | `{"cmd":"cancel","job":"<id>"}` | `{"status":"ok"}` — queued jobs unqueue, running jobs get their token fired |
 //! | `{"cmd":"stats"}` | queue depth, capacity, workers, counters, draining flag |
+//! | `{"cmd":"metrics"}` | `{"status":"ok","queued":N,"running":N,"metrics":"<Prometheus text exposition, JSON-escaped>"}` — job counters, queue-wait/run-time histograms, plus the process-wide task/retry/sweep metrics |
 //! | `{"cmd":"drain"}` | `{"status":"ok","draining":1}` — protocol equivalent of SIGTERM |
 //!
 //! Oversized requests, read timeouts, and malformed JSON all get a
@@ -82,6 +83,7 @@ use std::time::Duration;
 
 use inet_exec::{run_fenced, Deadline, PanicFence, RetryPolicy, Task, TaskError};
 use inet_graph::CancelToken;
+use inet_obs::{render_prometheus, Counter, Registry};
 
 use crate::report;
 use crate::run::{run_scenario_with, ExecOptions};
@@ -231,6 +233,9 @@ struct Job {
     cancel: Option<CancelToken>,
     cancel_requested: bool,
     deadline_fired: bool,
+    /// When the job (re-)entered the queue; consumed into the
+    /// `inet_job_queue_wait_ms` histogram when a worker picks it up.
+    queued_at: Option<std::time::Instant>,
 }
 
 impl Job {
@@ -266,10 +271,15 @@ struct State {
     conns: AtomicU64,
     conn_seq: AtomicU64,
     submit_seq: AtomicU64,
-    accepted: AtomicU64,
-    rejected: AtomicU64,
-    completed: AtomicU64,
-    failed: AtomicU64,
+    /// This daemon's own metrics registry (job counters, queue-wait and
+    /// run-time histograms). Per-instance, not the process default, so the
+    /// `stats` and `metrics` commands read the *same* counters — they can
+    /// never disagree — and in-process tests see only their own daemon.
+    registry: Registry,
+    accepted: Counter,
+    rejected: Counter,
+    completed: Counter,
+    failed: Counter,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -402,6 +412,7 @@ impl Service {
         listener
             .set_nonblocking(true)
             .map_err(|e| PipelineError::Data(format!("serve: set_nonblocking: {e}")))?;
+        let registry = Registry::new();
         let state = Arc::new(State {
             cfg,
             queue: Mutex::new(VecDeque::new()),
@@ -414,10 +425,11 @@ impl Service {
             conns: AtomicU64::new(0),
             conn_seq: AtomicU64::new(0),
             submit_seq: AtomicU64::new(0),
-            accepted: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            failed: AtomicU64::new(0),
+            accepted: registry.counter("inet_jobs_accepted_total", &[]),
+            rejected: registry.counter("inet_jobs_rejected_total", &[]),
+            completed: registry.counter("inet_jobs_completed_total", &[]),
+            failed: registry.counter("inet_jobs_failed_total", &[]),
+            registry,
         });
         Ok(Service { listener, state })
     }
@@ -655,6 +667,7 @@ fn recover(state: &State) -> usize {
 
 fn enqueue_recovered(state: &State, id: &str, mut job: Job) {
     job.phase = Some(Phase::Queued);
+    job.queued_at = Some(std::time::Instant::now());
     lock(&state.jobs).insert(id.to_string(), job);
     lock(&state.queue).push_back(id.to_string());
     state.wake.notify_one();
@@ -689,7 +702,7 @@ fn worker_loop(state: &Arc<State>) {
 /// capped backoff; scenario errors fail the job with its message;
 /// interruptions are classified by their cause (deadline, cancel, drain).
 fn run_job(state: &Arc<State>, id: &str) {
-    let attempt = {
+    let (attempt, queued_at) = {
         let mut jobs = lock(&state.jobs);
         let job = jobs.entry(id.to_string()).or_default();
         if job.phase() != Phase::Queued {
@@ -701,20 +714,32 @@ fn run_job(state: &Arc<State>, id: &str) {
         job.cancel = Some(token.clone());
         job.deadline_at = job.deadline_ms.map(Deadline::after_millis);
         job.attempts += 1;
-        job.attempts - 1
+        (job.attempts - 1, job.queued_at.take())
     };
+    if let Some(at) = queued_at {
+        state
+            .registry
+            .histogram("inet_job_queue_wait_ms", &[])
+            .observe(at.elapsed().as_millis() as u64);
+    }
     // Wake the reaper so a freshly armed deadline is observed immediately
     // instead of on its next fallback poll.
     state.notify_control();
+    let run_started = std::time::Instant::now();
     let outcome = run_fenced(&Task::new("service.worker", attempt), || {
         inet_fault::check("service.worker", attempt)
             .map_err(|e| PipelineError::Stage(format!("worker: {e}")))?;
         execute(state, id)
     });
+    // Per-attempt wall time, whatever the outcome.
+    state
+        .registry
+        .histogram("inet_job_run_ms", &[])
+        .observe(run_started.elapsed().as_millis() as u64);
     let retryable_error = match outcome {
         Ok(Ok(())) => {
             state.set_phase(id, Phase::Done, "");
-            state.completed.fetch_add(1, Ordering::SeqCst);
+            state.completed.inc();
             state.log(&format!("job {id}: done"));
             return;
         }
@@ -729,7 +754,7 @@ fn run_job(state: &Arc<State>, id: &str) {
             };
             if deadline_fired {
                 state.set_phase(id, Phase::Deadline, "deadline exceeded; job cancelled");
-                state.failed.fetch_add(1, Ordering::SeqCst);
+                state.failed.inc();
                 state.log(&format!("job {id}: deadline exceeded"));
             } else if cancel_requested {
                 state.set_phase(id, Phase::Cancelled, "cancelled by request");
@@ -747,7 +772,7 @@ fn run_job(state: &Arc<State>, id: &str) {
             // A real pipeline failure: deterministic, so retrying cannot
             // help — record it and inform the next status/result poll.
             state.set_phase(id, Phase::Failed, e.message());
-            state.failed.fetch_add(1, Ordering::SeqCst);
+            state.failed.inc();
             state.log(&format!("job {id}: failed: {}", e.message()));
             return;
         }
@@ -768,7 +793,7 @@ fn run_job(state: &Arc<State>, id: &str) {
                 Phase::Failed,
                 &format!("{msg} ({attempts} attempts exhausted)"),
             );
-            state.failed.fetch_add(1, Ordering::SeqCst);
+            state.failed.inc();
             state.log(&format!(
                 "job {id}: failed after {attempts} attempts: {msg}"
             ));
@@ -777,6 +802,9 @@ fn run_job(state: &Arc<State>, id: &str) {
             // dependency is not hammered by back-to-back retries.
             state.cfg.retry.pause((attempts - 1) as u32);
             state.set_phase(id, Phase::Queued, "");
+            if let Some(job) = lock(&state.jobs).get_mut(id) {
+                job.queued_at = Some(std::time::Instant::now());
+            }
             lock(&state.queue).push_back(id.to_string());
             state.wake.notify_one();
             state.log(&format!(
@@ -967,6 +995,7 @@ fn dispatch(state: &Arc<State>, req: &BTreeMap<String, JsonVal>) -> String {
         Some("result") => result(state, req),
         Some("cancel") => cancel(state, req),
         Some("stats") => stats(state),
+        Some("metrics") => metrics(state),
         Some("drain") => {
             state.draining.store(true, Ordering::SeqCst);
             state.wake.notify_all();
@@ -975,14 +1004,14 @@ fn dispatch(state: &Arc<State>, req: &BTreeMap<String, JsonVal>) -> String {
             r#"{"status":"ok","draining":1}"#.to_string()
         }
         Some(other) => error_response(&format!(
-            "unknown command '{other}' (expected submit/status/result/cancel/stats/drain)"
+            "unknown command '{other}' (expected submit/status/result/cancel/stats/metrics/drain)"
         )),
         None => error_response("missing 'cmd'"),
     }
 }
 
 fn rejected_response(state: &Arc<State>, msg: &str) -> String {
-    state.rejected.fetch_add(1, Ordering::SeqCst);
+    state.rejected.inc();
     format!(
         r#"{{"status":"rejected","error":"{}","retry_after_ms":{}}}"#,
         escape_json(msg),
@@ -1046,6 +1075,7 @@ fn submit(state: &Arc<State>, req: &BTreeMap<String, JsonVal>) -> String {
         let job = Job {
             phase: Some(Phase::Queued),
             deadline_ms,
+            queued_at: Some(std::time::Instant::now()),
             ..Job::default()
         };
         state.persist(&id, &job);
@@ -1055,7 +1085,7 @@ fn submit(state: &Arc<State>, req: &BTreeMap<String, JsonVal>) -> String {
         q.len()
     };
     state.wake.notify_one();
-    state.accepted.fetch_add(1, Ordering::SeqCst);
+    state.accepted.inc();
     state.log(&format!("job {id}: accepted (queue position {position})"));
     format!(
         r#"{{"status":"accepted","job":"{}","position":{position}}}"#,
@@ -1221,11 +1251,38 @@ fn stats(state: &Arc<State>) -> String {
         r#"{{"status":"ok","queued":{queued},"running":{running},"capacity":{},"workers":{},"accepted":{},"rejected":{},"completed":{},"failed":{},"draining":{}}}"#,
         state.cfg.queue_capacity,
         state.cfg.workers,
-        state.accepted.load(Ordering::SeqCst),
-        state.rejected.load(Ordering::SeqCst),
-        state.completed.load(Ordering::SeqCst),
-        state.failed.load(Ordering::SeqCst),
+        state.accepted.value(),
+        state.rejected.value(),
+        state.completed.value(),
+        state.failed.value(),
         u8::from(state.draining())
+    )
+}
+
+/// The `metrics` command: Prometheus text exposition of the daemon's own
+/// registry (job counters, queue-wait/run-time histograms) followed by the
+/// process-wide default registry (task latency, retries, sweep cells).
+/// The exposition travels as an escaped JSON string because the protocol
+/// is one line per response; `inet job metrics` unescapes and prints it.
+fn metrics(state: &Arc<State>) -> String {
+    let queued = lock(&state.queue).len();
+    let running = lock(&state.jobs)
+        .values()
+        .filter(|j| j.phase() == Phase::Running)
+        .count();
+    state
+        .registry
+        .gauge("inet_jobs_queued", &[])
+        .set(queued as i64);
+    state
+        .registry
+        .gauge("inet_jobs_running", &[])
+        .set(running as i64);
+    let expo =
+        render_prometheus(&state.registry) + &render_prometheus(inet_obs::default_registry());
+    format!(
+        r#"{{"status":"ok","queued":{queued},"running":{running},"metrics":"{}"}}"#,
+        escape_json(&expo)
     )
 }
 
@@ -1400,6 +1457,41 @@ mod tests {
     }
 
     #[test]
+    fn metrics_command_serves_valid_exposition_agreeing_with_stats() {
+        let dir = temp_dir("metrics");
+        let (addr, handle) = start(test_config(dir.join("runs")));
+        let resp = request(&addr, &encode_submit(TINY, "tiny.toml", &[], None), 2_000).unwrap();
+        let id = response_field(&resp, "job").unwrap();
+        poll_done(&addr, &id);
+        let resp = request(&addr, &encode_cmd("metrics", None), 2_000).unwrap();
+        assert_eq!(
+            response_field(&resp, "status").as_deref(),
+            Some("ok"),
+            "{resp}"
+        );
+        let expo = response_field(&resp, "metrics").unwrap();
+        inet_obs::validate_prometheus(&expo).unwrap();
+        assert!(expo.contains("inet_jobs_accepted_total 1"), "{expo}");
+        assert!(expo.contains("inet_jobs_completed_total 1"), "{expo}");
+        assert!(expo.contains("inet_job_queue_wait_ms"), "{expo}");
+        assert!(expo.contains("inet_job_run_ms"), "{expo}");
+        // The process-wide registry rides along: the worker ran the job
+        // through the fenced executor, which records task latency.
+        assert!(expo.contains("inet_task_latency_us"), "{expo}");
+        // stats reads the very same counters, so the two views agree.
+        let stats = request(&addr, &encode_cmd("stats", None), 2_000).unwrap();
+        assert_eq!(
+            response_field(&stats, "completed").as_deref(),
+            Some("1"),
+            "{stats}"
+        );
+        assert_eq!(response_field(&stats, "accepted").as_deref(), Some("1"));
+        request(&addr, &encode_cmd("drain", None), 2_000).unwrap();
+        assert_eq!(handle.join().unwrap().unwrap(), ServeExit::Clean);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn invalid_submissions_get_structured_errors_not_jobs() {
         let dir = temp_dir("invalid");
         let (addr, handle) = start(test_config(dir.join("runs")));
@@ -1492,7 +1584,7 @@ mod tests {
             .parse()
             .unwrap();
         assert!(hint >= 250, "{hint}");
-        assert_eq!(service.state.rejected.load(Ordering::SeqCst), 1);
+        assert_eq!(service.state.rejected.value(), 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,262 @@
+//! The per-run telemetry artifact: `telemetry.json` in the run directory.
+//!
+//! Every journaled run persists the span tree its driving thread recorded
+//! (captured via [`inet_obs::span::capture`], so concurrent jobs in the
+//! same daemon never contaminate each other). The artifact accumulates
+//! across sessions: a resumed run **appends** a new session rather than
+//! overwriting, so `inet trace <run-id>` reports the cumulative truth —
+//! the crashed attempt's spans and the resumed attempt's spans, in order.
+//!
+//! Telemetry is inert by contract: the artifact is written through the
+//! same atomic tmp-fsync-rename path as stage artifacts but outside the
+//! journal protocol, and every persistence failure is swallowed by the
+//! caller — a run can never fail because its timing file could not be
+//! written. The file carries its own FNV-64 checksum; a torn or tampered
+//! file loads as empty (the next session starts a fresh accumulation)
+//! instead of erroring.
+
+use std::path::Path;
+
+use inet_obs::span::{render_tree, SpanRecord};
+use inet_resilience::checkpoint::fnv64;
+
+use crate::runstore::{self, escape_json, parse_flat, JsonVal, RunStore};
+
+/// Telemetry artifact file name inside a run directory.
+pub const TELEMETRY_FILE: &str = "telemetry.json";
+
+/// The accumulated span tree of one run, across every session that worked
+/// on it (initial run + resumes).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Telemetry {
+    /// How many sessions (initial run + resumes) contributed spans.
+    pub sessions: u64,
+    /// Every span, parents as indices into this vector; sessions are
+    /// time-shifted so they sequence one after another.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl Telemetry {
+    /// Loads the artifact at `path`. Missing, torn, malformed, or
+    /// checksum-failing files all load as `None` — the caller degrades to
+    /// an empty accumulation, never an error.
+    pub fn load_path(path: &Path) -> Option<Telemetry> {
+        let text = std::fs::read_to_string(path).ok()?;
+        let obj = parse_flat(&text)?;
+        let sessions = u64::try_from(obj.get("sessions").and_then(JsonVal::as_int)?).ok()?;
+        let lines = match obj.get("spans")? {
+            JsonVal::Arr(items) => items.clone(),
+            _ => return None,
+        };
+        let checksum = obj
+            .get("checksum")
+            .and_then(JsonVal::as_str)
+            .and_then(|s| u64::from_str_radix(s, 16).ok())?;
+        if fnv64(lines.join("\n").as_bytes()) != checksum {
+            return None;
+        }
+        let spans = lines
+            .iter()
+            .map(|l| SpanRecord::parse_line(l))
+            .collect::<Option<Vec<_>>>()?;
+        Some(Telemetry { sessions, spans })
+    }
+
+    /// Loads the run's telemetry, or an empty accumulation when the run
+    /// has none yet (pre-telemetry runs, torn files).
+    pub fn load(store: &RunStore) -> Telemetry {
+        Telemetry::load_path(&store.path(TELEMETRY_FILE)).unwrap_or_default()
+    }
+
+    /// Appends one session's span batch: parents are rebased onto this
+    /// accumulation and start times shifted so the new session sequences
+    /// after everything already stored (sessions never interleave).
+    pub fn append(&mut self, records: Vec<SpanRecord>) {
+        if records.is_empty() {
+            return;
+        }
+        let base = self.len_us();
+        let first = records.iter().map(|r| r.start_us).min().unwrap_or(0);
+        let offset = self.spans.len();
+        for mut r in records {
+            r.start_us = base.saturating_add(r.start_us.saturating_sub(first));
+            r.parent = r.parent.map(|p| p + offset);
+            self.spans.push(r);
+        }
+        self.sessions += 1;
+    }
+
+    /// The latest end time stored, in microseconds — where the next
+    /// session's clock starts.
+    fn len_us(&self) -> u64 {
+        self.spans
+            .iter()
+            .map(|r| r.start_us.saturating_add(r.dur_us))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Renders the artifact: flat JSON with the span lines and their
+    /// FNV-64 checksum.
+    pub fn render(&self) -> String {
+        let lines: Vec<String> = self.spans.iter().map(SpanRecord::to_line).collect();
+        let checksum = fnv64(lines.join("\n").as_bytes());
+        let spans = lines
+            .iter()
+            .map(|l| format!("\"{}\"", escape_json(l)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\n  \"version\": 1,\n  \"sessions\": {},\n  \"spans\": [{spans}],\n  \
+             \"checksum\": \"{checksum:016x}\"\n}}\n",
+            self.sessions
+        )
+    }
+
+    /// Persists atomically into the run directory (no journal record —
+    /// telemetry sits outside the commit protocol).
+    pub fn save(&self, store: &RunStore) -> std::io::Result<()> {
+        runstore::atomic_write(store.dir(), TELEMETRY_FILE, self.render().as_bytes())
+    }
+
+    /// The stored span tree as an indented table with self/total times.
+    pub fn render_trace(&self) -> String {
+        render_tree(&self.spans)
+    }
+
+    /// `(total wall microseconds, stage-span count)` for `runs list
+    /// --stats`: wall time sums the root `run` spans (one per session),
+    /// stages count both executed (`pipeline.stage`) and replayed
+    /// (`pipeline.replay`) stage spans.
+    pub fn totals(&self) -> (u64, usize) {
+        let total = self
+            .spans
+            .iter()
+            .filter(|r| r.name == "run" && r.parent.is_none())
+            .map(|r| r.dur_us)
+            .fold(0, u64::saturating_add);
+        let stages = self
+            .spans
+            .iter()
+            .filter(|r| r.name == "pipeline.stage" || r.name == "pipeline.replay")
+            .count();
+        (total, stages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("inet_telemetry_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn span(
+        name: &str,
+        scope: u64,
+        start_us: u64,
+        dur_us: u64,
+        parent: Option<usize>,
+    ) -> SpanRecord {
+        SpanRecord {
+            name: name.to_string(),
+            scope,
+            thread: 0,
+            start_us,
+            dur_us,
+            parent,
+        }
+    }
+
+    #[test]
+    fn save_load_round_trips_through_the_store() {
+        let root = temp_root("roundtrip");
+        let store = RunStore::create(
+            &root,
+            "t",
+            "[generator]\nmodel = \"ba\"\nn = 10\n",
+            "s.toml",
+            &[],
+        )
+        .unwrap();
+        let mut t = Telemetry::default();
+        t.append(vec![
+            span("run", 0, 50, 900, None),
+            span("pipeline.stage", 0, 60, 400, Some(0)),
+        ]);
+        t.save(&store).unwrap();
+        let back = Telemetry::load(&store);
+        assert_eq!(back, t);
+        assert_eq!(back.sessions, 1);
+        // The first session is rebased to start at 0.
+        assert_eq!(back.spans[0].start_us, 0);
+        assert_eq!(back.spans[1].start_us, 10);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn append_sequences_sessions_and_rebases_parents() {
+        let mut t = Telemetry::default();
+        t.append(vec![
+            span("run", 0, 100, 1_000, None),
+            span("pipeline.stage", 1, 150, 500, Some(0)),
+        ]);
+        t.append(vec![
+            span("run", 0, 9_000, 2_000, None),
+            span("pipeline.replay", 0, 9_010, 30, Some(0)),
+        ]);
+        assert_eq!(t.sessions, 2);
+        assert_eq!(t.spans.len(), 4);
+        // Session 2 starts where session 1 ended (at 1_000 us).
+        assert_eq!(t.spans[2].start_us, 1_000);
+        assert_eq!(t.spans[3].start_us, 1_010);
+        assert_eq!(t.spans[3].parent, Some(2), "parent rebased onto the store");
+        let (total, stages) = t.totals();
+        assert_eq!(total, 3_000, "both sessions' run roots counted");
+        assert_eq!(stages, 2, "one executed + one replayed stage");
+    }
+
+    #[test]
+    fn torn_or_tampered_files_load_as_empty() {
+        let root = temp_root("torn");
+        let store = RunStore::create(
+            &root,
+            "t",
+            "[generator]\nmodel = \"ba\"\nn = 10\n",
+            "s.toml",
+            &[],
+        )
+        .unwrap();
+        assert_eq!(Telemetry::load(&store), Telemetry::default(), "missing");
+        std::fs::write(store.path(TELEMETRY_FILE), "{\"version\": 1, \"sess").unwrap();
+        assert_eq!(Telemetry::load(&store), Telemetry::default(), "torn");
+        let mut t = Telemetry::default();
+        t.append(vec![span("run", 0, 0, 10, None)]);
+        let tampered = t.render().replace("run|", "fun|");
+        std::fs::write(store.path(TELEMETRY_FILE), tampered).unwrap();
+        assert_eq!(
+            Telemetry::load(&store),
+            Telemetry::default(),
+            "checksum mismatch degrades to empty"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn render_trace_shows_the_tree() {
+        let mut t = Telemetry::default();
+        t.append(vec![
+            span("run", 0, 0, 10_000, None),
+            span("pipeline.stage", 2, 100, 4_000, Some(0)),
+        ]);
+        let table = t.render_trace();
+        assert!(table.contains("run[0]"), "{table}");
+        assert!(table.contains("  pipeline.stage[2]"), "{table}");
+        assert_eq!(Telemetry::default().render_trace(), "(no spans recorded)\n");
+    }
+}

@@ -295,6 +295,7 @@ pub fn run_sweep(g: &Csr, cfg: &SweepConfig) -> Result<SweepResult, SweepError> 
                     // failpoint it consults is keyed by the canonical cell
                     // index, like the in-cell `sweep.cell` failpoint.
                     let task = Task::new("sweep.cell", cell.index as u64);
+                    let started = std::time::Instant::now();
                     let outcome = run_fenced(&task, || {
                         if attempt == 0 && cfg.fail_cells.contains(&cell.index) {
                             // Test-only hook, caught by this very fence.
@@ -305,6 +306,16 @@ pub fn run_sweep(g: &Csr, cfg: &SweepConfig) -> Result<SweepResult, SweepError> 
                         }
                         compute_cell(g, cfg, cell, attempt, total)
                     });
+                    // Per-cell wall time, overall and per strategy — wall
+                    // clock only, so results stay bit-identical.
+                    let cell_us = started.elapsed().as_micros() as u64;
+                    let registry = inet_obs::default_registry();
+                    registry
+                        .histogram("inet_sweep_cell_us", &[])
+                        .observe(cell_us);
+                    registry
+                        .histogram("inet_sweep_cell_us", &[("strategy", cell.strategy.name())])
+                        .observe(cell_us);
                     let mut st = state.lock().unwrap_or_else(|p| p.into_inner());
                     match outcome {
                         Ok(Ok(record)) => {

@@ -9,6 +9,7 @@
 //! inet validate <edge-list-file|->      # compare against the 2001 AS-map targets
 //! inet tiers    <edge-list-file|->      # backbone/transit/fringe stratification
 //! inet trace    [months]                # synthetic growth trace + fitted rates
+//! inet trace    <run-id>                # span tree of a journaled run
 //! inet attack   <model|file|->          # percolation / targeted-attack sweep
 //! inet list-models                      # the model registry: params + defaults
 //! inet serve    [addr]                  # bounded-queue scenario-job daemon
@@ -53,7 +54,7 @@ use inet_suite::inet_model::pipeline::runstore::DEFAULT_RUNS_DIR;
 use inet_suite::inet_model::pipeline::service::{self, ServeExit, Service, ServiceConfig};
 use inet_suite::inet_model::pipeline::{
     report, run_scenario_with, scan_runs, AttackSpec, ExecOptions, MeasureSpec, PipelineError,
-    RunStore, Scenario, Source,
+    RunStore, Scenario, Source, Telemetry, TELEMETRY_FILE,
 };
 use inet_suite::inet_model::prelude::*;
 use std::collections::BTreeMap;
@@ -149,6 +150,9 @@ enum Command {
     /// `inet runs list` — the journaled runs and their progress.
     Runs {
         runs_dir: Option<String>,
+        /// `--stats`: wall time and stage count per run from the
+        /// telemetry artifact (dash for pre-telemetry runs).
+        stats: bool,
     },
     Generate {
         model: String,
@@ -173,6 +177,11 @@ enum Command {
     },
     Trace {
         months: usize,
+    },
+    /// `inet trace <run-id>` — the stored span tree of a journaled run.
+    TraceRun {
+        run_id: String,
+        runs_dir: Option<String>,
     },
     Attack(AttackArgs),
     ListModels,
@@ -283,12 +292,18 @@ const GLOBAL_OPTS: &[OptSpec] = &[
     opt_many("--set", "<key=value>"),
 ];
 
-/// Options of the `run` subcommand (`runs list` shares `--runs-dir`).
+/// Options of the `run` subcommand.
 const RUN_OPTS: &[OptSpec] = &[
     opt("--resume", "<run-id>"),
     flag("--no-journal"),
     opt("--runs-dir", "<dir>"),
 ];
+
+/// Options of the `runs` subcommand.
+const RUNS_OPTS: &[OptSpec] = &[opt("--runs-dir", "<dir>"), flag("--stats")];
+
+/// Options of the `trace <run-id>` form.
+const TRACE_OPTS: &[OptSpec] = &[opt("--runs-dir", "<dir>")];
 
 /// Options of the `serve` subcommand.
 const SERVE_OPTS: &[OptSpec] = &[
@@ -457,12 +472,13 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             })
         }
         Some("runs") => {
-            let scanned = scan_options(&args[1..], RUN_OPTS).map_err(|e| format!("runs: {e}"))?;
+            let scanned = scan_options(&args[1..], RUNS_OPTS).map_err(|e| format!("runs: {e}"))?;
             if scanned.rest.len() != 1 || scanned.rest[0] != "list" {
-                return Err("runs: usage: inet runs list [--runs-dir <dir>]".into());
+                return Err("runs: usage: inet runs list [--runs-dir <dir>] [--stats]".into());
             }
             Ok(Command::Runs {
                 runs_dir: scanned.value("--runs-dir").map(str::to_string),
+                stats: scanned.flag("--stats"),
             })
         }
         Some("list-models") => Ok(Command::ListModels),
@@ -591,7 +607,10 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             let action = scanned
                 .rest
                 .first()
-                .ok_or("job: usage: inet job <status|result|cancel> <id> | inet job <stats|drain>")?
+                .ok_or(
+                    "job: usage: inet job <status|result|cancel> <id> | \
+                     inet job <stats|metrics|drain>",
+                )?
                 .clone();
             let id = scanned.rest.get(1).cloned();
             if scanned.rest.len() > 2 {
@@ -603,14 +622,15 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                         return Err(format!("job: {action} needs a <job-id>"));
                     }
                 }
-                "stats" | "drain" => {
+                "stats" | "metrics" | "drain" => {
                     if id.is_some() {
                         return Err(format!("job: {action} takes no <job-id>"));
                     }
                 }
                 other => {
                     return Err(format!(
-                        "job: unknown action '{other}' (expected status/result/cancel/stats/drain)"
+                        "job: unknown action '{other}' (expected \
+                         status/result/cancel/stats/metrics/drain)"
                     ))
                 }
             }
@@ -621,16 +641,44 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             })
         }
         Some("trace") => {
-            let months = match args.get(1) {
-                Some(s) => s
-                    .parse::<usize>()
-                    .map_err(|_| "trace: [months] must be an integer".to_string())?,
-                None => 55,
-            };
-            if !(2..=2000).contains(&months) {
-                return Err("trace: [months] must lie in 2..=2000".into());
+            let scanned =
+                scan_options(&args[1..], TRACE_OPTS).map_err(|e| format!("trace: {e}"))?;
+            let mut target: Option<String> = None;
+            for arg in &scanned.rest {
+                if arg.starts_with("--") {
+                    return Err(format!("trace: unknown option '{arg}'"));
+                }
+                if target.replace(arg.clone()).is_some() {
+                    return Err("trace: more than one argument given".into());
+                }
             }
-            Ok(Command::Trace { months })
+            let runs_dir = scanned.value("--runs-dir").map(str::to_string);
+            // An integer is the legacy synthetic growth trace over that
+            // many months; anything else is a journaled run id whose
+            // stored span tree prints.
+            match target {
+                Some(arg) => match arg.parse::<usize>() {
+                    Ok(months) => {
+                        if runs_dir.is_some() {
+                            return Err("trace: --runs-dir only applies to a <run-id>".into());
+                        }
+                        if !(2..=2000).contains(&months) {
+                            return Err("trace: [months] must lie in 2..=2000".into());
+                        }
+                        Ok(Command::Trace { months })
+                    }
+                    Err(_) => Ok(Command::TraceRun {
+                        run_id: arg,
+                        runs_dir,
+                    }),
+                },
+                None => {
+                    if runs_dir.is_some() {
+                        return Err("trace: --runs-dir only applies to a <run-id>".into());
+                    }
+                    Ok(Command::Trace { months: 55 })
+                }
+            }
         }
         Some(other) => Err(format!("unknown command '{other}' (try 'inet help')")),
     }
@@ -730,17 +778,19 @@ fn help_text() -> String {
          usage:\n  \
          inet run      <scenario.toml>      execute a declarative scenario file\n  \
          inet run      --resume <run-id>    resume an interrupted journaled run\n  \
-         inet runs     list                 journaled runs and their progress\n  \
+         inet runs     list [--stats]      journaled runs and their progress\n  \
          inet generate <model> <n> [seed]   grow a topology (edge list on stdout)\n  \
          inet measure  <file|->             headline report\n  \
          inet validate <file|->             compare vs the 2001 AS-map targets\n  \
          inet tiers    <file|->             backbone/transit/fringe split\n  \
          inet trace    [months]             synthetic growth trace + rate fits\n  \
+         inet trace    <run-id>             span tree of a journaled run\n  \
          inet attack   <model|file|->       percolation / targeted-attack sweep\n  \
          inet list-models                   model registry: parameters + defaults\n  \
          inet serve    [addr]               scenario-job daemon (default {DEFAULT_ADDR})\n  \
          inet submit   <scenario.toml>      submit a job; prints the job id\n  \
-         inet job      <action> [id]        status/result/cancel <id>; stats/drain\n\n\
+         inet job      <action> [id]        status/result/cancel <id>;\n  \
+         \u{20}                                  stats/metrics/drain\n\n\
          run options:\n  \
          --set <key=value>                  override a scenario setting (repeatable);\n  \
          \u{20}                                  bare keys tune [generator] parameters\n  \
@@ -870,7 +920,7 @@ fn run(cmd: Command) -> Result<(), PipelineError> {
             }
             Ok(())
         }
-        Command::Runs { runs_dir } => {
+        Command::Runs { runs_dir, stats } => {
             let root = std::path::PathBuf::from(runs_dir.as_deref().unwrap_or(DEFAULT_RUNS_DIR));
             // Corrupted or partial run directories must not abort the
             // listing — each gets a one-line warning, the rest still print.
@@ -882,7 +932,28 @@ fn run(cmd: Command) -> Result<(), PipelineError> {
                 println!("no runs under {}", root.display());
             } else {
                 for info in scan.runs {
-                    println!("{:<44} {:<24} {}", info.id, info.name, info.status());
+                    if stats {
+                        // Pre-telemetry and torn artifacts print dashes,
+                        // never an error — old runs stay listable.
+                        let (wall, stages) =
+                            match Telemetry::load_path(&root.join(&info.id).join(TELEMETRY_FILE)) {
+                                Some(t) => {
+                                    let (us, stages) = t.totals();
+                                    (format!("{:.3}s", us as f64 / 1e6), stages.to_string())
+                                }
+                                None => ("-".to_string(), "-".to_string()),
+                            };
+                        println!(
+                            "{:<44} {:<24} {:<12} {:>10} {:>7}",
+                            info.id,
+                            info.name,
+                            info.status(),
+                            wall,
+                            stages
+                        );
+                    } else {
+                        println!("{:<44} {:<24} {}", info.id, info.name, info.status());
+                    }
                 }
             }
             Ok(())
@@ -1042,7 +1113,36 @@ fn run(cmd: Command) -> Result<(), PipelineError> {
                     ))),
                 };
             }
+            if action == "metrics" {
+                // Print the raw Prometheus exposition (the response field
+                // is JSON-escaped for the one-line protocol) so the output
+                // pipes straight into a scraper or promtool.
+                let expo = service::response_field(&resp, "metrics").ok_or_else(|| {
+                    PipelineError::Data(format!("daemon response missing metrics: {resp}"))
+                })?;
+                print!("{expo}");
+                return Ok(());
+            }
             println!("{resp}");
+            Ok(())
+        }
+        Command::TraceRun { run_id, runs_dir } => {
+            let root = std::path::PathBuf::from(runs_dir.as_deref().unwrap_or(DEFAULT_RUNS_DIR));
+            // Open validates the run exists (typo-friendly error with the
+            // 'runs list' hint); the telemetry artifact itself is optional.
+            let store = RunStore::open(&root, &run_id)?;
+            let telemetry = Telemetry::load(&store);
+            if telemetry.spans.is_empty() {
+                println!("run {run_id}: no telemetry recorded (pre-telemetry run?)");
+            } else {
+                let (wall, _) = telemetry.totals();
+                println!(
+                    "run {run_id}: {} session(s), {:.3}s total",
+                    telemetry.sessions,
+                    wall as f64 / 1e6
+                );
+                print!("{}", telemetry.render_trace());
+            }
             Ok(())
         }
         Command::Trace { months } => {
@@ -1235,6 +1335,24 @@ mod tests {
             Command::Trace { months: 55 }
         );
         assert!(parse_args(&strs(&["trace", "1"])).is_err());
+        // A non-integer argument is a run id; --runs-dir rides along.
+        assert_eq!(
+            parse_args(&strs(&["trace", "demo-1a2b3c4d"])).unwrap(),
+            Command::TraceRun {
+                run_id: "demo-1a2b3c4d".into(),
+                runs_dir: None
+            }
+        );
+        assert_eq!(
+            parse_args(&strs(&["trace", "demo-1a2b3c4d", "--runs-dir", "rr"])).unwrap(),
+            Command::TraceRun {
+                run_id: "demo-1a2b3c4d".into(),
+                runs_dir: Some("rr".into())
+            }
+        );
+        assert!(parse_args(&strs(&["trace", "--runs-dir", "rr"])).is_err());
+        assert!(parse_args(&strs(&["trace", "20", "--runs-dir", "rr"])).is_err());
+        assert!(parse_args(&strs(&["trace", "a", "b"])).is_err());
         assert!(parse_args(&strs(&["nonsense"])).is_err());
     }
 
@@ -1365,7 +1483,17 @@ mod tests {
         }
         assert_eq!(
             parse_args(&strs(&["runs", "list"])).unwrap(),
-            Command::Runs { runs_dir: None }
+            Command::Runs {
+                runs_dir: None,
+                stats: false
+            }
+        );
+        assert_eq!(
+            parse_args(&strs(&["runs", "list", "--stats"])).unwrap(),
+            Command::Runs {
+                runs_dir: None,
+                stats: true
+            }
         );
         // The rejections, each with a one-line reason.
         for (bad, needle) in [
@@ -1757,14 +1885,39 @@ mod tests {
         let infos = scan_runs(&runs).runs;
         assert_eq!(infos.len(), 1, "{infos:?}");
         assert_eq!(infos[0].status(), "complete");
-        // `inet runs list` renders without error on the same store.
+        // `inet runs list` renders without error on the same store, with
+        // and without the telemetry columns.
         run(Command::Runs {
+            runs_dir: Some(runs.to_str().unwrap().into()),
+            stats: false,
+        })
+        .unwrap();
+        run(Command::Runs {
+            runs_dir: Some(runs.to_str().unwrap().into()),
+            stats: true,
+        })
+        .unwrap();
+        // The journaled run stored its span tree; `inet trace <run-id>`
+        // renders it.
+        let store = RunStore::open(&runs, &infos[0].id).unwrap();
+        let telemetry = Telemetry::load(&store);
+        assert!(
+            !telemetry.spans.is_empty(),
+            "journaled run must persist telemetry"
+        );
+        assert!(telemetry.render_trace().contains("run[0]"));
+        run(Command::TraceRun {
+            run_id: infos[0].id.clone(),
             runs_dir: Some(runs.to_str().unwrap().into()),
         })
         .unwrap();
-        // Resume of a complete run replays every stage byte-identically.
+        // Resume of a complete run replays every stage byte-identically,
+        // and the replayed session accumulates into the telemetry.
         run(mk(Some(infos[0].id.clone()))).unwrap();
         assert_eq!(std::fs::read_to_string(&summary).unwrap(), first);
+        let resumed = Telemetry::load(&store);
+        assert_eq!(resumed.sessions, telemetry.sessions + 1);
+        assert!(resumed.spans.len() > telemetry.spans.len());
         // Resuming an unknown id is a data error naming `runs list`.
         let err = run(mk(Some("nope-00000000".into()))).unwrap_err();
         assert_eq!(err.exit_code(), 4, "{}", err.message());

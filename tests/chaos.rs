@@ -432,6 +432,107 @@ fn mid_sweep_cancellation_exits_resumable_and_resumes_bit_identically() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Telemetry is provably inert: an unlimited *panic* plan on the
+/// `obs.record` failpoint (the gate in front of every span, counter, and
+/// histogram recording site) must change no output bit anywhere. Pipeline
+/// runs at thread counts 1, 2, and 7 produce summaries and sweep cells
+/// identical to the clean run, and a served job still completes — a
+/// panicking recorder never kills a job.
+#[test]
+fn panicking_telemetry_recorder_changes_nothing_and_kills_nothing() {
+    use inet_suite::inet_model::pipeline::service::{
+        encode_cmd, encode_submit, request, response_field, Service, ServiceConfig,
+    };
+    use inet_suite::inet_model::pipeline::{run_scenario_with, ExecOptions, RunStore, Scenario};
+    use std::time::{Duration, Instant};
+
+    let _l = lock();
+    let dir = std::env::temp_dir().join("inet_chaos_obs_record");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let text = "[generator]\nmodel = \"ba\"\nn = 90\nseed = 5\n\
+                [measure]\nmetrics = [\"degree\", \"giant\"]\n\
+                [attack]\nstrategies = [\"random\", \"degree-recalc\"]\nreplicas = 2\nrecord = 2";
+    let clean =
+        run_scenario_with(&Scenario::parse(text).unwrap(), &ExecOptions::default()).unwrap();
+    let clean_cells = clean.sweep.as_ref().unwrap().cells.clone();
+
+    // Unlimited hits, every scope: every recording attempt panics.
+    let plan = FaultPlan {
+        specs: vec![FaultSpec {
+            failpoint: "obs.record",
+            scope: None,
+            max_hits: 0,
+            action: FaultAction::Panic,
+        }],
+    };
+    for threads in [1usize, 2, 7] {
+        let mut scenario = Scenario::parse(text).unwrap();
+        scenario.threads = Some(threads);
+        let runs = dir.join(format!("runs-{threads}"));
+        let store = RunStore::create(&runs, &scenario.name, text, "s.toml", &[]).unwrap();
+        let guard = fault::install(plan.clone());
+        let stormed = run_scenario_with(
+            &scenario,
+            &ExecOptions {
+                store: Some(store),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        drop(guard);
+        assert_eq!(stormed.summary, clean.summary, "threads={threads}");
+        assert_eq!(
+            stormed.sweep.unwrap().cells,
+            clean_cells,
+            "threads={threads}"
+        );
+    }
+
+    // A served job survives a panicking recorder end to end.
+    const TINY: &str = "[generator]\nmodel = \"ba\"\nn = 60\nseed = 7\n\
+                        [measure]\nmetrics = [\"degree\"]\n";
+    let reference = inet_suite::inet_model::pipeline::run_scenario(&Scenario::parse(TINY).unwrap())
+        .unwrap()
+        .summary;
+    let service = Service::bind(ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_capacity: 4,
+        runs_dir: dir.join("runs-served"),
+        read_timeout_ms: 1_000,
+        write_timeout_ms: 1_000,
+        quiet: true,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let addr = service.local_addr().unwrap().to_string();
+    let handle = std::thread::spawn(move || service.run().unwrap());
+    let guard = fault::install(plan);
+    let resp = request(&addr, &encode_submit(TINY, "t.toml", &[], None), 5_000).unwrap();
+    assert_eq!(response_field(&resp, "status").as_deref(), Some("accepted"));
+    let id = response_field(&resp, "job").unwrap();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let summary = loop {
+        assert!(
+            Instant::now() < deadline,
+            "job {id} never completed under the obs.record panic plan"
+        );
+        let resp = request(&addr, &encode_cmd("result", Some(&id)), 5_000).unwrap();
+        match response_field(&resp, "status").unwrap_or_default().as_str() {
+            "done" => break response_field(&resp, "summary").unwrap(),
+            "queued" | "running" | "error" | "" => {}
+            other => panic!("job {id} ended {other}: {resp}"),
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(summary, reference, "served job must match the clean run");
+    drop(guard);
+    request(&addr, &encode_cmd("drain", None), 5_000).unwrap();
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The serving-layer storm: 24 seeded single-spec plans across the three
 /// `service.*` failpoints (connection handling, admission, worker
 /// execution) with every action (error, panic, delay). The no-job-lost
